@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Reproduces Figure 11: the latency the Replayer observes probing each
+ * of the 16 cache lines of AES table Td1 after each of three replays
+ * of one round iteration — Replay 0 against warm caches (mixed
+ * levels), Replays 1 and 2 after priming (accessed lines hit L1 at
+ * <60 cycles, everything else misses to memory at >300 cycles).
+ *
+ * Also runs the full single-stepping extraction of §4.4 and the
+ * round-1 key-nibble recovery extension.
+ */
+
+#include <cstdio>
+
+#include "attack/aes_attack.hh"
+
+using namespace uscope;
+
+int
+main()
+{
+    attack::AesAttackConfig config;
+    for (unsigned i = 0; i < 16; ++i) {
+        config.key[i] = static_cast<std::uint8_t>(i);
+        config.plaintext[i] = static_cast<std::uint8_t>(0x20 + i);
+    }
+
+    std::printf("==============================================================\n");
+    std::printf("Figure 11: probe latency of Td1's 16 lines across 3 replays\n");
+    std::printf("Paper bands: L1 < 60 cy, L2/L3 100-200 cy, memory > 300 cy\n");
+    std::printf("==============================================================\n\n");
+
+    const attack::Fig11Result fig11 = attack::runFig11(config);
+
+    std::printf("%-10s", "line:");
+    for (unsigned line = 0; line < 16; ++line)
+        std::printf("%5u", line);
+    std::printf("\n");
+    for (std::size_t replay = 0; replay < fig11.replays.size();
+         ++replay) {
+        std::printf("Replay %zu: ", replay);
+        for (unsigned line = 0; line < 16; ++line)
+            std::printf("%5llu",
+                        static_cast<unsigned long long>(
+                            fig11.replays[replay].latency[line]));
+        std::printf("  (cycles)\n");
+    }
+
+    std::printf("\nground-truth Td1 lines accessed in the window: { ");
+    for (unsigned line : fig11.expectedLines)
+        std::printf("%u ", line);
+    std::printf("}\n");
+    for (std::size_t i = 0; i < fig11.measuredLines.size(); ++i) {
+        std::printf("lines classified hot after primed replay %zu: { ",
+                    i + 1);
+        for (unsigned line : fig11.measuredLines[i])
+            std::printf("%u ", line);
+        std::printf("}\n");
+    }
+    std::printf("consistent across primed replays: %s\n",
+                fig11.consistentAcrossPrimedReplays ? "yes" : "NO");
+    std::printf("matches ground truth (noiseless): %s\n",
+                fig11.matchesGroundTruth ? "yes" : "NO");
+
+    std::printf("\n--------------------------------------------------------------\n");
+    std::printf("Full single-stepped extraction (one logical decryption)\n");
+    std::printf("--------------------------------------------------------------\n");
+    const attack::AesExtractionResult extraction =
+        attack::runAesExtraction(config);
+    std::printf("episodes (t-groups stepped):  %zu\n",
+                extraction.episodes.size());
+    std::printf("total replays:                %llu\n",
+                static_cast<unsigned long long>(
+                    extraction.totalReplays));
+    std::printf("total page faults induced:    %llu\n",
+                static_cast<unsigned long long>(extraction.totalFaults));
+    std::printf("plaintext still correct:      %s\n",
+                extraction.plaintextCorrect ? "yes" : "NO");
+
+    unsigned stable = 0;
+    for (const auto &episode : extraction.episodes)
+        stable += episode.stable;
+    std::printf("episodes with identical measurements across primed "
+                "replays: %u/%zu\n",
+                stable, extraction.episodes.size());
+
+    for (unsigned round = 1; round <= 9; ++round) {
+        const auto lines = extraction.roundLines(round);
+        std::printf("  round %u lines  Td0:{", round);
+        for (unsigned line : lines[0])
+            std::printf("%u ", line);
+        std::printf("} Td1:{");
+        for (unsigned line : lines[1])
+            std::printf("%u ", line);
+        std::printf("} Td2:{");
+        for (unsigned line : lines[2])
+            std::printf("%u ", line);
+        std::printf("} Td3:{");
+        for (unsigned line : lines[3])
+            std::printf("%u ", line);
+        std::printf("}\n");
+    }
+
+    const auto nibbles = attack::recoverRound1Nibbles(extraction);
+    const auto truth = attack::groundTruthRound1Nibbles(config);
+    unsigned recovered = 0;
+    unsigned correct = 0;
+    std::printf("\nround-1 state-nibble recovery (extension):\n  ");
+    for (unsigned i = 0; i < 16; ++i) {
+        if (nibbles[i]) {
+            ++recovered;
+            correct += *nibbles[i] == truth[i];
+            std::printf("%X", *nibbles[i]);
+        } else {
+            std::printf("?");
+        }
+    }
+    std::printf("   (truth: ");
+    for (unsigned i = 0; i < 16; ++i)
+        std::printf("%X", truth[i]);
+    std::printf(")\n  recovered %u/16 nibbles, %u correct, %u wrong\n",
+                recovered, correct, recovered - correct);
+    return 0;
+}

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Scenario: single-stepping AES-128 decryption in an enclave (§4.4).
+ *
+ * The enclave decrypts one ciphertext block with OpenSSL-0.9.8-style
+ * table lookups.  Using a replay handle on the Td0 page and a pivot
+ * on the round-key page, MicroScope steps the decryption one t-group
+ * at a time, extracting every table line touched — and, as an
+ * extension, recovers round-1 state nibbles (bits of ciphertext ^
+ * round key) by suffix-differencing consecutive windows.
+ */
+
+#include <cstdio>
+#include <cstring>
+
+#include "attack/aes_attack.hh"
+
+using namespace uscope;
+
+int
+main()
+{
+    attack::AesAttackConfig config;
+    const char *key_text = "correct horse ba";  // 16 bytes
+    const char *message = "attack at dawn!!";
+    std::memcpy(config.key.data(), key_text, 16);
+    std::memcpy(config.plaintext.data(), message, 16);
+
+    std::printf("Enclave decrypts one block under a sealed key.\n");
+    std::printf("We are the OS: no access to the key or the data —\n");
+    std::printf("only to page tables, caches, and time.\n\n");
+
+    const attack::AesExtractionResult result =
+        attack::runAesExtraction(config);
+
+    std::printf("single-stepped %zu t-groups with %llu replays "
+                "(%llu page faults)\n",
+                result.episodes.size(),
+                static_cast<unsigned long long>(result.totalReplays),
+                static_cast<unsigned long long>(result.totalFaults));
+    std::printf("decryption result still correct: %s\n\n",
+                result.plaintextCorrect ? "yes (attack invisible)"
+                                        : "NO");
+
+    std::printf("extracted table lines, per round (Td0|Td1|Td2|Td3):\n");
+    for (unsigned round = 1; round <= 9; ++round) {
+        const auto lines = result.roundLines(round);
+        std::printf("  round %u:", round);
+        for (unsigned table = 0; table < 4; ++table) {
+            std::printf(" %c", table ? '|' : ' ');
+            for (unsigned line : lines[table])
+                std::printf("%x", line);
+        }
+        std::printf("\n");
+    }
+
+    const auto nibbles = attack::recoverRound1Nibbles(result);
+    const auto truth = attack::groundTruthRound1Nibbles(config);
+    std::printf("\nround-1 state nibbles (ct ^ rk), recovered vs truth:\n  ");
+    unsigned recovered = 0;
+    unsigned correct = 0;
+    for (unsigned i = 0; i < 16; ++i) {
+        if (nibbles[i]) {
+            std::printf("%X", *nibbles[i]);
+            ++recovered;
+            correct += *nibbles[i] == truth[i];
+        } else {
+            std::printf("?");
+        }
+    }
+    std::printf("\n  ");
+    for (unsigned i = 0; i < 16; ++i)
+        std::printf("%X", truth[i]);
+    std::printf("\n=> %u/16 recovered, all %s — 4 secret bits per "
+                "recovered nibble,\n   from ONE decryption.\n",
+                recovered, correct == recovered ? "correct" : "NOT ok");
+    return 0;
+}

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Scenario: spying on a secret branch inside a run-once enclave.
+ *
+ * The paper's motivating deployments — "filing tax returns or
+ * performing tasks in personalized medicine" — run once per input, so
+ * an attacker gets a single trace.  This example stages that setting:
+ * an enclave whose (single) secret-dependent branch picks between two
+ * computations (Figure 4c / Figure 6), attacked through BOTH channels
+ * the paper demonstrates:
+ *
+ *   1. the execution-port contention channel (a Monitor thread on the
+ *      SMT sibling times divide bursts), and
+ *   2. the cache channel (the Replayer probes the two paths' operand
+ *      lines after every replay),
+ *
+ * plus the §4.2.3 misprediction trick with a primed predictor.
+ */
+
+#include <cstdio>
+
+#include "attack/control_flow.hh"
+#include "attack/port_contention.hh"
+
+using namespace uscope;
+
+int
+main()
+{
+    std::printf("Scenario: a run-once enclave branches on a secret.\n");
+    std::printf("The OS (us) may not read enclave memory — but controls "
+                "paging.\n\n");
+
+    for (bool secret : {false, true}) {
+        std::printf("=== ground-truth secret: %d (%s path) ===\n",
+                    secret, secret ? "divide" : "multiply");
+
+        // Channel 1: port contention via an SMT-sibling Monitor.
+        attack::PortContentionConfig port_config;
+        port_config.victimDivides = secret;
+        port_config.samples = 4000;
+        port_config.replays = 60;
+        const auto port = attack::runPortContentionAttack(port_config);
+        std::printf("  port channel : %llu/%u samples above %llu "
+                    "cycles -> secret=%d %s\n",
+                    static_cast<unsigned long long>(
+                        port.aboveThreshold),
+                    port_config.samples,
+                    static_cast<unsigned long long>(
+                        port_config.threshold),
+                    port.inferredDivides,
+                    port.inferredDivides == secret ? "(correct)"
+                                                   : "(WRONG)");
+
+        // Channel 2: cache residue of the taken path's operands.
+        attack::ControlFlowConfig cache_config;
+        cache_config.secret = secret;
+        const auto cache = attack::runControlFlowAttack(cache_config);
+        std::printf("  cache channel: mul-page hits %llu, div-page "
+                    "hits %llu -> secret=%d %s\n",
+                    static_cast<unsigned long long>(cache.mulHits),
+                    static_cast<unsigned long long>(cache.divHits),
+                    cache.inferredSecret && *cache.inferredSecret,
+                    (cache.inferredSecret &&
+                     *cache.inferredSecret == secret)
+                        ? "(correct)"
+                        : "(WRONG)");
+
+        // Channel 3 (§4.2.3): prime the predictor and detect
+        // re-execution — leaks secret == prediction.
+        attack::ControlFlowConfig predict_config;
+        predict_config.secret = secret;
+        predict_config.primeTaken = true;  // predict the mul path
+        const auto predicted =
+            attack::runControlFlowAttack(predict_config);
+        std::printf("  prediction   : primed 'taken'; both paths "
+                    "observed=%d => %s\n",
+                    predicted.bothPathsObserved,
+                    predicted.bothPathsObserved
+                        ? "mispredicted -> secret != prediction"
+                        : "predicted correctly -> secret == prediction");
+        std::printf("\n");
+    }
+
+    std::printf("All three channels agree, from one logical run each —\n");
+    std::printf("despite the enclave never looping and SGX's replay "
+                "protections.\n");
+    return 0;
+}

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Scenario: a defender evaluating countermeasures (§8).
+ *
+ * You maintain an enclave runtime and must decide what to deploy
+ * against microarchitectural replay attacks.  This example runs the
+ * paper's candidate defenses against the live attack and prints a
+ * decision-ready summary: what each defense stops, what it misses,
+ * and what it costs.
+ */
+
+#include <cstdio>
+
+#include "defense/dejavu.hh"
+#include "defense/fence_defense.hh"
+#include "defense/pf_oblivious.hh"
+#include "defense/tsgx.hh"
+
+using namespace uscope;
+
+int
+main()
+{
+    std::printf("Defense evaluation lab: port-contention + cache replay "
+                "attacks\nagainst each §8 countermeasure.\n\n");
+
+    std::printf("%-26s %-18s %-22s %s\n", "defense", "stops attack?",
+                "residual leak", "cost");
+
+    {
+        const auto fence = defense::runFenceAblation(42, 3000);
+        std::printf("%-26s %-18s %-22s %.2f%% on faulting code\n",
+                    "fence on pipeline flush",
+                    fence.attackDefeated ? "YES" : "no",
+                    fence.attackDefeated ? "none observed"
+                                         : "window persists",
+                    fence.benignOverhead * 100);
+    }
+    {
+        defense::TsgxConfig config;
+        config.secret = true;
+        const auto tsgx = defense::runTsgxAttack(config);
+        std::printf("%-26s %-18s %-22s app killed after N faults\n",
+                    "T-SGX (TSX wrap, N=10)",
+                    tsgx.inferredDividesCache ? "no" : "partially",
+                    tsgx.inferredDividesCache
+                        ? "N-1 windows leak secret"
+                        : "-");
+    }
+    {
+        defense::DejavuConfig config;
+        config.replays = 10;
+        const auto dejavu = defense::runDejavuExperiment(config);
+        defense::DejavuConfig masked;
+        masked.replays = 2;
+        const auto low = defense::runDejavuExperiment(masked);
+        std::printf("%-26s %-18s %-22s clock thread + checks\n",
+                    "Deja Vu (ref. clock)",
+                    dejavu.detected && !dejavu.secretExtracted
+                        ? "YES"
+                        : "detects late",
+                    low.detected ? "-"
+                                 : "short campaigns hide");
+    }
+    {
+        defense::PfObliviousConfig config;
+        config.secret = true;
+        const auto pfo = defense::runPfObliviousExperiment(config);
+        std::printf("%-26s %-18s %-22s redundant mem accesses\n",
+                    "PF-obliviousness",
+                    pfo.inferenceCorrect ? "no" : "partially",
+                    pfo.inferenceCorrect
+                        ? "ports leak; +handles"
+                        : "-");
+    }
+
+    std::printf("\nConclusion (matches §8): point defenses either leave\n");
+    std::printf("replay windows (T-SGX), detect after the fact (Deja Vu),\n");
+    std::printf("or actively help the attacker (PF-obliviousness); only\n");
+    std::printf("fencing pipeline flushes closes the channel, at a small\n");
+    std::printf("cost on fault-heavy code.\n");
+    return 0;
+}

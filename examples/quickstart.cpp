@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Quickstart: the smallest complete microarchitectural replay attack.
+ *
+ * We build a machine, load a "victim" whose sensitive load touches a
+ * secret-dependent cache line exactly once, and use MicroScope to
+ * replay that one access twenty times behind a page-faulting load —
+ * recovering the secret from a single logical run.
+ *
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/quickstart
+ */
+
+#include <cstdio>
+
+#include "core/microscope.hh"
+#include "cpu/program.hh"
+#include "os/machine.hh"
+
+using namespace uscope;
+
+int
+main()
+{
+    // 1. A machine: OoO SMT core + caches + MMU + kernel.
+    os::Machine machine;
+    auto &kernel = machine.kernel();
+
+    // 2. A victim process.  Its secret (here: 5) selects which cache
+    //    line of a transmit page a single load touches.
+    const os::Pid victim = kernel.createProcess("victim");
+    const VAddr handle_page = kernel.allocVirtual(victim, pageSize);
+    const VAddr transmit_page = kernel.allocVirtual(victim, pageSize);
+    const VAddr secret_page = kernel.allocVirtual(victim, pageSize);
+
+    const std::uint64_t secret = 5;
+    kernel.writeVirtual(victim, secret_page, &secret, 8);
+    // Seal it: from here on, the OS cannot read the secret directly.
+    kernel.declareEnclave(victim, secret_page, pageSize);
+
+    cpu::ProgramBuilder program;
+    program.movi(1, static_cast<std::int64_t>(handle_page))
+        .movi(2, static_cast<std::int64_t>(secret_page))
+        .movi(3, static_cast<std::int64_t>(transmit_page))
+        .ld(4, 2, 0)      // load the secret (enclave memory)
+        .ld(5, 1, 0)      // <-- the replay handle (public page)
+        .shli(6, 4, 6)    // secret * 64
+        .add(6, 3, 6)
+        .ld(7, 6, 0)      // transmit: touches line[secret] ONCE
+        .halt();
+
+    // 3. The attack: replay the window behind the handle and probe
+    //    the transmit page after every replay (Prime+Probe style).
+    const PAddr transmit_pa = *kernel.translate(victim, transmit_page);
+    std::array<unsigned, 64> votes{};
+
+    ms::Microscope scope(machine);
+    ms::AttackRecipe recipe;
+    recipe.victim = victim;
+    recipe.replayHandle = handle_page;
+    recipe.confidence = 20;  // replays before releasing the victim
+    recipe.onReplay = [&](const ms::ReplayEvent &) {
+        for (unsigned line = 0; line < 64; ++line) {
+            if (kernel.timedProbePhys(transmit_pa + line * lineSize)
+                    .latency < 100) {
+                ++votes[line];
+            }
+        }
+        return true;
+    };
+    recipe.beforeResume = [&](const ms::ReplayEvent &) {
+        kernel.primeRange(transmit_pa, pageSize);
+    };
+    scope.setRecipe(std::move(recipe));
+
+    // 4. Run: arm, start the victim once, let it finish.
+    kernel.primeRange(transmit_pa, pageSize);
+    scope.arm();
+    kernel.startOnContext(victim, 0,
+                          std::make_shared<const cpu::Program>(
+                              program.build()));
+    machine.runUntilHalted(0, 10'000'000);
+
+    // 5. The verdict.
+    unsigned best_line = 0;
+    for (unsigned line = 0; line < 64; ++line)
+        if (votes[line] > votes[best_line])
+            best_line = line;
+
+    std::printf("replays of the window : %llu\n",
+                static_cast<unsigned long long>(
+                    scope.stats().totalReplays));
+    std::printf("votes for line %u     : %u/20\n", best_line,
+                votes[best_line]);
+    std::printf("recovered secret      : %u (truth: %llu)  -> %s\n",
+                best_line, static_cast<unsigned long long>(secret),
+                best_line == secret ? "SUCCESS" : "failure");
+    std::printf("victim ran            : exactly once "
+                "(retired %llu instructions)\n",
+                static_cast<unsigned long long>(
+                    machine.core().stats(0).retired));
+    return best_line == secret ? 0 : 1;
+}

@@ -1,0 +1,363 @@
+#include "attack/aes_attack.hh"
+
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "core/microscope.hh"
+#include "crypto/aes_codegen.hh"
+
+namespace uscope::attack
+{
+
+namespace
+{
+
+/**
+ * The probe classifies a line as a cache hit below this latency.
+ * After priming, hits are L1 (~50 cycles measured) and misses DRAM
+ * (>300 cycles); the Figure-11 bands sit far apart.
+ */
+constexpr Cycles hitThreshold = 100;
+
+/** Everything one AES attack run needs, wired once. */
+struct AesRig
+{
+    os::Machine machine;
+    os::Pid pid = 0;
+    crypto::AesKey decKey;
+    crypto::AesVictimLayout layout;
+    std::array<std::uint8_t, 16> ct{};
+    std::array<PAddr, 5> tablePa{};
+    std::shared_ptr<const cpu::Program> program;
+
+    explicit AesRig(const AesAttackConfig &config)
+        : machine([&] {
+              os::MachineConfig mcfg = config.machine;
+              mcfg.seed = config.seed;
+              return mcfg;
+          }()),
+          decKey(config.key.data(), config.keyBits, true)
+    {
+        auto &kernel = machine.kernel();
+        pid = kernel.createProcess("aes-enclave");
+        layout = crypto::setupAesVictim(kernel, pid, decKey);
+
+        const crypto::AesKey enc(config.key.data(), config.keyBits,
+                                 false);
+        crypto::encryptBlock(enc, config.plaintext.data(), ct.data());
+        crypto::loadCiphertext(kernel, pid, layout, ct.data());
+
+        for (unsigned t = 0; t < 5; ++t)
+            tablePa[t] = *kernel.translate(pid, layout.tableVa(t));
+
+        // Seal the enclave after the image is loaded (SGX builds and
+        // measures pages in, then locks them).  The round keys are
+        // the secret; the tables are sealed too — the attacker's
+        // probes below model same-set Prime+Probe conflict timing,
+        // which needs only physical-address knowledge, not reads of
+        // enclave data.
+        for (unsigned t = 0; t < 5; ++t)
+            kernel.declareEnclave(pid, layout.tableVa(t), pageSize);
+        kernel.declareEnclave(pid, layout.rk, pageSize);
+        kernel.declareEnclave(pid, layout.input, pageSize);
+
+        program = std::make_shared<const cpu::Program>(
+            crypto::buildAesDecryptProgram(layout));
+    }
+
+    void
+    primeTables(unsigned upto = 4)
+    {
+        for (unsigned t = 0; t < upto; ++t)
+            machine.kernel().primeRange(tablePa[t], 1024);
+    }
+
+    LineProbe
+    probeTable(unsigned table)
+    {
+        LineProbe probe;
+        for (unsigned line = 0; line < 16; ++line) {
+            const os::ProbeResult r = machine.kernel().timedProbePhys(
+                tablePa[table] + line * lineSize);
+            probe.latency[line] = r.latency;
+            probe.level[line] = r.level;
+        }
+        return probe;
+    }
+
+    /**
+     * Model the cache state a warm system would have after enclave
+     * setup: table lines scattered across the hierarchy.
+     */
+    void
+    warmTables(std::uint64_t seed)
+    {
+        Rng rng(seed);
+        const mem::HitLevel levels[4] = {
+            mem::HitLevel::L1, mem::HitLevel::L2, mem::HitLevel::L3,
+            mem::HitLevel::Dram};
+        for (unsigned t = 0; t < 5; ++t)
+            for (unsigned line = 0; line < 16; ++line)
+                machine.kernel().installPhysAt(
+                    tablePa[t] + line * lineSize,
+                    levels[rng.below(4)]);
+    }
+};
+
+} // anonymous namespace
+
+std::set<unsigned>
+LineProbe::hitLines(Cycles hit_threshold) const
+{
+    std::set<unsigned> hits;
+    for (unsigned line = 0; line < 16; ++line)
+        if (latency[line] < hit_threshold)
+            hits.insert(line);
+    return hits;
+}
+
+Fig11Result
+runFig11(const AesAttackConfig &config)
+{
+    AesRig rig(config);
+    Fig11Result result;
+
+    ms::Microscope scope(rig.machine);
+    ms::AttackRecipe recipe;
+    recipe.victim = rig.pid;
+    recipe.replayHandle = rig.layout.td0;
+    recipe.pivot = rig.layout.rk;
+    recipe.confidence = config.replaysPerEpisode;
+    recipe.maxEpisodes = 1;
+    recipe.walkPlan = ms::PageWalkPlan::longest();
+    recipe.onReplay = [&](const ms::ReplayEvent &) {
+        result.replays.push_back(rig.probeTable(1));
+        return true;
+    };
+    recipe.beforeResume = [&](const ms::ReplayEvent &) {
+        // "Before each of the next two replays, the Replayer primes
+        // the cache hierarchy, evicting all the lines of the tables."
+        rig.primeTables();
+    };
+    scope.setRecipe(std::move(recipe));
+
+    // Replay 0 runs against warm (unprimed) cache state, giving the
+    // mixed L1 / L2-L3 / memory latencies of Figure 11's first panel.
+    rig.warmTables(config.seed * 17 + 5);
+
+    scope.arm();
+    rig.machine.kernel().startOnContext(rig.pid, 0, rig.program);
+    rig.machine.runUntilHalted(0, 50'000'000);
+    scope.disarm();
+
+    // Ground truth: the window behind the round-1 t0 Td0 fault covers
+    // every independent round-1 lookup, i.e. all four Td1 accesses.
+    const crypto::DecAccessTrace trace =
+        crypto::traceDecryption(rig.decKey, rig.ct.data());
+    for (std::uint8_t index : trace.indices[0][1])
+        result.expectedLines.insert(crypto::tableLineOf(index));
+
+    for (std::size_t i = 1; i < result.replays.size(); ++i)
+        result.measuredLines.push_back(
+            result.replays[i].hitLines(hitThreshold));
+
+    result.consistentAcrossPrimedReplays =
+        !result.measuredLines.empty();
+    for (const auto &lines : result.measuredLines)
+        result.consistentAcrossPrimedReplays &=
+            lines == result.measuredLines.front();
+    result.matchesGroundTruth =
+        result.consistentAcrossPrimedReplays &&
+        !result.measuredLines.empty() &&
+        result.measuredLines.front() == result.expectedLines;
+    return result;
+}
+
+std::array<std::set<unsigned>, 4>
+AesExtractionResult::roundLines(unsigned round) const
+{
+    std::array<std::set<unsigned>, 4> lines;
+    for (const AesEpisode &episode : episodes) {
+        if (episode.round != round)
+            continue;
+        for (unsigned t = 0; t < 4; ++t)
+            lines[t].insert(episode.lines[t].begin(),
+                            episode.lines[t].end());
+    }
+    return lines;
+}
+
+std::vector<std::array<std::array<std::optional<unsigned>, 4>, 4>>
+AesExtractionResult::attributeLines(unsigned rounds) const
+{
+    std::vector<std::array<std::array<std::optional<unsigned>, 4>, 4>>
+        out(rounds);
+    auto episode_at = [this](unsigned round,
+                             unsigned group) -> const AesEpisode * {
+        for (const AesEpisode &e : episodes)
+            if (e.round == round && e.group == group)
+                return &e;
+        return nullptr;
+    };
+
+    for (unsigned r = 1; r <= rounds; ++r) {
+        for (unsigned t = 0; t < 4; ++t) {
+            for (unsigned g = 0; g < 4; ++g) {
+                const AesEpisode *cur = episode_at(r, g);
+                if (!cur)
+                    continue;
+                std::set<unsigned> diff = cur->lines[t];
+                if (g < 3) {
+                    if (const AesEpisode *next = episode_at(r, g + 1))
+                        for (unsigned line : next->lines[t])
+                            diff.erase(line);
+                }
+                // A singleton difference pins the group's line; an
+                // empty one means it collides with a later group's.
+                if (diff.size() == 1)
+                    out[r - 1][g][t] = *diff.begin();
+            }
+        }
+    }
+    return out;
+}
+
+AesExtractionResult
+runAesExtraction(const AesAttackConfig &config)
+{
+    AesRig rig(config);
+    AesExtractionResult result;
+    const unsigned rounds = rig.decKey.rounds();
+    const unsigned inner_groups = (rounds - 1) * 4;
+
+    // Per-episode scratch, keyed by the engine's episode counter.
+    struct Scratch
+    {
+        std::array<std::set<unsigned>, 4> lines;
+        bool stable = true;
+        bool started = false;
+    };
+    std::vector<Scratch> scratch(inner_groups + 2);
+
+    ms::Microscope scope(rig.machine);
+    ms::AttackRecipe recipe;
+    recipe.victim = rig.pid;
+    recipe.replayHandle = rig.layout.td0;
+    recipe.pivot = rig.layout.rk;
+    recipe.confidence = config.replaysPerEpisode;
+    recipe.maxEpisodes = 0;
+    recipe.walkPlan = ms::PageWalkPlan::longest();
+
+    recipe.onReplay = [&](const ms::ReplayEvent &ev) {
+        if (ev.episode >= scratch.size())
+            return true;
+        Scratch &s = scratch[ev.episode];
+        std::array<std::set<unsigned>, 4> now;
+        for (unsigned t = 1; t < 4; ++t)
+            now[t] = rig.probeTable(t).hitLines(hitThreshold);
+        if (!s.started) {
+            s.started = true;
+            for (unsigned t = 1; t < 4; ++t)
+                s.lines[t] = now[t];
+        } else {
+            for (unsigned t = 1; t < 4; ++t)
+                s.stable &= now[t] == s.lines[t];
+        }
+        return true;
+    };
+    recipe.beforeResume = [&](const ms::ReplayEvent &) {
+        rig.primeTables(5);
+    };
+    recipe.onEpisodeEnd = [&](const ms::ReplayEvent &) {
+        // Prime so the pivot window (which measures Td0) is clean.
+        rig.primeTables(5);
+    };
+    recipe.onPivot = [&](const ms::ReplayEvent &ev) {
+        // The pivot fault follows the window that re-ran this group's
+        // Td0 access and the younger groups' — probe Td0 (and Td4,
+        // which only the last pivot's window can have touched).
+        const std::uint64_t episode = ev.episode ? ev.episode - 1 : 0;
+        if (episode < scratch.size())
+            scratch[episode].lines[0] =
+                rig.probeTable(0).hitLines(hitThreshold);
+        result.td4Lines = rig.probeTable(4).hitLines(hitThreshold);
+    };
+    scope.setRecipe(std::move(recipe));
+
+    rig.primeTables(5);
+    scope.arm();
+    rig.machine.kernel().startOnContext(rig.pid, 0, rig.program);
+    rig.machine.runUntilHalted(0, 500'000'000);
+    scope.disarm();
+    rig.machine.runUntilHalted(0, 10'000'000);
+
+    result.totalReplays = scope.stats().totalReplays;
+    result.totalFaults = rig.machine.kernel().faultCount(rig.pid);
+
+    std::uint8_t plaintext[16];
+    crypto::readPlaintext(rig.machine.kernel(), rig.pid, rig.layout,
+                          plaintext);
+    result.plaintextCorrect =
+        std::equal(plaintext, plaintext + 16, config.plaintext.begin());
+
+    for (unsigned e = 0; e < inner_groups; ++e) {
+        if (!scratch[e].started)
+            continue;
+        AesEpisode episode;
+        episode.round = 1 + e / 4;
+        episode.group = e % 4;
+        episode.lines = scratch[e].lines;
+        episode.stable = scratch[e].stable;
+        result.episodes.push_back(std::move(episode));
+    }
+    return result;
+}
+
+std::array<std::optional<unsigned>, 16>
+recoverRound1Nibbles(const AesExtractionResult &result)
+{
+    std::array<std::optional<unsigned>, 16> nibbles;
+    const auto attribution = result.attributeLines(1);
+    if (attribution.empty())
+        return nibbles;
+
+    for (unsigned g = 0; g < 4; ++g) {
+        for (unsigned t = 0; t < 4; ++t) {
+            const auto line = attribution[0][g][t];
+            if (!line)
+                continue;
+            // Figure 8a index sources: t_g reads
+            //   Td0[s_g >> 24], Td1[(s_{g+3} >> 16) & 0xff],
+            //   Td2[(s_{g+2} >> 8) & 0xff], Td3[s_{g+1} & 0xff]
+            // and the table line is the index's high nibble.
+            const unsigned word = (g + (4 - t)) % 4;
+            const unsigned byte = t;
+            nibbles[4 * word + byte] = *line;
+        }
+    }
+    return nibbles;
+}
+
+std::array<unsigned, 16>
+groundTruthRound1Nibbles(const AesAttackConfig &config)
+{
+    const crypto::AesKey enc(config.key.data(), config.keyBits, false);
+    const crypto::AesKey dec(config.key.data(), config.keyBits, true);
+    std::uint8_t ct[16];
+    crypto::encryptBlock(enc, config.plaintext.data(), ct);
+
+    std::array<unsigned, 16> nibbles{};
+    const auto &rk = dec.roundKeys();
+    for (unsigned w = 0; w < 4; ++w) {
+        const std::uint32_t word =
+            ((std::uint32_t{ct[4 * w]} << 24) |
+             (std::uint32_t{ct[4 * w + 1]} << 16) |
+             (std::uint32_t{ct[4 * w + 2]} << 8) |
+             std::uint32_t{ct[4 * w + 3]}) ^
+            rk[w];
+        for (unsigned b = 0; b < 4; ++b)
+            nibbles[4 * w + b] = (word >> (24 - 8 * b + 4)) & 0xF;
+    }
+    return nibbles;
+}
+
+} // namespace uscope::attack

@@ -1,0 +1,70 @@
+#include "attack/monitor.hh"
+
+#include "common/logging.hh"
+
+namespace uscope::attack
+{
+
+MonitorImage
+buildDivContentionMonitor(os::Kernel &kernel, unsigned samples,
+                          unsigned cont)
+{
+    MonitorImage monitor;
+    monitor.pid = kernel.createProcess("monitor");
+    monitor.samples = samples;
+    monitor.cont = cont;
+    monitor.buffer =
+        kernel.allocVirtual(monitor.pid, std::uint64_t{samples} * 8);
+    const VAddr operands = kernel.allocVirtual(monitor.pid, pageSize);
+
+    const double ops[2] = {3.0, 7.5};
+    if (!kernel.writeVirtual(monitor.pid, operands, ops, 16))
+        panic("monitor setup failed");
+
+    // Figure 7a: for each j, time `cont` calls of the Figure-7b
+    // divide body.  The fences order RDTSC around the burst the way
+    // the real code's rdtscp/lfence pairs do.
+    cpu::ProgramBuilder b;
+    b.movi(1, static_cast<std::int64_t>(monitor.buffer))
+        .movi(2, 0)                       // j
+        .movi(3, samples)                 // buff
+        .movi(4, cont)                    // cont
+        .movi(9, 0)
+        .movi(20, static_cast<std::int64_t>(operands))
+        .label("outer")
+        .fence()
+        .rdtsc(10)                        // t1
+        .mov(5, 4)
+        .label("inner")
+        // unit_div_contention() (Figure 7b): two loads, one divide.
+        .ldf(0, 20, 0)
+        .ldf(1, 20, 8)
+        .fdiv(2, 1, 0)
+        .addi(5, 5, -1)
+        .bne(5, 9, "inner")
+        .fence()
+        .rdtsc(11)                        // t2
+        .sub(12, 11, 10)
+        .shli(13, 2, 3)
+        .add(13, 1, 13)
+        .st(13, 0, 12)                    // buffer[j] = t2 - t1
+        .addi(2, 2, 1)
+        .blt(2, 3, "outer")
+        .halt();
+    monitor.program =
+        std::make_shared<const cpu::Program>(b.build());
+    return monitor;
+}
+
+std::vector<Cycles>
+readMonitorSamples(os::Kernel &kernel, const MonitorImage &monitor)
+{
+    std::vector<Cycles> samples(monitor.samples, 0);
+    if (!kernel.readVirtual(monitor.pid, monitor.buffer, samples.data(),
+                            samples.size() * 8)) {
+        panic("readMonitorSamples: buffer read failed");
+    }
+    return samples;
+}
+
+} // namespace uscope::attack

@@ -1,0 +1,297 @@
+#include "attack/victims.hh"
+
+#include "common/logging.hh"
+
+namespace uscope::attack
+{
+
+namespace
+{
+
+std::shared_ptr<const cpu::Program>
+share(cpu::Program program)
+{
+    return std::make_shared<const cpu::Program>(std::move(program));
+}
+
+void
+mustWrite(os::Kernel &kernel, os::Pid pid, VAddr va, const void *src,
+          std::uint64_t len)
+{
+    if (!kernel.writeVirtual(pid, va, src, len))
+        panic("victim setup: write to va %#llx failed",
+              static_cast<unsigned long long>(va));
+}
+
+} // anonymous namespace
+
+VictimImage
+buildControlFlowVictim(os::Kernel &kernel, bool secret)
+{
+    VictimImage image;
+    image.pid = kernel.createProcess("cf-victim");
+
+    image.handle = kernel.allocVirtual(image.pid, pageSize);
+    image.transmitA = kernel.allocVirtual(image.pid, pageSize);  // muls
+    image.transmitB = kernel.allocVirtual(image.pid, pageSize);  // divs
+    image.secretBase = kernel.allocVirtual(image.pid, pageSize);
+
+    const std::uint64_t mul_ops[2] = {3, 7};
+    mustWrite(kernel, image.pid, image.transmitA, mul_ops, 16);
+    const double div_ops[2] = {3.5, 7.25};
+    mustWrite(kernel, image.pid, image.transmitB, div_ops, 16);
+    const std::uint64_t secret_word = secret ? 1 : 0;
+    mustWrite(kernel, image.pid, image.secretBase, &secret_word, 8);
+    // Seal the secret: the OS can no longer read it (SGX semantics).
+    kernel.declareEnclave(image.pid, image.secretBase, pageSize);
+
+    // Figure 6: "addq $0x1,0x20(%rbp)" is the replay handle, executed
+    // before the branch; each side then performs two operations.
+    cpu::ProgramBuilder b;
+    b.movi(1, static_cast<std::int64_t>(image.handle))
+        .movi(2, static_cast<std::int64_t>(image.secretBase))
+        .movi(3, static_cast<std::int64_t>(image.transmitA))
+        .movi(4, static_cast<std::int64_t>(image.transmitB))
+        .movi(7, 0)
+        .ld(5, 2, 0)        // secret -> r5 (retires before the attack)
+        // --- replay handle: count++ ---
+        .ld(6, 1, 0x20)
+        .addi(6, 6, 1)
+        .st(1, 0x20, 6)
+        // --- secret-dependent branch (Figure 4c shape) ---
+        ;
+    image.branchPc = b.here();
+    b.beq(5, 7, "mul_side")
+        // __victim_div (Figure 6b): two loads, two divides.
+        .ldf(0, 4, 0)
+        .ldf(1, 4, 8)
+        .fmov(2, 1)
+        .fdiv(2, 2, 0)
+        .fmov(3, 1)
+        .fdiv(3, 3, 0)
+        .jmp("done")
+        .label("mul_side")
+        // __victim_mul (Figure 6a): two loads, two multiplies.
+        .ld(8, 3, 0)
+        .ld(9, 3, 8)
+        .mov(10, 9)
+        .mul(10, 10, 8)
+        .mov(11, 9)
+        .mul(11, 11, 8)
+        .label("done")
+        .halt();
+    image.program = share(b.build());
+    return image;
+}
+
+VictimImage
+buildSingleSecretVictim(os::Kernel &kernel, unsigned id, bool subnormal)
+{
+    if (id >= 512)
+        fatal("buildSingleSecretVictim: id %u out of range", id);
+
+    VictimImage image;
+    image.pid = kernel.createProcess("ss-victim");
+    image.handle = kernel.allocVirtual(image.pid, pageSize);  // count
+    image.secretBase = kernel.allocVirtual(image.pid, pageSize);
+
+    // static float secrets[512] — we use doubles; secrets[id] is
+    // subnormal or a plain value depending on the secret.
+    std::array<double, 512> secrets{};
+    for (unsigned i = 0; i < 512; ++i)
+        secrets[i] = 1.0 + i;
+    secrets[id] = subnormal ? 4.9406564584124654e-324 : 1.5;
+    mustWrite(kernel, image.pid, image.secretBase, secrets.data(),
+              secrets.size() * 8);
+    kernel.declareEnclave(image.pid, image.secretBase, pageSize);
+
+    image.transmitA = image.secretBase + 8ull * id;
+
+    // Figure 5b: the count++ load is the replay handle (line 6); the
+    // secrets[id] access (line 11) and the divide (line 12) are the
+    // measurement and transmit instructions.
+    cpu::ProgramBuilder b;
+    b.movi(1, static_cast<std::int64_t>(image.handle))
+        .movi(2, static_cast<std::int64_t>(image.secretBase))
+        // count++
+        .ld(3, 1, 0)
+        .addi(3, 3, 1)
+        .st(1, 0, 3)
+        // secrets[id]
+        .ldf(0, 2, 8ll * id)
+        // / key
+        .fmovi(1, 2.0)
+        .fdiv(2, 0, 1)
+        .halt();
+    image.program = share(b.build());
+    return image;
+}
+
+VictimImage
+buildLoopSecretVictim(os::Kernel &kernel, unsigned iterations,
+                      const std::uint8_t *secret_lines)
+{
+    VictimImage image;
+    image.pid = kernel.createProcess("loop-victim");
+    image.handle = kernel.allocVirtual(image.pid, pageSize);  // pub_addrA
+    image.pivot = kernel.allocVirtual(image.pid, pageSize);   // pub_addrB
+    const VAddr idx = kernel.allocVirtual(image.pid, pageSize);
+    image.transmitA = kernel.allocVirtual(image.pid, pageSize);
+    image.secretBase = idx;
+
+    std::vector<std::uint64_t> indices(iterations);
+    for (unsigned i = 0; i < iterations; ++i) {
+        if (secret_lines[i] >= pageSize / lineSize)
+            fatal("buildLoopSecretVictim: line %u out of page",
+                  secret_lines[i]);
+        indices[i] = secret_lines[i];
+    }
+    mustWrite(kernel, image.pid, idx, indices.data(),
+              indices.size() * 8);
+    kernel.declareEnclave(image.pid, idx, pageSize);
+
+    // Figure 4b: handle(pub_addrA); transmit(secret[i]); pivot(pub_addrB).
+    cpu::ProgramBuilder b;
+    b.movi(1, static_cast<std::int64_t>(image.handle))
+        .movi(2, static_cast<std::int64_t>(image.pivot))
+        .movi(3, static_cast<std::int64_t>(idx))
+        .movi(4, static_cast<std::int64_t>(image.transmitA))
+        .movi(5, 0)
+        .movi(6, iterations)
+        .label("loop")
+        .ld(7, 1, 0)           // handle(pub_addrA)
+        .shli(8, 5, 3)
+        .add(8, 3, 8)
+        .ld(9, 8, 0)           // secret line index (enclave data)
+        .shli(9, 9, 6)
+        .add(9, 4, 9)
+        .ld(10, 9, 0)          // transmit(secret[i])
+        .ld(11, 2, 0)          // pivot(pub_addrB)
+        .addi(5, 5, 1)
+        .blt(5, 6, "loop")
+        .halt();
+    image.program = share(b.build());
+    return image;
+}
+
+VictimImage
+buildRdrandVictim(os::Kernel &kernel)
+{
+    VictimImage image;
+    image.pid = kernel.createProcess("rdrand-victim");
+    image.handle = kernel.allocVirtual(image.pid, pageSize);
+    image.transmitA = kernel.allocVirtual(image.pid, pageSize);
+
+    // §7.2: the replay handle precedes RDRAND; bit 0 of the draw
+    // selects between line 0 and line 1 of the transmit page, and the
+    // draw is finally stored (the architectural "use").
+    cpu::ProgramBuilder b;
+    b.movi(1, static_cast<std::int64_t>(image.handle))
+        .movi(2, static_cast<std::int64_t>(image.transmitA))
+        .ld(3, 1, 0)          // replay handle
+        .rdrand(4)
+        .andi(5, 4, 1)
+        .shli(5, 5, 6)
+        .add(5, 2, 5)
+        .ld(6, 5, 0)          // transmit bit 0 via cache line
+        .st(2, 1024, 4)       // consume the value architecturally
+        .halt();
+    image.program = share(b.build());
+    return image;
+}
+
+VictimImage
+buildTsxVictim(os::Kernel &kernel, bool secret, unsigned max_retries)
+{
+    VictimImage image;
+    image.pid = kernel.createProcess("tsx-victim");
+    const VAddr txdata = kernel.allocVirtual(image.pid, pageSize);
+    image.handle = txdata;  // the write-set line the attacker evicts
+    image.transmitA = kernel.allocVirtual(image.pid, pageSize);
+    image.secretBase = kernel.allocVirtual(image.pid, pageSize);
+
+    const std::uint64_t secret_word = secret ? 1 : 0;
+    mustWrite(kernel, image.pid, image.secretBase, &secret_word, 8);
+    kernel.declareEnclave(image.pid, image.secretBase, pageSize);
+
+    // §7.1: the transaction body transmits the secret; an abort
+    // (e.g., the attacker evicting the write-set line) rolls back and
+    // the retry loop replays it — a replay handle with a window as
+    // large as the transaction, not the ROB.
+    cpu::ProgramBuilder b;
+    b.movi(1, static_cast<std::int64_t>(txdata))
+        .movi(2, static_cast<std::int64_t>(image.transmitA))
+        .movi(3, static_cast<std::int64_t>(image.secretBase))
+        .movi(8, 0)                       // retries
+        .movi(9, max_retries)
+        .movi(15, 0)                      // success flag
+        .st(1, 64, 8)   // warm the txdata page's translation
+        .label("retry")
+        .txbegin("abort")
+        .st(1, 0, 8)                      // join the write set
+        .ld(4, 3, 0)                      // secret
+        .shli(5, 4, 6)
+        .add(5, 2, 5)
+        .ld(6, 5, 0)                      // transmit secret line
+        // Padding: a chain *dependent on the transmit* so the
+        // transaction stays open (unretired) long enough for a
+        // concurrent monitor to observe the residue and react.
+        .addi(20, 6, 1);
+    for (unsigned i = 0; i < 100; ++i)
+        b.addi(20, 20, 1);
+    b.txend()
+        .movi(15, 1)
+        .jmp("done")
+        .label("abort")
+        .addi(8, 8, 1)
+        .blt(8, 9, "retry")
+        .label("done")
+        .halt();
+    image.program = share(b.build());
+    return image;
+}
+
+VictimImage
+buildTsxRdrandVictim(os::Kernel &kernel, unsigned max_retries)
+{
+    VictimImage image;
+    image.pid = kernel.createProcess("tsx-rdrand-victim");
+    const VAddr txdata = kernel.allocVirtual(image.pid, pageSize);
+    image.handle = txdata;
+    image.transmitA = kernel.allocVirtual(image.pid, pageSize);
+
+    cpu::ProgramBuilder b;
+    b.movi(1, static_cast<std::int64_t>(txdata))
+        .movi(2, static_cast<std::int64_t>(image.transmitA))
+        .movi(8, 0)                       // retries
+        .movi(9, max_retries)
+        .movi(20, 0)
+        .st(1, 64, 8)   // warm the txdata page's translation
+        .label("retry")
+        .txbegin("abort")
+        .st(1, 0, 8)                      // join the write set
+        .rdrand(4)                        // serializing — but retires
+        .andi(5, 4, 1)
+        .shli(5, 5, 6)
+        .add(5, 2, 5)
+        .ld(6, 5, 0)                      // transmit bit 0
+        // Chain dependent on the transmit: the attacker's reaction
+        // window between the observable access and the commit.
+        .addi(20, 6, 1);
+    for (unsigned i = 0; i < 100; ++i)
+        b.addi(20, 20, 1);
+    b.txend()
+        .st(2, 1024, 4)                   // committed value
+        .movi(15, 1)
+        .st(2, 1088, 15)                  // success flag
+        .jmp("done")
+        .label("abort")
+        .addi(8, 8, 1)
+        .blt(8, 9, "retry")
+        .label("done")
+        .halt();
+    image.program = share(b.build());
+    return image;
+}
+
+} // namespace uscope::attack

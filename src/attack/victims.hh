@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Victim programs from the paper, written in the mini-ISA.
+ *
+ * Each builder returns the program plus a description of where its
+ * data lives (so the attacker — who controls the OS — knows the
+ * replay handle and transmit addresses, as the threat model allows).
+ *
+ *  - Figure 5:  getSecret(): count++ is the replay handle, the
+ *    secrets[id]/key fdiv is the transmit instruction (subnormal
+ *    operands change its latency), and the secrets[id] load leaks a
+ *    cache line.
+ *  - Figure 6:  control-flow secret: a replay handle (count++), then
+ *    a branch on a secret; one path executes two integer multiplies,
+ *    the other two FP divides — the port-contention transmitters.
+ *  - Figure 4b: loop secret: per-iteration replay handle + transmit
+ *    load + pivot on a separate page.
+ *  - §7.2:      RDRAND victim whose drawn value is transmitted
+ *    through a secret-dependent load.
+ *  - §7.1:      TSX victim wrapping sensitive code in a transaction;
+ *    aborts replay the body (an alternative replay handle).
+ */
+
+#ifndef USCOPE_ATTACK_VICTIMS_HH
+#define USCOPE_ATTACK_VICTIMS_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "common/types.hh"
+#include "cpu/program.hh"
+#include "os/kernel.hh"
+
+namespace uscope::attack
+{
+
+/** A victim process with its program and attack-relevant addresses. */
+struct VictimImage
+{
+    os::Pid pid = 0;
+    std::shared_ptr<const cpu::Program> program;
+
+    /** The replay handle's data address (its own page). */
+    VAddr handle = 0;
+    /** Pivot data address (its own page), when the victim has one. */
+    VAddr pivot = 0;
+    /** Transmit/monitor addresses (attack-specific meaning). */
+    VAddr transmitA = 0;
+    VAddr transmitB = 0;
+    /** Enclave-private region holding the secret. */
+    VAddr secretBase = 0;
+    /** Instruction index of the secret-dependent branch, if any. */
+    std::uint64_t branchPc = 0;
+};
+
+/**
+ * Figure 6 control-flow-secret victim.
+ *
+ * The secret (0 or 1) is stored in enclave memory and loaded into a
+ * register before the replay handle; the branch picks the two-mul or
+ * the two-fdiv path.  No loop: each path's transmitter executes once
+ * per (speculative) pass — the paper's headline "two divide
+ * instructions" setting.
+ */
+VictimImage buildControlFlowVictim(os::Kernel &kernel, bool secret);
+
+/**
+ * Figure 5 single-secret victim: getSecret(id, key).
+ *
+ * secrets[] lives in enclave memory; secrets[id]/key is the transmit
+ * fdiv.  @p subnormal selects whether secrets[id] holds a subnormal
+ * double (the §4.3 "fine-grain property of an instruction").
+ */
+VictimImage buildSingleSecretVictim(os::Kernel &kernel, unsigned id,
+                                    bool subnormal);
+
+/**
+ * Figure 4b loop-secret victim: in each of @p iterations, a replay
+ * handle access, a transmit load of secret[i] (each iteration touches
+ * a different cache line of the secret page), then a pivot access.
+ */
+VictimImage buildLoopSecretVictim(os::Kernel &kernel,
+                                  unsigned iterations,
+                                  const std::uint8_t *secret_lines);
+
+/**
+ * §7.2 RDRAND victim: draws entropy, then transmits bit 0 of the
+ * draw through one of two cache lines.  With the (default)
+ * serializing RDRAND the transmit never executes speculatively.
+ */
+VictimImage buildRdrandVictim(os::Kernel &kernel);
+
+/**
+ * §7.1 TSX victim: a transaction whose body transmits the secret
+ * through a cache line, with a retry loop in the abort handler
+ * (bounded by @p max_retries).
+ */
+VictimImage buildTsxVictim(os::Kernel &kernel, bool secret,
+                           unsigned max_retries);
+
+/**
+ * §7.1 + §7.2 combined: a transaction that draws RDRAND, transmits
+ * bit 0 through a cache line (the draw *retires* transactionally, so
+ * the serializing fence does not hide it), pads so a concurrent
+ * attacker can react, then commits and stores the draw.
+ * transmitA+1024 holds the committed value; transmitA+1088 holds a
+ * success flag.
+ */
+VictimImage buildTsxRdrandVictim(os::Kernel &kernel,
+                                 unsigned max_retries);
+
+} // namespace uscope::attack
+
+#endif // USCOPE_ATTACK_VICTIMS_HH

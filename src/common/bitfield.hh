@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Bit-manipulation helpers used by the page-table walker, the TLB index
+ * functions, and the cache index/tag decomposition.
+ */
+
+#ifndef USCOPE_COMMON_BITFIELD_HH
+#define USCOPE_COMMON_BITFIELD_HH
+
+#include <cstdint>
+#include <cassert>
+
+namespace uscope
+{
+
+/** Return a mask with the low @p nbits bits set. */
+constexpr std::uint64_t
+mask(unsigned nbits)
+{
+    return nbits >= 64 ? ~std::uint64_t{0}
+                       : (std::uint64_t{1} << nbits) - 1;
+}
+
+/**
+ * Extract bits [@p hi : @p lo] (inclusive) of @p val, right-justified.
+ * Mirrors the bit-range notation used in the x86 page-walk description
+ * (e.g., bits 47:39 of a virtual address index the PGD).
+ */
+constexpr std::uint64_t
+bits(std::uint64_t val, unsigned hi, unsigned lo)
+{
+    return (val >> lo) & mask(hi - lo + 1);
+}
+
+/** Replace bits [@p hi : @p lo] of @p dst with the low bits of @p val. */
+constexpr std::uint64_t
+insertBits(std::uint64_t dst, unsigned hi, unsigned lo, std::uint64_t val)
+{
+    const std::uint64_t m = mask(hi - lo + 1) << lo;
+    return (dst & ~m) | ((val << lo) & m);
+}
+
+/** True if @p val is a power of two (and non-zero). */
+constexpr bool
+isPowerOf2(std::uint64_t val)
+{
+    return val != 0 && (val & (val - 1)) == 0;
+}
+
+/** Integer log2 of a power of two. */
+constexpr unsigned
+log2i(std::uint64_t val)
+{
+    unsigned n = 0;
+    while (val > 1) {
+        val >>= 1;
+        ++n;
+    }
+    return n;
+}
+
+/** Round @p val up to the next multiple of @p align (a power of two). */
+constexpr std::uint64_t
+roundUp(std::uint64_t val, std::uint64_t align)
+{
+    return (val + align - 1) & ~(align - 1);
+}
+
+/** Round @p val down to a multiple of @p align (a power of two). */
+constexpr std::uint64_t
+roundDown(std::uint64_t val, std::uint64_t align)
+{
+    return val & ~(align - 1);
+}
+
+} // namespace uscope
+
+#endif // USCOPE_COMMON_BITFIELD_HH

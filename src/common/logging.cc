@@ -1,0 +1,137 @@
+#include "common/logging.hh"
+
+#include <cstdio>
+#include <cstdint>
+#include <mutex>
+#include <set>
+
+namespace uscope
+{
+
+std::string
+vformat(const char *fmt, std::va_list ap)
+{
+    std::va_list ap2;
+    va_copy(ap2, ap);
+    const int len = std::vsnprintf(nullptr, 0, fmt, ap);
+    std::string out(len > 0 ? static_cast<std::size_t>(len) : 0, '\0');
+    if (len > 0)
+        std::vsnprintf(out.data(), out.size() + 1, fmt, ap2);
+    va_end(ap2);
+    return out;
+}
+
+std::string
+format(const char *fmt, ...)
+{
+    std::va_list ap;
+    va_start(ap, fmt);
+    std::string out = vformat(fmt, ap);
+    va_end(ap);
+    return out;
+}
+
+void
+panic(const char *fmt, ...)
+{
+    std::va_list ap;
+    va_start(ap, fmt);
+    std::string msg = vformat(fmt, ap);
+    va_end(ap);
+    std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    throw SimPanic(msg);
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    std::va_list ap;
+    va_start(ap, fmt);
+    std::string msg = vformat(fmt, ap);
+    va_end(ap);
+    std::fprintf(stderr, "fatal: %s\n", msg.c_str());
+    throw SimFatal(msg);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    std::va_list ap;
+    va_start(ap, fmt);
+    std::string msg = vformat(fmt, ap);
+    va_end(ap);
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+inform(const char *fmt, ...)
+{
+    std::va_list ap;
+    va_start(ap, fmt);
+    std::string msg = vformat(fmt, ap);
+    va_end(ap);
+    std::fprintf(stdout, "info: %s\n", msg.c_str());
+}
+
+namespace
+{
+
+std::mutex traceMutex;
+std::set<std::string> enabledCategories;
+
+bool
+categoryEnabled(const std::string &category)
+{
+    std::lock_guard<std::mutex> lock(traceMutex);
+    return enabledCategories.count("*") > 0 ||
+           enabledCategories.count(category) > 0;
+}
+
+} // anonymous namespace
+
+Trace::Trace(std::string category) : category_(std::move(category))
+{
+}
+
+bool
+Trace::enabled() const
+{
+    return categoryEnabled(category_);
+}
+
+void
+Trace::print(std::uint64_t cycle, const char *fmt, ...) const
+{
+    if (!enabled())
+        return;
+    std::va_list ap;
+    va_start(ap, fmt);
+    std::string msg = vformat(fmt, ap);
+    va_end(ap);
+    std::fprintf(stderr, "%10llu: %s: %s\n",
+                 static_cast<unsigned long long>(cycle),
+                 category_.c_str(), msg.c_str());
+}
+
+void
+Trace::enable(const std::string &category)
+{
+    std::lock_guard<std::mutex> lock(traceMutex);
+    enabledCategories.insert(category);
+}
+
+void
+Trace::disable(const std::string &category)
+{
+    std::lock_guard<std::mutex> lock(traceMutex);
+    enabledCategories.erase(category);
+}
+
+void
+Trace::disableAll()
+{
+    std::lock_guard<std::mutex> lock(traceMutex);
+    enabledCategories.clear();
+}
+
+} // namespace uscope

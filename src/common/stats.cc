@@ -1,0 +1,149 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace uscope
+{
+
+void
+Summary::add(double sample)
+{
+    ++count_;
+    const double delta = sample - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (sample - mean_);
+    min_ = std::min(min_, sample);
+    max_ = std::max(max_, sample);
+}
+
+void
+Summary::reset()
+{
+    *this = Summary{};
+}
+
+double
+Summary::min() const
+{
+    return count_ ? min_ : 0.0;
+}
+
+double
+Summary::max() const
+{
+    return count_ ? max_ : 0.0;
+}
+
+double
+Summary::variance() const
+{
+    return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+}
+
+double
+Summary::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+Histogram::Histogram(double lo, double hi, unsigned nbuckets,
+                     bool keep_raw)
+    : lo_(lo), hi_(hi),
+      bucketWidth_((hi - lo) / nbuckets),
+      keepRaw_(keep_raw),
+      buckets_(nbuckets, 0)
+{
+    if (!(hi > lo) || nbuckets == 0)
+        fatal("Histogram: invalid range [%g, %g) / %u buckets",
+              lo, hi, nbuckets);
+}
+
+void
+Histogram::add(double sample)
+{
+    summary_.add(sample);
+    if (keepRaw_)
+        samples_.push_back(sample);
+    if (sample < lo_) {
+        ++underflow_;
+    } else if (sample >= hi_) {
+        ++overflow_;
+    } else {
+        auto idx = static_cast<std::size_t>((sample - lo_) / bucketWidth_);
+        idx = std::min(idx, buckets_.size() - 1);
+        ++buckets_[idx];
+    }
+}
+
+void
+Histogram::reset()
+{
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    underflow_ = 0;
+    overflow_ = 0;
+    samples_.clear();
+    summary_.reset();
+}
+
+std::uint64_t
+Histogram::countAbove(double threshold) const
+{
+    std::uint64_t n = 0;
+    for (double s : samples_)
+        if (s > threshold)
+            ++n;
+    return n;
+}
+
+double
+Histogram::percentile(double fraction) const
+{
+    if (samples_.empty())
+        return 0.0;
+    std::vector<double> sorted = samples_;
+    std::sort(sorted.begin(), sorted.end());
+    const double pos = fraction * static_cast<double>(sorted.size() - 1);
+    const auto idx = static_cast<std::size_t>(pos);
+    if (idx + 1 >= sorted.size())
+        return sorted.back();
+    const double frac = pos - static_cast<double>(idx);
+    return sorted[idx] * (1.0 - frac) + sorted[idx + 1] * frac;
+}
+
+double
+Histogram::bucketLo(unsigned idx) const
+{
+    return lo_ + idx * bucketWidth_;
+}
+
+std::string
+Histogram::render(unsigned width) const
+{
+    std::uint64_t peak = 1;
+    for (auto b : buckets_)
+        peak = std::max(peak, b);
+
+    std::string out;
+    for (unsigned i = 0; i < buckets_.size(); ++i) {
+        const auto bar_len = static_cast<unsigned>(
+            (buckets_[i] * width) / peak);
+        out += format("%10.1f..%-10.1f %8llu |", bucketLo(i),
+                      bucketLo(i) + bucketWidth_,
+                      static_cast<unsigned long long>(buckets_[i]));
+        out.append(bar_len, '#');
+        out += '\n';
+    }
+    if (underflow_)
+        out += format("  underflow: %llu\n",
+                      static_cast<unsigned long long>(underflow_));
+    if (overflow_)
+        out += format("  overflow:  %llu\n",
+                      static_cast<unsigned long long>(overflow_));
+    return out;
+}
+
+} // namespace uscope

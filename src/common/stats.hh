@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Simple statistics containers used throughout the simulator and the
+ * benchmark harnesses: scalar counters, streaming summaries, and
+ * fixed-bucket histograms (used, e.g., to render the Figure-10 latency
+ * distributions as text).
+ */
+
+#ifndef USCOPE_COMMON_STATS_HH
+#define USCOPE_COMMON_STATS_HH
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace uscope
+{
+
+/**
+ * Streaming summary of a sequence of samples: count, mean, min, max,
+ * variance (Welford), and arbitrary-threshold exceedance counting.
+ */
+class Summary
+{
+  public:
+    void add(double sample);
+    void reset();
+
+    std::uint64_t count() const { return count_; }
+    double mean() const { return count_ ? mean_ : 0.0; }
+    double min() const;
+    double max() const;
+    double variance() const;
+    double stddev() const;
+
+  private:
+    std::uint64_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/**
+ * Fixed-width-bucket histogram over [lo, hi); samples outside the range
+ * are counted in underflow/overflow buckets.  Also retains the raw
+ * sample vector so harnesses can post-process (threshold counts,
+ * percentiles) and dump series for EXPERIMENTS.md.
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param lo       Lowest bucketed value.
+     * @param hi       One past the highest bucketed value.
+     * @param nbuckets Number of equal-width buckets.
+     * @param keep_raw Retain every raw sample (default on).
+     */
+    Histogram(double lo, double hi, unsigned nbuckets,
+              bool keep_raw = true);
+
+    void add(double sample);
+    void reset();
+
+    std::uint64_t count() const { return summary_.count(); }
+    const Summary &summary() const { return summary_; }
+    const std::vector<std::uint64_t> &buckets() const { return buckets_; }
+    std::uint64_t underflow() const { return underflow_; }
+    std::uint64_t overflow() const { return overflow_; }
+    const std::vector<double> &samples() const { return samples_; }
+
+    /** Number of samples strictly greater than @p threshold. */
+    std::uint64_t countAbove(double threshold) const;
+
+    /** Value below which @p fraction of the samples fall (raw mode). */
+    double percentile(double fraction) const;
+
+    /** Lower edge of bucket @p idx. */
+    double bucketLo(unsigned idx) const;
+
+    /** Render as an ASCII bar chart, one bucket per row. */
+    std::string render(unsigned width = 50) const;
+
+  private:
+    double lo_;
+    double hi_;
+    double bucketWidth_;
+    bool keepRaw_;
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t underflow_ = 0;
+    std::uint64_t overflow_ = 0;
+    std::vector<double> samples_;
+    Summary summary_;
+};
+
+} // namespace uscope
+
+#endif // USCOPE_COMMON_STATS_HH

@@ -1,0 +1,922 @@
+#include "cpu/core.hh"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace uscope::cpu
+{
+
+namespace
+{
+
+double
+asDouble(std::uint64_t bits)
+{
+    return std::bit_cast<double>(bits);
+}
+
+std::uint64_t
+asBits(double value)
+{
+    return std::bit_cast<std::uint64_t>(value);
+}
+
+bool
+isSubnormal(double value)
+{
+    return std::fpclassify(value) == FP_SUBNORMAL;
+}
+
+/** Ops that block younger issue until they retire. */
+bool
+isBarrier(Op op, bool rdrand_serializing)
+{
+    return op == Op::Fence ||
+           (op == Op::Rdrand && rdrand_serializing);
+}
+
+} // anonymous namespace
+
+namespace
+{
+const Trace retireTrace("retire");
+const Trace issueTrace("issue");
+} // anonymous namespace
+
+Core::Core(mem::PhysMem &mem, mem::Hierarchy &hierarchy, vm::Mmu &mmu,
+           const CoreConfig &config, std::uint64_t seed)
+    : mem_(mem), hierarchy_(hierarchy), mmu_(mmu), config_(config),
+      rng_(seed), contexts_(config.numContexts),
+      predictor_(config.predictorEntries)
+{
+    for (Context &ctx : contexts_) {
+        ctx.lastIntWriter.fill(-1);
+        ctx.lastFpWriter.fill(-1);
+    }
+}
+
+Core::Context &
+Core::ctxAt(unsigned ctx)
+{
+    if (ctx >= contexts_.size())
+        panic("Core: bad context id %u", ctx);
+    return contexts_[ctx];
+}
+
+const Core::Context &
+Core::ctxAt(unsigned ctx) const
+{
+    return const_cast<Core *>(this)->ctxAt(ctx);
+}
+
+void
+Core::setFaultHandler(FaultHandler handler)
+{
+    faultHandler_ = std::move(handler);
+}
+
+void
+Core::setRdrandSource(RdrandSource source)
+{
+    rdrandSource_ = std::move(source);
+}
+
+void
+Core::setMemProbe(MemProbe probe)
+{
+    memProbe_ = std::move(probe);
+}
+
+void
+Core::startContext(unsigned ctx_id,
+                   std::shared_ptr<const Program> program,
+                   std::uint64_t entry, Pcid pcid, PAddr pt_root,
+                   std::uint64_t pc_bias)
+{
+    Context &ctx = ctxAt(ctx_id);
+    ctx.program = std::move(program);
+    ctx.fetchPc = entry;
+    ctx.fetchStopped = false;
+    ctx.pcid = pcid;
+    ctx.ptRoot = pt_root;
+    ctx.pcBias = pc_bias;
+    ctx.stallUntil = 0;
+    ctx.rob.clear();
+    ctx.lastIntWriter.fill(-1);
+    ctx.lastFpWriter.fill(-1);
+    ctx.inTx = false;
+    ctx.txPendingAbort = false;
+    ctx.txStores.clear();
+    ctx.txWriteSet.clear();
+    ctx.state = CtxState::Running;
+}
+
+void
+Core::stopContext(unsigned ctx_id)
+{
+    Context &ctx = ctxAt(ctx_id);
+    squashAll(ctx_id);
+    ctx.program.reset();
+    ctx.state = CtxState::Idle;
+}
+
+CtxState
+Core::contextState(unsigned ctx_id) const
+{
+    return ctxAt(ctx_id).state;
+}
+
+bool
+Core::halted(unsigned ctx_id) const
+{
+    return ctxAt(ctx_id).state == CtxState::Halted;
+}
+
+void
+Core::stallContext(unsigned ctx_id, Cycles duration)
+{
+    Context &ctx = ctxAt(ctx_id);
+    ctx.state = CtxState::Stalled;
+    ctx.stallUntil = std::max(ctx.stallUntil, cycle_ + duration);
+    ctx.stats.stallCycles += duration;
+}
+
+void
+Core::redirectContext(unsigned ctx_id, std::uint64_t pc)
+{
+    Context &ctx = ctxAt(ctx_id);
+    squashAll(ctx_id);
+    ctx.fetchPc = pc;
+    ctx.fetchStopped = false;
+    if (ctx.state == CtxState::Halted)
+        ctx.state = CtxState::Running;
+}
+
+std::uint64_t
+Core::readIntReg(unsigned ctx_id, Reg reg) const
+{
+    return ctxAt(ctx_id).intRegs.at(reg);
+}
+
+void
+Core::writeIntReg(unsigned ctx_id, Reg reg, std::uint64_t value)
+{
+    ctxAt(ctx_id).intRegs.at(reg) = value;
+}
+
+double
+Core::readFpReg(unsigned ctx_id, Reg reg) const
+{
+    return asDouble(ctxAt(ctx_id).fpRegs.at(reg));
+}
+
+void
+Core::writeFpReg(unsigned ctx_id, Reg reg, double value)
+{
+    ctxAt(ctx_id).fpRegs.at(reg) = asBits(value);
+}
+
+const CtxStats &
+Core::stats(unsigned ctx_id) const
+{
+    return ctxAt(ctx_id).stats;
+}
+
+std::size_t
+Core::robOccupancy(unsigned ctx_id) const
+{
+    return ctxAt(ctx_id).rob.size();
+}
+
+bool
+Core::inTransaction(unsigned ctx_id) const
+{
+    return ctxAt(ctx_id).inTx;
+}
+
+std::uint64_t
+Core::biasedPc(const Context &ctx, std::uint64_t pc) const
+{
+    return ctx.pcBias + pc;
+}
+
+const Core::RobEntry *
+Core::findEntry(const Context &ctx, std::uint64_t seq) const
+{
+    // The ROB is sorted by sequence number (dispatch appends
+    // monotonically; retire/squash pop the ends), so binary search
+    // finds an entry in O(log n).  Note the numbers are not
+    // contiguous: squashed sequence numbers are never reused.
+    if (ctx.rob.empty() || seq < ctx.rob.front().seq ||
+        seq > ctx.rob.back().seq) {
+        return nullptr;
+    }
+    const auto it = std::lower_bound(
+        ctx.rob.begin(), ctx.rob.end(), seq,
+        [](const RobEntry &entry, std::uint64_t want) {
+            return entry.seq < want;
+        });
+    return (it != ctx.rob.end() && it->seq == seq) ? &*it : nullptr;
+}
+
+bool
+Core::resolveSource(Context &ctx, std::int64_t dep, Reg reg, bool fp,
+                    std::uint64_t &value) const
+{
+    if (dep < 0) {
+        value = fp ? ctx.fpRegs[reg] : ctx.intRegs[reg];
+        return true;
+    }
+    const RobEntry *producer =
+        findEntry(ctx, static_cast<std::uint64_t>(dep));
+    if (!producer) {
+        // Producer already retired: its value reached the regfile.
+        value = fp ? ctx.fpRegs[reg] : ctx.intRegs[reg];
+        return true;
+    }
+    if (producer->state != RobEntry::State::Done ||
+        producer->finishCycle > cycle_) {
+        return false;
+    }
+    // A faulted load produces no data: its dependents never become
+    // ready ("instructions that are dependent on the replay handle do
+    // not execute", §4.1.1) and die in the eventual squash.
+    if (producer->faulted)
+        return false;
+    value = producer->result;
+    return true;
+}
+
+void
+Core::rebuildWriterTables(Context &ctx)
+{
+    ctx.lastIntWriter.fill(-1);
+    ctx.lastFpWriter.fill(-1);
+    for (const RobEntry &entry : ctx.rob) {
+        if (writesInt(entry.inst.op))
+            ctx.lastIntWriter[entry.inst.rd] =
+                static_cast<std::int64_t>(entry.seq);
+        if (writesFp(entry.inst.op))
+            ctx.lastFpWriter[entry.inst.rd] =
+                static_cast<std::int64_t>(entry.seq);
+    }
+}
+
+void
+Core::squashYounger(unsigned ctx_id, std::int64_t keep_seq)
+{
+    Context &ctx = ctxAt(ctx_id);
+    while (!ctx.rob.empty() &&
+           static_cast<std::int64_t>(ctx.rob.back().seq) > keep_seq) {
+        ++ctx.stats.squashed;
+        ctx.rob.pop_back();
+    }
+    rebuildWriterTables(ctx);
+}
+
+void
+Core::squashAll(unsigned ctx_id)
+{
+    squashYounger(ctx_id, -1);
+}
+
+void
+Core::notifyLineEvicted(PAddr paddr)
+{
+    const PAddr line = lineBase(paddr);
+    for (Context &ctx : contexts_)
+        if (ctx.inTx && ctx.txWriteSet.count(line))
+            ctx.txPendingAbort = true;
+}
+
+bool
+Core::abortTransaction(unsigned ctx_id)
+{
+    Context &ctx = ctxAt(ctx_id);
+    if (!ctx.inTx)
+        return false;
+    ctx.txPendingAbort = true;
+    return true;
+}
+
+void
+Core::doTxAbort(unsigned ctx_id)
+{
+    Context &ctx = ctxAt(ctx_id);
+    if (!ctx.inTx)
+        panic("doTxAbort: context %u not in a transaction", ctx_id);
+    squashAll(ctx_id);
+    ctx.intRegs = ctx.txIntRegs;
+    ctx.fpRegs = ctx.txFpRegs;
+    ctx.txStores.clear();
+    ctx.txWriteSet.clear();
+    ctx.inTx = false;
+    ctx.txPendingAbort = false;
+    ctx.fetchPc = ctx.txAbortPc;
+    ctx.fetchStopped = false;
+    ++ctx.stats.txAborts;
+}
+
+void
+Core::tick()
+{
+    // Wake stalled contexts and fire pending transaction aborts.
+    for (unsigned i = 0; i < contexts_.size(); ++i) {
+        Context &ctx = contexts_[i];
+        if (ctx.state == CtxState::Stalled && cycle_ >= ctx.stallUntil)
+            ctx.state = CtxState::Running;
+        if (ctx.inTx && ctx.txPendingAbort)
+            doTxAbort(i);
+    }
+
+    ports_.newCycle();
+    issuedThisCycle_ = 0;
+
+    doCompletions();
+    doRetire();
+    doIssue();
+    doFetch();
+
+    ++cycle_;
+}
+
+bool
+Core::runUntil(const std::function<bool()> &pred, Cycles max_cycles)
+{
+    const Cycles limit = cycle_ + max_cycles;
+    while (cycle_ < limit) {
+        if (pred())
+            return true;
+        tick();
+    }
+    return pred();
+}
+
+void
+Core::doCompletions()
+{
+    for (unsigned ctx_id = 0; ctx_id < contexts_.size(); ++ctx_id) {
+        Context &ctx = contexts_[ctx_id];
+        for (std::size_t i = 0; i < ctx.rob.size(); ++i) {
+            RobEntry &entry = ctx.rob[i];
+            if (entry.state != RobEntry::State::Executing ||
+                entry.finishCycle > cycle_) {
+                continue;
+            }
+            entry.state = RobEntry::State::Done;
+
+            if (isCondBranch(entry.inst.op) && !entry.mispredictHandled) {
+                entry.mispredictHandled = true;
+                predictor_.update(biasedPc(ctx, entry.pc),
+                                  entry.actualTaken);
+                if (entry.actualTaken != entry.predictedTaken) {
+                    ++ctx.stats.mispredicts;
+                    squashYounger(ctx_id,
+                                  static_cast<std::int64_t>(entry.seq));
+                    ctx.fetchPc = entry.actualTaken
+                        ? entry.inst.target
+                        : entry.pc + 1;
+                    ctx.fetchStopped = false;
+                    if (config_.fenceOnPipelineFlush)
+                        ctx.serializeNext = true;
+                    // Everything younger is gone; the scan index is
+                    // still valid because this entry survives.
+                }
+            }
+        }
+    }
+}
+
+bool
+Core::retireOne(unsigned ctx_id)
+{
+    Context &ctx = contexts_[ctx_id];
+    if (ctx.rob.empty())
+        return false;
+    RobEntry &head = ctx.rob.front();
+    if (head.state != RobEntry::State::Done ||
+        head.finishCycle > cycle_) {
+        return false;
+    }
+
+    if (head.faulted) {
+        handleFaultAtHead(ctx_id, head);
+        return false;
+    }
+
+    const Instruction &inst = head.inst;
+
+    if (retireTrace.enabled())
+        retireTrace.print(cycle_, "ctx%u pc=%llu %s result=%llu",
+                          ctx_id,
+                          static_cast<unsigned long long>(head.pc),
+                          opName(inst.op),
+                          static_cast<unsigned long long>(head.result));
+
+    if (writesInt(inst.op))
+        ctx.intRegs[inst.rd] = head.result;
+    if (writesFp(inst.op))
+        ctx.fpRegs[inst.rd] = head.result;
+
+    if (isStore(inst.op) && head.storeResolved) {
+        if (!head.storeDataResolved) {
+            // STD at retirement: the producer is older, hence already
+            // retired, so the register file holds the value.
+            std::uint64_t value = 0;
+            resolveSource(ctx, -1, inst.rs2, readsFp2(inst.op), value);
+            head.storeValue = (head.storeLen == 4)
+                ? (value & 0xFFFFFFFFull)
+                : value;
+            head.storeDataResolved = true;
+        }
+        if (ctx.inTx) {
+            ctx.txStores.push_back(
+                {head.storePa, head.storeValue, head.storeLen});
+            ctx.txWriteSet.insert(lineBase(head.storePa));
+        } else {
+            mem_.write(head.storePa, head.storeValue, head.storeLen);
+        }
+    }
+
+    switch (inst.op) {
+      case Op::Txbegin:
+        ctx.inTx = true;
+        ctx.txAbortPc = inst.target;
+        ctx.txIntRegs = ctx.intRegs;
+        ctx.txFpRegs = ctx.fpRegs;
+        ctx.txStores.clear();
+        ctx.txWriteSet.clear();
+        break;
+      case Op::Txend:
+        if (ctx.inTx) {
+            for (const TxStore &store : ctx.txStores)
+                mem_.write(store.pa, store.value, store.len);
+            ctx.txStores.clear();
+            ctx.txWriteSet.clear();
+            ctx.inTx = false;
+        }
+        break;
+      case Op::Halt:
+        ctx.rob.pop_front();
+        ++ctx.stats.retired;
+        squashAll(ctx_id);
+        ctx.state = CtxState::Halted;
+        return false;
+      default:
+        break;
+    }
+
+    ctx.rob.pop_front();
+    ++ctx.stats.retired;
+    return true;
+}
+
+void
+Core::doRetire()
+{
+    for (unsigned ctx_id = 0; ctx_id < contexts_.size(); ++ctx_id) {
+        for (unsigned n = 0; n < config_.retireWidth; ++n)
+            if (!retireOne(ctx_id))
+                break;
+    }
+}
+
+void
+Core::handleFaultAtHead(unsigned ctx_id, const RobEntry &head)
+{
+    Context &ctx = contexts_[ctx_id];
+    ++ctx.stats.pageFaults;
+
+    const FaultInfo info{ctx_id, head.faultVa, head.pc,
+                         isStore(head.inst.op)};
+
+    if (ctx.inTx) {
+        // A fault inside a transaction aborts it instead of trapping
+        // (TSX semantics; the basis of the T-SGX defense, §8).
+        doTxAbort(ctx_id);
+        return;
+    }
+
+    squashAll(ctx_id);
+    ctx.fetchPc = head.pc;  // Precise: re-execute the faulting op.
+    ctx.fetchStopped = false;
+    if (config_.fenceOnPipelineFlush)
+        ctx.serializeNext = true;
+
+    if (!faultHandler_)
+        panic("page fault at pc %llu va %#llx with no handler installed",
+              static_cast<unsigned long long>(info.pc),
+              static_cast<unsigned long long>(info.va));
+    faultHandler_(info);
+}
+
+void
+Core::executeMemOp(unsigned ctx_id, RobEntry &entry, Cycles &latency)
+{
+    Context &ctx = contexts_[ctx_id];
+    const Instruction &inst = entry.inst;
+
+    std::uint64_t base = 0;
+    resolveSource(ctx, entry.dep1, inst.rs1, false, base);
+    const VAddr va = base + static_cast<std::uint64_t>(inst.imm);
+
+    latency += config_.aguLatency;
+
+    const vm::TranslateResult xlate =
+        mmu_.translate(va, ctx.pcid, ctx.ptRoot);
+    latency += xlate.latency;
+
+    if (memProbe_)
+        memProbe_(ctx_id, va, xlate.fault ? 0 : xlate.paddr,
+                  isStore(inst.op), xlate.fault);
+
+    if (xlate.fault) {
+        entry.faulted = true;
+        entry.faultVa = va;
+        return;
+    }
+
+    const unsigned len = (inst.op == Op::Ld32 || inst.op == Op::St32)
+        ? 4 : 8;
+
+    if (isStore(inst.op)) {
+        entry.storeResolved = true;
+        entry.storeVa = va;
+        entry.storePa = xlate.paddr;
+        entry.storeLen = len;
+        std::uint64_t value = 0;
+        if (resolveSource(ctx, entry.dep2, inst.rs2,
+                          readsFp2(inst.op), value)) {
+            entry.storeDataResolved = true;
+            entry.storeValue =
+                (len == 4) ? (value & 0xFFFFFFFFull) : value;
+        }
+        latency += 1;
+        return;
+    }
+
+    // Load.  Exact-match forwarding from the youngest older store is
+    // the fast path; otherwise read memory and byte-merge any
+    // overlapping older stores (retired transactional stores first,
+    // then in-flight ROB stores in program order), which handles
+    // partial-width overlap precisely.
+    for (auto it = ctx.rob.rbegin(); it != ctx.rob.rend(); ++it) {
+        if (it->seq >= entry.seq)
+            continue;
+        if (!isStore(it->inst.op) || !it->storeDataResolved)
+            continue;
+        if (it->storeVa == va && it->storeLen == len) {
+            entry.result = it->storeValue;
+            latency += config_.forwardLatency;
+            return;
+        }
+    }
+
+    const mem::AccessResult access = hierarchy_.access(xlate.paddr);
+    latency += access.latency;
+    std::uint64_t value = mem_.read(xlate.paddr, len);
+
+    auto merge_bytes = [&](std::uint64_t store_base,
+                           std::uint64_t store_value,
+                           unsigned store_len,
+                           std::uint64_t load_base) {
+        bool merged = false;
+        for (unsigned i = 0; i < store_len; ++i) {
+            const std::uint64_t byte_addr = store_base + i;
+            if (byte_addr < load_base || byte_addr >= load_base + len)
+                continue;
+            const unsigned shift =
+                static_cast<unsigned>(byte_addr - load_base) * 8;
+            value = (value & ~(0xFFull << shift)) |
+                    (((store_value >> (8 * i)) & 0xFF) << shift);
+            merged = true;
+        }
+        return merged;
+    };
+
+    bool forwarded = false;
+    for (const TxStore &store : ctx.txStores)
+        forwarded |= merge_bytes(store.pa, store.value, store.len,
+                                 xlate.paddr);
+    for (const RobEntry &other : ctx.rob) {
+        if (other.seq >= entry.seq)
+            break;
+        if (!isStore(other.inst.op) || !other.storeDataResolved)
+            continue;
+        forwarded |= merge_bytes(other.storeVa, other.storeValue,
+                                 other.storeLen, va);
+    }
+    if (forwarded)
+        latency += config_.forwardLatency;
+    entry.result = value;
+}
+
+void
+Core::executeEntry(unsigned ctx_id, RobEntry &entry, Cycles &latency)
+{
+    Context &ctx = contexts_[ctx_id];
+    const Instruction &inst = entry.inst;
+
+    std::uint64_t s1 = 0;
+    std::uint64_t s2 = 0;
+    if (readsSrc1(inst.op))
+        resolveSource(ctx, entry.dep1, inst.rs1, readsFp1(inst.op), s1);
+    if (readsSrc2(inst.op))
+        resolveSource(ctx, entry.dep2, inst.rs2, readsFp2(inst.op), s2);
+
+    latency = config_.aluLatency;
+
+    switch (inst.op) {
+      case Op::Nop:
+      case Op::Fence:
+      case Op::Txbegin:
+      case Op::Txend:
+      case Op::Halt:
+        break;
+      case Op::Movi:
+        entry.result = static_cast<std::uint64_t>(inst.imm);
+        break;
+      case Op::Mov:
+        entry.result = s1;
+        break;
+      case Op::Add:
+        entry.result = s1 + s2;
+        break;
+      case Op::Addi:
+        entry.result = s1 + static_cast<std::uint64_t>(inst.imm);
+        break;
+      case Op::Sub:
+        entry.result = s1 - s2;
+        break;
+      case Op::And:
+        entry.result = s1 & s2;
+        break;
+      case Op::Andi:
+        entry.result = s1 & static_cast<std::uint64_t>(inst.imm);
+        break;
+      case Op::Or:
+        entry.result = s1 | s2;
+        break;
+      case Op::Xor:
+        entry.result = s1 ^ s2;
+        break;
+      case Op::Shli:
+        entry.result = s1 << (inst.imm & 63);
+        break;
+      case Op::Shri:
+        entry.result = s1 >> (inst.imm & 63);
+        break;
+      case Op::Mul:
+        entry.result = s1 * s2;
+        latency = config_.mulLatency;
+        break;
+      case Op::Div:
+        entry.result = s2 ? s1 / s2 : ~std::uint64_t{0};
+        latency = config_.divLatency;
+        break;
+      case Op::Fmovi:
+        entry.result = static_cast<std::uint64_t>(inst.imm);
+        break;
+      case Op::Fmov:
+        entry.result = s1;
+        break;
+      case Op::Fadd:
+        entry.result = asBits(asDouble(s1) + asDouble(s2));
+        latency = config_.fmulLatency;
+        break;
+      case Op::Fmul:
+        entry.result = asBits(asDouble(s1) * asDouble(s2));
+        latency = config_.fmulLatency;
+        break;
+      case Op::Fdiv: {
+        const double a = asDouble(s1);
+        const double b = asDouble(s2);
+        const double q = a / b;
+        entry.result = asBits(q);
+        latency = (isSubnormal(a) || isSubnormal(b) || isSubnormal(q))
+            ? config_.fdivSubnormalLatency
+            : config_.fdivLatency;
+        break;
+      }
+      case Op::Ld:
+      case Op::Ld32:
+      case Op::Ldf:
+      case Op::St:
+      case Op::St32:
+      case Op::Stf:
+        latency = 0;
+        executeMemOp(ctx_id, entry, latency);
+        break;
+      case Op::Jmp:
+        entry.actualTaken = true;
+        break;
+      case Op::Beq:
+        entry.actualTaken = s1 == s2;
+        break;
+      case Op::Bne:
+        entry.actualTaken = s1 != s2;
+        break;
+      case Op::Blt:
+        entry.actualTaken = static_cast<std::int64_t>(s1) <
+                            static_cast<std::int64_t>(s2);
+        break;
+      case Op::Bge:
+        entry.actualTaken = static_cast<std::int64_t>(s1) >=
+                            static_cast<std::int64_t>(s2);
+        break;
+      case Op::Rdtsc:
+        entry.result = cycle_;
+        latency = config_.rdtscLatency;
+        break;
+      case Op::Rdrand:
+        entry.result = rdrandSource_ ? rdrandSource_() : rng_.next();
+        latency = config_.rdrandLatency;
+        break;
+    }
+
+    if (latency == 0)
+        latency = 1;
+}
+
+bool
+Core::tryIssue(unsigned ctx_id, RobEntry &entry)
+{
+    Context &ctx = contexts_[ctx_id];
+    const Instruction &inst = entry.inst;
+
+    // Operand readiness.  Stores are two-phase: the address (rs1)
+    // must be ready at issue, but the data (rs2) may arrive as late
+    // as retirement — mirroring separate STA/STD micro-ops.
+    std::uint64_t scratch = 0;
+    if (readsSrc1(inst.op) &&
+        !resolveSource(ctx, entry.dep1, inst.rs1, readsFp1(inst.op),
+                       scratch)) {
+        return false;
+    }
+    if (readsSrc2(inst.op) && !isStore(inst.op) &&
+        !resolveSource(ctx, entry.dep2, inst.rs2, readsFp2(inst.op),
+                       scratch)) {
+        return false;
+    }
+
+    // Load ordering hazards: wait while any older store's address is
+    // still unknown (addresses resolve within a few cycles), or while
+    // an older overlapping store's *data* has not been produced yet.
+    if (isLoad(inst.op)) {
+        std::uint64_t base = 0;
+        resolveSource(ctx, entry.dep1, inst.rs1, false, base);
+        const VAddr load_va =
+            base + static_cast<std::uint64_t>(inst.imm);
+        const unsigned load_len = inst.op == Op::Ld32 ? 4 : 8;
+        for (const RobEntry &other : ctx.rob) {
+            if (other.seq >= entry.seq)
+                break;
+            if (!isStore(other.inst.op) || other.faulted)
+                continue;
+            if (!other.storeResolved)
+                return false;
+            const bool overlap =
+                other.storeVa < load_va + load_len &&
+                load_va < other.storeVa + other.storeLen;
+            if (overlap && !other.storeDataResolved)
+                return false;
+        }
+    }
+
+    // Port availability (shared across SMT contexts — the contention
+    // channel).
+    const PortChoices choices = portsFor(inst.op);
+    unsigned port = numPorts;
+    if (choices.first != 0xFF && ports_.canIssue(choices.first, cycle_))
+        port = choices.first;
+    else if (choices.second != 0xFF &&
+             ports_.canIssue(choices.second, cycle_))
+        port = choices.second;
+    if (port == numPorts)
+        return false;
+
+    Cycles latency = 0;
+    executeEntry(ctx_id, entry, latency);
+
+    if (issueTrace.enabled())
+        issueTrace.print(cycle_, "ctx%u pc=%llu seq=%llu %s dep1=%lld "
+                         "dep2=%lld result=%llu lat=%llu",
+                         ctx_id,
+                         static_cast<unsigned long long>(entry.pc),
+                         static_cast<unsigned long long>(entry.seq),
+                         opName(inst.op), (long long)entry.dep1,
+                         (long long)entry.dep2,
+                         static_cast<unsigned long long>(entry.result),
+                         static_cast<unsigned long long>(latency));
+
+    ports_.occupy(port, cycle_, latency, unpipelined(inst.op));
+    entry.state = RobEntry::State::Executing;
+    entry.finishCycle = cycle_ + latency;
+    ++issuedThisCycle_;
+    return true;
+}
+
+void
+Core::doIssue()
+{
+    const unsigned n = static_cast<unsigned>(contexts_.size());
+    // Randomized SMT priority: a fixed rotation can phase-lock with
+    // even execution latencies (e.g., the 24-cycle divider) and
+    // starve one context of a shared port indefinitely.
+    const unsigned start = static_cast<unsigned>(rng_.below(n));
+    for (unsigned offset = 0; offset < n; ++offset) {
+        const unsigned ctx_id = (start + offset) % n;
+        Context &ctx = contexts_[ctx_id];
+        if (ctx.state != CtxState::Running)
+            continue;
+        unsigned examined = 0;
+        for (RobEntry &entry : ctx.rob) {
+            if (issuedThisCycle_ >= config_.issueWidth)
+                return;
+            if (++examined > config_.schedWindow)
+                break;
+            if (entry.state == RobEntry::State::Waiting)
+                tryIssue(ctx_id, entry);
+            // Barriers block younger issue until they retire (i.e.,
+            // leave the ROB).
+            if (isBarrier(entry.inst.op, config_.rdrandSerializing) ||
+                entry.flushBarrier) {
+                break;
+            }
+        }
+    }
+}
+
+void
+Core::dispatchOne(unsigned ctx_id)
+{
+    Context &ctx = contexts_[ctx_id];
+    const Instruction &inst = ctx.program->at(ctx.fetchPc);
+
+    RobEntry entry;
+    entry.inst = inst;
+    entry.seq = ctx.nextSeq++;
+    entry.pc = ctx.fetchPc;
+    if (ctx.serializeNext) {
+        entry.flushBarrier = true;
+        ctx.serializeNext = false;
+    }
+
+    if (readsSrc1(inst.op)) {
+        entry.dep1 = readsFp1(inst.op) ? ctx.lastFpWriter[inst.rs1]
+                                       : ctx.lastIntWriter[inst.rs1];
+    }
+    if (readsSrc2(inst.op)) {
+        entry.dep2 = readsFp2(inst.op) ? ctx.lastFpWriter[inst.rs2]
+                                       : ctx.lastIntWriter[inst.rs2];
+    }
+
+    // Next-fetch PC: branches predicted at fetch; Halt stops fetch.
+    if (isCondBranch(inst.op)) {
+        entry.predictedTaken =
+            predictor_.predict(biasedPc(ctx, ctx.fetchPc));
+        ctx.fetchPc = entry.predictedTaken ? inst.target
+                                           : ctx.fetchPc + 1;
+    } else if (inst.op == Op::Jmp) {
+        entry.actualTaken = true;
+        ctx.fetchPc = inst.target;
+    } else if (inst.op == Op::Halt) {
+        ctx.fetchStopped = true;
+    } else {
+        ++ctx.fetchPc;
+    }
+
+    if (writesInt(inst.op))
+        ctx.lastIntWriter[inst.rd] = static_cast<std::int64_t>(entry.seq);
+    if (writesFp(inst.op))
+        ctx.lastFpWriter[inst.rd] = static_cast<std::int64_t>(entry.seq);
+
+    ctx.rob.push_back(std::move(entry));
+    ++ctx.stats.fetched;
+}
+
+void
+Core::doFetch()
+{
+    const unsigned n = static_cast<unsigned>(contexts_.size());
+    for (unsigned slot = 0; slot < config_.fetchWidth; ++slot) {
+        bool fetched = false;
+        for (unsigned offset = 0; offset < n && !fetched; ++offset) {
+            const unsigned ctx_id =
+                static_cast<unsigned>((cycle_ + slot + offset) % n);
+            Context &ctx = contexts_[ctx_id];
+            if (ctx.state != CtxState::Running || !ctx.program ||
+                ctx.fetchStopped ||
+                ctx.rob.size() >= config_.robPerContext) {
+                continue;
+            }
+            dispatchOne(ctx_id);
+            fetched = true;
+        }
+    }
+}
+
+} // namespace uscope::cpu

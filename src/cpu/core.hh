@@ -1,0 +1,347 @@
+/**
+ * @file
+ * The out-of-order, SMT-enabled core (paper §2.2).
+ *
+ * Model summary:
+ *  - Two hardware contexts share fetch bandwidth, the issue ports
+ *    (cpu/ports.hh), the MMU, and the cache hierarchy; each has a
+ *    private architectural register file and a private ROB partition.
+ *  - Instructions dispatch in order into the ROB, issue out of order
+ *    when their producers are complete and a port is free, and retire
+ *    in order.  Memory ops translate through the MMU at issue: a TLB
+ *    miss triggers a hardware page walk whose latency depends on where
+ *    the page-table entries sit in the cache hierarchy.
+ *  - A load whose leaf PTE has the present bit clear completes as
+ *    *faulted*; the fault is raised only when the load reaches the ROB
+ *    head (precise exceptions).  Meanwhile younger instructions — the
+ *    victim's sensitive code — issue and execute, leaving cache and
+ *    port-contention residue.  On the fault everything younger
+ *    squashes and the OS fault handler (installed by os::Machine) runs;
+ *    fetch then resumes at the faulting instruction.  If the handler
+ *    left the present bit clear, the window replays: this loop is the
+ *    paper's microarchitectural replay engine.
+ *  - Speculative loads fill caches; stores write memory only at
+ *    retirement (store buffer), so replays never corrupt state.
+ *  - TSX: Txbegin checkpoints architectural state at retirement;
+ *    transactional stores buffer until Txend; an eviction that hits
+ *    the write set (or a fault inside the transaction) aborts to the
+ *    handler PC — the §7.1 alternative replay handle.
+ */
+
+#ifndef USCOPE_CPU_CORE_HH
+#define USCOPE_CPU_CORE_HH
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_set>
+#include <vector>
+
+#include "common/random.hh"
+#include "common/types.hh"
+#include "cpu/isa.hh"
+#include "cpu/ports.hh"
+#include "cpu/predictor.hh"
+#include "cpu/program.hh"
+#include "mem/hierarchy.hh"
+#include "mem/phys_mem.hh"
+#include "vm/mmu.hh"
+
+namespace uscope::cpu
+{
+
+/** Core microarchitecture parameters. */
+struct CoreConfig
+{
+    unsigned numContexts = 2;
+    unsigned robPerContext = 112;
+    /** Scheduler window: issue scan depth per context per cycle. */
+    unsigned schedWindow = 112;
+    unsigned fetchWidth = 4;
+    unsigned issueWidth = 6;
+    unsigned retireWidth = 4;
+
+    Cycles aluLatency = 1;
+    Cycles mulLatency = 3;
+    Cycles fmulLatency = 4;
+    Cycles divLatency = 24;
+    Cycles fdivLatency = 24;
+    /** Penalized fdiv latency when an operand/result is subnormal. */
+    Cycles fdivSubnormalLatency = 120;
+    Cycles aguLatency = 1;
+    /** Store-to-load forwarding latency. */
+    Cycles forwardLatency = 5;
+    Cycles rdtscLatency = 8;
+    Cycles rdrandLatency = 150;
+    /**
+     * Intel's RDRAND includes an internal serializing fence that
+     * blocks speculation past it (§7.2 — this is what defeats the
+     * RDRAND-bias attack).  Configurable for the ablation.
+     */
+    bool rdrandSerializing = true;
+
+    /**
+     * §8 "Fences on Pipeline Flushes" defense: after any pipeline
+     * flush (page-fault squash or branch misprediction) the first
+     * re-fetched instruction acts as a fence, so nothing younger
+     * issues until it retires — starving the replay window.
+     */
+    bool fenceOnPipelineFlush = false;
+
+    unsigned predictorEntries = 4096;
+};
+
+/** Why a context's retirement raised an event. */
+struct FaultInfo
+{
+    unsigned ctx = 0;
+    VAddr va = 0;           ///< Faulting data virtual address.
+    std::uint64_t pc = 0;   ///< PC of the faulting instruction.
+    bool isStore = false;
+};
+
+/** Per-context execution statistics. */
+struct CtxStats
+{
+    std::uint64_t fetched = 0;
+    std::uint64_t retired = 0;
+    std::uint64_t squashed = 0;
+    std::uint64_t pageFaults = 0;
+    std::uint64_t mispredicts = 0;
+    std::uint64_t txAborts = 0;
+    std::uint64_t stallCycles = 0;
+};
+
+/** Lifecycle state of a hardware context. */
+enum class CtxState
+{
+    Idle,      ///< No program loaded.
+    Running,
+    Stalled,   ///< Blocked until a wake-up cycle (fault handling).
+    Halted,    ///< Retired a Halt.
+};
+
+/** The simulated core. */
+class Core
+{
+  public:
+    /** Called when a page fault reaches the head of the ROB. */
+    using FaultHandler = std::function<void(const FaultInfo &)>;
+    /** Entropy source for RDRAND (installed by the OS). */
+    using RdrandSource = std::function<std::uint64_t()>;
+
+    Core(mem::PhysMem &mem, mem::Hierarchy &hierarchy, vm::Mmu &mmu,
+         const CoreConfig &config = CoreConfig{}, std::uint64_t seed = 7);
+
+    const CoreConfig &config() const { return config_; }
+    Cycles cycle() const { return cycle_; }
+
+    /** Install the OS page-fault entry point. */
+    void setFaultHandler(FaultHandler handler);
+
+    /** Install the RDRAND entropy source. */
+    void setRdrandSource(RdrandSource source);
+
+    /**
+     * Observation hook fired at every load/store *execution* (incl.
+     * speculative, squashed-later ones).  For tests and attack
+     * research instrumentation; never used by the model itself.
+     */
+    using MemProbe = std::function<void(unsigned ctx, VAddr va,
+                                        PAddr pa, bool is_store,
+                                        bool faulted)>;
+    void setMemProbe(MemProbe probe);
+
+    /**
+     * Load @p program onto context @p ctx and start fetching at
+     * @p entry.  @p pc_bias is the context's text base used to index
+     * the shared branch predictor (the OS knows it — the attacker can
+     * therefore compute predictor indices).
+     */
+    void startContext(unsigned ctx, std::shared_ptr<const Program> program,
+                      std::uint64_t entry, Pcid pcid, PAddr pt_root,
+                      std::uint64_t pc_bias);
+
+    /** Stop and clear a context. */
+    void stopContext(unsigned ctx);
+
+    CtxState contextState(unsigned ctx) const;
+    bool halted(unsigned ctx) const;
+
+    /** Block a context's fetch/issue for @p duration cycles. */
+    void stallContext(unsigned ctx, Cycles duration);
+
+    /** Squash everything in flight and restart fetch at @p pc. */
+    void redirectContext(unsigned ctx, std::uint64_t pc);
+
+    /** Architectural register access (setup and result readback). */
+    std::uint64_t readIntReg(unsigned ctx, Reg reg) const;
+    void writeIntReg(unsigned ctx, Reg reg, std::uint64_t value);
+    double readFpReg(unsigned ctx, Reg reg) const;
+    void writeFpReg(unsigned ctx, Reg reg, double value);
+
+    /** Advance the whole core by one cycle. */
+    void tick();
+
+    /** Tick until @p pred() or @p max_cycles elapse; false on timeout. */
+    bool runUntil(const std::function<bool()> &pred, Cycles max_cycles);
+
+    /** Shared branch predictor (the attacker primes/flushes it). */
+    BranchPredictor &predictor() { return predictor_; }
+
+    /**
+     * Notify the core that @p paddr's line left the cache hierarchy.
+     * Aborts any transaction whose write set contains it (§7.1).
+     */
+    void notifyLineEvicted(PAddr paddr);
+
+    /** Abort context @p ctx's transaction, if one is active. */
+    bool abortTransaction(unsigned ctx);
+
+    /** True while @p ctx is inside a transaction. */
+    bool inTransaction(unsigned ctx) const;
+
+    const CtxStats &stats(unsigned ctx) const;
+    const PortState &ports() const { return ports_; }
+
+    /** Current ROB occupancy (tests). */
+    std::size_t robOccupancy(unsigned ctx) const;
+
+  private:
+    /** One reorder-buffer entry. */
+    struct RobEntry
+    {
+        Instruction inst;
+        std::uint64_t seq = 0;
+        std::uint64_t pc = 0;
+
+        enum class State { Waiting, Executing, Done } state =
+            State::Waiting;
+        Cycles finishCycle = 0;
+
+        // Dependencies: producer sequence numbers, or -1 if the value
+        // comes from the architectural register file.
+        std::int64_t dep1 = -1;
+        std::int64_t dep2 = -1;
+
+        std::uint64_t result = 0;      ///< Destination value (bits).
+        bool faulted = false;
+        VAddr faultVa = 0;
+        /** Acts as a fence (fenceOnPipelineFlush defense). */
+        bool flushBarrier = false;
+
+        // Branch bookkeeping.
+        bool predictedTaken = false;
+        bool actualTaken = false;
+        bool mispredictHandled = false;
+
+        // Store bookkeeping: the address resolves at execute (only the
+        // base register is needed); the data may resolve later — at
+        // the latest at retirement, when the producer has retired.
+        bool storeResolved = false;       ///< Address known.
+        bool storeDataResolved = false;   ///< Value known.
+        VAddr storeVa = 0;
+        PAddr storePa = 0;
+        std::uint64_t storeValue = 0;
+        unsigned storeLen = 0;
+    };
+
+    /** A buffered transactional store awaiting commit. */
+    struct TxStore
+    {
+        PAddr pa;
+        std::uint64_t value;
+        unsigned len;
+    };
+
+    /** Per-context state. */
+    struct Context
+    {
+        CtxState state = CtxState::Idle;
+        std::shared_ptr<const Program> program;
+        std::uint64_t fetchPc = 0;
+        bool fetchStopped = false;  ///< Past a Halt or unresolved edge.
+        Pcid pcid = 0;
+        PAddr ptRoot = 0;
+        std::uint64_t pcBias = 0;
+        Cycles stallUntil = 0;
+
+        std::array<std::uint64_t, numIntRegs> intRegs{};
+        std::array<std::uint64_t, numFpRegs> fpRegs{};
+
+        std::deque<RobEntry> rob;
+        std::uint64_t nextSeq = 0;
+        std::array<std::int64_t, numIntRegs> lastIntWriter;
+        std::array<std::int64_t, numFpRegs> lastFpWriter;
+
+        /** Next dispatched instruction becomes a flush barrier. */
+        bool serializeNext = false;
+
+        // TSX.
+        bool inTx = false;
+        std::uint64_t txAbortPc = 0;
+        std::array<std::uint64_t, numIntRegs> txIntRegs{};
+        std::array<std::uint64_t, numFpRegs> txFpRegs{};
+        std::vector<TxStore> txStores;
+        std::unordered_set<PAddr> txWriteSet;  ///< Line base addrs.
+        bool txPendingAbort = false;
+
+        CtxStats stats;
+    };
+
+    Context &ctxAt(unsigned ctx);
+    const Context &ctxAt(unsigned ctx) const;
+
+    void doCompletions();
+    void doRetire();
+    void doIssue();
+    void doFetch();
+
+    void dispatchOne(unsigned ctx_id);
+    bool tryIssue(unsigned ctx_id, RobEntry &entry);
+    void executeEntry(unsigned ctx_id, RobEntry &entry, Cycles &latency);
+    void executeMemOp(unsigned ctx_id, RobEntry &entry, Cycles &latency);
+    bool retireOne(unsigned ctx_id);
+    void handleFaultAtHead(unsigned ctx_id, const RobEntry &head);
+    void doTxAbort(unsigned ctx_id);
+
+    /** Resolve a source value; false if the producer is not done. */
+    bool resolveSource(Context &ctx, std::int64_t dep, Reg reg, bool fp,
+                       std::uint64_t &value) const;
+
+    /** Find an in-flight entry by sequence number. */
+    const RobEntry *findEntry(const Context &ctx, std::uint64_t seq) const;
+
+    /** Squash all entries younger than @p keep_upto (exclusive). */
+    void squashYounger(unsigned ctx_id, std::int64_t keep_seq);
+
+    /** Squash the whole context. */
+    void squashAll(unsigned ctx_id);
+
+    void rebuildWriterTables(Context &ctx);
+
+    std::uint64_t biasedPc(const Context &ctx, std::uint64_t pc) const;
+
+    mem::PhysMem &mem_;
+    mem::Hierarchy &hierarchy_;
+    vm::Mmu &mmu_;
+    CoreConfig config_;
+    Rng rng_;
+
+    Cycles cycle_ = 0;
+    std::vector<Context> contexts_;
+    PortState ports_;
+    BranchPredictor predictor_;
+    unsigned issuedThisCycle_ = 0;
+
+    FaultHandler faultHandler_;
+    RdrandSource rdrandSource_;
+    MemProbe memProbe_;
+};
+
+} // namespace uscope::cpu
+
+#endif // USCOPE_CPU_CORE_HH

@@ -1,0 +1,203 @@
+#include "cpu/isa.hh"
+
+#include "common/logging.hh"
+
+namespace uscope::cpu
+{
+
+const char *
+opName(Op op)
+{
+    switch (op) {
+      case Op::Nop: return "nop";
+      case Op::Movi: return "movi";
+      case Op::Mov: return "mov";
+      case Op::Add: return "add";
+      case Op::Addi: return "addi";
+      case Op::Sub: return "sub";
+      case Op::And: return "and";
+      case Op::Andi: return "andi";
+      case Op::Or: return "or";
+      case Op::Xor: return "xor";
+      case Op::Shli: return "shli";
+      case Op::Shri: return "shri";
+      case Op::Mul: return "mul";
+      case Op::Div: return "div";
+      case Op::Fmovi: return "fmovi";
+      case Op::Fmov: return "fmov";
+      case Op::Fadd: return "fadd";
+      case Op::Fmul: return "fmul";
+      case Op::Fdiv: return "fdiv";
+      case Op::Ld: return "ld";
+      case Op::Ld32: return "ld32";
+      case Op::Ldf: return "ldf";
+      case Op::St: return "st";
+      case Op::St32: return "st32";
+      case Op::Stf: return "stf";
+      case Op::Jmp: return "jmp";
+      case Op::Beq: return "beq";
+      case Op::Bne: return "bne";
+      case Op::Blt: return "blt";
+      case Op::Bge: return "bge";
+      case Op::Rdtsc: return "rdtsc";
+      case Op::Rdrand: return "rdrand";
+      case Op::Fence: return "fence";
+      case Op::Txbegin: return "txbegin";
+      case Op::Txend: return "txend";
+      case Op::Halt: return "halt";
+    }
+    return "?";
+}
+
+std::string
+Instruction::toString() const
+{
+    return format("%s rd=%u rs1=%u rs2=%u imm=%lld tgt=%u",
+                  opName(op), rd, rs1, rs2,
+                  static_cast<long long>(imm), target);
+}
+
+bool
+isLoad(Op op)
+{
+    return op == Op::Ld || op == Op::Ld32 || op == Op::Ldf;
+}
+
+bool
+isStore(Op op)
+{
+    return op == Op::St || op == Op::St32 || op == Op::Stf;
+}
+
+bool
+isBranch(Op op)
+{
+    return isCondBranch(op) || op == Op::Jmp;
+}
+
+bool
+isCondBranch(Op op)
+{
+    return op == Op::Beq || op == Op::Bne || op == Op::Blt ||
+           op == Op::Bge;
+}
+
+bool
+writesFp(Op op)
+{
+    switch (op) {
+      case Op::Fmovi:
+      case Op::Fmov:
+      case Op::Fadd:
+      case Op::Fmul:
+      case Op::Fdiv:
+      case Op::Ldf:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+writesInt(Op op)
+{
+    switch (op) {
+      case Op::Movi:
+      case Op::Mov:
+      case Op::Add:
+      case Op::Addi:
+      case Op::Sub:
+      case Op::And:
+      case Op::Andi:
+      case Op::Or:
+      case Op::Xor:
+      case Op::Shli:
+      case Op::Shri:
+      case Op::Mul:
+      case Op::Div:
+      case Op::Ld:
+      case Op::Ld32:
+      case Op::Rdtsc:
+      case Op::Rdrand:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+readsFp1(Op op)
+{
+    switch (op) {
+      case Op::Fmov:
+      case Op::Fadd:
+      case Op::Fmul:
+      case Op::Fdiv:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+readsFp2(Op op)
+{
+    switch (op) {
+      case Op::Fadd:
+      case Op::Fmul:
+      case Op::Fdiv:
+      case Op::Stf:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+readsSrc1(Op op)
+{
+    switch (op) {
+      case Op::Nop:
+      case Op::Movi:
+      case Op::Fmovi:
+      case Op::Jmp:
+      case Op::Rdtsc:
+      case Op::Rdrand:
+      case Op::Fence:
+      case Op::Txbegin:
+      case Op::Txend:
+      case Op::Halt:
+        return false;
+      default:
+        return true;
+    }
+}
+
+bool
+readsSrc2(Op op)
+{
+    switch (op) {
+      case Op::Add:
+      case Op::Sub:
+      case Op::And:
+      case Op::Or:
+      case Op::Xor:
+      case Op::Mul:
+      case Op::Div:
+      case Op::Fadd:
+      case Op::Fmul:
+      case Op::Fdiv:
+      case Op::St:
+      case Op::St32:
+      case Op::Stf:
+      case Op::Beq:
+      case Op::Bne:
+      case Op::Blt:
+      case Op::Bge:
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // namespace uscope::cpu

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * The simulator's mini-ISA.
+ *
+ * A small RISC-like instruction set with the structure of the x86
+ * listings in the paper (Figures 5–7): integer/FP ALU ops, a pipelined
+ * multiplier and an unpipelined divider (the port-contention channel),
+ * loads/stores with base+displacement addressing (the replay handles),
+ * conditional branches (the control-flow-secret victims), RDTSC (the
+ * Monitor's timer), RDRAND (§7.2), fences, and TSX markers (§7.1).
+ *
+ * Registers: 32 integer (r0..r31) and 32 floating-point (f0..f31,
+ * IEEE-754 double).  r0 is an ordinary register, not hardwired.
+ */
+
+#ifndef USCOPE_CPU_ISA_HH
+#define USCOPE_CPU_ISA_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace uscope::cpu
+{
+
+constexpr unsigned numIntRegs = 32;
+constexpr unsigned numFpRegs = 32;
+
+/** Register index (int and FP spaces are separate). */
+using Reg = std::uint8_t;
+
+/** Instruction opcodes. */
+enum class Op : std::uint8_t
+{
+    Nop,
+
+    // Integer ALU.
+    Movi,    ///< rd <- imm
+    Mov,     ///< rd <- rs1
+    Add,     ///< rd <- rs1 + rs2
+    Addi,    ///< rd <- rs1 + imm
+    Sub,     ///< rd <- rs1 - rs2
+    And,     ///< rd <- rs1 & rs2
+    Andi,    ///< rd <- rs1 & imm
+    Or,      ///< rd <- rs1 | rs2
+    Xor,     ///< rd <- rs1 ^ rs2
+    Shli,    ///< rd <- rs1 << imm
+    Shri,    ///< rd <- rs1 >> imm (logical)
+
+    // Multiply / divide (the contention channel).
+    Mul,     ///< rd <- rs1 * rs2 (pipelined, port 1)
+    Div,     ///< rd <- rs1 / rs2 (unpipelined, port 0)
+
+    // Floating point.
+    Fmovi,   ///< fd <- fp immediate (bits in imm)
+    Fmov,    ///< fd <- fs1
+    Fadd,    ///< fd <- fs1 + fs2
+    Fmul,    ///< fd <- fs1 * fs2 (pipelined, port 1)
+    Fdiv,    ///< fd <- fs1 / fs2 (unpipelined, port 0; slower if
+             ///<                  subnormal operands/result — §4.3)
+
+    // Memory.
+    Ld,      ///< rd <- mem64[rs1 + imm]
+    Ld32,    ///< rd <- zext(mem32[rs1 + imm])
+    Ldf,     ///< fd <- mem64[rs1 + imm] as double
+    St,      ///< mem64[rs1 + imm] <- rs2
+    St32,    ///< mem32[rs1 + imm] <- low32(rs2)
+    Stf,     ///< mem64[rs1 + imm] <- fs2 bits
+
+    // Control flow (target = instruction index).
+    Jmp,     ///< pc <- target
+    Beq,     ///< if rs1 == rs2: pc <- target
+    Bne,     ///< if rs1 != rs2: pc <- target
+    Blt,     ///< if (s64)rs1 <  (s64)rs2: pc <- target
+    Bge,     ///< if (s64)rs1 >= (s64)rs2: pc <- target
+
+    // System.
+    Rdtsc,   ///< rd <- current cycle
+    Rdrand,  ///< rd <- hardware entropy (optionally serializing)
+    Fence,   ///< no younger instruction issues until this retires
+    Txbegin, ///< begin transaction; on abort, pc <- target
+    Txend,   ///< commit transaction
+    Halt,    ///< stop this context
+};
+
+/** Human-readable mnemonic. */
+const char *opName(Op op);
+
+/** One decoded instruction. */
+struct Instruction
+{
+    Op op = Op::Nop;
+    Reg rd = 0;            ///< Destination (int or FP per opcode).
+    Reg rs1 = 0;           ///< Source 1 / base register.
+    Reg rs2 = 0;           ///< Source 2 / store-data register.
+    std::int64_t imm = 0;  ///< Immediate / displacement / FP bits.
+    std::uint32_t target = 0;  ///< Branch/abort target (inst index).
+
+    std::string toString() const;
+};
+
+/** True for Ld/Ld32/Ldf. */
+bool isLoad(Op op);
+
+/** True for St/St32/Stf. */
+bool isStore(Op op);
+
+/** True for any memory op. */
+inline bool isMem(Op op) { return isLoad(op) || isStore(op); }
+
+/** True for conditional branches and Jmp. */
+bool isBranch(Op op);
+
+/** True for conditional branches only. */
+bool isCondBranch(Op op);
+
+/** True when the opcode writes an FP destination. */
+bool writesFp(Op op);
+
+/** True when the opcode writes an integer destination. */
+bool writesInt(Op op);
+
+/** True when source 1 is an FP register. */
+bool readsFp1(Op op);
+
+/** True when source 2 is an FP register. */
+bool readsFp2(Op op);
+
+/** True when the opcode reads rs1 at all. */
+bool readsSrc1(Op op);
+
+/** True when the opcode reads rs2 at all. */
+bool readsSrc2(Op op);
+
+} // namespace uscope::cpu
+
+#endif // USCOPE_CPU_ISA_HH

@@ -1,0 +1,390 @@
+#include "crypto/aes.hh"
+
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace uscope::crypto
+{
+
+namespace
+{
+
+/** GF(2^8) doubling modulo x^8 + x^4 + x^3 + x + 1. */
+std::uint8_t
+xtime(std::uint8_t a)
+{
+    return static_cast<std::uint8_t>((a << 1) ^ ((a >> 7) * 0x1B));
+}
+
+/** GF(2^8) multiplication. */
+std::uint8_t
+gmul(std::uint8_t a, std::uint8_t b)
+{
+    std::uint8_t result = 0;
+    while (b) {
+        if (b & 1)
+            result ^= a;
+        a = xtime(a);
+        b >>= 1;
+    }
+    return result;
+}
+
+/** Forward and inverse S-boxes, computed (not transcribed). */
+struct Sboxes
+{
+    std::array<std::uint8_t, 256> sbox;
+    std::array<std::uint8_t, 256> inv;
+
+    Sboxes()
+    {
+        // Multiplicative inverses via 3-as-generator log tables.
+        std::array<std::uint8_t, 256> log{};
+        std::array<std::uint8_t, 256> alog{};
+        std::uint8_t p = 1;
+        for (unsigned i = 0; i < 255; ++i) {
+            alog[i] = p;
+            log[p] = static_cast<std::uint8_t>(i);
+            p = static_cast<std::uint8_t>(p ^ xtime(p));  // * 3
+        }
+        for (unsigned x = 0; x < 256; ++x) {
+            const std::uint8_t inv_x = (x == 0)
+                ? 0
+                : alog[(255 - log[x]) % 255];
+            // Affine transform: b ^ rot1 ^ rot2 ^ rot3 ^ rot4 ^ 0x63.
+            std::uint8_t b = inv_x;
+            std::uint8_t s = 0x63;
+            for (unsigned r = 0; r < 4; ++r) {
+                b = static_cast<std::uint8_t>((b << 1) | (b >> 7));
+                s ^= b;
+            }
+            s ^= inv_x;
+            sbox[x] = s;
+            inv[s] = static_cast<std::uint8_t>(x);
+        }
+    }
+};
+
+const Sboxes &
+sboxes()
+{
+    static const Sboxes boxes;
+    return boxes;
+}
+
+std::uint32_t
+pack(std::uint8_t b0, std::uint8_t b1, std::uint8_t b2, std::uint8_t b3)
+{
+    return (std::uint32_t{b0} << 24) | (std::uint32_t{b1} << 16) |
+           (std::uint32_t{b2} << 8) | std::uint32_t{b3};
+}
+
+std::uint32_t
+getu32(const std::uint8_t *bytes)
+{
+    return pack(bytes[0], bytes[1], bytes[2], bytes[3]);
+}
+
+void
+putu32(std::uint8_t *bytes, std::uint32_t word)
+{
+    bytes[0] = static_cast<std::uint8_t>(word >> 24);
+    bytes[1] = static_cast<std::uint8_t>(word >> 16);
+    bytes[2] = static_cast<std::uint8_t>(word >> 8);
+    bytes[3] = static_cast<std::uint8_t>(word);
+}
+
+std::uint32_t
+subWord(std::uint32_t word)
+{
+    const auto &s = sboxes().sbox;
+    return pack(s[(word >> 24) & 0xFF], s[(word >> 16) & 0xFF],
+                s[(word >> 8) & 0xFF], s[word & 0xFF]);
+}
+
+std::uint32_t
+invMixColumn(std::uint32_t word)
+{
+    const std::uint8_t b0 = static_cast<std::uint8_t>(word >> 24);
+    const std::uint8_t b1 = static_cast<std::uint8_t>(word >> 16);
+    const std::uint8_t b2 = static_cast<std::uint8_t>(word >> 8);
+    const std::uint8_t b3 = static_cast<std::uint8_t>(word);
+    return pack(
+        gmul(b0, 0x0E) ^ gmul(b1, 0x0B) ^ gmul(b2, 0x0D) ^ gmul(b3, 0x09),
+        gmul(b0, 0x09) ^ gmul(b1, 0x0E) ^ gmul(b2, 0x0B) ^ gmul(b3, 0x0D),
+        gmul(b0, 0x0D) ^ gmul(b1, 0x09) ^ gmul(b2, 0x0E) ^ gmul(b3, 0x0B),
+        gmul(b0, 0x0B) ^ gmul(b1, 0x0D) ^ gmul(b2, 0x09) ^ gmul(b3, 0x0E));
+}
+
+} // anonymous namespace
+
+const AesEncTables &
+encTables()
+{
+    static const AesEncTables tables = [] {
+        AesEncTables t;
+        const auto &s = sboxes().sbox;
+        for (unsigned x = 0; x < 256; ++x) {
+            const std::uint8_t v = s[x];
+            const std::uint8_t v2 = xtime(v);
+            const std::uint8_t v3 = static_cast<std::uint8_t>(v2 ^ v);
+            t.te0[x] = pack(v2, v, v, v3);
+            t.te1[x] = pack(v3, v2, v, v);
+            t.te2[x] = pack(v, v3, v2, v);
+            t.te3[x] = pack(v, v, v3, v2);
+            t.te4[x] = pack(v, v, v, v);
+        }
+        return t;
+    }();
+    return tables;
+}
+
+const AesDecTables &
+decTables()
+{
+    static const AesDecTables tables = [] {
+        AesDecTables t;
+        const auto &inv = sboxes().inv;
+        for (unsigned x = 0; x < 256; ++x) {
+            const std::uint8_t v = inv[x];
+            const std::uint8_t e = gmul(v, 0x0E);
+            const std::uint8_t n = gmul(v, 0x09);
+            const std::uint8_t d = gmul(v, 0x0D);
+            const std::uint8_t b = gmul(v, 0x0B);
+            t.td0[x] = pack(e, n, d, b);
+            t.td1[x] = pack(b, e, n, d);
+            t.td2[x] = pack(d, b, e, n);
+            t.td3[x] = pack(n, d, b, e);
+            t.td4[x] = pack(v, v, v, v);
+        }
+        return t;
+    }();
+    return tables;
+}
+
+AesKey::AesKey(const std::uint8_t *key, unsigned key_bits, bool decrypt)
+{
+    if (key_bits != 128 && key_bits != 192 && key_bits != 256)
+        fatal("AesKey: unsupported key size %u", key_bits);
+    expandEncrypt(key, key_bits);
+    if (decrypt)
+        invertForDecrypt();
+}
+
+void
+AesKey::expandEncrypt(const std::uint8_t *key, unsigned key_bits)
+{
+    const unsigned nk = key_bits / 32;
+    rounds_ = nk + 6;  // 10/12/14 rounds (§4.4).
+    const unsigned nwords = 4 * (rounds_ + 1);
+    rk_.resize(nwords);
+
+    for (unsigned i = 0; i < nk; ++i)
+        rk_[i] = getu32(key + 4 * i);
+
+    std::uint8_t rcon = 1;
+    for (unsigned i = nk; i < nwords; ++i) {
+        std::uint32_t temp = rk_[i - 1];
+        if (i % nk == 0) {
+            temp = subWord((temp << 8) | (temp >> 24)) ^
+                   (std::uint32_t{rcon} << 24);
+            rcon = xtime(rcon);
+        } else if (nk > 6 && i % nk == 4) {
+            temp = subWord(temp);
+        }
+        rk_[i] = rk_[i - nk] ^ temp;
+    }
+}
+
+void
+AesKey::invertForDecrypt()
+{
+    // Equivalent inverse cipher: reverse round order, then apply
+    // InvMixColumns to the inner rounds' keys.
+    std::vector<std::uint32_t> dk(rk_.size());
+    for (unsigned r = 0; r <= rounds_; ++r)
+        for (unsigned w = 0; w < 4; ++w)
+            dk[4 * r + w] = rk_[4 * (rounds_ - r) + w];
+    for (unsigned r = 1; r < rounds_; ++r)
+        for (unsigned w = 0; w < 4; ++w)
+            dk[4 * r + w] = invMixColumn(dk[4 * r + w]);
+    rk_ = std::move(dk);
+}
+
+void
+encryptBlock(const AesKey &key, const std::uint8_t in[16],
+             std::uint8_t out[16])
+{
+    const AesEncTables &t = encTables();
+    const auto &rk = key.roundKeys();
+    const unsigned rounds = key.rounds();
+
+    std::uint32_t s0 = getu32(in) ^ rk[0];
+    std::uint32_t s1 = getu32(in + 4) ^ rk[1];
+    std::uint32_t s2 = getu32(in + 8) ^ rk[2];
+    std::uint32_t s3 = getu32(in + 12) ^ rk[3];
+
+    for (unsigned r = 1; r < rounds; ++r) {
+        const std::uint32_t t0 =
+            t.te0[s0 >> 24] ^ t.te1[(s1 >> 16) & 0xFF] ^
+            t.te2[(s2 >> 8) & 0xFF] ^ t.te3[s3 & 0xFF] ^ rk[4 * r];
+        const std::uint32_t t1 =
+            t.te0[s1 >> 24] ^ t.te1[(s2 >> 16) & 0xFF] ^
+            t.te2[(s3 >> 8) & 0xFF] ^ t.te3[s0 & 0xFF] ^ rk[4 * r + 1];
+        const std::uint32_t t2 =
+            t.te0[s2 >> 24] ^ t.te1[(s3 >> 16) & 0xFF] ^
+            t.te2[(s0 >> 8) & 0xFF] ^ t.te3[s1 & 0xFF] ^ rk[4 * r + 2];
+        const std::uint32_t t3 =
+            t.te0[s3 >> 24] ^ t.te1[(s0 >> 16) & 0xFF] ^
+            t.te2[(s1 >> 8) & 0xFF] ^ t.te3[s2 & 0xFF] ^ rk[4 * r + 3];
+        s0 = t0;
+        s1 = t1;
+        s2 = t2;
+        s3 = t3;
+    }
+
+    const unsigned base = 4 * rounds;
+    const std::uint32_t o0 =
+        (t.te4[s0 >> 24] & 0xFF000000u) ^
+        (t.te4[(s1 >> 16) & 0xFF] & 0x00FF0000u) ^
+        (t.te4[(s2 >> 8) & 0xFF] & 0x0000FF00u) ^
+        (t.te4[s3 & 0xFF] & 0x000000FFu) ^ rk[base];
+    const std::uint32_t o1 =
+        (t.te4[s1 >> 24] & 0xFF000000u) ^
+        (t.te4[(s2 >> 16) & 0xFF] & 0x00FF0000u) ^
+        (t.te4[(s3 >> 8) & 0xFF] & 0x0000FF00u) ^
+        (t.te4[s0 & 0xFF] & 0x000000FFu) ^ rk[base + 1];
+    const std::uint32_t o2 =
+        (t.te4[s2 >> 24] & 0xFF000000u) ^
+        (t.te4[(s3 >> 16) & 0xFF] & 0x00FF0000u) ^
+        (t.te4[(s0 >> 8) & 0xFF] & 0x0000FF00u) ^
+        (t.te4[s1 & 0xFF] & 0x000000FFu) ^ rk[base + 2];
+    const std::uint32_t o3 =
+        (t.te4[s3 >> 24] & 0xFF000000u) ^
+        (t.te4[(s0 >> 16) & 0xFF] & 0x00FF0000u) ^
+        (t.te4[(s1 >> 8) & 0xFF] & 0x0000FF00u) ^
+        (t.te4[s2 & 0xFF] & 0x000000FFu) ^ rk[base + 3];
+
+    putu32(out, o0);
+    putu32(out + 4, o1);
+    putu32(out + 8, o2);
+    putu32(out + 12, o3);
+}
+
+void
+decryptBlock(const AesKey &key, const std::uint8_t in[16],
+             std::uint8_t out[16])
+{
+    const AesDecTables &t = decTables();
+    const auto &rk = key.roundKeys();
+    const unsigned rounds = key.rounds();
+
+    std::uint32_t s0 = getu32(in) ^ rk[0];
+    std::uint32_t s1 = getu32(in + 4) ^ rk[1];
+    std::uint32_t s2 = getu32(in + 8) ^ rk[2];
+    std::uint32_t s3 = getu32(in + 12) ^ rk[3];
+
+    // The paper's Figure 8a inner round, verbatim structure.
+    for (unsigned r = 1; r < rounds; ++r) {
+        const std::uint32_t t0 =
+            t.td0[s0 >> 24] ^ t.td1[(s3 >> 16) & 0xFF] ^
+            t.td2[(s2 >> 8) & 0xFF] ^ t.td3[s1 & 0xFF] ^ rk[4 * r];
+        const std::uint32_t t1 =
+            t.td0[s1 >> 24] ^ t.td1[(s0 >> 16) & 0xFF] ^
+            t.td2[(s3 >> 8) & 0xFF] ^ t.td3[s2 & 0xFF] ^ rk[4 * r + 1];
+        const std::uint32_t t2 =
+            t.td0[s2 >> 24] ^ t.td1[(s1 >> 16) & 0xFF] ^
+            t.td2[(s0 >> 8) & 0xFF] ^ t.td3[s3 & 0xFF] ^ rk[4 * r + 2];
+        const std::uint32_t t3 =
+            t.td0[s3 >> 24] ^ t.td1[(s2 >> 16) & 0xFF] ^
+            t.td2[(s1 >> 8) & 0xFF] ^ t.td3[s0 & 0xFF] ^ rk[4 * r + 3];
+        s0 = t0;
+        s1 = t1;
+        s2 = t2;
+        s3 = t3;
+    }
+
+    const unsigned base = 4 * rounds;
+    const std::uint32_t o0 =
+        (t.td4[s0 >> 24] & 0xFF000000u) ^
+        (t.td4[(s3 >> 16) & 0xFF] & 0x00FF0000u) ^
+        (t.td4[(s2 >> 8) & 0xFF] & 0x0000FF00u) ^
+        (t.td4[s1 & 0xFF] & 0x000000FFu) ^ rk[base];
+    const std::uint32_t o1 =
+        (t.td4[s1 >> 24] & 0xFF000000u) ^
+        (t.td4[(s0 >> 16) & 0xFF] & 0x00FF0000u) ^
+        (t.td4[(s3 >> 8) & 0xFF] & 0x0000FF00u) ^
+        (t.td4[s2 & 0xFF] & 0x000000FFu) ^ rk[base + 1];
+    const std::uint32_t o2 =
+        (t.td4[s2 >> 24] & 0xFF000000u) ^
+        (t.td4[(s1 >> 16) & 0xFF] & 0x00FF0000u) ^
+        (t.td4[(s0 >> 8) & 0xFF] & 0x0000FF00u) ^
+        (t.td4[s3 & 0xFF] & 0x000000FFu) ^ rk[base + 2];
+    const std::uint32_t o3 =
+        (t.td4[s3 >> 24] & 0xFF000000u) ^
+        (t.td4[(s2 >> 16) & 0xFF] & 0x00FF0000u) ^
+        (t.td4[(s1 >> 8) & 0xFF] & 0x0000FF00u) ^
+        (t.td4[s0 & 0xFF] & 0x000000FFu) ^ rk[base + 3];
+
+    putu32(out, o0);
+    putu32(out + 4, o1);
+    putu32(out + 8, o2);
+    putu32(out + 12, o3);
+}
+
+DecAccessTrace
+traceDecryption(const AesKey &key, const std::uint8_t in[16])
+{
+    const auto &rk = key.roundKeys();
+    const unsigned rounds = key.rounds();
+    const AesDecTables &t = decTables();
+
+    DecAccessTrace trace;
+    trace.indices.resize(rounds);
+
+    std::uint32_t s0 = getu32(in) ^ rk[0];
+    std::uint32_t s1 = getu32(in + 4) ^ rk[1];
+    std::uint32_t s2 = getu32(in + 8) ^ rk[2];
+    std::uint32_t s3 = getu32(in + 12) ^ rk[3];
+
+    auto record = [&trace](unsigned round, unsigned table,
+                           std::uint32_t index) {
+        trace.indices[round][table].push_back(
+            static_cast<std::uint8_t>(index));
+    };
+
+    for (unsigned r = 1; r < rounds; ++r) {
+        const unsigned ri = r - 1;
+        const std::array<std::uint32_t, 4> s{s0, s1, s2, s3};
+        std::array<std::uint32_t, 4> next{};
+        for (unsigned i = 0; i < 4; ++i) {
+            const std::uint32_t i0 = s[i] >> 24;
+            const std::uint32_t i1 = (s[(i + 3) % 4] >> 16) & 0xFF;
+            const std::uint32_t i2 = (s[(i + 2) % 4] >> 8) & 0xFF;
+            const std::uint32_t i3 = s[(i + 1) % 4] & 0xFF;
+            record(ri, 0, i0);
+            record(ri, 1, i1);
+            record(ri, 2, i2);
+            record(ri, 3, i3);
+            next[i] = t.td0[i0] ^ t.td1[i1] ^ t.td2[i2] ^ t.td3[i3] ^
+                      rk[4 * r + i];
+        }
+        s0 = next[0];
+        s1 = next[1];
+        s2 = next[2];
+        s3 = next[3];
+    }
+
+    const std::array<std::uint32_t, 4> s{s0, s1, s2, s3};
+    for (unsigned i = 0; i < 4; ++i) {
+        record(rounds - 1, 4, s[i] >> 24);
+        record(rounds - 1, 4, (s[(i + 3) % 4] >> 16) & 0xFF);
+        record(rounds - 1, 4, (s[(i + 2) % 4] >> 8) & 0xFF);
+        record(rounds - 1, 4, s[(i + 1) % 4] & 0xFF);
+    }
+
+    return trace;
+}
+
+} // namespace uscope::crypto

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Table-based AES, from scratch, in the style of OpenSSL 0.9.8 — the
+ * implementation the paper attacks (§4.4).
+ *
+ * Encryption uses the Te0..Te3 tables and decryption the Td0..Td3
+ * tables; each table has 256 32-bit entries (1 KiB = 16 cache lines,
+ * as in Figure 11).  The decryption round reads
+ *
+ *   t0 = Td0[s0>>24] ^ Td1[(s3>>16)&0xff] ^ Td2[(s2>>8)&0xff]
+ *        ^ Td3[s1&0xff] ^ rk[4];
+ *
+ * exactly as the paper's Figure 8a.  The same tables are copied into
+ * the victim's simulated memory by the code generator
+ * (crypto/aes_codegen.hh), so the cache lines MicroScope extracts are
+ * bit-for-bit the lines this reference implementation touches.
+ *
+ * The final decryption round uses an inverse-S-box table (Td4) stored
+ * as 256 32-bit entries.
+ */
+
+#ifndef USCOPE_CRYPTO_AES_HH
+#define USCOPE_CRYPTO_AES_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace uscope::crypto
+{
+
+/** Number of 32-bit entries per lookup table. */
+constexpr unsigned aesTableEntries = 256;
+
+/** One 1 KiB lookup table. */
+using AesTable = std::array<std::uint32_t, aesTableEntries>;
+
+/** The five decryption tables (Td0..Td3 plus the Td4 inv-sbox). */
+struct AesDecTables
+{
+    AesTable td0;
+    AesTable td1;
+    AesTable td2;
+    AesTable td3;
+    AesTable td4;  ///< InvSbox replicated into all four bytes.
+};
+
+/** The encryption tables (Te0..Te3 plus sbox table). */
+struct AesEncTables
+{
+    AesTable te0;
+    AesTable te1;
+    AesTable te2;
+    AesTable te3;
+    AesTable te4;  ///< Sbox replicated into all four bytes.
+};
+
+/** Lazily-built, process-wide table sets. */
+const AesEncTables &encTables();
+const AesDecTables &decTables();
+
+/** Expanded key for one direction. */
+class AesKey
+{
+  public:
+    /**
+     * Expand @p key for encryption or decryption.
+     * @param key      Raw key bytes.
+     * @param key_bits 128, 192, or 256.
+     * @param decrypt  Build the equivalent-inverse-cipher schedule.
+     */
+    AesKey(const std::uint8_t *key, unsigned key_bits, bool decrypt);
+
+    /** Number of rounds (10/12/14 — §4.4). */
+    unsigned rounds() const { return rounds_; }
+
+    /** Round-key words, 4*(rounds+1) of them. */
+    const std::vector<std::uint32_t> &roundKeys() const { return rk_; }
+
+  private:
+    void expandEncrypt(const std::uint8_t *key, unsigned key_bits);
+    void invertForDecrypt();
+
+    unsigned rounds_;
+    std::vector<std::uint32_t> rk_;
+};
+
+/** Encrypt one 16-byte block. */
+void encryptBlock(const AesKey &key, const std::uint8_t in[16],
+                  std::uint8_t out[16]);
+
+/** Decrypt one 16-byte block. */
+void decryptBlock(const AesKey &key, const std::uint8_t in[16],
+                  std::uint8_t out[16]);
+
+/**
+ * Ground truth for the cache attack: the Td-table indices the
+ * reference decryption touches, per round, per table.
+ * indices[round][table] is the list of byte indices (0..255) looked
+ * up in Td<table> during that round (4 per round; the final round
+ * reports Td4 indices in table slot 4).
+ */
+struct DecAccessTrace
+{
+    // [round][table 0..4] -> indices accessed.
+    std::vector<std::array<std::vector<std::uint8_t>, 5>> indices;
+};
+
+/** Run the reference decryption and record every table access. */
+DecAccessTrace traceDecryption(const AesKey &key,
+                               const std::uint8_t in[16]);
+
+/**
+ * Cache-line index (0..15) of a table entry: entries are 4 bytes and
+ * lines 64, so line = index / 16 — the granularity Figure 11 reports.
+ */
+constexpr unsigned
+tableLineOf(std::uint8_t index)
+{
+    return index / 16;
+}
+
+} // namespace uscope::crypto
+
+#endif // USCOPE_CRYPTO_AES_HH

@@ -1,0 +1,197 @@
+#include "crypto/aes_codegen.hh"
+
+#include "common/logging.hh"
+
+namespace uscope::crypto
+{
+
+namespace
+{
+
+// Register allocation for the generated code.
+constexpr cpu::Reg rTd0 = 1;
+constexpr cpu::Reg rTd1 = 2;
+constexpr cpu::Reg rTd2 = 3;
+constexpr cpu::Reg rTd3 = 4;
+constexpr cpu::Reg rTd4 = 5;
+constexpr cpu::Reg rRk = 6;
+constexpr cpu::Reg rIn = 7;
+constexpr cpu::Reg rS0 = 8;   // s0..s3 in r8..r11
+constexpr cpu::Reg rT0 = 12;  // t0..t3 in r12..r15
+constexpr cpu::Reg rAddr = 16;
+constexpr cpu::Reg rVal = 17;
+constexpr cpu::Reg rRkVal = 19;
+constexpr cpu::Reg rOut = 20;
+
+constexpr cpu::Reg tableBaseReg[4] = {rTd0, rTd1, rTd2, rTd3};
+
+/**
+ * Emit: rVal = table[(s >> shift) & 0xff], leaving the extracted
+ * index scaled and added to the table base in rAddr.
+ */
+void
+emitLookup(cpu::ProgramBuilder &builder, cpu::Reg table_base,
+           cpu::Reg s_reg, unsigned shift)
+{
+    if (shift) {
+        builder.shri(rAddr, s_reg, shift);
+        if (shift != 24)  // s is a 32-bit value: >>24 needs no mask.
+            builder.andi(rAddr, rAddr, 0xFF);
+    } else {
+        builder.andi(rAddr, s_reg, 0xFF);
+    }
+    builder.shli(rAddr, rAddr, 2);  // 4-byte entries.
+    builder.add(rAddr, table_base, rAddr);
+    builder.ld32(rVal, rAddr, 0);
+}
+
+} // anonymous namespace
+
+VAddr
+AesVictimLayout::tableVa(unsigned table) const
+{
+    switch (table) {
+      case 0: return td0;
+      case 1: return td1;
+      case 2: return td2;
+      case 3: return td3;
+      case 4: return td4;
+    }
+    panic("AesVictimLayout: bad table %u", table);
+}
+
+AesVictimLayout
+setupAesVictim(os::Kernel &kernel, os::Pid pid, const AesKey &dec_key)
+{
+    const AesDecTables &tables = decTables();
+
+    AesVictimLayout layout;
+    layout.rounds = dec_key.rounds();
+    layout.td0 = kernel.allocVirtual(pid, pageSize);
+    layout.td1 = kernel.allocVirtual(pid, pageSize);
+    layout.td2 = kernel.allocVirtual(pid, pageSize);
+    layout.td3 = kernel.allocVirtual(pid, pageSize);
+    layout.td4 = kernel.allocVirtual(pid, pageSize);
+    layout.rk = kernel.allocVirtual(pid, pageSize);
+    layout.input = kernel.allocVirtual(pid, pageSize);
+    layout.output = kernel.allocVirtual(pid, pageSize);
+
+    auto copy_table = [&](VAddr va, const AesTable &table) {
+        if (!kernel.writeVirtual(pid, va, table.data(),
+                                 table.size() * 4)) {
+            panic("setupAesVictim: table copy failed");
+        }
+    };
+    copy_table(layout.td0, tables.td0);
+    copy_table(layout.td1, tables.td1);
+    copy_table(layout.td2, tables.td2);
+    copy_table(layout.td3, tables.td3);
+    copy_table(layout.td4, tables.td4);
+
+    const auto &rk = dec_key.roundKeys();
+    if (!kernel.writeVirtual(pid, layout.rk, rk.data(), rk.size() * 4))
+        panic("setupAesVictim: round-key copy failed");
+
+    return layout;
+}
+
+void
+loadCiphertext(os::Kernel &kernel, os::Pid pid,
+               const AesVictimLayout &layout, const std::uint8_t ct[16])
+{
+    for (unsigned i = 0; i < 4; ++i) {
+        const std::uint32_t word =
+            (std::uint32_t{ct[4 * i]} << 24) |
+            (std::uint32_t{ct[4 * i + 1]} << 16) |
+            (std::uint32_t{ct[4 * i + 2]} << 8) |
+            std::uint32_t{ct[4 * i + 3]};
+        if (!kernel.writeVirtual(pid, layout.input + 4ull * i, &word, 4))
+            panic("loadCiphertext: write failed");
+    }
+}
+
+void
+readPlaintext(os::Kernel &kernel, os::Pid pid,
+              const AesVictimLayout &layout, std::uint8_t out[16])
+{
+    for (unsigned i = 0; i < 4; ++i) {
+        std::uint32_t word = 0;
+        if (!kernel.readVirtual(pid, layout.output + 4ull * i, &word, 4))
+            panic("readPlaintext: read failed");
+        out[4 * i] = static_cast<std::uint8_t>(word >> 24);
+        out[4 * i + 1] = static_cast<std::uint8_t>(word >> 16);
+        out[4 * i + 2] = static_cast<std::uint8_t>(word >> 8);
+        out[4 * i + 3] = static_cast<std::uint8_t>(word);
+    }
+}
+
+cpu::Program
+buildAesDecryptProgram(const AesVictimLayout &layout)
+{
+    cpu::ProgramBuilder builder;
+
+    builder.movi(rTd0, static_cast<std::int64_t>(layout.td0))
+        .movi(rTd1, static_cast<std::int64_t>(layout.td1))
+        .movi(rTd2, static_cast<std::int64_t>(layout.td2))
+        .movi(rTd3, static_cast<std::int64_t>(layout.td3))
+        .movi(rTd4, static_cast<std::int64_t>(layout.td4))
+        .movi(rRk, static_cast<std::int64_t>(layout.rk))
+        .movi(rIn, static_cast<std::int64_t>(layout.input))
+        .movi(rOut, static_cast<std::int64_t>(layout.output));
+
+    // Initial whitening: s_i = input[i] ^ rk[i].  (These rk loads are
+    // the pre-loop replay handles §4.4 mentions.)
+    for (unsigned i = 0; i < 4; ++i) {
+        builder.ld32(rS0 + i, rIn, 4 * i);
+        builder.ld32(rRkVal, rRk, 4 * i);
+        builder.xor_(rS0 + i, rS0 + i, rRkVal);
+    }
+
+    // Inner rounds, Figure 8a order: for each t_i, the four table
+    // lookups then the rk word — so the rk load is the natural replay
+    // handle and the next group's Td0 lookup the natural pivot.
+    const unsigned rounds = layout.rounds;
+    for (unsigned r = 1; r < rounds; ++r) {
+        for (unsigned i = 0; i < 4; ++i) {
+            const cpu::Reg t = rT0 + i;
+            emitLookup(builder, tableBaseReg[0], rS0 + i, 24);
+            builder.mov(t, rVal);
+            emitLookup(builder, tableBaseReg[1], rS0 + (i + 3) % 4, 16);
+            builder.xor_(t, t, rVal);
+            emitLookup(builder, tableBaseReg[2], rS0 + (i + 2) % 4, 8);
+            builder.xor_(t, t, rVal);
+            emitLookup(builder, tableBaseReg[3], rS0 + (i + 1) % 4, 0);
+            builder.xor_(t, t, rVal);
+            builder.ld32(rRkVal, rRk, 4 * (4 * r + i));
+            builder.xor_(t, t, rRkVal);
+        }
+        for (unsigned i = 0; i < 4; ++i)
+            builder.mov(rS0 + i, rT0 + i);
+    }
+
+    // Final round through Td4 with per-byte masks.
+    const unsigned base = 4 * rounds;
+    for (unsigned i = 0; i < 4; ++i) {
+        const cpu::Reg t = rT0 + i;
+        emitLookup(builder, rTd4, rS0 + i, 24);
+        builder.andi(rVal, rVal, 0xFF000000ll);
+        builder.mov(t, rVal);
+        emitLookup(builder, rTd4, rS0 + (i + 3) % 4, 16);
+        builder.andi(rVal, rVal, 0x00FF0000ll);
+        builder.xor_(t, t, rVal);
+        emitLookup(builder, rTd4, rS0 + (i + 2) % 4, 8);
+        builder.andi(rVal, rVal, 0x0000FF00ll);
+        builder.xor_(t, t, rVal);
+        emitLookup(builder, rTd4, rS0 + (i + 1) % 4, 0);
+        builder.andi(rVal, rVal, 0x000000FFll);
+        builder.xor_(t, t, rVal);
+        builder.ld32(rRkVal, rRk, 4 * (base + i));
+        builder.xor_(t, t, rRkVal);
+        builder.st32(rOut, 4 * i, t);
+    }
+
+    builder.halt();
+    return builder.build();
+}
+
+} // namespace uscope::crypto

@@ -1,0 +1,137 @@
+#include "mem/cache.hh"
+
+#include "common/bitfield.hh"
+#include "common/logging.hh"
+
+namespace uscope::mem
+{
+
+Cache::Cache(std::string name, std::uint64_t size, unsigned assoc)
+    : name_(std::move(name)), assoc_(assoc)
+{
+    if (assoc == 0 || size == 0 || size % (lineSize * assoc) != 0)
+        fatal("Cache %s: size %llu not divisible by line*assoc",
+              name_.c_str(), static_cast<unsigned long long>(size));
+    const std::uint64_t sets = size / (lineSize * assoc);
+    if (!isPowerOf2(sets))
+        fatal("Cache %s: set count %llu not a power of two",
+              name_.c_str(), static_cast<unsigned long long>(sets));
+    numSets_ = static_cast<unsigned>(sets);
+    ways_.resize(static_cast<std::size_t>(numSets_) * assoc_);
+}
+
+unsigned
+Cache::setIndex(PAddr addr) const
+{
+    return static_cast<unsigned>(lineNumber(addr) & (numSets_ - 1));
+}
+
+std::uint64_t
+Cache::tagOf(PAddr addr) const
+{
+    return lineNumber(addr) / numSets_;
+}
+
+Cache::Way *
+Cache::findWay(PAddr addr)
+{
+    const std::uint64_t tag = tagOf(addr);
+    Way *set = &ways_[static_cast<std::size_t>(setIndex(addr)) * assoc_];
+    for (unsigned w = 0; w < assoc_; ++w)
+        if (set[w].valid && set[w].tag == tag)
+            return &set[w];
+    return nullptr;
+}
+
+const Cache::Way *
+Cache::findWay(PAddr addr) const
+{
+    return const_cast<Cache *>(this)->findWay(addr);
+}
+
+bool
+Cache::contains(PAddr addr) const
+{
+    return findWay(addr) != nullptr;
+}
+
+bool
+Cache::access(PAddr addr)
+{
+    Way *way = findWay(addr);
+    if (way) {
+        way->lruStamp = ++clock_;
+        ++stats_.hits;
+        return true;
+    }
+    ++stats_.misses;
+    return false;
+}
+
+std::optional<PAddr>
+Cache::insert(PAddr addr)
+{
+    if (Way *way = findWay(addr)) {
+        // Already resident (races between walker and core fills);
+        // treat as a touch.
+        way->lruStamp = ++clock_;
+        return std::nullopt;
+    }
+
+    const unsigned set = setIndex(addr);
+    Way *set_base = &ways_[static_cast<std::size_t>(set) * assoc_];
+    Way *victim = nullptr;
+    for (unsigned w = 0; w < assoc_; ++w) {
+        Way &cand = set_base[w];
+        if (!cand.valid) {
+            victim = &cand;
+            break;
+        }
+        if (!victim || cand.lruStamp < victim->lruStamp)
+            victim = &cand;
+    }
+
+    std::optional<PAddr> evicted;
+    if (victim->valid) {
+        ++stats_.evictions;
+        evicted = (victim->tag * numSets_ + set) << lineShift;
+    }
+    victim->valid = true;
+    victim->tag = tagOf(addr);
+    victim->lruStamp = ++clock_;
+    return evicted;
+}
+
+bool
+Cache::invalidate(PAddr addr)
+{
+    if (Way *way = findWay(addr)) {
+        way->valid = false;
+        ++stats_.invalidations;
+        return true;
+    }
+    return false;
+}
+
+void
+Cache::invalidateAll()
+{
+    for (Way &way : ways_) {
+        if (way.valid) {
+            way.valid = false;
+            ++stats_.invalidations;
+        }
+    }
+}
+
+std::size_t
+Cache::occupancy() const
+{
+    std::size_t n = 0;
+    for (const Way &way : ways_)
+        if (way.valid)
+            ++n;
+    return n;
+}
+
+} // namespace uscope::mem

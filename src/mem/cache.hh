@@ -1,0 +1,105 @@
+/**
+ * @file
+ * A single set-associative cache level with true-LRU replacement.
+ *
+ * The cache tracks presence only — data always lives in PhysMem — which
+ * is all the timing model and the side channels need.  The hierarchy
+ * (mem/hierarchy.hh) composes three of these plus DRAM.
+ */
+
+#ifndef USCOPE_MEM_CACHE_HH
+#define USCOPE_MEM_CACHE_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace uscope::mem
+{
+
+/** Aggregate hit/miss/eviction counters for one cache. */
+struct CacheStats
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t invalidations = 0;
+};
+
+/**
+ * Set-associative cache of 64-byte lines, physically indexed and
+ * tagged, with true LRU within each set.
+ */
+class Cache
+{
+  public:
+    /**
+     * @param name  Name used in stats dumps ("L1D", "L2", "L3").
+     * @param size  Capacity in bytes.
+     * @param assoc Associativity (ways per set).
+     */
+    Cache(std::string name, std::uint64_t size, unsigned assoc);
+
+    const std::string &name() const { return name_; }
+    unsigned numSets() const { return numSets_; }
+    unsigned assoc() const { return assoc_; }
+
+    /** True if the line holding @p addr is present (no LRU update). */
+    bool contains(PAddr addr) const;
+
+    /**
+     * Access the line holding @p addr.  On a hit, refresh LRU and
+     * return true.  On a miss, return false and leave the set
+     * unchanged (call insert() to fill).
+     */
+    bool access(PAddr addr);
+
+    /**
+     * Fill the line holding @p addr, evicting the LRU way if the set
+     * is full.
+     *
+     * @return Base address of the evicted line, if any.
+     */
+    std::optional<PAddr> insert(PAddr addr);
+
+    /** Remove the line holding @p addr.  @return true if it was there. */
+    bool invalidate(PAddr addr);
+
+    /** Drop every line (e.g., on a simulated WBINVD). */
+    void invalidateAll();
+
+    /** Number of valid lines currently resident (tests/stats). */
+    std::size_t occupancy() const;
+
+    /** Set index this cache maps @p addr to (for eviction-set tests). */
+    unsigned setIndex(PAddr addr) const;
+
+    const CacheStats &stats() const { return stats_; }
+    void resetStats() { stats_ = CacheStats{}; }
+
+  private:
+    struct Way
+    {
+        bool valid = false;
+        std::uint64_t tag = 0;
+        std::uint64_t lruStamp = 0;
+    };
+
+    std::uint64_t tagOf(PAddr addr) const;
+    Way *findWay(PAddr addr);
+    const Way *findWay(PAddr addr) const;
+
+    std::string name_;
+    unsigned numSets_;
+    unsigned assoc_;
+    std::vector<Way> ways_;      ///< numSets_ * assoc_, row-major by set.
+    std::uint64_t clock_ = 0;    ///< monotonic stamp source for LRU.
+    CacheStats stats_;
+};
+
+} // namespace uscope::mem
+
+#endif // USCOPE_MEM_CACHE_HH

@@ -1,0 +1,139 @@
+#include "mem/hierarchy.hh"
+
+#include "common/logging.hh"
+
+namespace uscope::mem
+{
+
+const char *
+hitLevelName(HitLevel level)
+{
+    switch (level) {
+      case HitLevel::L1: return "L1";
+      case HitLevel::L2: return "L2";
+      case HitLevel::L3: return "L3";
+      case HitLevel::Dram: return "DRAM";
+    }
+    return "?";
+}
+
+Hierarchy::Hierarchy(const MemConfig &config, std::uint64_t seed)
+    : config_(config),
+      l1_("L1D", config.l1Size, config.l1Assoc),
+      l2_("L2", config.l2Size, config.l2Assoc),
+      l3_("L3", config.l3Size, config.l3Assoc),
+      rng_(seed)
+{
+}
+
+Cycles
+Hierarchy::latencyFor(HitLevel level) const
+{
+    switch (level) {
+      case HitLevel::L1: return config_.l1Latency;
+      case HitLevel::L2: return config_.l2Latency;
+      case HitLevel::L3: return config_.l3Latency;
+      case HitLevel::Dram: return config_.dramLatency;
+    }
+    return config_.dramLatency;
+}
+
+void
+Hierarchy::fillLine(PAddr addr, bool into_l1, bool into_l2)
+{
+    // Fill the inclusive L3 first; an L3 eviction back-invalidates the
+    // inner levels so inclusion is preserved.
+    if (auto evicted = l3_.insert(addr)) {
+        l2_.invalidate(*evicted);
+        l1_.invalidate(*evicted);
+    }
+    if (into_l2)
+        l2_.insert(addr);
+    if (into_l1)
+        l1_.insert(addr);
+}
+
+AccessResult
+Hierarchy::access(PAddr addr)
+{
+    if (l1_.access(addr))
+        return {HitLevel::L1, config_.l1Latency};
+
+    if (l2_.access(addr)) {
+        l1_.insert(addr);
+        return {HitLevel::L2, config_.l2Latency};
+    }
+
+    if (l3_.access(addr)) {
+        fillLine(addr, true, true);
+        return {HitLevel::L3, config_.l3Latency};
+    }
+
+    fillLine(addr, true, true);
+    const Cycles jitter = config_.dramJitter
+        ? rng_.range(0, 2 * config_.dramJitter)
+        : config_.dramJitter;
+    return {HitLevel::Dram,
+            config_.dramLatency - config_.dramJitter + jitter};
+}
+
+HitLevel
+Hierarchy::peekLevel(PAddr addr) const
+{
+    if (l1_.contains(addr))
+        return HitLevel::L1;
+    if (l2_.contains(addr))
+        return HitLevel::L2;
+    if (l3_.contains(addr))
+        return HitLevel::L3;
+    return HitLevel::Dram;
+}
+
+void
+Hierarchy::flushLine(PAddr addr)
+{
+    l1_.invalidate(addr);
+    l2_.invalidate(addr);
+    l3_.invalidate(addr);
+}
+
+void
+Hierarchy::flushRange(PAddr addr, std::uint64_t len)
+{
+    const PAddr first = lineBase(addr);
+    const PAddr last = lineBase(addr + (len ? len - 1 : 0));
+    for (PAddr line = first; line <= last; line += lineSize)
+        flushLine(line);
+}
+
+void
+Hierarchy::installAt(PAddr addr, HitLevel level)
+{
+    switch (level) {
+      case HitLevel::L1:
+        fillLine(addr, true, true);
+        break;
+      case HitLevel::L2:
+        l1_.invalidate(addr);
+        fillLine(addr, false, true);
+        break;
+      case HitLevel::L3:
+        l1_.invalidate(addr);
+        l2_.invalidate(addr);
+        fillLine(addr, false, false);
+        break;
+      case HitLevel::Dram:
+        flushLine(addr);
+        break;
+    }
+}
+
+void
+Hierarchy::resetStats()
+{
+    l1_.resetStats();
+    l2_.resetStats();
+    l3_.resetStats();
+}
+
+} // namespace uscope::mem

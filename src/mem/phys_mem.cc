@@ -1,0 +1,116 @@
+#include "mem/phys_mem.hh"
+
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace uscope::mem
+{
+
+PhysMem::PhysMem(std::uint64_t size) : size_(size)
+{
+}
+
+void
+PhysMem::checkBounds(PAddr addr, std::uint64_t len) const
+{
+    if (addr + len > size_ || addr + len < addr)
+        panic("PhysMem access [%#llx, +%llu) out of bounds (size %#llx)",
+              static_cast<unsigned long long>(addr),
+              static_cast<unsigned long long>(len),
+              static_cast<unsigned long long>(size_));
+}
+
+PhysMem::Page &
+PhysMem::pageFor(PAddr addr)
+{
+    auto &slot = pages_[pageNumber(addr)];
+    if (!slot) {
+        slot = std::make_unique<Page>();
+        slot->fill(0);
+    }
+    return *slot;
+}
+
+const PhysMem::Page *
+PhysMem::pageForConst(PAddr addr) const
+{
+    auto it = pages_.find(pageNumber(addr));
+    return it == pages_.end() ? nullptr : it->second.get();
+}
+
+std::uint64_t
+PhysMem::read(PAddr addr, unsigned len) const
+{
+    checkBounds(addr, len);
+    std::uint64_t val = 0;
+    for (unsigned i = 0; i < len; ++i) {
+        const PAddr byte_addr = addr + i;
+        const Page *page = pageForConst(byte_addr);
+        const std::uint8_t byte =
+            page ? (*page)[byte_addr & pageOffsetMask] : 0;
+        val |= static_cast<std::uint64_t>(byte) << (8 * i);
+    }
+    return val;
+}
+
+void
+PhysMem::write(PAddr addr, std::uint64_t val, unsigned len)
+{
+    checkBounds(addr, len);
+    for (unsigned i = 0; i < len; ++i) {
+        const PAddr byte_addr = addr + i;
+        pageFor(byte_addr)[byte_addr & pageOffsetMask] =
+            static_cast<std::uint8_t>(val >> (8 * i));
+    }
+}
+
+void
+PhysMem::writeBytes(PAddr addr, const void *src, std::uint64_t len)
+{
+    checkBounds(addr, len);
+    const auto *bytes = static_cast<const std::uint8_t *>(src);
+    std::uint64_t done = 0;
+    while (done < len) {
+        const PAddr cur = addr + done;
+        const std::uint64_t in_page =
+            std::min<std::uint64_t>(len - done,
+                                    pageSize - (cur & pageOffsetMask));
+        std::memcpy(pageFor(cur).data() + (cur & pageOffsetMask),
+                    bytes + done, in_page);
+        done += in_page;
+    }
+}
+
+void
+PhysMem::readBytes(PAddr addr, void *dst, std::uint64_t len) const
+{
+    checkBounds(addr, len);
+    auto *bytes = static_cast<std::uint8_t *>(dst);
+    std::uint64_t done = 0;
+    while (done < len) {
+        const PAddr cur = addr + done;
+        const std::uint64_t in_page =
+            std::min<std::uint64_t>(len - done,
+                                    pageSize - (cur & pageOffsetMask));
+        const Page *page = pageForConst(cur);
+        if (page) {
+            std::memcpy(bytes + done,
+                        page->data() + (cur & pageOffsetMask), in_page);
+        } else {
+            std::memset(bytes + done, 0, in_page);
+        }
+        done += in_page;
+    }
+}
+
+void
+PhysMem::zeroPage(Ppn ppn)
+{
+    checkBounds(ppn << pageShift, pageSize);
+    auto it = pages_.find(ppn);
+    if (it != pages_.end())
+        it->second->fill(0);
+}
+
+} // namespace uscope::mem

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * The machine's physical memory: a sparse, page-granular byte store.
+ *
+ * Page tables, victim data (AES tables, key schedules), and Monitor
+ * buffers all live here as real bytes; the page-table walker, the core's
+ * load/store units, and the kernel all read and write the same storage.
+ * Timing is modelled separately by the cache hierarchy — PhysMem is the
+ * functional backing store.
+ */
+
+#ifndef USCOPE_MEM_PHYS_MEM_HH
+#define USCOPE_MEM_PHYS_MEM_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "common/types.hh"
+
+namespace uscope::mem
+{
+
+/** Sparse physical memory; pages materialize zero-filled on first touch. */
+class PhysMem
+{
+  public:
+    /** @param size Total physical memory size in bytes (for bounds). */
+    explicit PhysMem(std::uint64_t size = std::uint64_t{1} << 32);
+
+    std::uint64_t size() const { return size_; }
+
+    /** Read @p len (1/2/4/8) bytes, little-endian, at @p addr. */
+    std::uint64_t read(PAddr addr, unsigned len) const;
+
+    /** Write the low @p len bytes of @p val, little-endian, at @p addr. */
+    void write(PAddr addr, std::uint64_t val, unsigned len);
+
+    std::uint8_t read8(PAddr addr) const { return read(addr, 1); }
+    std::uint32_t read32(PAddr addr) const
+    {
+        return static_cast<std::uint32_t>(read(addr, 4));
+    }
+    std::uint64_t read64(PAddr addr) const { return read(addr, 8); }
+
+    void write8(PAddr addr, std::uint8_t val) { write(addr, val, 1); }
+    void write32(PAddr addr, std::uint32_t val) { write(addr, val, 4); }
+    void write64(PAddr addr, std::uint64_t val) { write(addr, val, 8); }
+
+    /** Bulk copy into physical memory. */
+    void writeBytes(PAddr addr, const void *src, std::uint64_t len);
+
+    /** Bulk copy out of physical memory. */
+    void readBytes(PAddr addr, void *dst, std::uint64_t len) const;
+
+    /** Zero a whole physical page. */
+    void zeroPage(Ppn ppn);
+
+    /** Number of pages materialized so far (for tests/stats). */
+    std::size_t pagesAllocated() const { return pages_.size(); }
+
+  private:
+    using Page = std::array<std::uint8_t, pageSize>;
+
+    Page &pageFor(PAddr addr);
+    const Page *pageForConst(PAddr addr) const;
+    void checkBounds(PAddr addr, std::uint64_t len) const;
+
+    std::uint64_t size_;
+    // unique_ptr keeps the map nodes small and page storage stable.
+    mutable std::unordered_map<Ppn, std::unique_ptr<Page>> pages_;
+};
+
+} // namespace uscope::mem
+
+#endif // USCOPE_MEM_PHYS_MEM_HH

@@ -1,0 +1,41 @@
+#include "os/machine.hh"
+
+namespace uscope::os
+{
+
+Machine::Machine(const MachineConfig &config)
+    : config_(config),
+      mem_(config.physMemBytes),
+      hierarchy_(config.mem, config.seed * 3 + 1),
+      mmu_(mem_, hierarchy_, config.mmu),
+      core_(mem_, hierarchy_, mmu_, config.core, config.seed * 5 + 2),
+      kernel_(mem_, hierarchy_, mmu_, core_, config.costs,
+              config.seed * 7 + 3),
+      entropy_(config.seed * 11 + 4)
+{
+    core_.setFaultHandler(
+        [this](const cpu::FaultInfo &info) { kernel_.handleFault(info); });
+    core_.setRdrandSource([this]() { return entropy_.next(); });
+}
+
+void
+Machine::run(Cycles n)
+{
+    for (Cycles i = 0; i < n; ++i)
+        core_.tick();
+}
+
+bool
+Machine::runUntilHalted(unsigned ctx, Cycles max_cycles)
+{
+    return runUntil([this, ctx]() { return core_.halted(ctx); },
+                    max_cycles);
+}
+
+bool
+Machine::runUntil(const std::function<bool()> &pred, Cycles max_cycles)
+{
+    return core_.runUntil(pred, max_cycles);
+}
+
+} // namespace uscope::os

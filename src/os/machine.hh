@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Top-level simulated machine: physical memory, cache hierarchy, MMU,
+ * the SMT out-of-order core, and the kernel, wired together.
+ *
+ * This is the library's main entry point: construct a Machine, create
+ * processes through its kernel, start programs on SMT contexts, and
+ * tick.  The MicroScope framework (src/core) attaches to the kernel as
+ * a fault module.
+ */
+
+#ifndef USCOPE_OS_MACHINE_HH
+#define USCOPE_OS_MACHINE_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "common/random.hh"
+#include "common/types.hh"
+#include "cpu/core.hh"
+#include "mem/hierarchy.hh"
+#include "mem/phys_mem.hh"
+#include "os/kernel.hh"
+#include "vm/mmu.hh"
+
+namespace uscope::os
+{
+
+/** Aggregate configuration of the whole machine. */
+struct MachineConfig
+{
+    std::uint64_t physMemBytes = std::uint64_t{1} << 32;
+    mem::MemConfig mem;
+    vm::MmuConfig mmu;
+    cpu::CoreConfig core;
+    KernelCosts costs;
+    /** Master seed; sub-components derive their own streams. */
+    std::uint64_t seed = 42;
+};
+
+/** The machine. */
+class Machine
+{
+  public:
+    explicit Machine(const MachineConfig &config = MachineConfig{});
+
+    mem::PhysMem &mem() { return mem_; }
+    mem::Hierarchy &hierarchy() { return hierarchy_; }
+    vm::Mmu &mmu() { return mmu_; }
+    cpu::Core &core() { return core_; }
+    Kernel &kernel() { return kernel_; }
+    const MachineConfig &config() const { return config_; }
+
+    /** Advance one cycle. */
+    void tick() { core_.tick(); }
+
+    /** Current cycle. */
+    Cycles cycle() const { return core_.cycle(); }
+
+    /** Tick for exactly @p n cycles. */
+    void run(Cycles n);
+
+    /**
+     * Tick until context @p ctx halts or @p max_cycles pass.
+     * @return true if the context halted.
+     */
+    bool runUntilHalted(unsigned ctx, Cycles max_cycles);
+
+    /** Tick until @p pred() holds or @p max_cycles pass. */
+    bool runUntil(const std::function<bool()> &pred, Cycles max_cycles);
+
+  private:
+    MachineConfig config_;
+    mem::PhysMem mem_;
+    mem::Hierarchy hierarchy_;
+    vm::Mmu mmu_;
+    cpu::Core core_;
+    Kernel kernel_;
+    Rng entropy_;   ///< Hardware RDRAND source.
+};
+
+} // namespace uscope::os
+
+#endif // USCOPE_OS_MACHINE_HH

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Kernel-module interface for the page-fault trampoline (Figure 9).
+ *
+ * The kernel's page-fault handler, before applying its default demand-
+ * paging policy, offers every fault to the registered module.  A
+ * module that returns true claims the fault: the kernel then skips its
+ * own handling (in particular it will NOT set the present bit), which
+ * is exactly the hook MicroScope uses to keep the victim replaying.
+ */
+
+#ifndef USCOPE_OS_MODULE_HH
+#define USCOPE_OS_MODULE_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace uscope::os
+{
+
+/** Identifies a simulated process. */
+using Pid = std::uint32_t;
+
+/** A page fault as presented to a kernel module. */
+struct PageFaultEvent
+{
+    Pid pid = 0;
+    unsigned ctx = 0;
+    /**
+     * Faulting virtual address.  For faults inside an enclave this is
+     * page-aligned — SGX's AEX reports only the VPN to the OS (§2.3).
+     */
+    VAddr va = 0;
+    /** PC of the faulting instruction (instruction index). */
+    std::uint64_t pc = 0;
+    bool isStore = false;
+    /** True when the faulting access hit an enclave-private page. */
+    bool inEnclave = false;
+    /** Running count of faults this process has taken. */
+    std::uint64_t faultIndex = 0;
+};
+
+/** A loadable kernel module hooked into the page-fault path. */
+class FaultModule
+{
+  public:
+    virtual ~FaultModule() = default;
+
+    /**
+     * Offer a fault to the module.
+     *
+     * @return true when the module handled the fault (kernel default
+     *         handling is skipped).
+     */
+    virtual bool onPageFault(const PageFaultEvent &event) = 0;
+};
+
+} // namespace uscope::os
+
+#endif // USCOPE_OS_MODULE_HH

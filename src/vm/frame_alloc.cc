@@ -1,0 +1,37 @@
+#include "vm/frame_alloc.hh"
+
+#include "common/logging.hh"
+
+namespace uscope::vm
+{
+
+FrameAllocator::FrameAllocator(Ppn base_ppn, std::uint64_t count)
+    : base_(base_ppn), count_(count)
+{
+}
+
+Ppn
+FrameAllocator::alloc()
+{
+    ++inUse_;
+    if (!freeList_.empty()) {
+        const Ppn ppn = freeList_.back();
+        freeList_.pop_back();
+        return ppn;
+    }
+    if (next_ >= count_)
+        fatal("FrameAllocator: out of physical frames (%llu in pool)",
+              static_cast<unsigned long long>(count_));
+    return base_ + next_++;
+}
+
+void
+FrameAllocator::free(Ppn ppn)
+{
+    if (inUse_ == 0)
+        panic("FrameAllocator: free with no frames outstanding");
+    --inUse_;
+    freeList_.push_back(ppn);
+}
+
+} // namespace uscope::vm

@@ -1,0 +1,77 @@
+#include "vm/mmu.hh"
+
+namespace uscope::vm
+{
+
+Mmu::Mmu(mem::PhysMem &mem, mem::Hierarchy &hierarchy,
+         const MmuConfig &config)
+    : config_(config),
+      l1Tlb_("L1-DTLB", config.l1TlbEntries, config.l1TlbAssoc),
+      l2Tlb_("L2-TLB", config.l2TlbEntries, config.l2TlbAssoc),
+      pwc_(config.pwcCapacity),
+      walker_(mem, hierarchy, pwc_, config.walkStepCost)
+{
+}
+
+TranslateResult
+Mmu::translate(VAddr va, Pcid pcid, PAddr root)
+{
+    TranslateResult result;
+    const Vpn vpn = pageNumber(va);
+    const std::uint64_t offset = va & pageOffsetMask;
+
+    if (auto entry = l1Tlb_.lookup(vpn, pcid)) {
+        result.paddr = (entry->ppn << pageShift) | offset;
+        return result;
+    }
+
+    if (auto entry = l2Tlb_.lookup(vpn, pcid)) {
+        result.latency = config_.l2TlbLatency;
+        l1Tlb_.insert(vpn, pcid, *entry);
+        result.paddr = (entry->ppn << pageShift) | offset;
+        return result;
+    }
+
+    result.walked = true;
+    result.walk = walker_.walk(va, pcid, root);
+    result.latency = config_.l2TlbLatency + result.walk.latency;
+
+    if (result.walk.fault) {
+        result.fault = true;
+        return result;
+    }
+
+    l1Tlb_.insert(vpn, pcid, result.walk.entry);
+    l2Tlb_.insert(vpn, pcid, result.walk.entry);
+    result.paddr = (result.walk.entry.ppn << pageShift) | offset;
+    return result;
+}
+
+void
+Mmu::invlpg(VAddr va, Pcid pcid)
+{
+    const Vpn vpn = pageNumber(va);
+    l1Tlb_.invalidate(vpn, pcid);
+    l2Tlb_.invalidate(vpn, pcid);
+}
+
+void
+Mmu::flushPwc(VAddr va, Pcid pcid)
+{
+    pwc_.invalidate(va, pcid);
+}
+
+void
+Mmu::flushTlbAll()
+{
+    l1Tlb_.invalidateAll();
+    l2Tlb_.invalidateAll();
+}
+
+void
+Mmu::flushPwcAll()
+{
+    pwc_.invalidateAll();
+}
+
+} // namespace uscope::vm

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * The memory-management unit: L1 DTLB + L2 TLB + PWC + hardware walker.
+ *
+ * The core calls translate() on every memory micro-op.  The kernel
+ * (and through it the MicroScope module) calls the invalidation
+ * entry points: invlpg() after editing a leaf entry, flushPwc() before
+ * every replay so the walk restarts from the level the Replayer staged.
+ */
+
+#ifndef USCOPE_VM_MMU_HH
+#define USCOPE_VM_MMU_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "mem/hierarchy.hh"
+#include "mem/phys_mem.hh"
+#include "vm/pwc.hh"
+#include "vm/tlb.hh"
+#include "vm/walker.hh"
+
+namespace uscope::vm
+{
+
+/** TLB/PWC geometry and latencies. */
+struct MmuConfig
+{
+    unsigned l1TlbEntries = 64;
+    unsigned l1TlbAssoc = 4;
+    unsigned l2TlbEntries = 1536;
+    unsigned l2TlbAssoc = 12;
+    /** Extra cycles paid when the L1 TLB misses but the L2 hits. */
+    Cycles l2TlbLatency = 7;
+    unsigned pwcCapacity = 32;
+    /** Fixed per-level walker sequencing cost. */
+    Cycles walkStepCost = 2;
+};
+
+/** Outcome of one address translation. */
+struct TranslateResult
+{
+    /** Page fault: leaf absent/non-present.  paddr is invalid. */
+    bool fault = false;
+    /** Translated physical address (valid when !fault). */
+    PAddr paddr = 0;
+    /** Translation latency beyond a free L1-TLB hit. */
+    Cycles latency = 0;
+    /** True when a hardware page walk was needed. */
+    bool walked = false;
+    /** Walk detail (valid when walked). */
+    WalkResult walk;
+};
+
+/** The per-core MMU shared by both SMT contexts. */
+class Mmu
+{
+  public:
+    Mmu(mem::PhysMem &mem, mem::Hierarchy &hierarchy,
+        const MmuConfig &config = MmuConfig{});
+
+    /**
+     * Translate @p va under @p pcid with tables rooted at @p root.
+     * Fills TLBs/PWC as a real MMU would — including on faulting
+     * walks, where upper levels still get cached.
+     */
+    TranslateResult translate(VAddr va, Pcid pcid, PAddr root);
+
+    /** INVLPG: drop one page's translation from both TLBs. */
+    void invlpg(VAddr va, Pcid pcid);
+
+    /** Drop PWC entries covering @p va (MicroScope §5.2.2 op 2). */
+    void flushPwc(VAddr va, Pcid pcid);
+
+    /** Full TLB shootdown. */
+    void flushTlbAll();
+
+    /** Full PWC flush. */
+    void flushPwcAll();
+
+    Tlb &l1Tlb() { return l1Tlb_; }
+    Tlb &l2Tlb() { return l2Tlb_; }
+    Pwc &pwc() { return pwc_; }
+    Walker &walker() { return walker_; }
+    const Tlb &l1Tlb() const { return l1Tlb_; }
+    const Tlb &l2Tlb() const { return l2Tlb_; }
+    const Pwc &pwc() const { return pwc_; }
+
+  private:
+    MmuConfig config_;
+    Tlb l1Tlb_;
+    Tlb l2Tlb_;
+    Pwc pwc_;
+    Walker walker_;
+};
+
+} // namespace uscope::vm
+
+#endif // USCOPE_VM_MMU_HH

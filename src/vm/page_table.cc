@@ -1,0 +1,153 @@
+#include "vm/page_table.hh"
+
+#include "common/logging.hh"
+
+namespace uscope::vm
+{
+
+const char *
+levelName(Level level)
+{
+    switch (level) {
+      case Level::Pgd: return "PGD";
+      case Level::Pud: return "PUD";
+      case Level::Pmd: return "PMD";
+      case Level::Pte: return "PTE";
+    }
+    return "?";
+}
+
+PageTable::PageTable(mem::PhysMem &mem, FrameAllocator &frames)
+    : mem_(mem), frames_(frames)
+{
+    rootPa_ = allocTable();
+}
+
+PAddr
+PageTable::allocTable()
+{
+    const Ppn ppn = frames_.alloc();
+    // Fresh frames materialize zero-filled; reused frames carry stale
+    // entries that must be cleared.
+    mem_.zeroPage(ppn);
+    return ppn << pageShift;
+}
+
+void
+PageTable::map(Vpn vpn, Ppn ppn, std::uint64_t flags)
+{
+    const VAddr va = vpn << pageShift;
+    PAddr table = rootPa_;
+    for (unsigned lvl = 0; lvl + 1 < numLevels; ++lvl) {
+        const PAddr entry_pa =
+            table + 8ull * levelIndex(va, static_cast<Level>(lvl));
+        std::uint64_t entry = mem_.read64(entry_pa);
+        if (!(entry & pte::present)) {
+            const PAddr next = allocTable();
+            entry = makeEntry(pageNumber(next),
+                              pte::present | pte::writable | pte::user);
+            mem_.write64(entry_pa, entry);
+        }
+        table = entryPpn(entry) << pageShift;
+    }
+    const PAddr leaf_pa = table + 8ull * levelIndex(va, Level::Pte);
+    mem_.write64(leaf_pa, makeEntry(ppn, flags));
+}
+
+void
+PageTable::unmap(Vpn vpn)
+{
+    if (auto leaf = leafEntryAddr(vpn << pageShift))
+        mem_.write64(*leaf, 0);
+}
+
+SoftWalkResult
+PageTable::softwareWalk(VAddr va) const
+{
+    SoftWalkResult result;
+    PAddr table = rootPa_;
+    for (unsigned lvl = 0; lvl < numLevels; ++lvl) {
+        const PAddr entry_pa =
+            table + 8ull * levelIndex(va, static_cast<Level>(lvl));
+        result.entryAddrs[lvl] = entry_pa;
+        result.levelsValid = lvl + 1;
+        const std::uint64_t entry = mem_.read64(entry_pa);
+        if (lvl == numLevels - 1) {
+            // The leaf may be non-present (e.g., under attack) yet
+            // still mapped; "mapped" means a frame number is recorded.
+            result.mapped = entry != 0;
+            result.leafEntry = entry;
+            return result;
+        }
+        if (!(entry & pte::present))
+            return result;  // Intermediate table absent: unmapped.
+        table = entryPpn(entry) << pageShift;
+    }
+    return result;
+}
+
+std::optional<PAddr>
+PageTable::leafEntryAddr(VAddr va) const
+{
+    const SoftWalkResult walk = softwareWalk(va);
+    if (walk.levelsValid < numLevels)
+        return std::nullopt;
+    return walk.entryAddrs[numLevels - 1];
+}
+
+void
+PageTable::setPresent(VAddr va, bool present)
+{
+    const auto leaf = leafEntryAddr(va);
+    if (!leaf)
+        panic("setPresent: va %#llx has no leaf entry",
+              static_cast<unsigned long long>(va));
+    std::uint64_t entry = mem_.read64(*leaf);
+    entry = present ? (entry | pte::present) : (entry & ~pte::present);
+    mem_.write64(*leaf, entry);
+}
+
+bool
+PageTable::isPresent(VAddr va) const
+{
+    const SoftWalkResult walk = softwareWalk(va);
+    return walk.mapped && (walk.leafEntry & pte::present);
+}
+
+void
+PageTable::setAccessed(VAddr va, bool accessed)
+{
+    const auto leaf = leafEntryAddr(va);
+    if (!leaf)
+        panic("setAccessed: va %#llx has no leaf entry",
+              static_cast<unsigned long long>(va));
+    std::uint64_t entry = mem_.read64(*leaf);
+    entry = accessed ? (entry | pte::accessed)
+                     : (entry & ~pte::accessed);
+    mem_.write64(*leaf, entry);
+}
+
+bool
+PageTable::testAndClearAccessed(VAddr va)
+{
+    const auto leaf = leafEntryAddr(va);
+    if (!leaf)
+        return false;
+    const std::uint64_t entry = mem_.read64(*leaf);
+    if (entry & pte::accessed) {
+        mem_.write64(*leaf, entry & ~pte::accessed);
+        return true;
+    }
+    return false;
+}
+
+std::optional<Ppn>
+PageTable::lookupPpn(VAddr va) const
+{
+    const SoftWalkResult walk = softwareWalk(va);
+    if (!walk.mapped)
+        return std::nullopt;
+    return entryPpn(walk.leafEntry);
+}
+
+} // namespace uscope::vm

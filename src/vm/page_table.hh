@@ -1,0 +1,98 @@
+/**
+ * @file
+ * A process' 4-level page table, resident in simulated physical memory.
+ *
+ * The tables are real radix trees of 8-byte entries stored in PhysMem:
+ * the hardware walker (vm/walker.hh) and the kernel's software walk
+ * (softwareWalk(), the operation MicroScope's module performs in §5.2.2)
+ * read the very same bytes.  Clearing a present bit — the heart of the
+ * MicroScope replay loop — is a 1-bit store into PhysMem here.
+ */
+
+#ifndef USCOPE_VM_PAGE_TABLE_HH
+#define USCOPE_VM_PAGE_TABLE_HH
+
+#include <cstdint>
+#include <optional>
+
+#include "common/types.hh"
+#include "mem/phys_mem.hh"
+#include "vm/frame_alloc.hh"
+#include "vm/paging.hh"
+
+namespace uscope::vm
+{
+
+/** Result of a software page-table walk. */
+struct SoftWalkResult
+{
+    /** True if a leaf entry exists (even if not present). */
+    bool mapped = false;
+    /** Leaf entry value (valid when mapped). */
+    std::uint64_t leafEntry = 0;
+    /** Physical addresses of the pgd_t/pud_t/pmd_t/pte_t touched. */
+    EntryAddrs entryAddrs{};
+    /** How many of entryAddrs are valid (4 when fully mapped). */
+    unsigned levelsValid = 0;
+};
+
+/** One process' page table rooted at a CR3 physical address. */
+class PageTable
+{
+  public:
+    /**
+     * @param mem    Backing physical memory holding the tables.
+     * @param frames Allocator for table pages.
+     */
+    PageTable(mem::PhysMem &mem, FrameAllocator &frames);
+
+    /** Physical base address of the root table (CR3). */
+    PAddr root() const { return rootPa_; }
+
+    /**
+     * Map virtual page @p vpn to physical frame @p ppn, creating
+     * intermediate tables as needed.
+     *
+     * @param flags Leaf entry flags; pte::present is NOT implied.
+     */
+    void map(Vpn vpn, Ppn ppn, std::uint64_t flags);
+
+    /** Remove the leaf mapping for @p vpn (zero the pte_t). */
+    void unmap(Vpn vpn);
+
+    /**
+     * Kernel software walk for @p va: locate every table entry the
+     * hardware walker would touch.  Never faults; reports what exists.
+     */
+    SoftWalkResult softwareWalk(VAddr va) const;
+
+    /** Physical address of the leaf pte_t for @p va, if mapped. */
+    std::optional<PAddr> leafEntryAddr(VAddr va) const;
+
+    /** Set or clear the present bit in the leaf entry for @p va. */
+    void setPresent(VAddr va, bool present);
+
+    /** Read the present bit of the leaf entry for @p va. */
+    bool isPresent(VAddr va) const;
+
+    /** Set or clear the accessed bit of the leaf entry for @p va. */
+    void setAccessed(VAddr va, bool accessed);
+
+    /** Read and clear the accessed bit (SPM-style monitoring, §2.4). */
+    bool testAndClearAccessed(VAddr va);
+
+    /** Physical frame mapped at @p va, if mapped. */
+    std::optional<Ppn> lookupPpn(VAddr va) const;
+
+  private:
+    /** Allocate and zero a table page; return its physical base. */
+    PAddr allocTable();
+
+    mem::PhysMem &mem_;
+    FrameAllocator &frames_;
+    PAddr rootPa_;
+};
+
+} // namespace uscope::vm
+
+#endif // USCOPE_VM_PAGE_TABLE_HH

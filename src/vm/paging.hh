@@ -1,0 +1,75 @@
+/**
+ * @file
+ * x86-64-style 4-level paging constants and page-table-entry helpers.
+ *
+ * The four levels follow the Linux naming the paper uses (Figure 2):
+ * PGD (bits 47:39), PUD (38:30), PMD (29:21), PTE (20:12).  Entries are
+ * 8 bytes; each table occupies one 4 KiB physical page with 512 slots.
+ */
+
+#ifndef USCOPE_VM_PAGING_HH
+#define USCOPE_VM_PAGING_HH
+
+#include <array>
+#include <cstdint>
+
+#include "common/bitfield.hh"
+#include "common/types.hh"
+
+namespace uscope::vm
+{
+
+/** Page-table levels, outermost first (as walked). */
+enum class Level : unsigned
+{
+    Pgd = 0,
+    Pud = 1,
+    Pmd = 2,
+    Pte = 3,
+};
+
+constexpr unsigned numLevels = 4;
+
+/** Printable name matching the paper's Figure 2. */
+const char *levelName(Level level);
+
+/** Entry flag bits (subset of x86-64). */
+namespace pte
+{
+constexpr std::uint64_t present = 1ull << 0;
+constexpr std::uint64_t writable = 1ull << 1;
+constexpr std::uint64_t user = 1ull << 2;
+constexpr std::uint64_t accessed = 1ull << 5;
+constexpr std::uint64_t dirty = 1ull << 6;
+/** Mask of the physical-frame bits (51:12). */
+constexpr std::uint64_t frameMask = mask(40) << 12;
+} // namespace pte
+
+/** Index into the table at @p level for virtual address @p va. */
+constexpr unsigned
+levelIndex(VAddr va, Level level)
+{
+    const unsigned hi = 47 - 9 * static_cast<unsigned>(level);
+    return static_cast<unsigned>(bits(va, hi, hi - 8));
+}
+
+/** Physical frame number stored in an entry. */
+constexpr Ppn
+entryPpn(std::uint64_t entry)
+{
+    return (entry & pte::frameMask) >> pageShift;
+}
+
+/** Build an entry pointing at frame @p ppn with @p flags. */
+constexpr std::uint64_t
+makeEntry(Ppn ppn, std::uint64_t flags)
+{
+    return ((ppn << pageShift) & pte::frameMask) | flags;
+}
+
+/** Per-level physical addresses of the entries a walk for a VA touches. */
+using EntryAddrs = std::array<PAddr, numLevels>;
+
+} // namespace uscope::vm
+
+#endif // USCOPE_VM_PAGING_HH

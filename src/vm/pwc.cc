@@ -1,0 +1,77 @@
+#include "vm/pwc.hh"
+
+#include <algorithm>
+
+namespace uscope::vm
+{
+
+Pwc::Pwc(unsigned capacity) : capacity_(capacity)
+{
+}
+
+std::uint64_t
+Pwc::prefixOf(VAddr va, Level level)
+{
+    // The prefix covering levels 0..level: VA bits 47 down to the low
+    // bit of this level's index field.
+    const unsigned lo = 39 - 9 * static_cast<unsigned>(level);
+    return va >> lo;
+}
+
+std::optional<PwcHit>
+Pwc::lookup(VAddr va, Pcid pcid)
+{
+    // Prefer the deepest level (PMD > PUD > PGD): it skips the most.
+    std::optional<PwcHit> best;
+    std::list<Entry>::iterator best_it = entries_.end();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+        if (it->pcid != pcid)
+            continue;
+        if (prefixOf(va, it->level) != it->prefix)
+            continue;
+        if (!best || it->level > best->level) {
+            best = PwcHit{it->level, it->tablePa};
+            best_it = it;
+        }
+    }
+    if (best) {
+        entries_.splice(entries_.begin(), entries_, best_it);
+        ++hits_;
+    } else {
+        ++misses_;
+    }
+    return best;
+}
+
+void
+Pwc::insert(VAddr va, Pcid pcid, Level level, PAddr table_pa)
+{
+    const std::uint64_t prefix = prefixOf(va, level);
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+        if (it->pcid == pcid && it->level == level &&
+            it->prefix == prefix) {
+            it->tablePa = table_pa;
+            entries_.splice(entries_.begin(), entries_, it);
+            return;
+        }
+    }
+    entries_.push_front(Entry{pcid, level, prefix, table_pa});
+    if (entries_.size() > capacity_)
+        entries_.pop_back();
+}
+
+void
+Pwc::invalidate(VAddr va, Pcid pcid)
+{
+    entries_.remove_if([va, pcid](const Entry &e) {
+        return e.pcid == pcid && prefixOf(va, e.level) == e.prefix;
+    });
+}
+
+void
+Pwc::invalidateAll()
+{
+    entries_.clear();
+}
+
+} // namespace uscope::vm

@@ -1,0 +1,133 @@
+#include "vm/tlb.hh"
+
+#include "common/bitfield.hh"
+#include "common/logging.hh"
+
+namespace uscope::vm
+{
+
+Tlb::Tlb(std::string name, unsigned entries, unsigned assoc)
+    : name_(std::move(name)), assoc_(assoc)
+{
+    if (assoc == 0 || entries == 0 || entries % assoc != 0)
+        fatal("Tlb %s: %u entries not divisible by assoc %u",
+              name_.c_str(), entries, assoc);
+    const unsigned sets = entries / assoc;
+    if (!isPowerOf2(sets))
+        fatal("Tlb %s: set count %u not a power of two",
+              name_.c_str(), sets);
+    numSets_ = sets;
+    ways_.resize(static_cast<std::size_t>(numSets_) * assoc_);
+}
+
+unsigned
+Tlb::setOf(Vpn vpn) const
+{
+    return static_cast<unsigned>(vpn & (numSets_ - 1));
+}
+
+Tlb::Way *
+Tlb::findWay(Vpn vpn, Pcid pcid)
+{
+    Way *set = &ways_[static_cast<std::size_t>(setOf(vpn)) * assoc_];
+    for (unsigned w = 0; w < assoc_; ++w)
+        if (set[w].valid && set[w].vpn == vpn && set[w].pcid == pcid)
+            return &set[w];
+    return nullptr;
+}
+
+const Tlb::Way *
+Tlb::findWay(Vpn vpn, Pcid pcid) const
+{
+    return const_cast<Tlb *>(this)->findWay(vpn, pcid);
+}
+
+std::optional<TlbEntry>
+Tlb::lookup(Vpn vpn, Pcid pcid)
+{
+    if (Way *way = findWay(vpn, pcid)) {
+        way->lruStamp = ++clock_;
+        ++stats_.hits;
+        return way->entry;
+    }
+    ++stats_.misses;
+    return std::nullopt;
+}
+
+std::optional<TlbEntry>
+Tlb::peek(Vpn vpn, Pcid pcid) const
+{
+    if (const Way *way = findWay(vpn, pcid))
+        return way->entry;
+    return std::nullopt;
+}
+
+void
+Tlb::insert(Vpn vpn, Pcid pcid, const TlbEntry &entry)
+{
+    if (Way *way = findWay(vpn, pcid)) {
+        way->entry = entry;
+        way->lruStamp = ++clock_;
+        return;
+    }
+    Way *set = &ways_[static_cast<std::size_t>(setOf(vpn)) * assoc_];
+    Way *victim = nullptr;
+    for (unsigned w = 0; w < assoc_; ++w) {
+        if (!set[w].valid) {
+            victim = &set[w];
+            break;
+        }
+        if (!victim || set[w].lruStamp < victim->lruStamp)
+            victim = &set[w];
+    }
+    victim->valid = true;
+    victim->vpn = vpn;
+    victim->pcid = pcid;
+    victim->entry = entry;
+    victim->lruStamp = ++clock_;
+}
+
+bool
+Tlb::invalidate(Vpn vpn, Pcid pcid)
+{
+    if (Way *way = findWay(vpn, pcid)) {
+        way->valid = false;
+        ++stats_.invalidations;
+        return true;
+    }
+    return false;
+}
+
+void
+Tlb::invalidatePcid(Pcid pcid)
+{
+    for (Way &way : ways_) {
+        if (way.valid && way.pcid == pcid) {
+            way.valid = false;
+            ++stats_.invalidations;
+        }
+    }
+}
+
+void
+Tlb::invalidateAll()
+{
+    for (Way &way : ways_) {
+        if (way.valid) {
+            way.valid = false;
+            ++stats_.invalidations;
+        }
+    }
+}
+
+std::size_t
+Tlb::occupancy() const
+{
+    std::size_t n = 0;
+    for (const Way &way : ways_)
+        if (way.valid)
+            ++n;
+    return n;
+}
+
+} // namespace uscope::vm

@@ -1,0 +1,61 @@
+#include "vm/walker.hh"
+
+namespace uscope::vm
+{
+
+Walker::Walker(mem::PhysMem &mem, mem::Hierarchy &hierarchy, Pwc &pwc,
+               Cycles step_cost)
+    : mem_(mem), hierarchy_(hierarchy), pwc_(pwc), stepCost_(step_cost)
+{
+}
+
+WalkResult
+Walker::walk(VAddr va, Pcid pcid, PAddr root)
+{
+    WalkResult result;
+    ++stats_.walks;
+
+    unsigned level = 0;
+    PAddr table = root;
+    if (auto hit = pwc_.lookup(va, pcid)) {
+        level = static_cast<unsigned>(hit->level) + 1;
+        table = hit->tablePa;
+    }
+    result.startLevel = static_cast<Level>(level);
+
+    for (; level < numLevels; ++level) {
+        const PAddr entry_pa =
+            table + 8ull * levelIndex(va, static_cast<Level>(level));
+
+        const mem::AccessResult mem_access = hierarchy_.access(entry_pa);
+        result.latency += mem_access.latency + stepCost_;
+        ++result.ptFetches;
+        ++stats_.ptFetches;
+
+        const std::uint64_t entry = mem_.read64(entry_pa);
+
+        if (!(entry & pte::present)) {
+            // Leaf with present clear (the MicroScope case) or a hole
+            // in the tree: either way, raise a page fault.
+            result.fault = true;
+            ++stats_.faults;
+            return result;
+        }
+
+        if (level == numLevels - 1) {
+            // Real MMUs set the Accessed bit when they walk to a
+            // leaf; Sneaky Page Monitoring (§2.4 [58]) watches it.
+            if (!(entry & pte::accessed))
+                mem_.write64(entry_pa, entry | pte::accessed);
+            result.entry = TlbEntry{entryPpn(entry), entry & ~pte::frameMask};
+            return result;
+        }
+
+        table = entryPpn(entry) << pageShift;
+        pwc_.insert(va, pcid, static_cast<Level>(level), table);
+    }
+
+    return result;
+}
+
+} // namespace uscope::vm

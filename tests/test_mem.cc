@@ -1,0 +1,348 @@
+/**
+ * @file
+ * Unit and property tests for src/mem: physical memory, the
+ * set-associative cache, and the three-level hierarchy.
+ */
+
+#include <gtest/gtest.h>
+
+#include <list>
+#include <map>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "mem/cache.hh"
+#include "mem/hierarchy.hh"
+#include "mem/phys_mem.hh"
+
+using namespace uscope;
+using mem::Cache;
+using mem::Hierarchy;
+using mem::HitLevel;
+using mem::MemConfig;
+using mem::PhysMem;
+
+// ---------------------------------------------------------------------
+// PhysMem
+// ---------------------------------------------------------------------
+
+TEST(PhysMem, ReadWriteWidths)
+{
+    PhysMem mem;
+    mem.write64(0x1000, 0x1122334455667788ull);
+    EXPECT_EQ(mem.read64(0x1000), 0x1122334455667788ull);
+    EXPECT_EQ(mem.read32(0x1000), 0x55667788u);
+    EXPECT_EQ(mem.read8(0x1000), 0x88u);
+    EXPECT_EQ(mem.read8(0x1007), 0x11u);
+
+    mem.write8(0x1003, 0xAB);
+    EXPECT_EQ(mem.read64(0x1000), 0x11223344AB667788ull);
+}
+
+TEST(PhysMem, UntouchedMemoryReadsZero)
+{
+    PhysMem mem;
+    EXPECT_EQ(mem.read64(0x9999000), 0u);
+    EXPECT_EQ(mem.pagesAllocated(), 0u);
+}
+
+TEST(PhysMem, CrossPageBulkCopy)
+{
+    PhysMem mem;
+    std::vector<std::uint8_t> data(3 * pageSize);
+    for (std::size_t i = 0; i < data.size(); ++i)
+        data[i] = static_cast<std::uint8_t>(i * 7);
+
+    const PAddr base = 5 * pageSize - 100;  // straddles boundaries
+    mem.writeBytes(base, data.data(), data.size());
+
+    std::vector<std::uint8_t> back(data.size());
+    mem.readBytes(base, back.data(), back.size());
+    EXPECT_EQ(data, back);
+}
+
+TEST(PhysMem, CrossPageScalar)
+{
+    PhysMem mem;
+    mem.write64(pageSize - 4, 0xAABBCCDDEEFF0011ull);
+    EXPECT_EQ(mem.read64(pageSize - 4), 0xAABBCCDDEEFF0011ull);
+    EXPECT_EQ(mem.read32(pageSize), 0xAABBCCDDu);
+}
+
+TEST(PhysMem, OutOfBoundsPanics)
+{
+    PhysMem mem(1 << 20);
+    EXPECT_THROW(mem.read64((1 << 20) - 4), SimPanic);
+    EXPECT_THROW(mem.write64(1 << 20, 1), SimPanic);
+    EXPECT_NO_THROW(mem.write64((1 << 20) - 8, 1));
+}
+
+TEST(PhysMem, ZeroPageClears)
+{
+    PhysMem mem;
+    mem.write64(0x2000, 0xFFFF);
+    mem.zeroPage(2);
+    EXPECT_EQ(mem.read64(0x2000), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Cache
+// ---------------------------------------------------------------------
+
+TEST(CacheTest, MissThenHit)
+{
+    Cache cache("c", 4096, 4);
+    EXPECT_FALSE(cache.access(0x1000));
+    cache.insert(0x1000);
+    EXPECT_TRUE(cache.access(0x1000));
+    EXPECT_TRUE(cache.access(0x103F));   // same line
+    EXPECT_FALSE(cache.access(0x1040));  // next line
+    EXPECT_EQ(cache.stats().hits, 2u);
+    EXPECT_EQ(cache.stats().misses, 2u);
+}
+
+TEST(CacheTest, LruEviction)
+{
+    // 4 sets x 2 ways; lines stride numSets*64 = 256 to share a set.
+    Cache cache("c", 4 * 2 * 64, 2);
+    ASSERT_EQ(cache.numSets(), 4u);
+    const PAddr a = 0x0;
+    const PAddr b = 0x400;
+    const PAddr c = 0x800;
+    ASSERT_EQ(cache.setIndex(a), cache.setIndex(b));
+    ASSERT_EQ(cache.setIndex(a), cache.setIndex(c));
+
+    cache.insert(a);
+    cache.insert(b);
+    cache.access(a);               // a is now MRU
+    const auto evicted = cache.insert(c);
+    ASSERT_TRUE(evicted.has_value());
+    EXPECT_EQ(*evicted, b);        // b was LRU
+    EXPECT_TRUE(cache.contains(a));
+    EXPECT_TRUE(cache.contains(c));
+    EXPECT_FALSE(cache.contains(b));
+}
+
+TEST(CacheTest, InsertExistingIsTouch)
+{
+    Cache cache("c", 4 * 2 * 64, 2);
+    cache.insert(0x0);
+    cache.insert(0x400);
+    cache.insert(0x0);             // touch, not duplicate
+    const auto evicted = cache.insert(0x800);
+    EXPECT_EQ(*evicted, 0x400u);
+    EXPECT_EQ(cache.occupancy(), 2u);
+}
+
+TEST(CacheTest, InvalidateAndOccupancy)
+{
+    Cache cache("c", 4096, 4);
+    cache.insert(0x1000);
+    cache.insert(0x2000);
+    EXPECT_EQ(cache.occupancy(), 2u);
+    EXPECT_TRUE(cache.invalidate(0x1000));
+    EXPECT_FALSE(cache.invalidate(0x1000));
+    EXPECT_EQ(cache.occupancy(), 1u);
+    cache.invalidateAll();
+    EXPECT_EQ(cache.occupancy(), 0u);
+}
+
+TEST(CacheTest, BadGeometryIsFatal)
+{
+    EXPECT_THROW(Cache("c", 1000, 4), SimFatal);
+    EXPECT_THROW(Cache("c", 4096, 0), SimFatal);
+    EXPECT_THROW(Cache("c", 3 * 64 * 4, 4), SimFatal);  // 3 sets
+}
+
+/**
+ * Property: the Cache agrees with a reference LRU model over random
+ * access/insert/invalidate traces, across geometries.
+ */
+class CacheModelTest
+    : public ::testing::TestWithParam<std::tuple<unsigned, unsigned>>
+{
+};
+
+TEST_P(CacheModelTest, AgreesWithReferenceLru)
+{
+    const auto [sets, assoc] = GetParam();
+    Cache cache("c", std::uint64_t{sets} * assoc * 64, assoc);
+    // Reference: per-set list of lines, front = MRU.
+    std::map<unsigned, std::list<std::uint64_t>> model;
+
+    Rng rng(1000 + sets * 10 + assoc);
+    for (int step = 0; step < 5000; ++step) {
+        const PAddr addr = rng.below(sets * 8) * lineSize;
+        const unsigned set = cache.setIndex(addr);
+        auto &mset = model[set];
+        const PAddr line = lineBase(addr);
+        const auto it = std::find(mset.begin(), mset.end(), line);
+
+        const unsigned op = static_cast<unsigned>(rng.below(4));
+        if (op == 0) {  // access
+            const bool model_hit = it != mset.end();
+            EXPECT_EQ(cache.access(addr), model_hit);
+            if (model_hit)
+                mset.splice(mset.begin(), mset, it);
+        } else if (op <= 2) {  // insert
+            cache.insert(addr);
+            if (it != mset.end()) {
+                mset.splice(mset.begin(), mset, it);
+            } else {
+                mset.push_front(line);
+                if (mset.size() > assoc)
+                    mset.pop_back();
+            }
+        } else {  // invalidate
+            const bool model_present = it != mset.end();
+            EXPECT_EQ(cache.invalidate(addr), model_present);
+            if (model_present)
+                mset.erase(it);
+        }
+        EXPECT_EQ(cache.contains(addr),
+                  std::find(mset.begin(), mset.end(), line) !=
+                      mset.end());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheModelTest,
+    ::testing::Values(std::make_tuple(1u, 1u), std::make_tuple(1u, 8u),
+                      std::make_tuple(4u, 2u), std::make_tuple(16u, 4u),
+                      std::make_tuple(64u, 8u)));
+
+// ---------------------------------------------------------------------
+// Hierarchy
+// ---------------------------------------------------------------------
+
+TEST(HierarchyTest, MissGoesToDramThenHitsL1)
+{
+    Hierarchy hier;
+    const auto first = hier.access(0x10000);
+    EXPECT_EQ(first.level, HitLevel::Dram);
+    const auto second = hier.access(0x10000);
+    EXPECT_EQ(second.level, HitLevel::L1);
+    EXPECT_EQ(second.latency, hier.config().l1Latency);
+}
+
+TEST(HierarchyTest, LatenciesStrictlyOrdered)
+{
+    Hierarchy hier;
+    EXPECT_LT(hier.latencyFor(HitLevel::L1),
+              hier.latencyFor(HitLevel::L2));
+    EXPECT_LT(hier.latencyFor(HitLevel::L2),
+              hier.latencyFor(HitLevel::L3));
+    EXPECT_LT(hier.latencyFor(HitLevel::L3),
+              hier.latencyFor(HitLevel::Dram));
+}
+
+TEST(HierarchyTest, DramJitterBounded)
+{
+    Hierarchy hier;
+    const Cycles base = hier.config().dramLatency;
+    const Cycles jitter = hier.config().dramJitter;
+    for (int i = 0; i < 200; ++i) {
+        const auto access = hier.access(
+            0x100000 + static_cast<std::uint64_t>(i) * lineSize);
+        ASSERT_EQ(access.level, HitLevel::Dram);
+        EXPECT_GE(access.latency, base - jitter);
+        EXPECT_LE(access.latency, base + jitter);
+    }
+}
+
+TEST(HierarchyTest, InstallAtEachLevel)
+{
+    Hierarchy hier;
+    for (HitLevel level : {HitLevel::L1, HitLevel::L2, HitLevel::L3,
+                           HitLevel::Dram}) {
+        const PAddr addr = 0x40000;
+        hier.installAt(addr, level);
+        EXPECT_EQ(hier.peekLevel(addr), level);
+        const auto access = hier.access(addr);
+        EXPECT_EQ(access.level, level);
+    }
+}
+
+TEST(HierarchyTest, FlushRemovesEverywhere)
+{
+    Hierarchy hier;
+    hier.access(0x5000);
+    ASSERT_EQ(hier.peekLevel(0x5000), HitLevel::L1);
+    hier.flushLine(0x5000);
+    EXPECT_EQ(hier.peekLevel(0x5000), HitLevel::Dram);
+}
+
+TEST(HierarchyTest, FlushRangeCoversPartialLines)
+{
+    Hierarchy hier;
+    for (unsigned i = 0; i < 4; ++i)
+        hier.access(0x6000 + i * lineSize);
+    hier.flushRange(0x6010, 3 * lineSize);  // touches lines 0..3
+    for (unsigned i = 0; i < 4; ++i)
+        EXPECT_EQ(hier.peekLevel(0x6000 + i * lineSize),
+                  HitLevel::Dram);
+}
+
+TEST(HierarchyTest, InclusiveL3BackInvalidates)
+{
+    // Tiny L3 so we can force its eviction: 1 set x 2 ways.
+    MemConfig config;
+    config.l1Size = 2 * 64;
+    config.l1Assoc = 2;
+    config.l2Size = 2 * 64;
+    config.l2Assoc = 2;
+    config.l3Size = 2 * 64;
+    config.l3Assoc = 2;
+    Hierarchy hier(config);
+
+    hier.access(0x0);
+    hier.access(0x1000);
+    ASSERT_EQ(hier.peekLevel(0x0), HitLevel::L1);
+    // Third distinct line evicts 0x0 from L3 -> must leave L1/L2 too.
+    hier.access(0x2000);
+    EXPECT_EQ(hier.peekLevel(0x0), HitLevel::Dram);
+}
+
+/** Property: inclusion (L1, L2 subsets of L3) holds on random traces. */
+class HierarchyInclusionTest : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(HierarchyInclusionTest, InclusionInvariant)
+{
+    MemConfig config;
+    config.l1Size = 4 * 2 * 64;
+    config.l1Assoc = 2;
+    config.l2Size = 8 * 2 * 64;
+    config.l2Assoc = 2;
+    config.l3Size = 8 * 4 * 64;
+    config.l3Assoc = 4;
+    Hierarchy hier(config, GetParam());
+
+    Rng rng(GetParam() * 77 + 1);
+    std::vector<PAddr> lines;
+    for (unsigned i = 0; i < 128; ++i)
+        lines.push_back(std::uint64_t{i} * lineSize);
+
+    for (int step = 0; step < 4000; ++step) {
+        const PAddr addr = lines[rng.below(lines.size())];
+        if (rng.chance(0.8))
+            hier.access(addr);
+        else
+            hier.flushLine(addr);
+
+        if (step % 97 == 0) {
+            for (PAddr line : lines) {
+                if (hier.l1().contains(line) ||
+                    hier.l2().contains(line)) {
+                    ASSERT_TRUE(hier.l3().contains(line))
+                        << "inclusion violated for line " << line;
+                }
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HierarchyInclusionTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));

@@ -1,0 +1,313 @@
+/**
+ * @file
+ * Unit tests for src/os: kernel process management, virtual memory
+ * services, SGX enclave semantics (opacity + AEX), the page-fault
+ * path with the module trampoline, and the costed privileged
+ * operations the MicroScope module builds on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cpu/program.hh"
+#include "os/machine.hh"
+
+using namespace uscope;
+
+namespace
+{
+
+std::shared_ptr<const cpu::Program>
+share(cpu::Program program)
+{
+    return std::make_shared<const cpu::Program>(std::move(program));
+}
+
+/** Records every fault offered to it; optionally claims them. */
+class RecordingModule : public os::FaultModule
+{
+  public:
+    explicit RecordingModule(bool claim = false) : claim_(claim) {}
+
+    bool
+    onPageFault(const os::PageFaultEvent &event) override
+    {
+        events.push_back(event);
+        return claim_;
+    }
+
+    std::vector<os::PageFaultEvent> events;
+
+  private:
+    bool claim_;
+};
+
+} // namespace
+
+TEST(KernelTest, ProcessesGetDistinctPcids)
+{
+    os::Machine machine;
+    const os::Pid a = machine.kernel().createProcess("a");
+    const os::Pid b = machine.kernel().createProcess("b");
+    EXPECT_NE(a, b);
+    EXPECT_NE(machine.kernel().pcidOf(a), machine.kernel().pcidOf(b));
+    EXPECT_NE(machine.kernel().pcBiasOf(a),
+              machine.kernel().pcBiasOf(b));
+}
+
+TEST(KernelTest, AllocVirtualSeparatesRegionsWithGuards)
+{
+    os::Machine machine;
+    auto &kernel = machine.kernel();
+    const os::Pid pid = kernel.createProcess("p");
+    const VAddr a = kernel.allocVirtual(pid, pageSize);
+    const VAddr b = kernel.allocVirtual(pid, pageSize);
+    // Distinct pages with an unmapped guard between them — replay
+    // handle and pivot can never share a page by accident.
+    EXPECT_GE(pageNumber(b) - pageNumber(a), 2u);
+    EXPECT_FALSE(kernel.translate(pid, a + pageSize).has_value());
+}
+
+TEST(KernelTest, VirtualReadWriteRoundTrip)
+{
+    os::Machine machine;
+    auto &kernel = machine.kernel();
+    const os::Pid pid = kernel.createProcess("p");
+    const VAddr va = kernel.allocVirtual(pid, 3 * pageSize);
+
+    std::vector<std::uint8_t> data(2 * pageSize + 100);
+    for (std::size_t i = 0; i < data.size(); ++i)
+        data[i] = static_cast<std::uint8_t>(i);
+    ASSERT_TRUE(kernel.writeVirtual(pid, va + 50, data.data(),
+                                    data.size()));
+    std::vector<std::uint8_t> back(data.size());
+    ASSERT_TRUE(kernel.readVirtual(pid, va + 50, back.data(),
+                                   back.size()));
+    EXPECT_EQ(data, back);
+}
+
+TEST(KernelTest, EnclaveMemoryIsOpaqueToTheKernel)
+{
+    os::Machine machine;
+    auto &kernel = machine.kernel();
+    const os::Pid pid = kernel.createProcess("p");
+    const VAddr va = kernel.allocVirtual(pid, 2 * pageSize);
+
+    const std::uint64_t secret = 0x5EC12E7;
+    ASSERT_TRUE(kernel.writeVirtual(pid, va, &secret, 8));
+    kernel.declareEnclave(pid, va, pageSize);
+
+    // §2.3: the supervisor cannot read or write enclave memory...
+    std::uint64_t out = 0;
+    EXPECT_FALSE(kernel.readVirtual(pid, va, &out, 8));
+    EXPECT_FALSE(kernel.writeVirtual(pid, va, &out, 8));
+    // ...but can still manage (and read) adjacent non-enclave pages.
+    EXPECT_TRUE(kernel.readVirtual(pid, va + pageSize, &out, 8));
+    // And can still manipulate the enclave page's *translation*.
+    EXPECT_TRUE(kernel.translate(pid, va).has_value());
+    EXPECT_NO_THROW(kernel.pageTable(pid).setPresent(va, false));
+}
+
+TEST(KernelTest, EnclaveFaultReportsOnlyVpn)
+{
+    os::Machine machine;
+    auto &kernel = machine.kernel();
+    const os::Pid pid = kernel.createProcess("p");
+    const VAddr plain = kernel.allocVirtual(pid, pageSize);
+    const VAddr enclave = kernel.allocVirtual(pid, pageSize);
+    kernel.declareEnclave(pid, enclave, pageSize);
+
+    kernel.pageTable(pid).setPresent(plain, false);
+    kernel.pageTable(pid).setPresent(enclave, false);
+
+    RecordingModule module;
+    kernel.registerModule(&module);
+
+    cpu::ProgramBuilder b;
+    b.movi(1, static_cast<std::int64_t>(plain))
+        .movi(2, static_cast<std::int64_t>(enclave))
+        .ld(3, 1, 0x123)   // faults at plain+0x123
+        .ld(4, 2, 0x456)   // faults inside the enclave
+        .halt();
+    kernel.startOnContext(pid, 0, share(b.build()));
+    ASSERT_TRUE(machine.runUntilHalted(0, 1'000'000));
+
+    ASSERT_EQ(module.events.size(), 2u);
+    // Outside an enclave the full VA is visible...
+    EXPECT_EQ(module.events[0].va, plain + 0x123);
+    EXPECT_FALSE(module.events[0].inEnclave);
+    // ...inside, AEX masks it to the page base (§2.3).
+    EXPECT_EQ(module.events[1].va, enclave);
+    EXPECT_TRUE(module.events[1].inEnclave);
+}
+
+TEST(KernelTest, ModuleClaimSkipsDefaultHandling)
+{
+    os::Machine machine;
+    auto &kernel = machine.kernel();
+    const os::Pid pid = kernel.createProcess("p");
+    const VAddr va = kernel.allocVirtual(pid, pageSize);
+    kernel.pageTable(pid).setPresent(va, false);
+
+    // A claiming module that does nothing: the present bit must stay
+    // clear (this is how MicroScope keeps the victim replaying).
+    class ClaimAndCount : public os::FaultModule
+    {
+      public:
+        explicit ClaimAndCount(os::Kernel &kernel, VAddr va)
+            : kernel_(kernel), va_(va) {}
+        bool
+        onPageFault(const os::PageFaultEvent &event) override
+        {
+            ++count;
+            if (count >= 5) {
+                kernel_.setPresent(event.pid, va_, true);
+                kernel_.invlpg(event.pid, va_);
+            }
+            return true;
+        }
+        unsigned count = 0;
+
+      private:
+        os::Kernel &kernel_;
+        VAddr va_;
+    };
+
+    ClaimAndCount module(kernel, va);
+    kernel.registerModule(&module);
+
+    cpu::ProgramBuilder b;
+    b.movi(1, static_cast<std::int64_t>(va)).ld(2, 1, 0).halt();
+    kernel.startOnContext(pid, 0, share(b.build()));
+    ASSERT_TRUE(machine.runUntilHalted(0, 1'000'000));
+    EXPECT_EQ(module.count, 5u);
+}
+
+TEST(KernelTest, HandlerCostStallsFaultingContextOnly)
+{
+    os::Machine machine;
+    auto &kernel = machine.kernel();
+    const os::Pid pid = kernel.createProcess("victim");
+    const os::Pid other = kernel.createProcess("other");
+    const VAddr va = kernel.allocVirtual(pid, pageSize);
+    kernel.pageTable(pid).setPresent(va, false);
+
+    cpu::ProgramBuilder victim;
+    victim.movi(1, static_cast<std::int64_t>(va)).ld(2, 1, 0).halt();
+    // The sibling counts while the victim is stuck in the handler.
+    cpu::ProgramBuilder counter;
+    counter.movi(1, 0)
+        .movi(2, 1'000'000)
+        .label("loop")
+        .addi(1, 1, 1)
+        .blt(1, 2, "loop")
+        .halt();
+    kernel.startOnContext(pid, 0, share(victim.build()));
+    kernel.startOnContext(other, 1, share(counter.build()));
+
+    ASSERT_TRUE(machine.runUntilHalted(0, 1'000'000));
+    // The victim was stalled for (at least) the base handler cost.
+    EXPECT_GE(machine.core().stats(0).stallCycles,
+              kernel.costs().faultBase);
+    // The sibling kept running: its count is well past zero.
+    EXPECT_GT(machine.core().readIntReg(1, 1), 1000u);
+    EXPECT_GE(kernel.handlerCycles(), kernel.costs().faultBase);
+}
+
+TEST(KernelTest, TimedProbeMatchesLevels)
+{
+    os::Machine machine;
+    auto &kernel = machine.kernel();
+    const os::Pid pid = kernel.createProcess("p");
+    const VAddr va = kernel.allocVirtual(pid, pageSize);
+    const PAddr pa = *kernel.translate(pid, va);
+
+    kernel.flushPhysLine(pa);
+    const os::ProbeResult miss = kernel.timedProbePhys(pa);
+    EXPECT_EQ(miss.level, mem::HitLevel::Dram);
+    EXPECT_GT(miss.latency, 300u);  // the Figure-11 "memory" band
+
+    const os::ProbeResult hit = kernel.timedProbePhys(pa);
+    EXPECT_EQ(hit.level, mem::HitLevel::L1);
+    EXPECT_LT(hit.latency, 70u);    // the Figure-11 "L1" band
+}
+
+TEST(KernelTest, PrimeRangeEvictsEveryLine)
+{
+    os::Machine machine;
+    auto &kernel = machine.kernel();
+    const os::Pid pid = kernel.createProcess("p");
+    const VAddr va = kernel.allocVirtual(pid, pageSize);
+    const PAddr pa = *kernel.translate(pid, va);
+
+    for (unsigned line = 0; line < 16; ++line)
+        machine.hierarchy().access(pa + line * lineSize);
+    kernel.primeRange(pa, 16 * lineSize);
+    for (unsigned line = 0; line < 16; ++line)
+        EXPECT_EQ(machine.hierarchy().peekLevel(pa + line * lineSize),
+                  mem::HitLevel::Dram);
+}
+
+TEST(KernelTest, PrefillPwcControlsWalkLength)
+{
+    os::Machine machine;
+    auto &kernel = machine.kernel();
+    const os::Pid pid = kernel.createProcess("p");
+    const VAddr va = kernel.allocVirtual(pid, pageSize);
+
+    for (unsigned fetch_levels = 1; fetch_levels <= 4; ++fetch_levels) {
+        kernel.invlpg(pid, va);
+        kernel.prefillPwc(pid, va, fetch_levels);
+        const auto result = machine.mmu().translate(
+            va, kernel.pcidOf(pid), kernel.pageTable(pid).root());
+        ASSERT_TRUE(result.walked);
+        EXPECT_EQ(result.walk.ptFetches, fetch_levels);
+    }
+}
+
+TEST(KernelTest, FlushTranslationEntriesEvictsPtLines)
+{
+    os::Machine machine;
+    auto &kernel = machine.kernel();
+    const os::Pid pid = kernel.createProcess("p");
+    const VAddr va = kernel.allocVirtual(pid, pageSize);
+
+    // Warm the PT entry lines via a walk.
+    kernel.invlpg(pid, va);
+    machine.mmu().flushPwcAll();
+    machine.mmu().translate(va, kernel.pcidOf(pid),
+                            kernel.pageTable(pid).root());
+
+    const auto walk = kernel.pageTable(pid).softwareWalk(va);
+    ASSERT_EQ(walk.levelsValid, 4u);
+    for (unsigned lvl = 0; lvl < 4; ++lvl)
+        ASSERT_NE(machine.hierarchy().peekLevel(walk.entryAddrs[lvl]),
+                  mem::HitLevel::Dram);
+
+    kernel.flushTranslationEntries(pid, va);
+    for (unsigned lvl = 0; lvl < 4; ++lvl)
+        EXPECT_EQ(machine.hierarchy().peekLevel(walk.entryAddrs[lvl]),
+                  mem::HitLevel::Dram);
+}
+
+TEST(KernelTest, DemandAllocOnUnmappedFault)
+{
+    os::Machine machine;
+    auto &kernel = machine.kernel();
+    const os::Pid pid = kernel.createProcess("p");
+    // Touch a virtual page the process never mapped: the default
+    // handler demand-allocates it (heap growth).
+    const VAddr wild = 0x7777000;
+
+    cpu::ProgramBuilder b;
+    b.movi(1, static_cast<std::int64_t>(wild))
+        .movi(2, 0x77)
+        .st(1, 0, 2)
+        .ld(3, 1, 0)
+        .halt();
+    kernel.startOnContext(pid, 0, share(b.build()));
+    ASSERT_TRUE(machine.runUntilHalted(0, 1'000'000));
+    EXPECT_EQ(machine.core().readIntReg(0, 3), 0x77u);
+    EXPECT_TRUE(kernel.translate(pid, wild).has_value());
+}

@@ -1,0 +1,221 @@
+/**
+ * @file
+ * End-to-end smoke tests: the whole machine boots, runs programs,
+ * takes page faults, and replays.  These pin down the core semantics
+ * every attack in src/attack depends on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/program.hh"
+#include "os/machine.hh"
+
+using namespace uscope;
+
+namespace
+{
+
+std::shared_ptr<const cpu::Program>
+share(cpu::Program program)
+{
+    return std::make_shared<const cpu::Program>(std::move(program));
+}
+
+} // namespace
+
+TEST(Smoke, ArithmeticProgramRunsToCompletion)
+{
+    os::Machine machine;
+    const os::Pid pid = machine.kernel().createProcess("victim");
+
+    cpu::ProgramBuilder builder;
+    builder.movi(1, 6)
+        .movi(2, 7)
+        .mul(3, 1, 2)      // r3 = 42
+        .addi(4, 3, 100)   // r4 = 142
+        .div(5, 4, 2)      // r5 = 142/7 = 20
+        .halt();
+    machine.kernel().startOnContext(pid, 0, share(builder.build()));
+
+    ASSERT_TRUE(machine.runUntilHalted(0, 10000));
+    EXPECT_EQ(machine.core().readIntReg(0, 3), 42u);
+    EXPECT_EQ(machine.core().readIntReg(0, 4), 142u);
+    EXPECT_EQ(machine.core().readIntReg(0, 5), 20u);
+}
+
+TEST(Smoke, LoadStoreRoundTrip)
+{
+    os::Machine machine;
+    auto &kernel = machine.kernel();
+    const os::Pid pid = kernel.createProcess("victim");
+    const VAddr buf = kernel.allocVirtual(pid, pageSize);
+
+    cpu::ProgramBuilder builder;
+    builder.movi(1, static_cast<std::int64_t>(buf))
+        .movi(2, 0xDEADBEEFCAFEF00Dull)
+        .st(1, 16, 2)
+        .ld(3, 1, 16)
+        .halt();
+    kernel.startOnContext(pid, 0, share(builder.build()));
+
+    ASSERT_TRUE(machine.runUntilHalted(0, 100000));
+    EXPECT_EQ(machine.core().readIntReg(0, 3), 0xDEADBEEFCAFEF00Dull);
+
+    std::uint64_t stored = 0;
+    ASSERT_TRUE(kernel.readVirtual(pid, buf + 16, &stored, 8));
+    EXPECT_EQ(stored, 0xDEADBEEFCAFEF00Dull);
+}
+
+TEST(Smoke, BranchLoopComputesSum)
+{
+    os::Machine machine;
+    const os::Pid pid = machine.kernel().createProcess("victim");
+
+    // sum = 0; for (i = 10; i != 0; --i) sum += i;  => 55
+    cpu::ProgramBuilder builder;
+    builder.movi(1, 10)
+        .movi(2, 0)
+        .movi(3, 0)
+        .label("loop")
+        .add(2, 2, 1)
+        .addi(1, 1, -1)
+        .bne(1, 3, "loop")
+        .halt();
+    machine.kernel().startOnContext(pid, 0, share(builder.build()));
+
+    ASSERT_TRUE(machine.runUntilHalted(0, 100000));
+    EXPECT_EQ(machine.core().readIntReg(0, 2), 55u);
+}
+
+TEST(Smoke, DefaultHandlerServicesNonPresentPage)
+{
+    os::Machine machine;
+    auto &kernel = machine.kernel();
+    const os::Pid pid = kernel.createProcess("victim");
+    const VAddr buf = kernel.allocVirtual(pid, pageSize);
+    const std::uint64_t magic = 0x1122334455667788ull;
+    ASSERT_TRUE(kernel.writeVirtual(pid, buf, &magic, 8));
+
+    // Clear the present bit: the first access faults, the default
+    // handler re-sets it, and the load retries successfully.
+    kernel.pageTable(pid).setPresent(buf, false);
+
+    cpu::ProgramBuilder builder;
+    builder.movi(1, static_cast<std::int64_t>(buf)).ld(2, 1, 0).halt();
+    kernel.startOnContext(pid, 0, share(builder.build()));
+
+    ASSERT_TRUE(machine.runUntilHalted(0, 100000));
+    EXPECT_EQ(machine.core().readIntReg(0, 2), magic);
+    EXPECT_EQ(kernel.faultCount(pid), 1u);
+}
+
+namespace
+{
+
+/** Module that keeps the present bit clear for the first N faults. */
+class ReplayNTimes : public os::FaultModule
+{
+  public:
+    ReplayNTimes(os::Kernel &kernel, VAddr va, unsigned replays)
+        : kernel_(kernel), va_(va), replays_(replays) {}
+
+    bool
+    onPageFault(const os::PageFaultEvent &event) override
+    {
+        if (pageBase(event.va) != pageBase(va_))
+            return false;
+        ++faults_;
+        if (faults_ <= replays_) {
+            // Keep replaying: leave present clear, re-flush the
+            // translation path so the next walk is long again.
+            kernel_.flushTranslationEntries(event.pid, va_);
+            kernel_.invlpg(event.pid, va_);
+            return true;
+        }
+        kernel_.setPresent(event.pid, va_, true);
+        kernel_.invlpg(event.pid, va_);
+        return true;
+    }
+
+    unsigned faults() const { return faults_; }
+
+  private:
+    os::Kernel &kernel_;
+    VAddr va_;
+    unsigned replays_;
+    unsigned faults_ = 0;
+};
+
+} // namespace
+
+TEST(Smoke, ModuleDrivenReplayLoopReplaysExactly)
+{
+    os::Machine machine;
+    auto &kernel = machine.kernel();
+    const os::Pid pid = kernel.createProcess("victim");
+    const VAddr handle = kernel.allocVirtual(pid, pageSize);
+    const VAddr other = kernel.allocVirtual(pid, pageSize);
+
+    const std::uint64_t seven = 7;
+    ASSERT_TRUE(kernel.writeVirtual(pid, other, &seven, 8));
+
+    kernel.pageTable(pid).setPresent(handle, false);
+    ReplayNTimes module(kernel, handle, 10);
+    kernel.registerModule(&module);
+
+    // The replay handle (ld r2) is followed by "sensitive" work that
+    // executes speculatively on every replay but retires once.
+    cpu::ProgramBuilder builder;
+    builder.movi(1, static_cast<std::int64_t>(handle))
+        .movi(4, static_cast<std::int64_t>(other))
+        .ld(2, 1, 0)        // replay handle
+        .ld(5, 4, 0)        // sensitive load (different page)
+        .addi(6, 5, 1)
+        .halt();
+    kernel.startOnContext(pid, 0, share(builder.build()));
+
+    ASSERT_TRUE(machine.runUntilHalted(0, 2000000));
+    // 10 replays + 1 final fault that releases the victim.
+    EXPECT_EQ(module.faults(), 11u);
+    EXPECT_EQ(kernel.faultCount(pid), 11u);
+    // Architectural result is still correct: replays are invisible.
+    EXPECT_EQ(machine.core().readIntReg(0, 5), 7u);
+    EXPECT_EQ(machine.core().readIntReg(0, 6), 8u);
+}
+
+TEST(Smoke, SpeculativeLoadLeavesCacheResidueAcrossReplays)
+{
+    os::Machine machine;
+    auto &kernel = machine.kernel();
+    const os::Pid pid = kernel.createProcess("victim");
+    const VAddr handle = kernel.allocVirtual(pid, pageSize);
+    const VAddr secret_page = kernel.allocVirtual(pid, pageSize);
+
+    kernel.pageTable(pid).setPresent(handle, false);
+    ReplayNTimes module(kernel, handle, 3);
+    kernel.registerModule(&module);
+
+    // The secret-dependent load targets line 5 of secret_page.
+    const VAddr secret_line = secret_page + 5 * lineSize;
+    const PAddr secret_pa = *kernel.translate(pid, secret_line);
+    kernel.flushPhysLine(secret_pa);
+    ASSERT_EQ(machine.hierarchy().peekLevel(secret_pa),
+              mem::HitLevel::Dram);
+
+    cpu::ProgramBuilder builder;
+    builder.movi(1, static_cast<std::int64_t>(handle))
+        .movi(4, static_cast<std::int64_t>(secret_line))
+        .ld(2, 1, 0)        // replay handle: faults, never retires...
+        .ld(5, 4, 0)        // ...but this speculative load still runs
+        .halt();
+    kernel.startOnContext(pid, 0, share(builder.build()));
+
+    // Run until the first replay completed (2 faults seen).
+    ASSERT_TRUE(machine.runUntil(
+        [&]() { return kernel.faultCount(pid) >= 2; }, 1000000));
+
+    // The squashed speculative load left the line in the cache: this
+    // is the microarchitectural residue MicroScope measures.
+    EXPECT_EQ(machine.hierarchy().peekLevel(secret_pa),
+              mem::HitLevel::L1);
+}
