@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_defenses.dir/ablate_defenses.cc.o"
+  "CMakeFiles/ablate_defenses.dir/ablate_defenses.cc.o.d"
+  "ablate_defenses"
+  "ablate_defenses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_defenses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

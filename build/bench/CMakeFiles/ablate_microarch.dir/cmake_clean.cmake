@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_microarch.dir/ablate_microarch.cc.o"
+  "CMakeFiles/ablate_microarch.dir/ablate_microarch.cc.o.d"
+  "ablate_microarch"
+  "ablate_microarch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_microarch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

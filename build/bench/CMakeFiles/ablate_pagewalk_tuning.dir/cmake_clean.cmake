@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_pagewalk_tuning.dir/ablate_pagewalk_tuning.cc.o"
+  "CMakeFiles/ablate_pagewalk_tuning.dir/ablate_pagewalk_tuning.cc.o.d"
+  "ablate_pagewalk_tuning"
+  "ablate_pagewalk_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_pagewalk_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_port_contention.dir/fig10_port_contention.cc.o"
+  "CMakeFiles/fig10_port_contention.dir/fig10_port_contention.cc.o.d"
+  "fig10_port_contention"
+  "fig10_port_contention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_port_contention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

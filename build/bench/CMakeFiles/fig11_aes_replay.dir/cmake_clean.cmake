@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_aes_replay.dir/fig11_aes_replay.cc.o"
+  "CMakeFiles/fig11_aes_replay.dir/fig11_aes_replay.cc.o.d"
+  "fig11_aes_replay"
+  "fig11_aes_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_aes_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

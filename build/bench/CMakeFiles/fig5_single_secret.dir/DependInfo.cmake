@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig5_single_secret.cc" "bench/CMakeFiles/fig5_single_secret.dir/fig5_single_secret.cc.o" "gcc" "bench/CMakeFiles/fig5_single_secret.dir/fig5_single_secret.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/defense/CMakeFiles/uscope_defense.dir/DependInfo.cmake"
+  "/root/repo/build/src/attack/CMakeFiles/uscope_attack.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/uscope_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/uscope_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/uscope_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/uscope_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/uscope_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/uscope_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/uscope_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_single_secret.dir/fig5_single_secret.cc.o"
+  "CMakeFiles/fig5_single_secret.dir/fig5_single_secret.cc.o.d"
+  "fig5_single_secret"
+  "fig5_single_secret.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_single_secret.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_api.dir/table2_api.cc.o"
+  "CMakeFiles/table2_api.dir/table2_api.cc.o.d"
+  "table2_api"
+  "table2_api.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

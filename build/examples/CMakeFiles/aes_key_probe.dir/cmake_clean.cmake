@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aes_key_probe.dir/aes_key_probe.cpp.o"
+  "CMakeFiles/aes_key_probe.dir/aes_key_probe.cpp.o.d"
+  "aes_key_probe"
+  "aes_key_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aes_key_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

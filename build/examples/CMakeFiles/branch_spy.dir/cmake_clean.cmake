@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/branch_spy.dir/branch_spy.cpp.o"
+  "CMakeFiles/branch_spy.dir/branch_spy.cpp.o.d"
+  "branch_spy"
+  "branch_spy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/branch_spy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/defense_lab.dir/defense_lab.cpp.o"
+  "CMakeFiles/defense_lab.dir/defense_lab.cpp.o.d"
+  "defense_lab"
+  "defense_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/defense_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rng_bias_lab.dir/rng_bias_lab.cpp.o"
+  "CMakeFiles/rng_bias_lab.dir/rng_bias_lab.cpp.o.d"
+  "rng_bias_lab"
+  "rng_bias_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rng_bias_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

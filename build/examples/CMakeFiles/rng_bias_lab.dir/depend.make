@@ -1,0 +1,2 @@
+# Empty dependencies file for rng_bias_lab.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/attack/aes_attack.cc" "src/attack/CMakeFiles/uscope_attack.dir/aes_attack.cc.o" "gcc" "src/attack/CMakeFiles/uscope_attack.dir/aes_attack.cc.o.d"
+  "/root/repo/src/attack/control_flow.cc" "src/attack/CMakeFiles/uscope_attack.dir/control_flow.cc.o" "gcc" "src/attack/CMakeFiles/uscope_attack.dir/control_flow.cc.o.d"
+  "/root/repo/src/attack/loop_secret.cc" "src/attack/CMakeFiles/uscope_attack.dir/loop_secret.cc.o" "gcc" "src/attack/CMakeFiles/uscope_attack.dir/loop_secret.cc.o.d"
+  "/root/repo/src/attack/mispredict_replay.cc" "src/attack/CMakeFiles/uscope_attack.dir/mispredict_replay.cc.o" "gcc" "src/attack/CMakeFiles/uscope_attack.dir/mispredict_replay.cc.o.d"
+  "/root/repo/src/attack/monitor.cc" "src/attack/CMakeFiles/uscope_attack.dir/monitor.cc.o" "gcc" "src/attack/CMakeFiles/uscope_attack.dir/monitor.cc.o.d"
+  "/root/repo/src/attack/port_contention.cc" "src/attack/CMakeFiles/uscope_attack.dir/port_contention.cc.o" "gcc" "src/attack/CMakeFiles/uscope_attack.dir/port_contention.cc.o.d"
+  "/root/repo/src/attack/rdrand_bias.cc" "src/attack/CMakeFiles/uscope_attack.dir/rdrand_bias.cc.o" "gcc" "src/attack/CMakeFiles/uscope_attack.dir/rdrand_bias.cc.o.d"
+  "/root/repo/src/attack/single_secret.cc" "src/attack/CMakeFiles/uscope_attack.dir/single_secret.cc.o" "gcc" "src/attack/CMakeFiles/uscope_attack.dir/single_secret.cc.o.d"
+  "/root/repo/src/attack/tsx_replay.cc" "src/attack/CMakeFiles/uscope_attack.dir/tsx_replay.cc.o" "gcc" "src/attack/CMakeFiles/uscope_attack.dir/tsx_replay.cc.o.d"
+  "/root/repo/src/attack/victims.cc" "src/attack/CMakeFiles/uscope_attack.dir/victims.cc.o" "gcc" "src/attack/CMakeFiles/uscope_attack.dir/victims.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/uscope_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/uscope_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/uscope_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/uscope_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/uscope_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/uscope_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/uscope_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

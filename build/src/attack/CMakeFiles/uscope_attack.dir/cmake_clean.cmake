@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uscope_attack.dir/aes_attack.cc.o"
+  "CMakeFiles/uscope_attack.dir/aes_attack.cc.o.d"
+  "CMakeFiles/uscope_attack.dir/control_flow.cc.o"
+  "CMakeFiles/uscope_attack.dir/control_flow.cc.o.d"
+  "CMakeFiles/uscope_attack.dir/loop_secret.cc.o"
+  "CMakeFiles/uscope_attack.dir/loop_secret.cc.o.d"
+  "CMakeFiles/uscope_attack.dir/mispredict_replay.cc.o"
+  "CMakeFiles/uscope_attack.dir/mispredict_replay.cc.o.d"
+  "CMakeFiles/uscope_attack.dir/monitor.cc.o"
+  "CMakeFiles/uscope_attack.dir/monitor.cc.o.d"
+  "CMakeFiles/uscope_attack.dir/port_contention.cc.o"
+  "CMakeFiles/uscope_attack.dir/port_contention.cc.o.d"
+  "CMakeFiles/uscope_attack.dir/rdrand_bias.cc.o"
+  "CMakeFiles/uscope_attack.dir/rdrand_bias.cc.o.d"
+  "CMakeFiles/uscope_attack.dir/single_secret.cc.o"
+  "CMakeFiles/uscope_attack.dir/single_secret.cc.o.d"
+  "CMakeFiles/uscope_attack.dir/tsx_replay.cc.o"
+  "CMakeFiles/uscope_attack.dir/tsx_replay.cc.o.d"
+  "CMakeFiles/uscope_attack.dir/victims.cc.o"
+  "CMakeFiles/uscope_attack.dir/victims.cc.o.d"
+  "libuscope_attack.a"
+  "libuscope_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uscope_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

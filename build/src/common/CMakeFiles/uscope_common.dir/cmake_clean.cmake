@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uscope_common.dir/logging.cc.o"
+  "CMakeFiles/uscope_common.dir/logging.cc.o.d"
+  "CMakeFiles/uscope_common.dir/random.cc.o"
+  "CMakeFiles/uscope_common.dir/random.cc.o.d"
+  "CMakeFiles/uscope_common.dir/stats.cc.o"
+  "CMakeFiles/uscope_common.dir/stats.cc.o.d"
+  "libuscope_common.a"
+  "libuscope_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uscope_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uscope_core.dir/microscope.cc.o"
+  "CMakeFiles/uscope_core.dir/microscope.cc.o.d"
+  "libuscope_core.a"
+  "libuscope_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uscope_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

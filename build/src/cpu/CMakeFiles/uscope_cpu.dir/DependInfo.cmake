@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cpu/core.cc" "src/cpu/CMakeFiles/uscope_cpu.dir/core.cc.o" "gcc" "src/cpu/CMakeFiles/uscope_cpu.dir/core.cc.o.d"
+  "/root/repo/src/cpu/isa.cc" "src/cpu/CMakeFiles/uscope_cpu.dir/isa.cc.o" "gcc" "src/cpu/CMakeFiles/uscope_cpu.dir/isa.cc.o.d"
+  "/root/repo/src/cpu/ports.cc" "src/cpu/CMakeFiles/uscope_cpu.dir/ports.cc.o" "gcc" "src/cpu/CMakeFiles/uscope_cpu.dir/ports.cc.o.d"
+  "/root/repo/src/cpu/predictor.cc" "src/cpu/CMakeFiles/uscope_cpu.dir/predictor.cc.o" "gcc" "src/cpu/CMakeFiles/uscope_cpu.dir/predictor.cc.o.d"
+  "/root/repo/src/cpu/program.cc" "src/cpu/CMakeFiles/uscope_cpu.dir/program.cc.o" "gcc" "src/cpu/CMakeFiles/uscope_cpu.dir/program.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/uscope_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/uscope_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/uscope_vm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uscope_cpu.dir/core.cc.o"
+  "CMakeFiles/uscope_cpu.dir/core.cc.o.d"
+  "CMakeFiles/uscope_cpu.dir/isa.cc.o"
+  "CMakeFiles/uscope_cpu.dir/isa.cc.o.d"
+  "CMakeFiles/uscope_cpu.dir/ports.cc.o"
+  "CMakeFiles/uscope_cpu.dir/ports.cc.o.d"
+  "CMakeFiles/uscope_cpu.dir/predictor.cc.o"
+  "CMakeFiles/uscope_cpu.dir/predictor.cc.o.d"
+  "CMakeFiles/uscope_cpu.dir/program.cc.o"
+  "CMakeFiles/uscope_cpu.dir/program.cc.o.d"
+  "libuscope_cpu.a"
+  "libuscope_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uscope_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uscope_crypto.dir/aes.cc.o"
+  "CMakeFiles/uscope_crypto.dir/aes.cc.o.d"
+  "CMakeFiles/uscope_crypto.dir/aes_codegen.cc.o"
+  "CMakeFiles/uscope_crypto.dir/aes_codegen.cc.o.d"
+  "libuscope_crypto.a"
+  "libuscope_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uscope_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

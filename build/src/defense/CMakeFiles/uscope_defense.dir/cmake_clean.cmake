@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uscope_defense.dir/dejavu.cc.o"
+  "CMakeFiles/uscope_defense.dir/dejavu.cc.o.d"
+  "CMakeFiles/uscope_defense.dir/fence_defense.cc.o"
+  "CMakeFiles/uscope_defense.dir/fence_defense.cc.o.d"
+  "CMakeFiles/uscope_defense.dir/pf_oblivious.cc.o"
+  "CMakeFiles/uscope_defense.dir/pf_oblivious.cc.o.d"
+  "CMakeFiles/uscope_defense.dir/tsgx.cc.o"
+  "CMakeFiles/uscope_defense.dir/tsgx.cc.o.d"
+  "libuscope_defense.a"
+  "libuscope_defense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uscope_defense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

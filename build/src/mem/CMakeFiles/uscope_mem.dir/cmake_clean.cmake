@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uscope_mem.dir/cache.cc.o"
+  "CMakeFiles/uscope_mem.dir/cache.cc.o.d"
+  "CMakeFiles/uscope_mem.dir/hierarchy.cc.o"
+  "CMakeFiles/uscope_mem.dir/hierarchy.cc.o.d"
+  "CMakeFiles/uscope_mem.dir/phys_mem.cc.o"
+  "CMakeFiles/uscope_mem.dir/phys_mem.cc.o.d"
+  "libuscope_mem.a"
+  "libuscope_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uscope_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uscope_os.dir/kernel.cc.o"
+  "CMakeFiles/uscope_os.dir/kernel.cc.o.d"
+  "CMakeFiles/uscope_os.dir/machine.cc.o"
+  "CMakeFiles/uscope_os.dir/machine.cc.o.d"
+  "libuscope_os.a"
+  "libuscope_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uscope_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uscope_vm.dir/frame_alloc.cc.o"
+  "CMakeFiles/uscope_vm.dir/frame_alloc.cc.o.d"
+  "CMakeFiles/uscope_vm.dir/mmu.cc.o"
+  "CMakeFiles/uscope_vm.dir/mmu.cc.o.d"
+  "CMakeFiles/uscope_vm.dir/page_table.cc.o"
+  "CMakeFiles/uscope_vm.dir/page_table.cc.o.d"
+  "CMakeFiles/uscope_vm.dir/pwc.cc.o"
+  "CMakeFiles/uscope_vm.dir/pwc.cc.o.d"
+  "CMakeFiles/uscope_vm.dir/tlb.cc.o"
+  "CMakeFiles/uscope_vm.dir/tlb.cc.o.d"
+  "CMakeFiles/uscope_vm.dir/walker.cc.o"
+  "CMakeFiles/uscope_vm.dir/walker.cc.o.d"
+  "libuscope_vm.a"
+  "libuscope_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uscope_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

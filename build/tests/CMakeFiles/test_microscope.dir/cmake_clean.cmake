@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_microscope.dir/test_microscope.cc.o"
+  "CMakeFiles/test_microscope.dir/test_microscope.cc.o.d"
+  "test_microscope"
+  "test_microscope.pdb"
+  "test_microscope[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_microscope.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
