@@ -26,6 +26,25 @@ Summary::reset()
     *this = Summary{};
 }
 
+void
+Summary::merge(const Summary &other)
+{
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0) {
+        *this = other;
+        return;
+    }
+    const auto na = static_cast<double>(count_);
+    const auto nb = static_cast<double>(other.count_);
+    const double delta = other.mean_ - mean_;
+    count_ += other.count_;
+    mean_ += delta * nb / (na + nb);
+    m2_ += other.m2_ + delta * delta * na * nb / (na + nb);
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
 double
 Summary::min() const
 {
@@ -87,6 +106,27 @@ Histogram::reset()
     overflow_ = 0;
     samples_.clear();
     summary_.reset();
+}
+
+void
+Histogram::merge(const Histogram &other)
+{
+    if (lo_ != other.lo_ || hi_ != other.hi_ ||
+        buckets_.size() != other.buckets_.size()) {
+        fatal("Histogram::merge: shape mismatch "
+              "([%g, %g)/%zu vs [%g, %g)/%zu)",
+              lo_, hi_, buckets_.size(),
+              other.lo_, other.hi_, other.buckets_.size());
+    }
+    for (std::size_t i = 0; i < buckets_.size(); ++i)
+        buckets_[i] += other.buckets_[i];
+    underflow_ += other.underflow_;
+    overflow_ += other.overflow_;
+    if (keepRaw_) {
+        samples_.insert(samples_.end(), other.samples_.begin(),
+                        other.samples_.end());
+    }
+    summary_.merge(other.summary_);
 }
 
 std::uint64_t

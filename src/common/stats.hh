@@ -27,6 +27,16 @@ class Summary
     void add(double sample);
     void reset();
 
+    /**
+     * Fold @p other into this summary as if its samples had been
+     * added here (Chan et al. pairwise-merge update of the Welford
+     * state).  Merging a fixed set of per-trial summaries in a fixed
+     * order is a pure float computation, so the aggregate is
+     * bit-identical no matter which thread produced each input — the
+     * determinism contract src/exp relies on.
+     */
+    void merge(const Summary &other);
+
     std::uint64_t count() const { return count_; }
     double mean() const { return count_ ? mean_ : 0.0; }
     double min() const;
@@ -62,6 +72,13 @@ class Histogram
 
     void add(double sample);
     void reset();
+
+    /**
+     * Fold @p other into this histogram: bucket counts add, raw
+     * samples concatenate, summaries merge.  Both histograms must
+     * have the same [lo, hi) range and bucket count.
+     */
+    void merge(const Histogram &other);
 
     std::uint64_t count() const { return summary_.count(); }
     const Summary &summary() const { return summary_; }

@@ -46,6 +46,17 @@ struct MicroscopeStats
     std::uint64_t foreignFaults = 0;
     std::uint64_t episodes = 0;
     std::uint64_t totalReplays = 0;
+
+    /** Fold @p other in (campaign aggregation across machines). */
+    void
+    merge(const MicroscopeStats &other)
+    {
+        handleFaults += other.handleFaults;
+        pivotFaults += other.pivotFaults;
+        foreignFaults += other.foreignFaults;
+        episodes += other.episodes;
+        totalReplays += other.totalReplays;
+    }
 };
 
 /** The MicroScope module. */

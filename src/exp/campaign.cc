@@ -1,0 +1,291 @@
+#include "exp/campaign.hh"
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+#include "common/logging.hh"
+
+namespace uscope::exp
+{
+
+namespace
+{
+
+/** SplitMix64 finalizer (Vigna); full-avalanche 64-bit mix. */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9E3779B97F4A7C15ull;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    return x ^ (x >> 31);
+}
+
+double
+elapsedSeconds(std::chrono::steady_clock::time_point since)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - since)
+        .count();
+}
+
+} // namespace
+
+std::uint64_t
+deriveTrialSeed(std::uint64_t master, std::uint64_t index)
+{
+    // Two mix rounds decorrelate (master, index) and (master, index+1)
+    // as thoroughly as two unrelated seeds; a plain master+index would
+    // hand adjacent trials overlapping SplitMix64 expansions.
+    return mix64(mix64(master) ^ mix64(~index));
+}
+
+void
+TrialContext::checkBudget(Cycles used_cycles) const
+{
+    if (cycleBudget && used_cycles > cycleBudget) {
+        throw TrialTimeout(format(
+            "trial %zu exceeded its cycle budget (%llu > %llu)", index,
+            static_cast<unsigned long long>(used_cycles),
+            static_cast<unsigned long long>(cycleBudget)));
+    }
+}
+
+const char *
+trialStatusName(TrialStatus status)
+{
+    switch (status) {
+      case TrialStatus::Ok: return "ok";
+      case TrialStatus::Failed: return "failed";
+      case TrialStatus::TimedOut: return "timed_out";
+    }
+    return "?";
+}
+
+json::Value
+toJson(const Summary &summary)
+{
+    return json::Value::object()
+        .set("count", summary.count())
+        .set("mean", summary.mean())
+        .set("stddev", summary.stddev())
+        .set("min", summary.min())
+        .set("max", summary.max());
+}
+
+json::Value
+TrialResult::toJson() const
+{
+    json::Value v = json::Value::object()
+                        .set("index", std::uint64_t{index})
+                        .set("seed", seed)
+                        .set("status", trialStatusName(status))
+                        .set("wall_seconds", wallSeconds)
+                        .set("sim_cycles", output.simCycles);
+    if (!error.empty())
+        v.set("error", error);
+    if (output.metric.count())
+        v.set("metric", exp::toJson(output.metric));
+    if (!output.payload.isNull())
+        v.set("payload", output.payload);
+    return v;
+}
+
+json::Value
+CampaignAggregate::toJson() const
+{
+    return json::Value::object()
+        .set("ok", std::uint64_t{ok})
+        .set("failed", std::uint64_t{failed})
+        .set("timed_out", std::uint64_t{timedOut})
+        .set("sim_cycles", simCycles)
+        .set("metric", exp::toJson(metric))
+        .set("scope", json::Value::object()
+                          .set("handle_faults", scope.handleFaults)
+                          .set("pivot_faults", scope.pivotFaults)
+                          .set("foreign_faults", scope.foreignFaults)
+                          .set("episodes", scope.episodes)
+                          .set("total_replays", scope.totalReplays));
+}
+
+double
+CampaignResult::trialsPerSecond() const
+{
+    return wallSeconds > 0.0
+               ? static_cast<double>(trialCount) / wallSeconds
+               : 0.0;
+}
+
+double
+CampaignResult::simCyclesPerSecond() const
+{
+    return wallSeconds > 0.0
+               ? static_cast<double>(aggregate.simCycles) / wallSeconds
+               : 0.0;
+}
+
+json::Value
+CampaignResult::toJson(bool include_trials) const
+{
+    json::Value v =
+        json::Value::object()
+            .set("campaign", name)
+            .set("trials", std::uint64_t{trialCount})
+            .set("master_seed", masterSeed)
+            .set("workers", std::uint64_t{workers})
+            .set("wall_seconds", wallSeconds)
+            .set("trials_per_second", trialsPerSecond())
+            .set("sim_cycles_per_second", simCyclesPerSecond())
+            .set("aggregate", aggregate.toJson());
+    if (include_trials && !trials.empty()) {
+        json::Value detail = json::Value::array();
+        for (const TrialResult &trial : trials)
+            detail.push(trial.toJson());
+        v.set("trial_results", std::move(detail));
+    }
+    return v;
+}
+
+CampaignRunner::CampaignRunner(CampaignSpec spec) : spec_(std::move(spec))
+{
+    if (!spec_.body)
+        fatal("CampaignRunner: spec '%s' has no trial body",
+              spec_.name.c_str());
+}
+
+TrialResult
+CampaignRunner::runTrial(std::size_t index, unsigned worker) const
+{
+    TrialContext ctx;
+    ctx.index = index;
+    ctx.seed = deriveTrialSeed(spec_.masterSeed, index);
+    ctx.worker = worker;
+    ctx.cycleBudget = spec_.cycleBudget;
+    ctx.machine.seed = ctx.seed;
+    if (spec_.machineFactory) {
+        const std::uint64_t default_seed = os::MachineConfig{}.seed;
+        ctx.machine = spec_.machineFactory(ctx);
+        // A factory that never thought about seeding still gets a
+        // deterministic per-trial stream.
+        if (ctx.machine.seed == default_seed)
+            ctx.machine.seed = ctx.seed;
+    }
+
+    TrialResult result;
+    result.index = index;
+    result.seed = ctx.seed;
+
+    const auto start = std::chrono::steady_clock::now();
+    try {
+        result.output = spec_.body(ctx);
+        result.status = TrialStatus::Ok;
+        if (spec_.cycleBudget &&
+            result.output.simCycles > spec_.cycleBudget) {
+            result.status = TrialStatus::TimedOut;
+            result.error = format(
+                "cycle budget exceeded (%llu > %llu)",
+                static_cast<unsigned long long>(result.output.simCycles),
+                static_cast<unsigned long long>(spec_.cycleBudget));
+        }
+    } catch (const TrialTimeout &e) {
+        result.status = TrialStatus::TimedOut;
+        result.error = e.what();
+    } catch (const std::exception &e) {
+        result.status = TrialStatus::Failed;
+        result.error = e.what();
+    } catch (...) {
+        result.status = TrialStatus::Failed;
+        result.error = "unknown exception";
+    }
+    result.wallSeconds = elapsedSeconds(start);
+    return result;
+}
+
+CampaignResult
+CampaignRunner::run()
+{
+    const std::size_t total = spec_.trials;
+    unsigned workers = spec_.workers;
+    if (workers == 0) {
+        workers = std::thread::hardware_concurrency();
+        if (workers == 0)
+            workers = 1;
+    }
+    if (total > 0 && workers > total)
+        workers = static_cast<unsigned>(total);
+    if (workers == 0)
+        workers = 1;
+
+    std::vector<TrialResult> results(total);
+    std::atomic<std::size_t> next{0};
+    std::size_t completed = 0;
+    std::mutex lock;
+
+    const auto start = std::chrono::steady_clock::now();
+    const auto drain = [&](unsigned worker) {
+        for (;;) {
+            const std::size_t index =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (index >= total)
+                return;
+            TrialResult result = runTrial(index, worker);
+            std::lock_guard<std::mutex> guard(lock);
+            results[index] = std::move(result);
+            ++completed;
+            if (spec_.progress)
+                spec_.progress(completed, total);
+        }
+    };
+
+    if (workers == 1) {
+        // Run on the calling thread: identical code path (results are
+        // still aggregated below, in index order), simpler stacks in
+        // a debugger, and no thread overhead for serial baselines.
+        drain(0);
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(workers);
+        for (unsigned worker = 0; worker < workers; ++worker)
+            pool.emplace_back(drain, worker);
+        for (std::thread &thread : pool)
+            thread.join();
+    }
+
+    CampaignResult campaign;
+    campaign.name = spec_.name;
+    campaign.trialCount = total;
+    campaign.masterSeed = spec_.masterSeed;
+    campaign.workers = workers;
+
+    // Aggregation happens here, single-threaded and in index order —
+    // *never* in completion order — so N-worker and 1-worker runs of
+    // the same spec produce bit-identical aggregates.
+    for (const TrialResult &trial : results) {
+        switch (trial.status) {
+          case TrialStatus::Ok: ++campaign.aggregate.ok; break;
+          case TrialStatus::Failed: ++campaign.aggregate.failed; break;
+          case TrialStatus::TimedOut:
+            ++campaign.aggregate.timedOut;
+            break;
+        }
+        campaign.aggregate.metric.merge(trial.output.metric);
+        campaign.aggregate.scope.merge(trial.output.scope);
+        campaign.aggregate.simCycles += trial.output.simCycles;
+        if (spec_.reduce)
+            spec_.reduce(trial);
+    }
+    if (spec_.keepTrialResults)
+        campaign.trials = std::move(results);
+    campaign.wallSeconds = elapsedSeconds(start);
+    return campaign;
+}
+
+CampaignResult
+runCampaign(CampaignSpec spec)
+{
+    return CampaignRunner(std::move(spec)).run();
+}
+
+} // namespace uscope::exp

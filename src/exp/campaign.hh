@@ -1,0 +1,225 @@
+/**
+ * @file
+ * The replay-campaign runner.
+ *
+ * Every figure in the paper is a *campaign*: hundreds of independent
+ * replay episodes swept over seeds, key bytes, page-walk plans, and
+ * defenses.  Each trial builds its own simulated Machine, runs one
+ * attack, and reports a handful of numbers — embarrassingly parallel
+ * work that the benches used to grind through serially.
+ *
+ * CampaignRunner shards a flat trial grid across a fixed-size
+ * std::thread pool:
+ *
+ *  - **Isolation.** Each trial constructs its own os::Machine from its
+ *    own MachineConfig; workers share no mutable simulator state.
+ *  - **Determinism.** Trial i draws every random value from a stream
+ *    seeded with deriveTrialSeed(masterSeed, i), and per-trial results
+ *    are aggregated *in trial-index order* after the pool joins, so a
+ *    campaign's aggregate is bit-identical regardless of the worker
+ *    count or the order trials happened to finish in.
+ *  - **Robustness.** A trial that throws is recorded as Failed (with
+ *    the exception text) and a trial that exceeds its cycle budget is
+ *    recorded as TimedOut — both are *results*, not crashes; the
+ *    campaign keeps going.
+ *
+ * Results export to JSON through exp::ResultSink (result_sink.hh).
+ */
+
+#ifndef USCOPE_EXP_CAMPAIGN_HH
+#define USCOPE_EXP_CAMPAIGN_HH
+
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "core/microscope.hh"
+#include "exp/json.hh"
+#include "os/machine.hh"
+
+namespace uscope::exp
+{
+
+/**
+ * Deterministic per-trial seed: a SplitMix64-style mix of the master
+ * seed and the flat trial index.  Distinct trials get decorrelated
+ * streams; the same (master, index) pair always gets the same stream,
+ * independent of thread count and scheduling.
+ */
+std::uint64_t deriveTrialSeed(std::uint64_t master, std::uint64_t index);
+
+/**
+ * Thrown by a trial body (or by TrialContext::checkBudget) when the
+ * per-trial cycle budget is exhausted.  The runner records the trial
+ * as TimedOut and moves on.
+ */
+class TrialTimeout : public std::runtime_error
+{
+  public:
+    explicit TrialTimeout(const std::string &msg)
+        : std::runtime_error(msg) {}
+};
+
+/** Everything a trial body gets handed about its grid point. */
+struct TrialContext
+{
+    /** Flat index into the campaign's trial grid. */
+    std::size_t index = 0;
+    /** deriveTrialSeed(masterSeed, index). */
+    std::uint64_t seed = 0;
+    /** Worker slot executing this trial (informational only). */
+    unsigned worker = 0;
+    /** Per-trial simulated-cycle budget; 0 = unbounded. */
+    Cycles cycleBudget = 0;
+    /**
+     * Machine configuration for this trial, produced by the spec's
+     * machineFactory (or default-constructed), with `seed` stamped to
+     * the trial seed.  The body constructs `os::Machine machine
+     * (ctx.machine)` — one private machine per trial.
+     */
+    os::MachineConfig machine;
+
+    /** Throw TrialTimeout when @p used_cycles exceeds the budget. */
+    void checkBudget(Cycles used_cycles) const;
+};
+
+/** What one trial hands back to the runner. */
+struct TrialOutput
+{
+    /** Trial-specific metrics, exported verbatim under "payload". */
+    json::Value payload;
+    /** Samples of the campaign's primary metric (merged via
+     *  Summary::merge into the aggregate). */
+    Summary metric;
+    /** Simulated cycles this trial consumed (drives throughput
+     *  reporting and budget enforcement). */
+    Cycles simCycles = 0;
+    /** MicroScope module counters (merged into the aggregate). */
+    ms::MicroscopeStats scope;
+};
+
+enum class TrialStatus { Ok, Failed, TimedOut };
+
+const char *trialStatusName(TrialStatus status);
+
+/** One completed (or failed) trial. */
+struct TrialResult
+{
+    std::size_t index = 0;
+    std::uint64_t seed = 0;
+    TrialStatus status = TrialStatus::Ok;
+    /** Exception text when status != Ok. */
+    std::string error;
+    /** Host wall-clock seconds spent in the body (informational;
+     *  excluded from determinism comparisons). */
+    double wallSeconds = 0.0;
+    /** Body output; default-constructed when the body threw. */
+    TrialOutput output;
+
+    json::Value toJson() const;
+};
+
+/** Declarative description of a campaign. */
+struct CampaignSpec
+{
+    std::string name = "campaign";
+    /** Number of grid points. */
+    std::size_t trials = 0;
+    /** Seed every per-trial stream is derived from. */
+    std::uint64_t masterSeed = 42;
+    /** Worker threads; 0 = hardware_concurrency (clamped to trials). */
+    unsigned workers = 0;
+    /** Per-trial simulated-cycle budget; 0 = unbounded.  A trial whose
+     *  reported simCycles exceeds this is recorded as TimedOut. */
+    Cycles cycleBudget = 0;
+    /** Keep per-trial results in CampaignResult::trials (and JSON). */
+    bool keepTrialResults = true;
+
+    /** The trial body (required).  Must not touch shared state. */
+    std::function<TrialOutput(const TrialContext &)> body;
+
+    /**
+     * Optional factory producing the MachineConfig for a trial (sweep
+     * ROB sizes, defenses, cache geometry...).  The runner stamps the
+     * trial seed into the returned config unless the factory already
+     * set a non-default seed itself.
+     */
+    std::function<os::MachineConfig(const TrialContext &)> machineFactory;
+
+    /**
+     * Optional reducer: invoked once per trial *in index order* on the
+     * calling thread after the pool joins — the deterministic place to
+     * fold per-trial payloads into campaign-level state.
+     */
+    std::function<void(const TrialResult &)> reduce;
+
+    /**
+     * Optional progress callback, invoked as (completed, total) each
+     * time a trial finishes.  Called from worker threads under the
+     * runner's lock, in completion (not index) order; keep it cheap.
+     */
+    std::function<void(std::size_t, std::size_t)> progress;
+};
+
+/** Campaign-level aggregate, merged in trial-index order. */
+struct CampaignAggregate
+{
+    Summary metric;
+    ms::MicroscopeStats scope;
+    Cycles simCycles = 0;
+    std::size_t ok = 0;
+    std::size_t failed = 0;
+    std::size_t timedOut = 0;
+
+    json::Value toJson() const;
+};
+
+/** Everything a campaign produced. */
+struct CampaignResult
+{
+    std::string name;
+    std::size_t trialCount = 0;
+    std::uint64_t masterSeed = 0;
+    unsigned workers = 0;
+    double wallSeconds = 0.0;
+    CampaignAggregate aggregate;
+    /** Per-trial results, in index order (empty when the spec set
+     *  keepTrialResults = false). */
+    std::vector<TrialResult> trials;
+
+    double trialsPerSecond() const;
+    double simCyclesPerSecond() const;
+
+    /** Full report (schema documented in DESIGN.md §src/exp). */
+    json::Value toJson(bool include_trials = true) const;
+};
+
+/** Runs a CampaignSpec over a thread pool. */
+class CampaignRunner
+{
+  public:
+    explicit CampaignRunner(CampaignSpec spec);
+
+    /** Execute every trial and aggregate.  Callable repeatedly; each
+     *  call re-runs the whole campaign. */
+    CampaignResult run();
+
+  private:
+    TrialResult runTrial(std::size_t index, unsigned worker) const;
+
+    CampaignSpec spec_;
+};
+
+/** One-shot convenience wrapper. */
+CampaignResult runCampaign(CampaignSpec spec);
+
+/** Serialize a Summary (count/mean/stddev/min/max) to JSON. */
+json::Value toJson(const Summary &summary);
+
+} // namespace uscope::exp
+
+#endif // USCOPE_EXP_CAMPAIGN_HH

@@ -1,0 +1,74 @@
+#include "exp/result_sink.hh"
+
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+
+#include "common/logging.hh"
+
+namespace uscope::exp
+{
+
+JsonStreamSink::JsonStreamSink(std::ostream &os, bool include_trials,
+                               int indent)
+    : os_(os), includeTrials_(include_trials), indent_(indent)
+{
+}
+
+void
+JsonStreamSink::consume(const CampaignResult &result)
+{
+    os_ << result.toJson(includeTrials_).dump(indent_) << '\n';
+    os_.flush();
+}
+
+namespace
+{
+
+/** `name` becomes a file name; keep it shell- and diff-friendly. */
+std::string
+sanitize(const std::string &name)
+{
+    std::string out = name.empty() ? std::string("campaign") : name;
+    for (char &c : out) {
+        const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+                        || (c >= '0' && c <= '9') || c == '-'
+                        || c == '_' || c == '.';
+        if (!ok)
+            c = '_';
+    }
+    return out;
+}
+
+} // namespace
+
+JsonFileSink::JsonFileSink(std::string dir, bool include_trials,
+                           int indent)
+    : dir_(std::move(dir)), includeTrials_(include_trials),
+      indent_(indent)
+{
+    if (dir_.empty())
+        dir_ = ".";
+    std::error_code ec;
+    std::filesystem::create_directories(dir_, ec);
+    if (ec)
+        fatal("JsonFileSink: cannot create directory '%s': %s",
+              dir_.c_str(), ec.message().c_str());
+}
+
+void
+JsonFileSink::consume(const CampaignResult &result)
+{
+    const std::string path =
+        dir_ + "/" + sanitize(result.name) + ".json";
+    std::ofstream out(path, std::ios::trunc);
+    if (!out)
+        fatal("JsonFileSink: cannot open '%s' for writing",
+              path.c_str());
+    out << result.toJson(includeTrials_).dump(indent_) << '\n';
+    if (!out)
+        fatal("JsonFileSink: short write to '%s'", path.c_str());
+    lastPath_ = path;
+}
+
+} // namespace uscope::exp

@@ -1,0 +1,414 @@
+/**
+ * @file
+ * Tests for src/exp: the campaign runner's determinism contract
+ * (N-worker == 1-worker, bit for bit), its robustness contract
+ * (throwing / over-budget trials are results, not crashes), the
+ * statistics merge operations it aggregates through, and the JSON
+ * export layer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <stdexcept>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "common/stats.hh"
+#include "core/microscope.hh"
+#include "cpu/program.hh"
+#include "exp/campaign.hh"
+#include "exp/json.hh"
+#include "exp/result_sink.hh"
+#include "os/machine.hh"
+
+using namespace uscope;
+
+// ---------------------------------------------------------------------
+// Stats merges.
+// ---------------------------------------------------------------------
+
+TEST(SummaryMerge, MatchesSingleStreamAccumulation)
+{
+    Rng rng(7);
+    std::vector<double> samples;
+    for (int i = 0; i < 1000; ++i)
+        samples.push_back(rng.uniform() * 100.0 - 20.0);
+
+    Summary whole;
+    for (double s : samples)
+        whole.add(s);
+
+    // Split into 4 uneven shards, then merge.
+    Summary shards[4];
+    for (std::size_t i = 0; i < samples.size(); ++i)
+        shards[(i * i) % 4].add(samples[i]);
+    Summary merged;
+    for (const Summary &shard : shards)
+        merged.merge(shard);
+
+    EXPECT_EQ(merged.count(), whole.count());
+    EXPECT_EQ(merged.min(), whole.min());
+    EXPECT_EQ(merged.max(), whole.max());
+    EXPECT_NEAR(merged.mean(), whole.mean(), 1e-9);
+    EXPECT_NEAR(merged.variance(), whole.variance(), 1e-6);
+}
+
+TEST(SummaryMerge, EmptySidesAreIdentity)
+{
+    Summary a;
+    a.add(3.0);
+    a.add(5.0);
+
+    Summary b;
+    b.merge(a);  // empty.merge(x) == x
+    EXPECT_EQ(b.count(), 2u);
+    EXPECT_EQ(b.mean(), a.mean());
+    EXPECT_EQ(b.min(), 3.0);
+
+    Summary empty;
+    a.merge(empty);  // x.merge(empty) == x
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_EQ(a.mean(), 4.0);
+}
+
+TEST(HistogramMerge, BucketsRawAndSummaryFold)
+{
+    Histogram a(0, 10, 5);
+    Histogram b(0, 10, 5);
+    a.add(1.0);
+    a.add(11.0);  // overflow
+    b.add(1.5);
+    b.add(-2.0);  // underflow
+    b.add(9.0);
+
+    a.merge(b);
+    EXPECT_EQ(a.count(), 5u);
+    EXPECT_EQ(a.buckets()[0], 2u);  // 1.0 and 1.5
+    EXPECT_EQ(a.buckets()[4], 1u);  // 9.0
+    EXPECT_EQ(a.underflow(), 1u);
+    EXPECT_EQ(a.overflow(), 1u);
+    EXPECT_EQ(a.samples().size(), 5u);
+    EXPECT_EQ(a.summary().min(), -2.0);
+    EXPECT_EQ(a.summary().max(), 11.0);
+}
+
+TEST(HistogramMerge, ShapeMismatchIsFatal)
+{
+    Histogram a(0, 10, 5);
+    Histogram b(0, 20, 5);
+    EXPECT_THROW(a.merge(b), SimFatal);
+}
+
+TEST(MicroscopeStatsMerge, FieldsAdd)
+{
+    ms::MicroscopeStats a;
+    a.handleFaults = 3;
+    a.episodes = 1;
+    ms::MicroscopeStats b;
+    b.handleFaults = 2;
+    b.totalReplays = 40;
+    a.merge(b);
+    EXPECT_EQ(a.handleFaults, 5u);
+    EXPECT_EQ(a.episodes, 1u);
+    EXPECT_EQ(a.totalReplays, 40u);
+}
+
+// ---------------------------------------------------------------------
+// JSON.
+// ---------------------------------------------------------------------
+
+TEST(Json, ScalarsArraysObjects)
+{
+    exp::json::Value v = exp::json::Value::object()
+                             .set("name", "fig10")
+                             .set("n", std::uint64_t{10000})
+                             .set("ratio", 0.5)
+                             .set("ok", true)
+                             .set("none", exp::json::Value());
+    v.set("list",
+          exp::json::Value::array().push(1).push(2).push("three"));
+    EXPECT_EQ(v.dump(),
+              "{\"name\":\"fig10\",\"n\":10000,\"ratio\":0.5,"
+              "\"ok\":true,\"none\":null,\"list\":[1,2,\"three\"]}");
+}
+
+TEST(Json, EscapingAndOverwrite)
+{
+    exp::json::Value v = exp::json::Value::object();
+    v.set("k", "a\"b\\c\nd");
+    v.set("k", "replaced\t");
+    EXPECT_EQ(v.dump(), "{\"k\":\"replaced\\t\"}");
+    EXPECT_EQ(exp::json::Value::escape("\x01"), "\\u0001");
+}
+
+TEST(Json, NonFiniteDoublesAreNull)
+{
+    exp::json::Value v = exp::json::Value::array();
+    v.push(std::numeric_limits<double>::quiet_NaN());
+    v.push(std::numeric_limits<double>::infinity());
+    EXPECT_EQ(v.dump(), "[null,null]");
+}
+
+// ---------------------------------------------------------------------
+// Seed derivation.
+// ---------------------------------------------------------------------
+
+TEST(TrialSeed, DeterministicAndDecorrelated)
+{
+    EXPECT_EQ(exp::deriveTrialSeed(42, 0), exp::deriveTrialSeed(42, 0));
+    EXPECT_NE(exp::deriveTrialSeed(42, 0), exp::deriveTrialSeed(42, 1));
+    EXPECT_NE(exp::deriveTrialSeed(42, 0), exp::deriveTrialSeed(43, 0));
+    // Adjacent trials must not get adjacent (correlated) seeds.
+    const auto a = exp::deriveTrialSeed(42, 5);
+    const auto b = exp::deriveTrialSeed(42, 6);
+    EXPECT_GT(a > b ? a - b : b - a, 1000u);
+}
+
+// ---------------------------------------------------------------------
+// The campaign runner.
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+/** A seed-dependent synthetic trial: cheap but non-trivial. */
+exp::CampaignSpec
+syntheticSpec(std::size_t trials, unsigned workers)
+{
+    exp::CampaignSpec spec;
+    spec.name = "synthetic";
+    spec.trials = trials;
+    spec.masterSeed = 1234;
+    spec.workers = workers;
+    spec.body = [](const exp::TrialContext &ctx) {
+        Rng rng(ctx.seed);
+        exp::TrialOutput out;
+        double acc = 0;
+        for (int i = 0; i < 257; ++i) {
+            const double sample = rng.uniform() * 1000.0;
+            out.metric.add(sample);
+            acc += sample;
+        }
+        out.simCycles = 1000 + rng.below(1000);
+        out.scope.totalReplays = ctx.index;
+        out.payload = exp::json::Value::object()
+                          .set("acc", acc)
+                          .set("first", rng.next());
+        return out;
+    };
+    return spec;
+}
+
+} // namespace
+
+TEST(Campaign, AggregateBitIdenticalAcrossWorkerCounts)
+{
+    const exp::CampaignResult serial =
+        exp::runCampaign(syntheticSpec(64, 1));
+    const exp::CampaignResult parallel =
+        exp::runCampaign(syntheticSpec(64, 4));
+
+    EXPECT_EQ(serial.workers, 1u);
+    EXPECT_EQ(parallel.workers, 4u);
+    EXPECT_EQ(serial.aggregate.ok, 64u);
+    EXPECT_EQ(parallel.aggregate.ok, 64u);
+
+    // Bit-exact double comparisons on purpose: the contract is
+    // bit-identical aggregation, not "close".
+    EXPECT_EQ(serial.aggregate.metric.count(),
+              parallel.aggregate.metric.count());
+    EXPECT_EQ(serial.aggregate.metric.mean(),
+              parallel.aggregate.metric.mean());
+    EXPECT_EQ(serial.aggregate.metric.variance(),
+              parallel.aggregate.metric.variance());
+    EXPECT_EQ(serial.aggregate.metric.min(),
+              parallel.aggregate.metric.min());
+    EXPECT_EQ(serial.aggregate.metric.max(),
+              parallel.aggregate.metric.max());
+    EXPECT_EQ(serial.aggregate.simCycles, parallel.aggregate.simCycles);
+    EXPECT_EQ(serial.aggregate.scope.totalReplays,
+              parallel.aggregate.scope.totalReplays);
+
+    // Per-trial results (wall clock aside) are identical too.
+    ASSERT_EQ(serial.trials.size(), parallel.trials.size());
+    for (std::size_t i = 0; i < serial.trials.size(); ++i) {
+        EXPECT_EQ(serial.trials[i].seed, parallel.trials[i].seed);
+        EXPECT_EQ(serial.trials[i].output.payload.dump(),
+                  parallel.trials[i].output.payload.dump());
+    }
+
+    // And the exported aggregate JSON matches byte for byte.
+    EXPECT_EQ(serial.aggregate.toJson().dump(),
+              parallel.aggregate.toJson().dump());
+}
+
+TEST(Campaign, ThrowingTrialIsRecordedNotFatal)
+{
+    exp::CampaignSpec spec = syntheticSpec(8, 3);
+    auto inner = spec.body;
+    spec.body = [inner](const exp::TrialContext &ctx) {
+        if (ctx.index == 3)
+            throw std::runtime_error("injected trial failure");
+        if (ctx.index == 5)
+            throw 17;  // non-std::exception
+        return inner(ctx);
+    };
+
+    const exp::CampaignResult result = exp::runCampaign(std::move(spec));
+    EXPECT_EQ(result.aggregate.ok, 6u);
+    EXPECT_EQ(result.aggregate.failed, 2u);
+    EXPECT_EQ(result.aggregate.timedOut, 0u);
+    EXPECT_EQ(result.trials[3].status, exp::TrialStatus::Failed);
+    EXPECT_EQ(result.trials[3].error, "injected trial failure");
+    EXPECT_EQ(result.trials[5].error, "unknown exception");
+    // The failed trials contribute nothing to the aggregate metric.
+    EXPECT_EQ(result.aggregate.metric.count(), 6u * 257u);
+}
+
+TEST(Campaign, CycleBudgetTimesOutAsResult)
+{
+    exp::CampaignSpec spec = syntheticSpec(6, 2);
+    spec.cycleBudget = 5000;
+    auto inner = spec.body;
+    spec.body = [inner](const exp::TrialContext &ctx) {
+        if (ctx.index == 1) {
+            // Cooperative check mid-trial: throws TrialTimeout.
+            ctx.checkBudget(ctx.cycleBudget + 1);
+        }
+        exp::TrialOutput out = inner(ctx);
+        if (ctx.index == 4)
+            out.simCycles = 1'000'000;  // blew the budget, post hoc
+        return out;
+    };
+
+    const exp::CampaignResult result = exp::runCampaign(std::move(spec));
+    EXPECT_EQ(result.aggregate.timedOut, 2u);
+    EXPECT_EQ(result.aggregate.ok, 4u);
+    EXPECT_EQ(result.trials[1].status, exp::TrialStatus::TimedOut);
+    EXPECT_EQ(result.trials[4].status, exp::TrialStatus::TimedOut);
+    // The post-hoc case still carries its (partial) output.
+    EXPECT_EQ(result.trials[4].output.simCycles, 1'000'000u);
+}
+
+TEST(Campaign, ReducerRunsInIndexOrderAndProgressIsMonotonic)
+{
+    exp::CampaignSpec spec = syntheticSpec(32, 4);
+    std::vector<std::size_t> reduced;
+    spec.reduce = [&](const exp::TrialResult &trial) {
+        reduced.push_back(trial.index);
+    };
+    std::vector<std::size_t> progress;
+    spec.progress = [&](std::size_t done, std::size_t total) {
+        EXPECT_EQ(total, 32u);
+        progress.push_back(done);
+    };
+
+    exp::runCampaign(std::move(spec));
+    ASSERT_EQ(reduced.size(), 32u);
+    for (std::size_t i = 0; i < reduced.size(); ++i)
+        EXPECT_EQ(reduced[i], i);
+    ASSERT_EQ(progress.size(), 32u);
+    for (std::size_t i = 0; i < progress.size(); ++i)
+        EXPECT_EQ(progress[i], i + 1);
+}
+
+TEST(Campaign, RealMachineTrialsAreDeterministic)
+{
+    // Each trial owns a full simulated Machine and runs a small
+    // program; the simulated cycle count is the metric.
+    const auto make = [](unsigned workers) {
+        exp::CampaignSpec spec;
+        spec.name = "machine-campaign";
+        spec.trials = 4;
+        spec.masterSeed = 9;
+        spec.workers = workers;
+        spec.cycleBudget = 1'000'000;
+        spec.body = [](const exp::TrialContext &ctx) {
+            os::Machine machine(ctx.machine);
+            auto &kernel = machine.kernel();
+            const os::Pid pid = kernel.createProcess("worker-victim");
+            const VAddr page = kernel.allocVirtual(pid, pageSize);
+
+            cpu::ProgramBuilder b;
+            b.movi(1, static_cast<std::int64_t>(page));
+            for (unsigned i = 0; i <= ctx.index; ++i)
+                b.ld(2, 1, static_cast<std::int64_t>(i * lineSize));
+            b.halt();
+            kernel.startOnContext(
+                pid, 0,
+                std::make_shared<const cpu::Program>(b.build()));
+            if (!machine.runUntilHalted(0, ctx.cycleBudget))
+                throw exp::TrialTimeout("victim never halted");
+
+            exp::TrialOutput out;
+            out.simCycles = machine.cycle();
+            out.metric.add(static_cast<double>(machine.cycle()));
+            return out;
+        };
+        return spec;
+    };
+
+    const exp::CampaignResult serial = exp::runCampaign(make(1));
+    const exp::CampaignResult parallel = exp::runCampaign(make(2));
+    EXPECT_EQ(serial.aggregate.ok, 4u);
+    EXPECT_EQ(serial.aggregate.simCycles, parallel.aggregate.simCycles);
+    EXPECT_EQ(serial.aggregate.metric.mean(),
+              parallel.aggregate.metric.mean());
+}
+
+TEST(Campaign, MachineFactorySeedStamping)
+{
+    exp::CampaignSpec spec;
+    spec.trials = 3;
+    spec.masterSeed = 77;
+    spec.workers = 1;
+    std::vector<std::uint64_t> seeds;
+    spec.machineFactory = [](const exp::TrialContext &) {
+        return os::MachineConfig{};  // forgot to seed — runner stamps it
+    };
+    spec.body = [&](const exp::TrialContext &ctx) {
+        seeds.push_back(ctx.machine.seed);
+        return exp::TrialOutput{};
+    };
+    exp::runCampaign(std::move(spec));
+    ASSERT_EQ(seeds.size(), 3u);
+    for (std::size_t i = 0; i < 3; ++i)
+        EXPECT_EQ(seeds[i], exp::deriveTrialSeed(77, i));
+}
+
+// ---------------------------------------------------------------------
+// Result sinks.
+// ---------------------------------------------------------------------
+
+TEST(ResultSink, JsonFileRoundTrip)
+{
+    exp::CampaignResult result = exp::runCampaign(syntheticSpec(4, 2));
+    exp::JsonFileSink sink(testing::TempDir(), /*include_trials=*/true);
+    sink.consume(result);
+    ASSERT_FALSE(sink.lastPath().empty());
+
+    std::FILE *f = std::fopen(sink.lastPath().c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    std::string text(1 << 16, '\0');
+    text.resize(std::fread(text.data(), 1, text.size(), f));
+    std::fclose(f);
+
+    EXPECT_NE(text.find("\"campaign\": \"synthetic\""),
+              std::string::npos);
+    EXPECT_NE(text.find("\"trial_results\""), std::string::npos);
+    EXPECT_NE(text.find("\"sim_cycles_per_second\""), std::string::npos);
+}
+
+TEST(ResultSink, StreamSinkEmitsParseableShape)
+{
+    exp::CampaignResult result = exp::runCampaign(syntheticSpec(2, 1));
+    std::ostringstream os;
+    exp::JsonStreamSink sink(os, /*include_trials=*/false, -1);
+    sink.consume(result);
+    const std::string text = os.str();
+    EXPECT_EQ(text.front(), '{');
+    EXPECT_EQ(text[text.size() - 2], '}');  // "...}\n"
+    EXPECT_EQ(text.find("trial_results"), std::string::npos);
+}
