@@ -23,6 +23,8 @@
 #include "common/stats.hh"
 #include "exp/campaign.hh"
 #include "exp/result_sink.hh"
+#include "obs/chrome_trace.hh"
+#include "obs/cli.hh"
 
 using namespace uscope;
 
@@ -79,8 +81,11 @@ printHeadline(const Arm &arm, const attack::PortContentionResult &result)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const obs::BenchObsOptions obsOpts = obs::parseBenchObsOptions(
+        argc, argv, "bench-results/fig10_port_contention.trace.json");
+
     std::printf("==============================================================\n");
     std::printf("Figure 10: port-contention attack, 10,000 monitor samples\n");
     std::printf("Paper reference: mul ~4 above threshold, div ~64 (16x)\n");
@@ -104,12 +109,19 @@ main()
         // Reproduction arms pin the paper's explicit seeds rather
         // than deriving them from the trial index.
         config.seed = arm.seed;
+        if (ctx.index == 1) {
+            // The div headline (Figure 10b) carries the event trace:
+            // replays interleaved with contended Monitor bursts.
+            config.machine.obs.traceEvents = obsOpts.trace;
+            config.machine.obs.traceCapacity = obsOpts.traceCapacity;
+        }
         const attack::PortContentionResult result =
             attack::runPortContentionAttack(config);
 
         exp::TrialOutput out;
         for (Cycles sample : result.samples)
             out.metric.add(static_cast<double>(sample));
+        out.metrics = result.metrics;
         out.simCycles = result.totalCycles;
         out.scope.episodes = 1;
         out.scope.totalReplays = result.replaysDone;
@@ -160,6 +172,18 @@ main()
                 campaign.workers, campaign.wallSeconds,
                 campaign.trialsPerSecond(),
                 campaign.simCyclesPerSecond() / 1e6);
+
+    if (obsOpts.metrics) {
+        std::printf("\nmetrics snapshot (merged across %zu trials):\n",
+                    campaign.trialCount);
+        obs::printMetrics(campaign.aggregate.metrics);
+    }
+    if (obsOpts.trace) {
+        if (obs::writeChromeTrace(obsOpts.tracePath, details[1].events))
+            std::printf("\nreplay timeline (Chrome trace-event JSON, "
+                        "open in ui.perfetto.dev): %s\n",
+                        obsOpts.tracePath.c_str());
+    }
 
     exp::JsonFileSink sink("bench-results");
     sink.consume(campaign);

@@ -20,6 +20,8 @@
 #include "common/random.hh"
 #include "exp/campaign.hh"
 #include "exp/result_sink.hh"
+#include "obs/chrome_trace.hh"
+#include "obs/cli.hh"
 
 using namespace uscope;
 
@@ -183,8 +185,11 @@ printPaperKeyDetail(const attack::AesAttackConfig &config,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const obs::BenchObsOptions obsOpts = obs::parseBenchObsOptions(
+        argc, argv, "bench-results/fig11_aes_replay.trace.json");
+
     std::printf("==============================================================\n");
     std::printf("Figure 11: probe latency of Td1's 16 lines across 3 replays\n");
     std::printf("Paper bands: L1 < 60 cy, L2/L3 100-200 cy, memory > 300 cy\n");
@@ -204,8 +209,12 @@ main()
     spec.body = [&](const exp::TrialContext &ctx) {
         exp::TrialOutput out;
         if (ctx.index == 0) {
-            const attack::Fig11Result fig11 =
-                attack::runFig11(paperConfig());
+            // Trial 0 carries the event trace: one Figure-11 replay
+            // timeline is what --trace is for.
+            attack::AesAttackConfig config = paperConfig();
+            config.machine.obs.traceEvents = obsOpts.trace;
+            config.machine.obs.traceCapacity = obsOpts.traceCapacity;
+            const attack::Fig11Result fig11 = attack::runFig11(config);
             out.payload =
                 exp::json::Value::object()
                     .set("kind", "fig11")
@@ -222,6 +231,7 @@ main()
             }
             out.payload.set("probe_latencies", std::move(probes));
             out.metric.add(fig11.matchesGroundTruth ? 1.0 : 0.0);
+            out.metrics = fig11.metrics;
             fig11Detail = std::move(fig11);
             return out;
         }
@@ -235,6 +245,7 @@ main()
                            ? static_cast<double>(recovery.correct) /
                                  recovery.recovered
                            : 0.0);
+        out.metrics = extraction.metrics;
         out.scope.episodes = recovery.episodes;
         out.scope.totalReplays = recovery.replays;
         out.scope.handleFaults = recovery.faults;
@@ -283,6 +294,18 @@ main()
                 campaign.workers, campaign.wallSeconds,
                 static_cast<unsigned long long>(
                     campaign.aggregate.scope.totalReplays));
+
+    if (obsOpts.metrics) {
+        std::printf("\nmetrics snapshot (merged across %zu trials):\n",
+                    campaign.trialCount);
+        obs::printMetrics(campaign.aggregate.metrics);
+    }
+    if (obsOpts.trace) {
+        if (obs::writeChromeTrace(obsOpts.tracePath, fig11Detail.events))
+            std::printf("\nreplay timeline (Chrome trace-event JSON, "
+                        "open in ui.perfetto.dev): %s\n",
+                        obsOpts.tracePath.c_str());
+    }
 
     exp::JsonFileSink sink("bench-results");
     sink.consume(campaign);

@@ -54,6 +54,7 @@ fig10StyleSpec(unsigned workers)
         exp::TrialOutput out;
         for (Cycles sample : result.samples)
             out.metric.add(static_cast<double>(sample));
+        out.metrics = result.metrics;
         out.simCycles = result.totalCycles;
         out.scope.episodes = 1;
         out.scope.totalReplays = result.replaysDone;
@@ -76,6 +77,7 @@ deterministicFingerprint(const exp::CampaignResult &result)
     for (const exp::TrialResult &trial : result.trials) {
         fp += '\n';
         fp += trial.output.payload.dump();
+        fp += trial.output.metrics.toJson().dump();
         fp += exp::json::Value(trial.output.simCycles).dump();
         fp += exp::trialStatusName(trial.status);
     }

@@ -103,7 +103,17 @@ struct AesRig
     }
 };
 
-} // anonymous namespace
+/** Machine + module metrics, snapshotted after a finished run. */
+obs::MetricSnapshot
+snapshotRun(const os::Machine &machine, const ms::Microscope &scope)
+{
+    obs::MetricRegistry registry;
+    machine.exportMetrics(registry);
+    scope.exportMetrics(registry);
+    return registry.snapshot();
+}
+
+} // namespace
 
 std::set<unsigned>
 LineProbe::hitLines(Cycles hit_threshold) const
@@ -169,6 +179,8 @@ runFig11(const AesAttackConfig &config)
         result.consistentAcrossPrimedReplays &&
         !result.measuredLines.empty() &&
         result.measuredLines.front() == result.expectedLines;
+    result.metrics = snapshotRun(rig.machine, scope);
+    result.events = rig.machine.observer().trace.drain();
     return result;
 }
 
@@ -309,6 +321,8 @@ runAesExtraction(const AesAttackConfig &config)
         episode.stable = scratch[e].stable;
         result.episodes.push_back(std::move(episode));
     }
+    result.metrics = snapshotRun(rig.machine, scope);
+    result.events = rig.machine.observer().trace.drain();
     return result;
 }
 

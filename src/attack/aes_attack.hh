@@ -34,6 +34,8 @@
 #include "common/types.hh"
 #include "crypto/aes.hh"
 #include "mem/hierarchy.hh"
+#include "obs/event.hh"
+#include "obs/metrics.hh"
 #include "os/machine.hh"
 
 namespace uscope::attack
@@ -73,6 +75,10 @@ struct Fig11Result
     std::vector<std::set<unsigned>> measuredLines;
     bool consistentAcrossPrimedReplays = false;
     bool matchesGroundTruth = false;
+    /** Component metrics snapshot taken after the run. */
+    obs::MetricSnapshot metrics;
+    /** Event trace (non-empty when config.machine.obs.traceEvents). */
+    obs::EventLog events;
 };
 
 /** Reproduce Figure 11. */
@@ -100,6 +106,10 @@ struct AesExtractionResult
     bool plaintextCorrect = false;
     std::uint64_t totalReplays = 0;
     std::uint64_t totalFaults = 0;
+    /** Component metrics snapshot taken after the run. */
+    obs::MetricSnapshot metrics;
+    /** Event trace (non-empty when config.machine.obs.traceEvents). */
+    obs::EventLog events;
 
     /** Per-round, per-table union of measured lines. */
     std::array<std::set<unsigned>, 4>

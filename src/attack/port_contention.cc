@@ -76,6 +76,12 @@ runPortContentionAttack(const PortContentionConfig &config)
     result.maxLatency = sorted.empty() ? 0 : sorted.back();
     result.inferredDivides =
         inferDivides(result.aboveThreshold, config.samples);
+
+    obs::MetricRegistry registry;
+    machine.exportMetrics(registry);
+    scope.exportMetrics(registry);
+    result.metrics = registry.snapshot();
+    result.events = machine.observer().trace.drain();
     return result;
 }
 

@@ -20,6 +20,8 @@
 #include <vector>
 
 #include "common/types.hh"
+#include "obs/event.hh"
+#include "obs/metrics.hh"
 #include "os/machine.hh"
 
 namespace uscope::attack
@@ -58,6 +60,10 @@ struct PortContentionResult
     /** The adversary's verdict: did the victim divide? */
     bool inferredDivides = false;
     Cycles totalCycles = 0;
+    /** Component metrics snapshot taken after the run. */
+    obs::MetricSnapshot metrics;
+    /** Event trace (non-empty when config.machine.obs.traceEvents). */
+    obs::EventLog events;
 };
 
 /** Run the attack once. */

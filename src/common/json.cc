@@ -1,10 +1,10 @@
-#include "exp/json.hh"
+#include "common/json.hh"
 
 #include <cmath>
 
 #include "common/logging.hh"
 
-namespace uscope::exp::json
+namespace uscope::json
 {
 
 Value &
@@ -153,4 +153,4 @@ Value::dump(int indent) const
     return out;
 }
 
-} // namespace uscope::exp::json
+} // namespace uscope::json

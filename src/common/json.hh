@@ -1,0 +1,82 @@
+/**
+ * @file
+ * A minimal, dependency-free JSON value + writer shared by result
+ * export (src/exp) and observability export (src/obs).  Write-only by
+ * design: the simulator produces results, external tooling (plots,
+ * EXPERIMENTS.md regeneration, Perfetto) consumes them — we never
+ * parse JSON back in.
+ *
+ * Objects preserve insertion order so dumps are deterministic and
+ * diffable; non-finite doubles serialize as null (JSON has no NaN).
+ */
+
+#ifndef USCOPE_COMMON_JSON_HH
+#define USCOPE_COMMON_JSON_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace uscope::json
+{
+
+/** One JSON value: null, bool, number, string, array, or object. */
+class Value
+{
+  public:
+    enum class Type { Null, Bool, Int, Uint, Double, String, Array,
+                      Object };
+
+    Value() = default;                       ///< null
+    Value(bool b) : type_(Type::Bool), bool_(b) {}
+    Value(int v) : type_(Type::Int), int_(v) {}
+    Value(std::int64_t v) : type_(Type::Int), int_(v) {}
+    Value(unsigned v) : type_(Type::Uint), uint_(v) {}
+    Value(std::uint64_t v) : type_(Type::Uint), uint_(v) {}
+    Value(double v) : type_(Type::Double), double_(v) {}
+    Value(const char *s) : type_(Type::String), string_(s) {}
+    Value(std::string s) : type_(Type::String), string_(std::move(s)) {}
+
+    /** Empty object / array factories (a default Value is null). */
+    static Value object() { return Value(Type::Object); }
+    static Value array() { return Value(Type::Array); }
+
+    Type type() const { return type_; }
+    bool isNull() const { return type_ == Type::Null; }
+
+    /** Object insert (keeps insertion order); returns *this to chain. */
+    Value &set(std::string key, Value v);
+
+    /** Array append; returns *this to chain. */
+    Value &push(Value v);
+
+    std::size_t size() const;
+
+    /**
+     * Serialize.  @p indent < 0 produces a compact single line;
+     * otherwise nested structures indent by @p indent spaces.
+     */
+    std::string dump(int indent = -1) const;
+
+    /** JSON-escape @p s (no surrounding quotes). */
+    static std::string escape(const std::string &s);
+
+  private:
+    explicit Value(Type type) : type_(type) {}
+
+    void dumpTo(std::string &out, int indent, int depth) const;
+
+    Type type_ = Type::Null;
+    bool bool_ = false;
+    std::int64_t int_ = 0;
+    std::uint64_t uint_ = 0;
+    double double_ = 0.0;
+    std::string string_;
+    std::vector<Value> array_;
+    std::vector<std::pair<std::string, Value>> object_;
+};
+
+} // namespace uscope::json
+
+#endif // USCOPE_COMMON_JSON_HH

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <mutex>
 #include <set>
+#include <vector>
 
 namespace uscope
 {
@@ -76,27 +77,69 @@ inform(const char *fmt, ...)
 namespace
 {
 
-std::mutex traceMutex;
-std::set<std::string> enabledCategories;
+/**
+ * Registry state shared by every Trace instance.  Function-local so
+ * namespace-scope `const Trace` objects in other translation units can
+ * register during static initialization without an ordering hazard.
+ */
+struct TraceRegistry
+{
+    std::mutex lock;
+    std::set<std::string> categories;
+    std::vector<const Trace *> instances;
+    /** Serializes print() output so lines never interleave. */
+    std::mutex printLock;
+};
+
+TraceRegistry &
+registry()
+{
+    static TraceRegistry instance;
+    return instance;
+}
 
 bool
-categoryEnabled(const std::string &category)
+categoryEnabledLocked(const TraceRegistry &reg,
+                      const std::string &category)
 {
-    std::lock_guard<std::mutex> lock(traceMutex);
-    return enabledCategories.count("*") > 0 ||
-           enabledCategories.count(category) > 0;
+    return reg.categories.count("*") > 0 ||
+           reg.categories.count(category) > 0;
 }
 
 } // anonymous namespace
 
+/** Grants the registry access to each instance's cached flag. */
+struct TraceRegistryAccess
+{
+    static void
+    refresh(const Trace &trace, bool enabled)
+    {
+        trace.enabled_.store(enabled, std::memory_order_relaxed);
+    }
+
+    static void
+    refreshAllLocked(TraceRegistry &reg)
+    {
+        for (const Trace *trace : reg.instances)
+            refresh(*trace,
+                    categoryEnabledLocked(reg, trace->category()));
+    }
+};
+
 Trace::Trace(std::string category) : category_(std::move(category))
 {
+    TraceRegistry &reg = registry();
+    std::lock_guard<std::mutex> guard(reg.lock);
+    reg.instances.push_back(this);
+    TraceRegistryAccess::refresh(*this,
+                                 categoryEnabledLocked(reg, category_));
 }
 
-bool
-Trace::enabled() const
+Trace::~Trace()
 {
-    return categoryEnabled(category_);
+    TraceRegistry &reg = registry();
+    std::lock_guard<std::mutex> guard(reg.lock);
+    std::erase(reg.instances, this);
 }
 
 void
@@ -108,6 +151,7 @@ Trace::print(std::uint64_t cycle, const char *fmt, ...) const
     va_start(ap, fmt);
     std::string msg = vformat(fmt, ap);
     va_end(ap);
+    std::lock_guard<std::mutex> guard(registry().printLock);
     std::fprintf(stderr, "%10llu: %s: %s\n",
                  static_cast<unsigned long long>(cycle),
                  category_.c_str(), msg.c_str());
@@ -116,22 +160,28 @@ Trace::print(std::uint64_t cycle, const char *fmt, ...) const
 void
 Trace::enable(const std::string &category)
 {
-    std::lock_guard<std::mutex> lock(traceMutex);
-    enabledCategories.insert(category);
+    TraceRegistry &reg = registry();
+    std::lock_guard<std::mutex> guard(reg.lock);
+    reg.categories.insert(category);
+    TraceRegistryAccess::refreshAllLocked(reg);
 }
 
 void
 Trace::disable(const std::string &category)
 {
-    std::lock_guard<std::mutex> lock(traceMutex);
-    enabledCategories.erase(category);
+    TraceRegistry &reg = registry();
+    std::lock_guard<std::mutex> guard(reg.lock);
+    reg.categories.erase(category);
+    TraceRegistryAccess::refreshAllLocked(reg);
 }
 
 void
 Trace::disableAll()
 {
-    std::lock_guard<std::mutex> lock(traceMutex);
-    enabledCategories.clear();
+    TraceRegistry &reg = registry();
+    std::lock_guard<std::mutex> guard(reg.lock);
+    reg.categories.clear();
+    TraceRegistryAccess::refreshAllLocked(reg);
 }
 
 } // namespace uscope

@@ -13,11 +13,27 @@
  * A lightweight trace facility (Trace) lets components emit per-cycle
  * event logs gated by named categories; it is off by default so benches
  * run at full speed.
+ *
+ * Thread-safety contract (campaign workers run concurrent Machines):
+ *  - The global category set is guarded by an internal mutex;
+ *    enable()/disable()/disableAll() may be called from any thread.
+ *  - Trace::enabled() is a single relaxed atomic load — lock-free, so
+ *    hot simulation paths never contend on the category registry.
+ *    Each live Trace instance caches its own enabled flag; the
+ *    category mutators walk the instance registry and refresh every
+ *    cached flag under the lock.
+ *  - print() serializes its final write so concurrent trace lines
+ *    never interleave mid-line.
+ *  - A Trace object itself must not be destroyed concurrently with a
+ *    category mutation that could observe it; in practice Trace
+ *    instances are namespace-scope constants or per-Machine members,
+ *    both of which satisfy this.
  */
 
 #ifndef USCOPE_COMMON_LOGGING_HH
 #define USCOPE_COMMON_LOGGING_HH
 
+#include <atomic>
 #include <cstdarg>
 #include <stdexcept>
 #include <string>
@@ -67,9 +83,18 @@ class Trace
 {
   public:
     explicit Trace(std::string category);
+    ~Trace();
 
-    /** True when this category is currently enabled. */
-    bool enabled() const;
+    Trace(const Trace &) = delete;
+    Trace &operator=(const Trace &) = delete;
+
+    /** True when this category is currently enabled (lock-free). */
+    bool enabled() const
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+
+    const std::string &category() const { return category_; }
 
     /** Emit one trace line, prefixed by the cycle and category. */
     void print(std::uint64_t cycle, const char *fmt, ...) const
@@ -80,7 +105,12 @@ class Trace
     static void disableAll();
 
   private:
+    friend struct TraceRegistryAccess;
+
     std::string category_;
+    /** Cached gate, refreshed under the registry lock by the static
+     *  mutators; mutable so `const Trace` globals stay valid. */
+    mutable std::atomic<bool> enabled_{false};
 };
 
 } // namespace uscope

@@ -132,6 +132,10 @@ Histogram::merge(const Histogram &other)
 std::uint64_t
 Histogram::countAbove(double threshold) const
 {
+    if (!keepRaw_ && summary_.count())
+        panic("Histogram::countAbove on a keep_raw=false histogram "
+              "with %llu samples",
+              static_cast<unsigned long long>(summary_.count()));
     std::uint64_t n = 0;
     for (double s : samples_)
         if (s > threshold)
@@ -142,6 +146,10 @@ Histogram::countAbove(double threshold) const
 double
 Histogram::percentile(double fraction) const
 {
+    if (!keepRaw_ && summary_.count())
+        panic("Histogram::percentile on a keep_raw=false histogram "
+              "with %llu samples",
+              static_cast<unsigned long long>(summary_.count()));
     if (samples_.empty())
         return 0.0;
     std::vector<double> sorted = samples_;

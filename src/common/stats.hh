@@ -87,10 +87,23 @@ class Histogram
     std::uint64_t overflow() const { return overflow_; }
     const std::vector<double> &samples() const { return samples_; }
 
-    /** Number of samples strictly greater than @p threshold. */
+    /** True when raw samples are retained (keep_raw at construction). */
+    bool keepRaw() const { return keepRaw_; }
+
+    /**
+     * Number of samples strictly greater than @p threshold.  Requires
+     * raw samples: calling this on a populated keep_raw=false
+     * histogram is a simulator bug and panics (it would otherwise
+     * silently report 0).
+     */
     std::uint64_t countAbove(double threshold) const;
 
-    /** Value below which @p fraction of the samples fall (raw mode). */
+    /**
+     * Value below which @p fraction of the samples fall.  Requires raw
+     * samples: calling this on a populated keep_raw=false histogram is
+     * a simulator bug and panics (it would otherwise silently return
+     * garbage).
+     */
     double percentile(double fraction) const;
 
     /** Lower edge of bucket @p idx. */

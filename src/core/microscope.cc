@@ -1,6 +1,7 @@
 #include "core/microscope.hh"
 
 #include "common/logging.hh"
+#include "obs/metrics.hh"
 
 namespace uscope::ms
 {
@@ -195,6 +196,10 @@ Microscope::onPageFault(const os::PageFaultEvent &event)
         ++stats_.handleFaults;
         ++stats_.totalReplays;
         ++replays_;
+        if (obs::tracing(&machine_.observer()))
+            machine_.observer().trace.record(
+                obs::EventKind::ReplayBoundary, /*handle=*/1,
+                static_cast<std::uint16_t>(replays_), stats_.episodes);
         const ReplayEvent replay{*this, event, replays_,
                                  stats_.episodes};
 
@@ -219,6 +224,10 @@ Microscope::onPageFault(const os::PageFaultEvent &event)
         // Arm before releasing: arming flushes the (shared) upper
         // page-table levels and PWC prefixes, which must not undo the
         // released page's fast-walk staging.
+        if (obs::tracing(&machine_.observer()))
+            machine_.observer().trace.record(
+                obs::EventKind::EpisodeEnd, 0,
+                static_cast<std::uint16_t>(replays_), stats_.episodes);
         ++stats_.episodes;
         replays_ = 0;
         if (recipe_.pivot &&
@@ -236,6 +245,10 @@ Microscope::onPageFault(const os::PageFaultEvent &event)
 
     if (recipe_.pivot && fault_vpn == pageNumber(*recipe_.pivot)) {
         ++stats_.pivotFaults;
+        if (obs::tracing(&machine_.observer()))
+            machine_.observer().trace.record(
+                obs::EventKind::ReplayBoundary, /*pivot=*/2, 0,
+                stats_.episodes);
         const ReplayEvent replay{*this, event, 0, stats_.episodes};
         if (recipe_.onPivot)
             recipe_.onPivot(replay);
@@ -278,6 +291,17 @@ Microscope::primeMonitorAddrs()
             kernel_.flushPhysLine(*pa);
         }
     }
+}
+
+void
+Microscope::exportMetrics(obs::MetricRegistry &registry) const
+{
+    registry.counter("os.faults.replayed").set(stats_.totalReplays);
+    registry.counter("os.replay.episodes").set(stats_.episodes);
+    registry.counter("os.replay.handle_faults").set(stats_.handleFaults);
+    registry.counter("os.replay.pivot_faults").set(stats_.pivotFaults);
+    registry.counter("os.replay.foreign_faults")
+        .set(stats_.foreignFaults);
 }
 
 } // namespace uscope::ms

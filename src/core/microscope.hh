@@ -135,6 +135,9 @@ class Microscope : public os::FaultModule
 
     const MicroscopeStats &stats() const { return stats_; }
 
+    /** Register os.replay.* and os.faults.replayed counters. */
+    void exportMetrics(obs::MetricRegistry &registry) const;
+
     /** Replays so far in the current episode. */
     std::uint64_t replaysThisEpisode() const { return replays_; }
 

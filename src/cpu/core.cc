@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "obs/metrics.hh"
 
 namespace uscope::cpu
 {
@@ -38,12 +39,6 @@ isBarrier(Op op, bool rdrand_serializing)
            (op == Op::Rdrand && rdrand_serializing);
 }
 
-} // anonymous namespace
-
-namespace
-{
-const Trace retireTrace("retire");
-const Trace issueTrace("issue");
 } // anonymous namespace
 
 Core::Core(mem::PhysMem &mem, mem::Hierarchy &hierarchy, vm::Mmu &mmu,
@@ -88,6 +83,40 @@ void
 Core::setMemProbe(MemProbe probe)
 {
     memProbe_ = std::move(probe);
+}
+
+void
+Core::setObserver(obs::Observer *observer)
+{
+    obs_ = observer;
+    if (obs_)
+        obs_->trace.bindClock(&cycle_);
+}
+
+void
+Core::exportMetrics(obs::MetricRegistry &registry) const
+{
+    CtxStats sum;
+    for (const Context &ctx : contexts_) {
+        sum.fetched += ctx.stats.fetched;
+        sum.retired += ctx.stats.retired;
+        sum.squashed += ctx.stats.squashed;
+        sum.pageFaults += ctx.stats.pageFaults;
+        sum.mispredicts += ctx.stats.mispredicts;
+        sum.txAborts += ctx.stats.txAborts;
+        sum.stallCycles += ctx.stats.stallCycles;
+    }
+    registry.counter("core.fetched").set(sum.fetched);
+    registry.counter("core.retired").set(sum.retired);
+    registry.counter("core.rob.squashes").set(sum.squashed);
+    registry.counter("core.page_faults").set(sum.pageFaults);
+    registry.counter("core.mispredicts").set(sum.mispredicts);
+    registry.counter("core.tx_aborts").set(sum.txAborts);
+    registry.counter("core.stall_cycles").set(sum.stallCycles);
+    registry.gauge("core.cycles").set(static_cast<double>(cycle_));
+    for (unsigned port = 0; port < numPorts; ++port)
+        registry.counter(format("core.ports.p%u.issues", port))
+            .set(ports_.issues(port));
 }
 
 void
@@ -269,11 +298,20 @@ void
 Core::squashYounger(unsigned ctx_id, std::int64_t keep_seq)
 {
     Context &ctx = ctxAt(ctx_id);
+    std::uint64_t popped = 0;
+    std::uint64_t oldest_pc = 0;
     while (!ctx.rob.empty() &&
            static_cast<std::int64_t>(ctx.rob.back().seq) > keep_seq) {
         ++ctx.stats.squashed;
+        oldest_pc = ctx.rob.back().pc;
         ctx.rob.pop_back();
+        ++popped;
     }
+    if (popped && obs::tracing(obs_))
+        obs_->trace.record(obs::EventKind::Squash,
+                           static_cast<std::uint8_t>(ctx_id),
+                           static_cast<std::uint16_t>(popped),
+                           oldest_pc);
     rebuildWriterTables(ctx);
 }
 
@@ -409,12 +447,11 @@ Core::retireOne(unsigned ctx_id)
 
     const Instruction &inst = head.inst;
 
-    if (retireTrace.enabled())
-        retireTrace.print(cycle_, "ctx%u pc=%llu %s result=%llu",
-                          ctx_id,
-                          static_cast<unsigned long long>(head.pc),
-                          opName(inst.op),
-                          static_cast<unsigned long long>(head.result));
+    if (obs::tracing(obs_))
+        obs_->trace.record(obs::EventKind::Retire,
+                           static_cast<std::uint8_t>(ctx_id),
+                           static_cast<std::uint16_t>(inst.op),
+                           head.pc);
 
     if (writesInt(inst.op))
         ctx.intRegs[inst.rd] = head.result;
@@ -489,6 +526,11 @@ Core::handleFaultAtHead(unsigned ctx_id, const RobEntry &head)
 {
     Context &ctx = contexts_[ctx_id];
     ++ctx.stats.pageFaults;
+
+    if (obs::tracing(obs_))
+        obs_->trace.record(obs::EventKind::PageFault,
+                           static_cast<std::uint8_t>(ctx_id), 0,
+                           head.faultVa);
 
     const FaultInfo info{ctx_id, head.faultVa, head.pc,
                          isStore(head.inst.op)};
@@ -795,22 +837,23 @@ Core::tryIssue(unsigned ctx_id, RobEntry &entry)
     else if (choices.second != 0xFF &&
              ports_.canIssue(choices.second, cycle_))
         port = choices.second;
-    if (port == numPorts)
+    if (port == numPorts) {
+        if (obs::tracing(obs_))
+            obs_->trace.record(obs::EventKind::PortConflict,
+                               static_cast<std::uint8_t>(ctx_id),
+                               static_cast<std::uint16_t>(inst.op),
+                               entry.pc);
         return false;
+    }
 
     Cycles latency = 0;
     executeEntry(ctx_id, entry, latency);
 
-    if (issueTrace.enabled())
-        issueTrace.print(cycle_, "ctx%u pc=%llu seq=%llu %s dep1=%lld "
-                         "dep2=%lld result=%llu lat=%llu",
-                         ctx_id,
-                         static_cast<unsigned long long>(entry.pc),
-                         static_cast<unsigned long long>(entry.seq),
-                         opName(inst.op), (long long)entry.dep1,
-                         (long long)entry.dep2,
-                         static_cast<unsigned long long>(entry.result),
-                         static_cast<unsigned long long>(latency));
+    if (obs::tracing(obs_))
+        obs_->trace.record(obs::EventKind::SpecIssue,
+                           static_cast<std::uint8_t>(ctx_id),
+                           static_cast<std::uint16_t>(inst.op),
+                           entry.pc);
 
     ports_.occupy(port, cycle_, latency, unpipelined(inst.op));
     entry.state = RobEntry::State::Executing;

@@ -48,7 +48,13 @@
 #include "cpu/program.hh"
 #include "mem/hierarchy.hh"
 #include "mem/phys_mem.hh"
+#include "obs/observer.hh"
 #include "vm/mmu.hh"
+
+namespace uscope::obs
+{
+class MetricRegistry;
+} // namespace uscope::obs
 
 namespace uscope::cpu
 {
@@ -210,6 +216,14 @@ class Core
     /** Current ROB occupancy (tests). */
     std::size_t robOccupancy(unsigned ctx) const;
 
+    /** Wire the owning Machine's observability hub (may be null);
+     *  binds the hub's event clock to this core's cycle counter. */
+    void setObserver(obs::Observer *observer);
+
+    /** Register core.* (per-context sums, ROB squashes, port issue
+     *  counts) into @p registry. */
+    void exportMetrics(obs::MetricRegistry &registry) const;
+
   private:
     /** One reorder-buffer entry. */
     struct RobEntry
@@ -340,6 +354,7 @@ class Core
     FaultHandler faultHandler_;
     RdrandSource rdrandSource_;
     MemProbe memProbe_;
+    obs::Observer *obs_ = nullptr;
 };
 
 } // namespace uscope::cpu

@@ -76,6 +76,46 @@ toJson(const Summary &summary)
 }
 
 json::Value
+toJson(const Histogram &histogram, std::size_t max_raw_samples)
+{
+    json::Value v = json::Value::object()
+                        .set("summary", toJson(histogram.summary()))
+                        .set("underflow", histogram.underflow())
+                        .set("overflow", histogram.overflow());
+    json::Value buckets = json::Value::array();
+    for (std::uint64_t count : histogram.buckets())
+        buckets.push(count);
+    v.set("buckets", std::move(buckets));
+
+    if (!histogram.keepRaw())
+        return v;
+
+    const std::vector<double> &raw = histogram.samples();
+    json::Value samples = json::Value::array();
+    std::uint64_t dropped = 0;
+    if (max_raw_samples == 0 || raw.size() <= max_raw_samples) {
+        for (double sample : raw)
+            samples.push(sample);
+    } else {
+        // Deterministic stride sampling: every k-th sample, where k
+        // depends only on the sizes — not on threads or time.
+        const std::size_t stride =
+            (raw.size() + max_raw_samples - 1) / max_raw_samples;
+        for (std::size_t i = 0; i < raw.size(); i += stride)
+            samples.push(raw[i]);
+        dropped = raw.size() - (raw.size() + stride - 1) / stride;
+        warn("histogram JSON export: %llu of %zu raw samples dropped "
+             "(cap %zu, stride %zu)",
+             static_cast<unsigned long long>(dropped), raw.size(),
+             max_raw_samples, stride);
+    }
+    v.set("samples", std::move(samples));
+    v.set("samples_total", std::uint64_t{raw.size()});
+    v.set("samples_dropped", dropped);
+    return v;
+}
+
+json::Value
 TrialResult::toJson() const
 {
     json::Value v = json::Value::object()
@@ -88,6 +128,8 @@ TrialResult::toJson() const
         v.set("error", error);
     if (output.metric.count())
         v.set("metric", exp::toJson(output.metric));
+    if (!output.metrics.empty())
+        v.set("metrics", output.metrics.toJson());
     if (!output.payload.isNull())
         v.set("payload", output.payload);
     return v;
@@ -96,7 +138,7 @@ TrialResult::toJson() const
 json::Value
 CampaignAggregate::toJson() const
 {
-    return json::Value::object()
+    json::Value v = json::Value::object()
         .set("ok", std::uint64_t{ok})
         .set("failed", std::uint64_t{failed})
         .set("timed_out", std::uint64_t{timedOut})
@@ -108,6 +150,9 @@ CampaignAggregate::toJson() const
                           .set("foreign_faults", scope.foreignFaults)
                           .set("episodes", scope.episodes)
                           .set("total_replays", scope.totalReplays));
+    if (!metrics.empty())
+        v.set("metrics", metrics.toJson());
+    return v;
 }
 
 double
@@ -272,6 +317,7 @@ CampaignRunner::run()
         }
         campaign.aggregate.metric.merge(trial.output.metric);
         campaign.aggregate.scope.merge(trial.output.scope);
+        campaign.aggregate.metrics.merge(trial.output.metrics);
         campaign.aggregate.simCycles += trial.output.simCycles;
         if (spec_.reduce)
             spec_.reduce(trial);

@@ -39,6 +39,7 @@
 #include "common/types.hh"
 #include "core/microscope.hh"
 #include "exp/json.hh"
+#include "obs/metrics.hh"
 #include "os/machine.hh"
 
 namespace uscope::exp
@@ -100,6 +101,9 @@ struct TrialOutput
     Cycles simCycles = 0;
     /** MicroScope module counters (merged into the aggregate). */
     ms::MicroscopeStats scope;
+    /** Component metrics (Machine::metricsSnapshot() + extras);
+     *  merged into the aggregate in trial-index order. */
+    obs::MetricSnapshot metrics;
 };
 
 enum class TrialStatus { Ok, Failed, TimedOut };
@@ -170,6 +174,7 @@ struct CampaignAggregate
 {
     Summary metric;
     ms::MicroscopeStats scope;
+    obs::MetricSnapshot metrics;
     Cycles simCycles = 0;
     std::size_t ok = 0;
     std::size_t failed = 0;
@@ -219,6 +224,16 @@ CampaignResult runCampaign(CampaignSpec spec);
 
 /** Serialize a Summary (count/mean/stddev/min/max) to JSON. */
 json::Value toJson(const Summary &summary);
+
+/**
+ * Serialize a Histogram: summary, buckets, and (when retained) the raw
+ * samples.  Raw-sample arrays longer than @p max_raw_samples are
+ * deterministically stride-sampled down to at most that many entries;
+ * the drop is recorded in the JSON ("samples_dropped") and warned
+ * about, never silent.
+ */
+json::Value toJson(const Histogram &histogram,
+                   std::size_t max_raw_samples = 4096);
 
 } // namespace uscope::exp
 

@@ -1,6 +1,7 @@
 #include "mem/hierarchy.hh"
 
 #include "common/logging.hh"
+#include "obs/metrics.hh"
 
 namespace uscope::mem
 {
@@ -56,25 +57,29 @@ Hierarchy::fillLine(PAddr addr, bool into_l1, bool into_l2)
 AccessResult
 Hierarchy::access(PAddr addr)
 {
-    if (l1_.access(addr))
-        return {HitLevel::L1, config_.l1Latency};
-
-    if (l2_.access(addr)) {
+    AccessResult result;
+    if (l1_.access(addr)) {
+        result = {HitLevel::L1, config_.l1Latency};
+    } else if (l2_.access(addr)) {
         l1_.insert(addr);
-        return {HitLevel::L2, config_.l2Latency};
-    }
-
-    if (l3_.access(addr)) {
+        result = {HitLevel::L2, config_.l2Latency};
+    } else if (l3_.access(addr)) {
         fillLine(addr, true, true);
-        return {HitLevel::L3, config_.l3Latency};
+        result = {HitLevel::L3, config_.l3Latency};
+    } else {
+        fillLine(addr, true, true);
+        const Cycles jitter = config_.dramJitter
+            ? rng_.range(0, 2 * config_.dramJitter)
+            : config_.dramJitter;
+        result = {HitLevel::Dram,
+                  config_.dramLatency - config_.dramJitter + jitter};
     }
-
-    fillLine(addr, true, true);
-    const Cycles jitter = config_.dramJitter
-        ? rng_.range(0, 2 * config_.dramJitter)
-        : config_.dramJitter;
-    return {HitLevel::Dram,
-            config_.dramLatency - config_.dramJitter + jitter};
+    if (obs::tracing(obs_))
+        obs_->trace.record(obs::EventKind::CacheAccess,
+                           static_cast<std::uint8_t>(result.level),
+                           static_cast<std::uint16_t>(result.latency),
+                           lineBase(addr));
+    return result;
 }
 
 HitLevel
@@ -134,6 +139,30 @@ Hierarchy::resetStats()
     l1_.resetStats();
     l2_.resetStats();
     l3_.resetStats();
+}
+
+namespace
+{
+
+void
+exportCache(obs::MetricRegistry &registry, const std::string &prefix,
+            const CacheStats &stats)
+{
+    registry.counter(prefix + ".hits").set(stats.hits);
+    registry.counter(prefix + ".misses").set(stats.misses);
+    registry.counter(prefix + ".evictions").set(stats.evictions);
+    registry.counter(prefix + ".invalidations")
+        .set(stats.invalidations);
+}
+
+} // anonymous namespace
+
+void
+Hierarchy::exportMetrics(obs::MetricRegistry &registry) const
+{
+    exportCache(registry, "mem.l1d", l1_.stats());
+    exportCache(registry, "mem.l2", l2_.stats());
+    exportCache(registry, "mem.l3", l3_.stats());
 }
 
 } // namespace uscope::mem

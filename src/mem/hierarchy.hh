@@ -23,6 +23,12 @@
 #include "common/random.hh"
 #include "common/types.hh"
 #include "mem/cache.hh"
+#include "obs/observer.hh"
+
+namespace uscope::obs
+{
+class MetricRegistry;
+} // namespace uscope::obs
 
 namespace uscope::mem
 {
@@ -117,6 +123,12 @@ class Hierarchy
 
     void resetStats();
 
+    /** Wire the owning Machine's observability hub (may be null). */
+    void setObserver(obs::Observer *observer) { obs_ = observer; }
+
+    /** Register mem.l1d/l2/l3.* counters from the cache stats. */
+    void exportMetrics(obs::MetricRegistry &registry) const;
+
   private:
     void fillLine(PAddr addr, bool into_l1, bool into_l2);
 
@@ -125,6 +137,7 @@ class Hierarchy
     Cache l2_;
     Cache l3_;
     Rng rng_;
+    obs::Observer *obs_ = nullptr;
 };
 
 } // namespace uscope::mem

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Chrome trace-event export: renders a drained EventLog as the JSON
+ * object format (`{"traceEvents": [...]}`) understood by Perfetto and
+ * chrome://tracing, so a Fig-10/11 replay shows up as a visual
+ * timeline.
+ *
+ * Mapping: one simulated cycle is rendered as one microsecond (the
+ * trace-event "ts" unit).  Page walks become duration ("B"/"E") spans
+ * on the walker track; everything else is an instant event on a track
+ * per subsystem (replay boundaries, walker, memory, one track per SMT
+ * context).  Ring-buffer drops and writer-side caps are reported in a
+ * metadata instant, never silently.
+ */
+
+#ifndef USCOPE_OBS_CHROME_TRACE_HH
+#define USCOPE_OBS_CHROME_TRACE_HH
+
+#include <cstddef>
+#include <string>
+
+#include "obs/event.hh"
+
+namespace uscope::obs
+{
+
+/** Writer knobs. */
+struct ChromeTraceOptions
+{
+    /** Emit at most this many events; the tail beyond it is dropped
+     *  with a warn() and an in-trace annotation. */
+    std::size_t maxEvents = 1u << 20;
+};
+
+/** Render @p log as a Chrome trace-event JSON document. */
+std::string toChromeTraceJson(const EventLog &log,
+                              const ChromeTraceOptions &options = {});
+
+/**
+ * Write toChromeTraceJson(@p log) to @p path.
+ * @return true on success; warns and returns false on I/O failure.
+ */
+bool writeChromeTrace(const std::string &path, const EventLog &log,
+                      const ChromeTraceOptions &options = {});
+
+} // namespace uscope::obs
+
+#endif // USCOPE_OBS_CHROME_TRACE_HH

@@ -1,0 +1,92 @@
+#include "obs/cli.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace uscope::obs
+{
+
+namespace
+{
+
+/** Match `--flag` or `--flag=value`; value (or null) via @p value. */
+bool
+matchFlag(const char *arg, const char *flag, const char **value)
+{
+    const std::size_t len = std::strlen(flag);
+    if (std::strncmp(arg, flag, len) != 0)
+        return false;
+    if (arg[len] == '\0') {
+        *value = nullptr;
+        return true;
+    }
+    if (arg[len] == '=') {
+        *value = arg + len + 1;
+        return true;
+    }
+    return false;
+}
+
+} // anonymous namespace
+
+BenchObsOptions
+parseBenchObsOptions(int argc, char **argv,
+                     const std::string &default_trace_path)
+{
+    BenchObsOptions opts;
+    opts.tracePath = default_trace_path;
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        const char *value = nullptr;
+        if (matchFlag(arg, "--trace", &value)) {
+            opts.trace = true;
+            if (value && *value)
+                opts.tracePath = value;
+        } else if (matchFlag(arg, "--trace-capacity", &value)) {
+            if (!value || !*value)
+                panic("--trace-capacity requires a value");
+            char *end = nullptr;
+            const unsigned long long n = std::strtoull(value, &end, 0);
+            if (!end || *end != '\0' || n == 0)
+                panic("--trace-capacity: bad value '%s'", value);
+            opts.traceCapacity = static_cast<std::size_t>(n);
+        } else if (matchFlag(arg, "--metrics", &value)) {
+            opts.metrics = true;
+        } else {
+            warn("ignoring unknown argument '%s' "
+                 "(known: --trace[=PATH], --trace-capacity=N, "
+                 "--metrics)",
+                 arg);
+        }
+    }
+    return opts;
+}
+
+void
+printMetrics(const MetricSnapshot &snapshot)
+{
+    for (const MetricValue &value : snapshot.values) {
+        switch (value.kind) {
+          case MetricKind::Counter:
+            std::printf("%-32s %llu\n", value.name.c_str(),
+                        static_cast<unsigned long long>(value.counter));
+            break;
+          case MetricKind::Gauge:
+            std::printf("%-32s %.6g\n", value.name.c_str(), value.gauge);
+            break;
+          case MetricKind::Latency:
+            std::printf("%-32s count=%llu mean=%.2f min=%.0f max=%.0f\n",
+                        value.name.c_str(),
+                        static_cast<unsigned long long>(
+                            value.latency.count()),
+                        value.latency.mean(), value.latency.min(),
+                        value.latency.max());
+            break;
+        }
+    }
+}
+
+} // namespace uscope::obs

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * The benches' shared `--trace` / `--metrics` command-line surface.
+ *
+ * Flags:
+ *   --trace[=PATH]     enable event tracing; dump a Chrome trace-event
+ *                      JSON to PATH (default: the bench's canonical
+ *                      path under bench-results/).
+ *   --trace-capacity=N ring slots (rounded up to a power of two).
+ *   --metrics          print a metrics snapshot to stdout (metrics
+ *                      always flow into the campaign JSON regardless).
+ *
+ * Unknown arguments warn and are ignored so the benches stay ctest-
+ * and script-friendly.
+ */
+
+#ifndef USCOPE_OBS_CLI_HH
+#define USCOPE_OBS_CLI_HH
+
+#include <cstddef>
+#include <string>
+
+#include "obs/metrics.hh"
+
+namespace uscope::obs
+{
+
+/** Parsed bench observability options. */
+struct BenchObsOptions
+{
+    bool trace = false;
+    std::string tracePath;
+    std::size_t traceCapacity = std::size_t{1} << 16;
+    bool metrics = false;
+};
+
+/**
+ * Parse argv.  @p default_trace_path seeds tracePath when --trace is
+ * given without a value.
+ */
+BenchObsOptions parseBenchObsOptions(
+    int argc, char **argv, const std::string &default_trace_path);
+
+/** Pretty-print a snapshot, one `name = value` line per metric. */
+void printMetrics(const MetricSnapshot &snapshot);
+
+} // namespace uscope::obs
+
+#endif // USCOPE_OBS_CLI_HH

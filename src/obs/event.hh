@@ -1,0 +1,88 @@
+/**
+ * @file
+ * The typed event taxonomy of the observability subsystem.
+ *
+ * An Event is a compact, fixed-size record — no strings, no
+ * formatting — so the hot simulation loop can log one with a couple
+ * of stores.  Decoding to something human-readable (names, Chrome
+ * trace JSON) happens offline in chrome_trace.cc.
+ *
+ * Field conventions per kind (a/b are small scalar payloads, addr is
+ * the address-like payload):
+ *
+ *   kind            a                 b                  addr
+ *   --------------- ----------------- ------------------ -----------
+ *   WalkStart       start level       -                  va
+ *   WalkStep        pt level          fetch latency      entry pa
+ *   WalkEnd         fault (0/1)       total walk latency va
+ *   TlbMiss         -                 -                  va
+ *   SpecIssue       ctx               op                 pc
+ *   Retire          ctx               op                 pc
+ *   Squash          ctx               entries squashed   pc
+ *   PortConflict    ctx               op                 pc
+ *   CacheAccess     hit level         latency            line pa
+ *   PageFault       ctx               -                  va
+ *   Probe           hit level         latency            line pa
+ *   ReplayBoundary  1=handle 2=pivot  replay # (sat.)    episode
+ *   EpisodeEnd      -                 replays (sat.)     episode
+ */
+
+#ifndef USCOPE_OBS_EVENT_HH
+#define USCOPE_OBS_EVENT_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace uscope::obs
+{
+
+/** What happened. */
+enum class EventKind : std::uint8_t
+{
+    WalkStart,
+    WalkStep,
+    WalkEnd,
+    TlbMiss,
+    SpecIssue,
+    Retire,
+    Squash,
+    PortConflict,
+    CacheAccess,
+    PageFault,
+    Probe,
+    ReplayBoundary,
+    EpisodeEnd,
+};
+
+constexpr unsigned numEventKinds =
+    static_cast<unsigned>(EventKind::EpisodeEnd) + 1;
+
+/** Printable name of an event kind. */
+const char *eventKindName(EventKind kind);
+
+/** One timestamped event record (24 bytes). */
+struct Event
+{
+    std::uint64_t cycle = 0;
+    EventKind kind = EventKind::WalkStart;
+    std::uint8_t a = 0;
+    std::uint16_t b = 0;
+    std::uint64_t addr = 0;
+};
+
+/** A drained trace: the retained events plus what the ring dropped. */
+struct EventLog
+{
+    /** Retained events, oldest first. */
+    std::vector<Event> events;
+    /** Events recorded but overwritten by ring wrap-around. */
+    std::uint64_t dropped = 0;
+    /** Total events ever recorded (events.size() + dropped). */
+    std::uint64_t total = 0;
+
+    bool empty() const { return events.empty(); }
+};
+
+} // namespace uscope::obs
+
+#endif // USCOPE_OBS_EVENT_HH

@@ -1,0 +1,69 @@
+#include "obs/event_trace.hh"
+
+#include <bit>
+
+#include "common/logging.hh"
+
+namespace uscope::obs
+{
+
+const char *
+eventKindName(EventKind kind)
+{
+    switch (kind) {
+      case EventKind::WalkStart: return "WalkStart";
+      case EventKind::WalkStep: return "WalkStep";
+      case EventKind::WalkEnd: return "WalkEnd";
+      case EventKind::TlbMiss: return "TlbMiss";
+      case EventKind::SpecIssue: return "SpecIssue";
+      case EventKind::Retire: return "Retire";
+      case EventKind::Squash: return "Squash";
+      case EventKind::PortConflict: return "PortConflict";
+      case EventKind::CacheAccess: return "CacheAccess";
+      case EventKind::PageFault: return "PageFault";
+      case EventKind::Probe: return "Probe";
+      case EventKind::ReplayBoundary: return "ReplayBoundary";
+      case EventKind::EpisodeEnd: return "EpisodeEnd";
+    }
+    return "?";
+}
+
+EventTrace::EventTrace(std::size_t capacity)
+{
+    if (capacity)
+        reserve(capacity);
+}
+
+void
+EventTrace::reserve(std::size_t capacity)
+{
+    if (capacity == 0)
+        fatal("EventTrace::reserve: capacity must be nonzero");
+    ring_.assign(std::bit_ceil(capacity), Event{});
+    mask_ = ring_.size() - 1;
+    total_ = 0;
+}
+
+void
+EventTrace::setEnabled(bool enabled)
+{
+    if (enabled && ring_.empty())
+        panic("EventTrace::setEnabled: no ring capacity reserved");
+    enabled_ = enabled;
+}
+
+EventLog
+EventTrace::drain() const
+{
+    EventLog log;
+    log.total = total_;
+    log.dropped = dropped();
+    const std::uint64_t retained = total_ - log.dropped;
+    log.events.reserve(static_cast<std::size_t>(retained));
+    for (std::uint64_t i = log.dropped; i < total_; ++i)
+        log.events.push_back(
+            ring_[static_cast<std::size_t>(i) & mask_]);
+    return log;
+}
+
+} // namespace uscope::obs

@@ -1,0 +1,163 @@
+#include "obs/metrics.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace uscope::obs
+{
+
+const char *
+metricKindName(MetricKind kind)
+{
+    switch (kind) {
+      case MetricKind::Counter: return "counter";
+      case MetricKind::Gauge: return "gauge";
+      case MetricKind::Latency: return "latency";
+    }
+    return "?";
+}
+
+json::Value
+MetricValue::toJson() const
+{
+    switch (kind) {
+      case MetricKind::Counter:
+        return json::Value(counter);
+      case MetricKind::Gauge:
+        return json::Value(gauge);
+      case MetricKind::Latency:
+        return json::Value::object()
+            .set("count", latency.count())
+            .set("mean", latency.mean())
+            .set("stddev", latency.stddev())
+            .set("min", latency.min())
+            .set("max", latency.max());
+    }
+    return json::Value();
+}
+
+const MetricValue *
+MetricSnapshot::find(const std::string &name) const
+{
+    const auto it = std::lower_bound(
+        values.begin(), values.end(), name,
+        [](const MetricValue &v, const std::string &n) {
+            return v.name < n;
+        });
+    if (it == values.end() || it->name != name)
+        return nullptr;
+    return &*it;
+}
+
+void
+MetricSnapshot::merge(const MetricSnapshot &other)
+{
+    // Merge-join of two name-sorted vectors; preserves sortedness.
+    std::vector<MetricValue> merged;
+    merged.reserve(values.size() + other.values.size());
+    std::size_t i = 0;
+    std::size_t j = 0;
+    while (i < values.size() || j < other.values.size()) {
+        if (j >= other.values.size() ||
+            (i < values.size() &&
+             values[i].name < other.values[j].name)) {
+            merged.push_back(std::move(values[i++]));
+            continue;
+        }
+        if (i >= values.size() ||
+            other.values[j].name < values[i].name) {
+            merged.push_back(other.values[j++]);
+            continue;
+        }
+        MetricValue combined = std::move(values[i++]);
+        const MetricValue &rhs = other.values[j++];
+        if (combined.kind != rhs.kind)
+            panic("MetricSnapshot::merge: '%s' is a %s here but a %s "
+                  "in the other snapshot",
+                  combined.name.c_str(), metricKindName(combined.kind),
+                  metricKindName(rhs.kind));
+        switch (combined.kind) {
+          case MetricKind::Counter:
+            combined.counter += rhs.counter;
+            break;
+          case MetricKind::Gauge:
+            combined.gauge += rhs.gauge;
+            break;
+          case MetricKind::Latency:
+            combined.latency.merge(rhs.latency);
+            break;
+        }
+        merged.push_back(std::move(combined));
+    }
+    values = std::move(merged);
+}
+
+json::Value
+MetricSnapshot::toJson() const
+{
+    json::Value out = json::Value::object();
+    for (const MetricValue &value : values)
+        out.set(value.name, value.toJson());
+    return out;
+}
+
+MetricRegistry::Slot &
+MetricRegistry::slot(const std::string &name, MetricKind kind)
+{
+    const auto it = index_.find(name);
+    if (it != index_.end()) {
+        Slot &existing = slots_[it->second];
+        if (existing.kind != kind)
+            panic("MetricRegistry: '%s' already registered as a %s, "
+                  "now requested as a %s",
+                  name.c_str(), metricKindName(existing.kind),
+                  metricKindName(kind));
+        return existing;
+    }
+    index_.emplace(name, slots_.size());
+    slots_.push_back(Slot{name, kind, Counter{}, Gauge{},
+                          LatencyStat{}});
+    return slots_.back();
+}
+
+Counter &
+MetricRegistry::counter(const std::string &name)
+{
+    return slot(name, MetricKind::Counter).counter;
+}
+
+Gauge &
+MetricRegistry::gauge(const std::string &name)
+{
+    return slot(name, MetricKind::Gauge).gauge;
+}
+
+LatencyStat &
+MetricRegistry::latency(const std::string &name)
+{
+    return slot(name, MetricKind::Latency).latency;
+}
+
+MetricSnapshot
+MetricRegistry::snapshot() const
+{
+    MetricSnapshot snap;
+    snap.values.reserve(slots_.size());
+    for (const Slot &s : slots_) {
+        MetricValue value;
+        value.name = s.name;
+        value.kind = s.kind;
+        value.counter = s.counter.value();
+        value.gauge = s.gauge.value();
+        value.latency = s.latency.summary();
+        snap.values.push_back(std::move(value));
+    }
+    std::sort(snap.values.begin(), snap.values.end(),
+              [](const MetricValue &a, const MetricValue &b) {
+                  return a.name < b.name;
+              });
+    return snap;
+}
+
+} // namespace uscope::obs

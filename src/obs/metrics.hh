@@ -1,0 +1,162 @@
+/**
+ * @file
+ * A hierarchical registry of named metrics.
+ *
+ * Names are dot-separated paths mirroring the component tree
+ * ("core.rob.squashes", "mem.l1d.misses", "vm.walker.steps",
+ * "os.faults.replayed").  Three metric kinds exist:
+ *
+ *  - Counter: a monotonically meaningful uint64 (sums across merges);
+ *  - Gauge:   a double (also summed across merges — per-trial gauges
+ *             are really totals in a campaign context);
+ *  - Latency: a streaming Summary (count/mean/variance/min/max)
+ *             merged with Summary::merge, inheriting its determinism
+ *             contract.
+ *
+ * Components implement exportMetrics(MetricRegistry&), writing their
+ * existing stats counters into the registry at snapshot time — the
+ * hot simulation paths carry no registry pointers and pay nothing.
+ *
+ * Thread-safety / ownership rule: a MetricRegistry (like the Machine
+ * whose metrics it exports) is confined to one thread at a time, so
+ * registration and updates are lock-free by design.  Cross-thread
+ * aggregation happens exclusively through immutable MetricSnapshot
+ * values merged in trial-index order by the campaign runner — the
+ * same contract Summary::merge already obeys.  Registering the same
+ * name twice with the same kind returns the same slot (idempotent);
+ * re-registering under a different kind is a simulator bug and panics.
+ */
+
+#ifndef USCOPE_OBS_METRICS_HH
+#define USCOPE_OBS_METRICS_HH
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/json.hh"
+#include "common/stats.hh"
+
+namespace uscope::obs
+{
+
+enum class MetricKind : std::uint8_t { Counter, Gauge, Latency };
+
+const char *metricKindName(MetricKind kind);
+
+/** A monotonic 64-bit event count. */
+class Counter
+{
+  public:
+    void inc(std::uint64_t n = 1) { value_ += n; }
+    void set(std::uint64_t value) { value_ = value; }
+    std::uint64_t value() const { return value_; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** A point-in-time double (occupancies, ratios, totals). */
+class Gauge
+{
+  public:
+    void set(double value) { value_ = value; }
+    void add(double delta) { value_ += delta; }
+    double value() const { return value_; }
+
+  private:
+    double value_ = 0.0;
+};
+
+/** A latency/size distribution summarized via common/stats Summary. */
+class LatencyStat
+{
+  public:
+    void record(double sample) { summary_.add(sample); }
+    /** Fold a component-maintained Summary in wholesale. */
+    void fold(const Summary &summary) { summary_.merge(summary); }
+    const Summary &summary() const { return summary_; }
+
+  private:
+    Summary summary_;
+};
+
+/** One metric's value, frozen at snapshot time. */
+struct MetricValue
+{
+    std::string name;
+    MetricKind kind = MetricKind::Counter;
+    std::uint64_t counter = 0;
+    double gauge = 0.0;
+    Summary latency;
+
+    uscope::json::Value toJson() const;
+};
+
+/**
+ * An immutable, name-sorted capture of a registry.  Snapshots are the
+ * unit of cross-thread aggregation: merge() combines two snapshots
+ * name-wise (counters and gauges sum, latencies Summary::merge) and
+ * is bit-deterministic when applied in a fixed order.
+ */
+struct MetricSnapshot
+{
+    /** Sorted by name (strcmp order). */
+    std::vector<MetricValue> values;
+
+    bool empty() const { return values.empty(); }
+    std::size_t size() const { return values.size(); }
+
+    /** Lookup by exact name; nullptr when absent. */
+    const MetricValue *find(const std::string &name) const;
+
+    /**
+     * Fold @p other in.  Shared names must agree on kind (else
+     * panic); names unique to either side are kept.
+     */
+    void merge(const MetricSnapshot &other);
+
+    /** {"name": value-or-summary-object, ...} in name order. */
+    uscope::json::Value toJson() const;
+};
+
+/** The registry components export into. */
+class MetricRegistry
+{
+  public:
+    MetricRegistry() = default;
+    MetricRegistry(const MetricRegistry &) = delete;
+    MetricRegistry &operator=(const MetricRegistry &) = delete;
+
+    /** Find-or-create; panics if @p name exists with another kind. */
+    Counter &counter(const std::string &name);
+    Gauge &gauge(const std::string &name);
+    LatencyStat &latency(const std::string &name);
+
+    std::size_t size() const { return slots_.size(); }
+
+    /** Freeze current values, sorted by name. */
+    MetricSnapshot snapshot() const;
+
+  private:
+    struct Slot
+    {
+        std::string name;
+        MetricKind kind;
+        Counter counter;
+        Gauge gauge;
+        LatencyStat latency;
+    };
+
+    Slot &slot(const std::string &name, MetricKind kind);
+
+    /** deque: stable addresses for handed-out references. */
+    std::deque<Slot> slots_;
+    std::unordered_map<std::string, std::size_t> index_;
+};
+
+} // namespace uscope::obs
+
+#endif // USCOPE_OBS_METRICS_HH

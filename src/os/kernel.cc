@@ -1,6 +1,7 @@
 #include "os/kernel.hh"
 
 #include "common/logging.hh"
+#include "obs/metrics.hh"
 
 namespace uscope::os
 {
@@ -312,6 +313,11 @@ Kernel::timedProbePhys(PAddr pa)
         (costs_.probeJitter ? rng_.range(0, costs_.probeJitter) : 0);
     const Cycles latency = access.latency + overhead;
     chargeCycles(latency);
+    if (obs::tracing(obs_))
+        obs_->trace.record(obs::EventKind::Probe,
+                           static_cast<std::uint8_t>(access.level),
+                           static_cast<std::uint16_t>(latency),
+                           lineBase(pa));
     return {latency, access.level};
 }
 
@@ -371,7 +377,33 @@ Kernel::handleFault(const cpu::FaultInfo &info)
 
     inHandler_ = false;
     handlerCycles_ += handlerBudget_;
+    handlerLatency_.add(static_cast<double>(handlerBudget_));
     core_.stallContext(info.ctx, handlerBudget_);
+}
+
+void
+Kernel::exportMetrics(obs::MetricRegistry &registry) const
+{
+    registry.counter("os.faults.total").set(totalFaults_);
+    registry.counter("os.faults.handler_cycles").set(handlerCycles_);
+    registry.latency("os.faults.handler_latency").fold(handlerLatency_);
+
+    vm::PageTableStats tables;
+    for (const Process &proc : processes_) {
+        const vm::PageTableStats &stats = proc.pageTable->stats();
+        tables.tablePages += stats.tablePages;
+        tables.maps += stats.maps;
+        tables.unmaps += stats.unmaps;
+        tables.softwareWalks += stats.softwareWalks;
+        tables.presentToggles += stats.presentToggles;
+    }
+    registry.counter("vm.page_table.table_pages").set(tables.tablePages);
+    registry.counter("vm.page_table.maps").set(tables.maps);
+    registry.counter("vm.page_table.unmaps").set(tables.unmaps);
+    registry.counter("vm.page_table.software_walks")
+        .set(tables.softwareWalks);
+    registry.counter("vm.page_table.present_toggles")
+        .set(tables.presentToggles);
 }
 
 } // namespace uscope::os

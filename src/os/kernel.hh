@@ -28,14 +28,21 @@
 #include <vector>
 
 #include "common/random.hh"
+#include "common/stats.hh"
 #include "common/types.hh"
 #include "cpu/core.hh"
 #include "mem/hierarchy.hh"
 #include "mem/phys_mem.hh"
+#include "obs/observer.hh"
 #include "os/module.hh"
 #include "vm/frame_alloc.hh"
 #include "vm/mmu.hh"
 #include "vm/page_table.hh"
+
+namespace uscope::obs
+{
+class MetricRegistry;
+} // namespace uscope::obs
 
 namespace uscope::os
 {
@@ -205,6 +212,12 @@ class Kernel
     /** Total number of faults taken machine-wide. */
     std::uint64_t totalFaults() const { return totalFaults_; }
 
+    /** Wire the owning Machine's observability hub (may be null). */
+    void setObserver(obs::Observer *observer) { obs_ = observer; }
+
+    /** Register os.faults.* plus per-process page-table counters. */
+    void exportMetrics(obs::MetricRegistry &registry) const;
+
   private:
     struct Process
     {
@@ -238,6 +251,8 @@ class Kernel
     Cycles handlerBudget_ = 0;
     Cycles handlerCycles_ = 0;
     std::uint64_t totalFaults_ = 0;
+    Summary handlerLatency_;
+    obs::Observer *obs_ = nullptr;
 };
 
 } // namespace uscope::os

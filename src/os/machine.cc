@@ -1,10 +1,13 @@
 #include "os/machine.hh"
 
+#include "obs/metrics.hh"
+
 namespace uscope::os
 {
 
 Machine::Machine(const MachineConfig &config)
     : config_(config),
+      obs_(config.obs),
       mem_(config.physMemBytes),
       hierarchy_(config.mem, config.seed * 3 + 1),
       mmu_(mem_, hierarchy_, config.mmu),
@@ -16,6 +19,13 @@ Machine::Machine(const MachineConfig &config)
     core_.setFaultHandler(
         [this](const cpu::FaultInfo &info) { kernel_.handleFault(info); });
     core_.setRdrandSource([this]() { return entropy_.next(); });
+
+    // Wire the observability hub; the core also binds the event clock
+    // to its cycle counter.
+    hierarchy_.setObserver(&obs_);
+    mmu_.setObserver(&obs_);
+    core_.setObserver(&obs_);
+    kernel_.setObserver(&obs_);
 }
 
 void
@@ -36,6 +46,23 @@ bool
 Machine::runUntil(const std::function<bool()> &pred, Cycles max_cycles)
 {
     return core_.runUntil(pred, max_cycles);
+}
+
+void
+Machine::exportMetrics(obs::MetricRegistry &registry) const
+{
+    hierarchy_.exportMetrics(registry);
+    mmu_.exportMetrics(registry);
+    core_.exportMetrics(registry);
+    kernel_.exportMetrics(registry);
+}
+
+obs::MetricSnapshot
+Machine::metricsSnapshot() const
+{
+    obs::MetricRegistry registry;
+    exportMetrics(registry);
+    return registry.snapshot();
 }
 
 } // namespace uscope::os

@@ -21,6 +21,7 @@
 #include "cpu/core.hh"
 #include "mem/hierarchy.hh"
 #include "mem/phys_mem.hh"
+#include "obs/observer.hh"
 #include "os/kernel.hh"
 #include "vm/mmu.hh"
 
@@ -35,6 +36,7 @@ struct MachineConfig
     vm::MmuConfig mmu;
     cpu::CoreConfig core;
     KernelCosts costs;
+    obs::ObsConfig obs;
     /** Master seed; sub-components derive their own streams. */
     std::uint64_t seed = 42;
 };
@@ -70,8 +72,22 @@ class Machine
     /** Tick until @p pred() holds or @p max_cycles pass. */
     bool runUntil(const std::function<bool()> &pred, Cycles max_cycles);
 
+    /** The machine's observability hub (event ring). */
+    obs::Observer &observer() { return obs_; }
+    const obs::Observer &observer() const { return obs_; }
+
+    /**
+     * Register every component's counters into @p registry
+     * (mem.*, vm.*, core.*, os.*).
+     */
+    void exportMetrics(obs::MetricRegistry &registry) const;
+
+    /** Convenience: exportMetrics into a fresh registry + snapshot. */
+    obs::MetricSnapshot metricsSnapshot() const;
+
   private:
     MachineConfig config_;
+    obs::Observer obs_;
     mem::PhysMem mem_;
     mem::Hierarchy hierarchy_;
     vm::Mmu mmu_;

@@ -1,5 +1,7 @@
 #include "vm/mmu.hh"
 
+#include "obs/metrics.hh"
+
 namespace uscope::vm
 {
 
@@ -31,6 +33,9 @@ Mmu::translate(VAddr va, Pcid pcid, PAddr root)
         result.paddr = (entry->ppn << pageShift) | offset;
         return result;
     }
+
+    if (obs::tracing(obs_))
+        obs_->trace.record(obs::EventKind::TlbMiss, 0, 0, va);
 
     result.walked = true;
     result.walk = walker_.walk(va, pcid, root);
@@ -72,6 +77,31 @@ void
 Mmu::flushPwcAll()
 {
     pwc_.invalidateAll();
+}
+
+namespace
+{
+
+void
+exportTlb(obs::MetricRegistry &registry, const std::string &prefix,
+          const TlbStats &stats)
+{
+    registry.counter(prefix + ".hits").set(stats.hits);
+    registry.counter(prefix + ".misses").set(stats.misses);
+    registry.counter(prefix + ".invalidations")
+        .set(stats.invalidations);
+}
+
+} // anonymous namespace
+
+void
+Mmu::exportMetrics(obs::MetricRegistry &registry) const
+{
+    exportTlb(registry, "vm.tlb.l1", l1Tlb_.stats());
+    exportTlb(registry, "vm.tlb.l2", l2Tlb_.stats());
+    registry.counter("vm.pwc.hits").set(pwc_.hits());
+    registry.counter("vm.pwc.misses").set(pwc_.misses());
+    walker_.exportMetrics(registry);
 }
 
 } // namespace uscope::vm

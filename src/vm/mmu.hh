@@ -85,6 +85,17 @@ class Mmu
     const Tlb &l1Tlb() const { return l1Tlb_; }
     const Tlb &l2Tlb() const { return l2Tlb_; }
     const Pwc &pwc() const { return pwc_; }
+    const Walker &walker() const { return walker_; }
+
+    /** Wire the owning Machine's observability hub (may be null). */
+    void setObserver(obs::Observer *observer)
+    {
+        obs_ = observer;
+        walker_.setObserver(observer);
+    }
+
+    /** Register vm.tlb.*, vm.pwc.* and the walker's metrics. */
+    void exportMetrics(obs::MetricRegistry &registry) const;
 
   private:
     MmuConfig config_;
@@ -92,6 +103,7 @@ class Mmu
     Tlb l2Tlb_;
     Pwc pwc_;
     Walker walker_;
+    obs::Observer *obs_ = nullptr;
 };
 
 } // namespace uscope::vm

@@ -26,6 +26,7 @@ PageTable::PageTable(mem::PhysMem &mem, FrameAllocator &frames)
 PAddr
 PageTable::allocTable()
 {
+    ++stats_.tablePages;
     const Ppn ppn = frames_.alloc();
     // Fresh frames materialize zero-filled; reused frames carry stale
     // entries that must be cleared.
@@ -36,6 +37,7 @@ PageTable::allocTable()
 void
 PageTable::map(Vpn vpn, Ppn ppn, std::uint64_t flags)
 {
+    ++stats_.maps;
     const VAddr va = vpn << pageShift;
     PAddr table = rootPa_;
     for (unsigned lvl = 0; lvl + 1 < numLevels; ++lvl) {
@@ -57,6 +59,7 @@ PageTable::map(Vpn vpn, Ppn ppn, std::uint64_t flags)
 void
 PageTable::unmap(Vpn vpn)
 {
+    ++stats_.unmaps;
     if (auto leaf = leafEntryAddr(vpn << pageShift))
         mem_.write64(*leaf, 0);
 }
@@ -64,6 +67,7 @@ PageTable::unmap(Vpn vpn)
 SoftWalkResult
 PageTable::softwareWalk(VAddr va) const
 {
+    ++stats_.softwareWalks;
     SoftWalkResult result;
     PAddr table = rootPa_;
     for (unsigned lvl = 0; lvl < numLevels; ++lvl) {
@@ -105,6 +109,7 @@ PageTable::setPresent(VAddr va, bool present)
     std::uint64_t entry = mem_.read64(*leaf);
     entry = present ? (entry | pte::present) : (entry & ~pte::present);
     mem_.write64(*leaf, entry);
+    ++stats_.presentToggles;
 }
 
 bool

@@ -36,6 +36,21 @@ struct SoftWalkResult
     unsigned levelsValid = 0;
 };
 
+/** Per-table bookkeeping counters. */
+struct PageTableStats
+{
+    /** Table pages allocated (root + intermediates). */
+    std::uint64_t tablePages = 0;
+    /** map() calls (leaf entries written). */
+    std::uint64_t maps = 0;
+    /** unmap() calls. */
+    std::uint64_t unmaps = 0;
+    /** Kernel software walks performed. */
+    std::uint64_t softwareWalks = 0;
+    /** Present-bit flips — one per MicroScope replay arm/disarm. */
+    std::uint64_t presentToggles = 0;
+};
+
 /** One process' page table rooted at a CR3 physical address. */
 class PageTable
 {
@@ -84,6 +99,8 @@ class PageTable
     /** Physical frame mapped at @p va, if mapped. */
     std::optional<Ppn> lookupPpn(VAddr va) const;
 
+    const PageTableStats &stats() const { return stats_; }
+
   private:
     /** Allocate and zero a table page; return its physical base. */
     PAddr allocTable();
@@ -91,6 +108,8 @@ class PageTable
     mem::PhysMem &mem_;
     FrameAllocator &frames_;
     PAddr rootPa_;
+    /** softwareWalk() is logically const; counting it is not. */
+    mutable PageTableStats stats_;
 };
 
 } // namespace uscope::vm

@@ -1,5 +1,7 @@
 #include "vm/walker.hh"
 
+#include "obs/metrics.hh"
+
 namespace uscope::vm
 {
 
@@ -23,6 +25,16 @@ Walker::walk(VAddr va, Pcid pcid, PAddr root)
     }
     result.startLevel = static_cast<Level>(level);
 
+    // The walk is atomic in simulated time: the core clock holds still
+    // while the walk charges its total latency.  Trace events are
+    // stamped at start + accumulated-latency so the walk renders as a
+    // span whose width is the latency the Replayer tuned.
+    const bool traced = obs::tracing(obs_);
+    const std::uint64_t start = traced ? obs_->trace.now() : 0;
+    if (traced)
+        obs_->trace.record(obs::EventKind::WalkStart,
+                           static_cast<std::uint8_t>(level), 0, va);
+
     for (; level < numLevels; ++level) {
         const PAddr entry_pa =
             table + 8ull * levelIndex(va, static_cast<Level>(level));
@@ -31,6 +43,12 @@ Walker::walk(VAddr va, Pcid pcid, PAddr root)
         result.latency += mem_access.latency + stepCost_;
         ++result.ptFetches;
         ++stats_.ptFetches;
+        if (traced)
+            obs_->trace.recordAt(
+                start + result.latency, obs::EventKind::WalkStep,
+                static_cast<std::uint8_t>(level),
+                static_cast<std::uint16_t>(mem_access.latency),
+                entry_pa);
 
         const std::uint64_t entry = mem_.read64(entry_pa);
 
@@ -39,7 +57,7 @@ Walker::walk(VAddr va, Pcid pcid, PAddr root)
             // in the tree: either way, raise a page fault.
             result.fault = true;
             ++stats_.faults;
-            return result;
+            break;
         }
 
         if (level == numLevels - 1) {
@@ -48,14 +66,29 @@ Walker::walk(VAddr va, Pcid pcid, PAddr root)
             if (!(entry & pte::accessed))
                 mem_.write64(entry_pa, entry | pte::accessed);
             result.entry = TlbEntry{entryPpn(entry), entry & ~pte::frameMask};
-            return result;
+            break;
         }
 
         table = entryPpn(entry) << pageShift;
         pwc_.insert(va, pcid, static_cast<Level>(level), table);
     }
 
+    latency_.add(static_cast<double>(result.latency));
+    if (traced)
+        obs_->trace.recordAt(start + result.latency,
+                             obs::EventKind::WalkEnd, result.fault,
+                             static_cast<std::uint16_t>(result.latency),
+                             va);
     return result;
+}
+
+void
+Walker::exportMetrics(obs::MetricRegistry &registry) const
+{
+    registry.counter("vm.walker.walks").set(stats_.walks);
+    registry.counter("vm.walker.faults").set(stats_.faults);
+    registry.counter("vm.walker.steps").set(stats_.ptFetches);
+    registry.latency("vm.walker.latency").fold(latency_);
 }
 
 } // namespace uscope::vm

@@ -16,12 +16,19 @@
 
 #include <cstdint>
 
+#include "common/stats.hh"
 #include "common/types.hh"
 #include "mem/hierarchy.hh"
 #include "mem/phys_mem.hh"
+#include "obs/observer.hh"
 #include "vm/paging.hh"
 #include "vm/pwc.hh"
 #include "vm/tlb.hh"
+
+namespace uscope::obs
+{
+class MetricRegistry;
+} // namespace uscope::obs
 
 namespace uscope::vm
 {
@@ -71,7 +78,20 @@ class Walker
     WalkResult walk(VAddr va, Pcid pcid, PAddr root);
 
     const WalkerStats &stats() const { return stats_; }
-    void resetStats() { stats_ = WalkerStats{}; }
+    void resetStats()
+    {
+        stats_ = WalkerStats{};
+        latency_ = Summary{};
+    }
+
+    /** Distribution of end-to-end walk latencies. */
+    const Summary &latencySummary() const { return latency_; }
+
+    /** Wire the owning Machine's observability hub (may be null). */
+    void setObserver(obs::Observer *observer) { obs_ = observer; }
+
+    /** Register vm.walker.* counters and the latency summary. */
+    void exportMetrics(obs::MetricRegistry &registry) const;
 
   private:
     mem::PhysMem &mem_;
@@ -79,6 +99,8 @@ class Walker
     Pwc &pwc_;
     Cycles stepCost_;
     WalkerStats stats_;
+    Summary latency_;
+    obs::Observer *obs_ = nullptr;
 };
 
 } // namespace uscope::vm

@@ -186,6 +186,29 @@ TEST(Histogram, InvalidRangeIsFatal)
     EXPECT_THROW(Histogram(0, 10, 0), SimFatal);
 }
 
+TEST(Histogram, RawQueriesPanicWithoutRawSamples)
+{
+    // countAbove()/percentile() answer from the raw sample vector;
+    // on a populated keep_raw=false histogram they would silently
+    // return 0/garbage, so they panic instead.
+    Histogram binned(0, 10, 5, /*keep_raw=*/false);
+    EXPECT_FALSE(binned.keepRaw());
+    // Empty is fine: there is nothing the answer could misrepresent.
+    EXPECT_EQ(binned.countAbove(3.0), 0u);
+    EXPECT_EQ(binned.percentile(0.5), 0.0);
+
+    binned.add(4.0);
+    EXPECT_THROW(binned.countAbove(3.0), SimPanic);
+    EXPECT_THROW(binned.percentile(0.5), SimPanic);
+
+    // keep_raw=true histograms still answer normally.
+    Histogram raw(0, 10, 5);
+    raw.add(4.0);
+    raw.add(8.0);
+    EXPECT_EQ(raw.countAbove(5.0), 1u);
+    EXPECT_EQ(raw.percentile(1.0), 8.0);
+}
+
 TEST(Logging, PanicAndFatalThrow)
 {
     EXPECT_THROW(panic("boom %d", 3), SimPanic);

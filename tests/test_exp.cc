@@ -151,6 +151,35 @@ TEST(Json, NonFiniteDoublesAreNull)
     EXPECT_EQ(v.dump(), "[null,null]");
 }
 
+TEST(Json, HistogramExportCapsRawSamples)
+{
+    Histogram hist(0, 100, 10);
+    for (int i = 0; i < 100; ++i)
+        hist.add(static_cast<double>(i));
+
+    // Under the cap: every sample, no drop accounting needed.
+    const exp::json::Value full = exp::toJson(hist, 1000);
+    EXPECT_NE(full.dump().find("\"samples\""), std::string::npos);
+    EXPECT_NE(full.dump().find("\"samples_dropped\":0"),
+              std::string::npos);
+
+    // Over the cap: deterministic stride sampling, drops reported.
+    const exp::json::Value capped = exp::toJson(hist, 10);
+    const std::string text = capped.dump();
+    EXPECT_NE(text.find("\"samples_total\":100"), std::string::npos);
+    EXPECT_NE(text.find("\"samples_dropped\":90"), std::string::npos);
+    // Stride 10 keeps 0, 10, 20, ...
+    EXPECT_NE(text.find("\"samples\":[0,10,20"), std::string::npos);
+    // Same histogram, same cap: bit-identical export.
+    EXPECT_EQ(text, exp::toJson(hist, 10).dump());
+
+    // keep_raw=false histograms export no samples key at all.
+    Histogram binned(0, 100, 10, /*keep_raw=*/false);
+    binned.add(5.0);
+    EXPECT_EQ(exp::toJson(binned).dump().find("\"samples\""),
+              std::string::npos);
+}
+
 // ---------------------------------------------------------------------
 // Seed derivation.
 // ---------------------------------------------------------------------
@@ -376,6 +405,49 @@ TEST(Campaign, MachineFactorySeedStamping)
     ASSERT_EQ(seeds.size(), 3u);
     for (std::size_t i = 0; i < 3; ++i)
         EXPECT_EQ(seeds[i], exp::deriveTrialSeed(77, i));
+}
+
+TEST(Campaign, MetricSnapshotsFlowIntoResults)
+{
+    const auto make = [](unsigned workers) {
+        exp::CampaignSpec spec;
+        spec.name = "metrics-campaign";
+        spec.trials = 6;
+        spec.masterSeed = 3;
+        spec.workers = workers;
+        spec.body = [](const exp::TrialContext &ctx) {
+            obs::MetricRegistry registry;
+            registry.counter("trial.widgets").set(ctx.index + 1);
+            registry.latency("trial.latency")
+                .record(static_cast<double>(ctx.index) * 10.0);
+            exp::TrialOutput out;
+            out.metrics = registry.snapshot();
+            return out;
+        };
+        return spec;
+    };
+
+    const exp::CampaignResult result = exp::runCampaign(make(2));
+    // 1+2+...+6 across the index-ordered merge.
+    const obs::MetricValue *widgets =
+        result.aggregate.metrics.find("trial.widgets");
+    ASSERT_NE(widgets, nullptr);
+    EXPECT_EQ(widgets->counter, 21u);
+    EXPECT_EQ(result.aggregate.metrics.find("trial.latency")
+                  ->latency.count(),
+              6u);
+
+    // Metrics appear in both per-trial and aggregate JSON.
+    EXPECT_NE(result.trials[0].toJson().dump().find(
+                  "\"metrics\":{\"trial.latency\""),
+              std::string::npos);
+    EXPECT_NE(result.aggregate.toJson().dump().find(
+                  "\"trial.widgets\":21"),
+              std::string::npos);
+
+    // And aggregate identically regardless of worker count.
+    EXPECT_EQ(result.aggregate.metrics.toJson().dump(),
+              exp::runCampaign(make(1)).aggregate.metrics.toJson().dump());
 }
 
 // ---------------------------------------------------------------------
