@@ -214,6 +214,8 @@ main(int argc, char **argv)
             attack::AesAttackConfig config = paperConfig();
             config.machine.obs.traceEvents = obsOpts.trace;
             config.machine.obs.traceCapacity = obsOpts.traceCapacity;
+            config.machine.fastForward =
+                obsOpts.fastForward.value_or(true);
             const attack::Fig11Result fig11 = attack::runFig11(config);
             out.payload =
                 exp::json::Value::object()
@@ -236,8 +238,9 @@ main(int argc, char **argv)
             return out;
         }
 
-        const attack::AesAttackConfig config =
+        attack::AesAttackConfig config =
             ctx.index == 1 ? paperConfig() : sweepConfig(ctx);
+        config.machine.fastForward = obsOpts.fastForward.value_or(true);
         const attack::AesExtractionResult extraction =
             attack::runAesExtraction(config);
         const Recovery recovery = scoreExtraction(config, extraction);

@@ -1,29 +1,34 @@
 /**
  * @file
- * Serial-vs-parallel throughput of the campaign runner on a
- * Figure-10-style port-contention sweep.
+ * Throughput benchmarks for the campaign runner:
  *
- * Runs the identical CampaignSpec (16 trials, each a full attack on
- * its own Machine) at 1 worker and at 4 workers, and checks two
- * things:
- *
- *  1. **Determinism** — the aggregate (and every per-trial payload)
- *     is bit-identical across worker counts.  This must hold on any
- *     machine and is a hard failure if violated.
- *  2. **Speedup** — wall-clock improvement at 4 workers.  Trials are
- *     independent CPU-bound simulations, so speedup tracks the
- *     physical core count: on >= 4 cores we demand >= 2x and fail
- *     otherwise; on fewer cores we report the measured value and the
- *     hardware bound (a 1-core container cannot beat ~1x no matter
- *     how the work is sharded).
+ *  1. **Sharding** (Fig.-10-style port-contention sweep) — the
+ *     identical CampaignSpec (16 trials, each a full attack on its own
+ *     Machine) at 1 worker and at 4 workers.  The aggregate (and every
+ *     per-trial payload) must be bit-identical across worker counts —
+ *     a hard failure if violated.  Trials are independent CPU-bound
+ *     simulations, so speedup tracks the physical core count: on >= 4
+ *     cores we demand >= 2x and fail otherwise; on fewer cores we
+ *     report the measured value and the hardware bound.
+ *  2. **Fast-forward A/B** (Fig.-11-shaped AES replay trials) — the
+ *     same campaign with MachineConfig::fastForward off (cycle-by-
+ *     cycle baseline) and on (event-driven clock jumps, DESIGN.md
+ *     §10), plus the on-mode at 4 workers.  The determinism
+ *     fingerprint must be bit-identical across all three runs — the
+ *     elision contract — while the wall-clock speedup is measured and
+ *     reported.  `--fast-forward={on,off}` pins both sections to one
+ *     mode (and skips the A/B comparison).
  */
 
 #include <cstdio>
 #include <thread>
 
+#include "attack/aes_attack.hh"
 #include "attack/port_contention.hh"
+#include "common/random.hh"
 #include "exp/campaign.hh"
 #include "exp/result_sink.hh"
+#include "obs/cli.hh"
 
 using namespace uscope;
 
@@ -31,9 +36,10 @@ namespace
 {
 
 constexpr std::size_t trials = 16;
+constexpr std::size_t fig11Trials = 8;
 
 exp::CampaignSpec
-fig10StyleSpec(unsigned workers)
+fig10StyleSpec(unsigned workers, bool fast_forward)
 {
     exp::CampaignSpec spec;
     spec.name = workers == 1 ? "perf_campaign_serial"
@@ -41,13 +47,14 @@ fig10StyleSpec(unsigned workers)
     spec.trials = trials;
     spec.masterSeed = 42;
     spec.workers = workers;
-    spec.body = [](const exp::TrialContext &ctx) {
+    spec.body = [fast_forward](const exp::TrialContext &ctx) {
         attack::PortContentionConfig config;
         config.victimDivides = ctx.index % 2 == 1;
         config.samples = 800;
         config.replays = 30;
         config.threshold = 120;
         config.seed = ctx.seed;
+        config.machine.fastForward = fast_forward;
         const attack::PortContentionResult result =
             attack::runPortContentionAttack(config);
 
@@ -64,6 +71,52 @@ fig10StyleSpec(unsigned workers)
                           .set("above_threshold", result.aboveThreshold)
                           .set("inferred_divides",
                                result.inferredDivides);
+        return out;
+    };
+    return spec;
+}
+
+/**
+ * Fig.-11-shaped: one AES replay timeline per trial (random key and
+ * plaintext), dominated by tuned page walks and long stalls — the
+ * workload event-driven fast-forward exists for.
+ */
+exp::CampaignSpec
+fig11StyleSpec(const char *name, unsigned workers, bool fast_forward)
+{
+    exp::CampaignSpec spec;
+    spec.name = name;
+    spec.trials = fig11Trials;
+    spec.masterSeed = 42;
+    spec.workers = workers;
+    spec.body = [fast_forward](const exp::TrialContext &ctx) {
+        attack::AesAttackConfig config;
+        Rng rng(ctx.seed);
+        for (unsigned i = 0; i < 16; ++i) {
+            config.key[i] = static_cast<std::uint8_t>(rng.below(256));
+            config.plaintext[i] =
+                static_cast<std::uint8_t>(rng.below(256));
+        }
+        config.seed = ctx.seed;
+        config.machine.fastForward = fast_forward;
+        const attack::Fig11Result fig11 = attack::runFig11(config);
+
+        exp::TrialOutput out;
+        out.metric.add(fig11.matchesGroundTruth ? 1.0 : 0.0);
+        out.metrics = fig11.metrics;
+        exp::json::Value probes = exp::json::Value::array();
+        for (const attack::LineProbe &probe : fig11.replays) {
+            exp::json::Value row = exp::json::Value::array();
+            for (Cycles latency : probe.latency)
+                row.push(latency);
+            probes.push(std::move(row));
+        }
+        out.payload = exp::json::Value::object()
+                          .set("consistent",
+                               fig11.consistentAcrossPrimedReplays)
+                          .set("matches_ground_truth",
+                               fig11.matchesGroundTruth)
+                          .set("probe_latencies", std::move(probes));
         return out;
     };
     return spec;
@@ -98,18 +151,27 @@ report(const char *label, const exp::CampaignResult &result)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const obs::BenchObsOptions opts = obs::parseBenchObsOptions(
+        argc, argv, "bench-results/perf_campaign.trace.json");
     const unsigned hw = std::thread::hardware_concurrency();
+    // Sharding section: fast-forward on unless pinned off, so the
+    // throughput numbers reflect the production configuration.
+    const bool fig10Ff = opts.fastForward.value_or(true);
+
     std::printf("==============================================================\n");
     std::printf("Campaign-runner throughput: Fig.-10-style sweep, %zu "
                 "trials\n", trials);
-    std::printf("hardware_concurrency: %u\n", hw);
+    std::printf("hardware_concurrency: %u, fast-forward: %s\n", hw,
+                fig10Ff ? "on" : "off");
     std::printf("==============================================================\n\n");
 
-    exp::CampaignResult serial = exp::runCampaign(fig10StyleSpec(1));
+    exp::CampaignResult serial =
+        exp::runCampaign(fig10StyleSpec(1, fig10Ff));
     report("serial", serial);
-    exp::CampaignResult parallel = exp::runCampaign(fig10StyleSpec(4));
+    exp::CampaignResult parallel =
+        exp::runCampaign(fig10StyleSpec(4, fig10Ff));
     report("parallel", parallel);
 
     const double speedup =
@@ -141,5 +203,61 @@ main()
                     "enforced check here\n",
                     hw, hw ? hw : 1);
     }
+
+    std::printf("\n==============================================================\n");
+    std::printf("Fast-forward A/B: Fig.-11-shaped AES replay trials, "
+                "%zu trials\n", fig11Trials);
+    std::printf("==============================================================\n\n");
+
+    if (opts.fastForward) {
+        // Pinned mode: measure it alone, no A/B comparison possible.
+        const bool ff = *opts.fastForward;
+        exp::CampaignResult pinned = exp::runCampaign(fig11StyleSpec(
+            ff ? "perf_campaign_fig11_ff_on"
+               : "perf_campaign_fig11_ff_off",
+            1, ff));
+        report(ff ? "ff=on" : "ff=off", pinned);
+        sink.consume(pinned);
+        std::printf("campaign JSON: %s\n", sink.lastPath().c_str());
+        ok = ok && pinned.aggregate.ok == fig11Trials;
+        return ok ? 0 : 1;
+    }
+
+    exp::CampaignResult ffOff = exp::runCampaign(
+        fig11StyleSpec("perf_campaign_fig11_ff_off", 1, false));
+    report("ff=off", ffOff);
+    exp::CampaignResult ffOn = exp::runCampaign(
+        fig11StyleSpec("perf_campaign_fig11_ff_on", 1, true));
+    report("ff=on", ffOn);
+    exp::CampaignResult ffOn4 = exp::runCampaign(
+        fig11StyleSpec("perf_campaign_fig11_ff_on4", 4, true));
+    report("ff=on", ffOn4);
+
+    const double ffSpeedup = ffOn.wallSeconds > 0.0
+                                 ? ffOff.wallSeconds / ffOn.wallSeconds
+                                 : 0.0;
+    std::printf("\nfast-forward speedup (1 worker): %.2fx\n", ffSpeedup);
+
+    // The elision contract: identical results across modes AND across
+    // worker counts within the fast mode.  Hard failure if violated;
+    // the speedup is measured, not asserted (timing noise is not a
+    // correctness signal).
+    const std::string ffBaseline = deterministicFingerprint(ffOff);
+    const bool ffIdentical =
+        ffBaseline == deterministicFingerprint(ffOn) &&
+        ffBaseline == deterministicFingerprint(ffOn4);
+    std::printf("fingerprints bit-identical across modes and worker "
+                "counts: %s\n",
+                ffIdentical ? "yes" : "NO");
+
+    sink.consume(ffOff);
+    sink.consume(ffOn);
+    sink.consume(ffOn4);
+    std::printf("campaign JSON: %s (+ off/on twins)\n",
+                sink.lastPath().c_str());
+
+    ok = ok && ffIdentical && ffOff.aggregate.ok == fig11Trials &&
+         ffOn.aggregate.ok == fig11Trials &&
+         ffOn4.aggregate.ok == fig11Trials;
     return ok ? 0 : 1;
 }

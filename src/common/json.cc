@@ -153,4 +153,27 @@ Value::dump(int indent) const
     return out;
 }
 
+std::size_t
+Value::nonFiniteCount() const
+{
+    switch (type_) {
+      case Type::Double:
+        return std::isfinite(double_) ? 0 : 1;
+      case Type::Array: {
+        std::size_t n = 0;
+        for (const Value &v : array_)
+            n += v.nonFiniteCount();
+        return n;
+      }
+      case Type::Object: {
+        std::size_t n = 0;
+        for (const auto &entry : object_)
+            n += entry.second.nonFiniteCount();
+        return n;
+      }
+      default:
+        return 0;
+    }
+}
+
 } // namespace uscope::json

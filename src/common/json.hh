@@ -59,6 +59,15 @@ class Value
      */
     std::string dump(int indent = -1) const;
 
+    /**
+     * Number of non-finite doubles (NaN/Inf) anywhere in this value.
+     * JSON has no token for them, so dump() writes null in their
+     * place; callers that persist results should check this and
+     * annotate the dump (see exp::JsonFileSink) so silent nulls don't
+     * masquerade as missing data.
+     */
+    std::size_t nonFiniteCount() const;
+
     /** JSON-escape @p s (no surrounding quotes). */
     static std::string escape(const std::string &s);
 

@@ -152,6 +152,13 @@ Histogram::percentile(double fraction) const
               static_cast<unsigned long long>(summary_.count()));
     if (samples_.empty())
         return 0.0;
+    // Clamp out-of-range (or NaN) fractions: a negative pos would make
+    // the size_t cast below undefined behaviour.  NaN fails both
+    // comparisons, so it falls through to 0.0 (the minimum).
+    if (!(fraction >= 0.0))
+        fraction = 0.0;
+    else if (fraction > 1.0)
+        fraction = 1.0;
     std::vector<double> sorted = samples_;
     std::sort(sorted.begin(), sorted.end());
     const double pos = fraction * static_cast<double>(sorted.size() - 1);

@@ -26,6 +26,15 @@ using PAddr = std::uint64_t;
 /** A duration or timestamp measured in core clock cycles. */
 using Cycles = std::uint64_t;
 
+/**
+ * Sentinel "no pending event" cycle returned by the components'
+ * nextEventCycle() methods (see DESIGN.md §10): a component with no
+ * deferred state reports this, and the minimum across components is
+ * the earliest cycle at which ticking can change architectural or
+ * stats state.
+ */
+constexpr Cycles kNoEventCycle = ~Cycles{0};
+
 /** Virtual page number (VAddr >> pageShift). */
 using Vpn = std::uint64_t;
 

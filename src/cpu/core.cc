@@ -252,8 +252,8 @@ Core::findEntry(const Context &ctx, std::uint64_t seq) const
 }
 
 bool
-Core::resolveSource(Context &ctx, std::int64_t dep, Reg reg, bool fp,
-                    std::uint64_t &value) const
+Core::resolveSource(const Context &ctx, std::int64_t dep, Reg reg,
+                    bool fp, std::uint64_t &value) const
 {
     if (dep < 0) {
         value = fp ? ctx.fpRegs[reg] : ctx.intRegs[reg];
@@ -391,6 +391,102 @@ Core::runUntil(const std::function<bool()> &pred, Cycles max_cycles)
         tick();
     }
     return pred();
+}
+
+Cycles
+Core::nextEventCycle() const
+{
+    // Every term below mirrors one state-changing path of tick(); the
+    // derivation of why the cycles in between are provably inert is in
+    // DESIGN.md §10.  When in doubt a path must return cycle_ ("an
+    // event may happen right now") — that is always correct, merely
+    // slower.
+    Cycles next = kNoEventCycle;
+    const bool trace_on = obs::tracing(obs_);
+    for (const Context &ctx : contexts_) {
+        // Pending transaction aborts fire at the top of the next tick.
+        if (ctx.inTx && ctx.txPendingAbort)
+            return cycle_;
+
+        if (ctx.state == CtxState::Stalled)
+            next = std::min(next, std::max(ctx.stallUntil, cycle_));
+
+        const bool running = ctx.state == CtxState::Running;
+
+        // Fetch dispatches every cycle it can.
+        if (running && ctx.program && !ctx.fetchStopped &&
+            ctx.rob.size() < config_.robPerContext) {
+            return cycle_;
+        }
+
+        if (ctx.rob.empty())
+            continue;
+
+        // Retirement (or the fault a Done-but-faulted head raises)
+        // is pending as soon as the head is Done; doRetire processes
+        // heads regardless of context state.
+        if (ctx.rob.front().state == RobEntry::State::Done)
+            return cycle_;
+
+        // Completions fire when an executing op's latency elapses —
+        // scanned for every entry, in every context state, exactly
+        // like doCompletions.
+        for (const RobEntry &entry : ctx.rob) {
+            if (entry.state == RobEntry::State::Executing)
+                next = std::min(next,
+                                std::max(entry.finishCycle, cycle_));
+        }
+
+        if (!running)
+            continue;
+
+        // Issue: mirror doIssue's scan (scheduler window, stop past a
+        // barrier).  An entry whose operands and memory ordering are
+        // clear can only be waiting on a port; ports free at known
+        // busyUntil cycles.  With tracing enabled every failed port
+        // attempt records a PortConflict event, so those cycles are
+        // events themselves and cannot be skipped.
+        unsigned examined = 0;
+        for (const RobEntry &entry : ctx.rob) {
+            if (++examined > config_.schedWindow)
+                break;
+            if (entry.state == RobEntry::State::Waiting &&
+                issueReady(ctx, entry)) {
+                if (trace_on)
+                    return cycle_;
+                const PortChoices choices = portsFor(entry.inst.op);
+                Cycles port_free = kNoEventCycle;
+                if (choices.first != 0xFF)
+                    port_free = std::min(
+                        port_free, ports_.busyUntil(choices.first));
+                if (choices.second != 0xFF)
+                    port_free = std::min(
+                        port_free, ports_.busyUntil(choices.second));
+                next = std::min(next, std::max(port_free, cycle_));
+            }
+            if (isBarrier(entry.inst.op, config_.rdrandSerializing) ||
+                entry.flushBarrier) {
+                break;
+            }
+        }
+    }
+    return next;
+}
+
+void
+Core::fastForwardTo(Cycles target)
+{
+    if (target < cycle_)
+        panic("Core::fastForwardTo: target %llu behind cycle %llu",
+              static_cast<unsigned long long>(target),
+              static_cast<unsigned long long>(cycle_));
+    // Each skipped tick would have drawn once for the SMT issue
+    // rotation (doIssue does so unconditionally); burn the same draws
+    // so the stream stays aligned with a cycle-by-cycle run.
+    const auto n = static_cast<std::uint64_t>(contexts_.size());
+    for (Cycles c = cycle_; c < target; ++c)
+        (void)rng_.below(n);
+    cycle_ = target;
 }
 
 void
@@ -784,9 +880,8 @@ Core::executeEntry(unsigned ctx_id, RobEntry &entry, Cycles &latency)
 }
 
 bool
-Core::tryIssue(unsigned ctx_id, RobEntry &entry)
+Core::issueReady(const Context &ctx, const RobEntry &entry) const
 {
-    Context &ctx = contexts_[ctx_id];
     const Instruction &inst = entry.inst;
 
     // Operand readiness.  Stores are two-phase: the address (rs1)
@@ -827,6 +922,17 @@ Core::tryIssue(unsigned ctx_id, RobEntry &entry)
                 return false;
         }
     }
+    return true;
+}
+
+bool
+Core::tryIssue(unsigned ctx_id, RobEntry &entry)
+{
+    Context &ctx = contexts_[ctx_id];
+    const Instruction &inst = entry.inst;
+
+    if (!issueReady(ctx, entry))
+        return false;
 
     // Port availability (shared across SMT contexts — the contention
     // channel).

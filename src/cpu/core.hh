@@ -192,8 +192,35 @@ class Core
     /** Advance the whole core by one cycle. */
     void tick();
 
-    /** Tick until @p pred() or @p max_cycles elapse; false on timeout. */
+    /** Tick until @p pred() or @p max_cycles elapse; false on timeout.
+     *  Always cycle-by-cycle; event-driven fast-forward lives in
+     *  os::Machine, which combines every component's nextEventCycle().
+     */
     bool runUntil(const std::function<bool()> &pred, Cycles max_cycles);
+
+    /**
+     * Earliest cycle at which calling tick() can change architectural
+     * or stats state (the fast-forward contract, DESIGN.md §10):
+     * in-flight completion times, stall wake-ups, pending transaction
+     * aborts, possible fetch/retire/issue activity, and — when event
+     * tracing is enabled — any cycle that would record a trace event
+     * (port-conflict retries).  Returns cycle() when the very next
+     * tick may do work, kNoEventCycle when nothing is in flight.
+     *
+     * The guarantee is *bit-identity*: for every cycle c in
+     * [cycle(), nextEventCycle()), tick() at c would change nothing
+     * except the cycle counter and one SMT-arbitration RNG draw —
+     * both of which fastForwardTo() replays exactly.
+     */
+    Cycles nextEventCycle() const;
+
+    /**
+     * Jump the clock to @p target without ticking.  The caller must
+     * guarantee target <= nextEventCycle(); the skipped span's
+     * per-cycle SMT-arbitration draws are burned so the RNG stream
+     * stays bit-identical to a cycle-by-cycle run.
+     */
+    void fastForwardTo(Cycles target);
 
     /** Shared branch predictor (the attacker primes/flushes it). */
     BranchPredictor &predictor() { return predictor_; }
@@ -315,6 +342,10 @@ class Core
     void doFetch();
 
     void dispatchOne(unsigned ctx_id);
+    /** Operand + memory-ordering issue gate (no port/side effects);
+     *  shared by tryIssue and nextEventCycle so the two can never
+     *  disagree about when an entry becomes issueable. */
+    bool issueReady(const Context &ctx, const RobEntry &entry) const;
     bool tryIssue(unsigned ctx_id, RobEntry &entry);
     void executeEntry(unsigned ctx_id, RobEntry &entry, Cycles &latency);
     void executeMemOp(unsigned ctx_id, RobEntry &entry, Cycles &latency);
@@ -323,7 +354,8 @@ class Core
     void doTxAbort(unsigned ctx_id);
 
     /** Resolve a source value; false if the producer is not done. */
-    bool resolveSource(Context &ctx, std::int64_t dep, Reg reg, bool fp,
+    bool resolveSource(const Context &ctx, std::int64_t dep, Reg reg,
+                       bool fp,
                        std::uint64_t &value) const;
 
     /** Find an in-flight entry by sequence number. */

@@ -210,11 +210,13 @@ CampaignRunner::runTrial(std::size_t index, unsigned worker) const
     ctx.cycleBudget = spec_.cycleBudget;
     ctx.machine.seed = ctx.seed;
     if (spec_.machineFactory) {
-        const std::uint64_t default_seed = os::MachineConfig{}.seed;
         ctx.machine = spec_.machineFactory(ctx);
         // A factory that never thought about seeding still gets a
-        // deterministic per-trial stream.
-        if (ctx.machine.seed == default_seed)
+        // deterministic per-trial stream.  os::Seed records whether
+        // the factory assigned one, so a factory that deliberately
+        // picks the default value (42) is honoured rather than
+        // silently re-seeded.
+        if (!ctx.machine.seed.explicitlySet)
             ctx.machine.seed = ctx.seed;
     }
 

@@ -84,7 +84,17 @@ struct TrialContext
      */
     os::MachineConfig machine;
 
-    /** Throw TrialTimeout when @p used_cycles exceeds the budget. */
+    /**
+     * Throw TrialTimeout when @p used_cycles exceeds the budget.
+     *
+     * Boundary semantics: the budget is *inclusive* — a trial that
+     * consumes exactly cycleBudget cycles is admitted; the first
+     * cycle past it times out.  The runner's post-hoc check on
+     * TrialOutput::simCycles uses the same `>` comparison, and the
+     * machine's fast-forward path clamps clock jumps to run() /
+     * runUntil() limits, so a skip can never carry simCycles past
+     * the budget unobserved.
+     */
     void checkBudget(Cycles used_cycles) const;
 };
 
@@ -149,8 +159,10 @@ struct CampaignSpec
     /**
      * Optional factory producing the MachineConfig for a trial (sweep
      * ROB sizes, defenses, cache geometry...).  The runner stamps the
-     * trial seed into the returned config unless the factory already
-     * set a non-default seed itself.
+     * trial seed into the returned config unless the factory assigned
+     * a seed itself — os::Seed tracks assignment explicitly, so even
+     * deliberately choosing the default value (42) counts as "set"
+     * and is honoured.
      */
     std::function<os::MachineConfig(const TrialContext &)> machineFactory;
 

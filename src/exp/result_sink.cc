@@ -15,10 +15,35 @@ JsonStreamSink::JsonStreamSink(std::ostream &os, bool include_trials,
 {
 }
 
+namespace
+{
+
+/**
+ * NaN/Inf have no JSON token and dump as null; annotate the document
+ * (samples_dropped-style) and warn so the nulls are attributable when
+ * the results are read back by plotting tooling.
+ */
+json::Value
+annotateNonFinite(json::Value doc, const std::string &name)
+{
+    const std::size_t dropped = doc.nonFiniteCount();
+    if (dropped) {
+        warn("campaign '%s': %zu non-finite metric value(s) serialized "
+             "as null",
+             name.c_str(), dropped);
+        doc.set("non_finite_nulled", std::uint64_t{dropped});
+    }
+    return doc;
+}
+
+} // namespace
+
 void
 JsonStreamSink::consume(const CampaignResult &result)
 {
-    os_ << result.toJson(includeTrials_).dump(indent_) << '\n';
+    os_ << annotateNonFinite(result.toJson(includeTrials_), result.name)
+               .dump(indent_)
+        << '\n';
     os_.flush();
 }
 
@@ -65,7 +90,9 @@ JsonFileSink::consume(const CampaignResult &result)
     if (!out)
         fatal("JsonFileSink: cannot open '%s' for writing",
               path.c_str());
-    out << result.toJson(includeTrials_).dump(indent_) << '\n';
+    out << annotateNonFinite(result.toJson(includeTrials_), result.name)
+               .dump(indent_)
+        << '\n';
     if (!out)
         fatal("JsonFileSink: short write to '%s'", path.c_str());
     lastPath_ = path;

@@ -55,10 +55,17 @@ parseBenchObsOptions(int argc, char **argv,
             opts.traceCapacity = static_cast<std::size_t>(n);
         } else if (matchFlag(arg, "--metrics", &value)) {
             opts.metrics = true;
+        } else if (matchFlag(arg, "--fast-forward", &value)) {
+            if (value && std::strcmp(value, "on") == 0)
+                opts.fastForward = true;
+            else if (value && std::strcmp(value, "off") == 0)
+                opts.fastForward = false;
+            else
+                panic("--fast-forward requires 'on' or 'off'");
         } else {
             warn("ignoring unknown argument '%s' "
                  "(known: --trace[=PATH], --trace-capacity=N, "
-                 "--metrics)",
+                 "--metrics, --fast-forward={on,off})",
                  arg);
         }
     }

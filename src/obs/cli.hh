@@ -9,6 +9,10 @@
  *   --trace-capacity=N ring slots (rounded up to a power of two).
  *   --metrics          print a metrics snapshot to stdout (metrics
  *                      always flow into the campaign JSON regardless).
+ *   --fast-forward={on,off}
+ *                      force event-driven fast-forward on or off
+ *                      (default: each bench's own choice — usually
+ *                      both, as an A/B measurement).
  *
  * Unknown arguments warn and are ignored so the benches stay ctest-
  * and script-friendly.
@@ -18,6 +22,7 @@
 #define USCOPE_OBS_CLI_HH
 
 #include <cstddef>
+#include <optional>
 #include <string>
 
 #include "obs/metrics.hh"
@@ -32,6 +37,8 @@ struct BenchObsOptions
     std::string tracePath;
     std::size_t traceCapacity = std::size_t{1} << 16;
     bool metrics = false;
+    /** --fast-forward: unset means "bench decides" (typically A/B). */
+    std::optional<bool> fastForward;
 };
 
 /**

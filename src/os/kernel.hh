@@ -215,6 +215,16 @@ class Kernel
     /** Wire the owning Machine's observability hub (may be null). */
     void setObserver(obs::Observer *observer) { obs_ = observer; }
 
+    /**
+     * Earliest cycle at which ticking can change this component's
+     * state (fast-forward contract, DESIGN.md §10).  Fault handling
+     * is synchronous — handleFault() runs inside the faulting tick
+     * and charges handler time as a core stall — so the kernel never
+     * holds time of its own: always kNoEventCycle.  The hook is the
+     * plug-in point for future deferred-work (softirq-style) models.
+     */
+    Cycles nextEventCycle() const { return kNoEventCycle; }
+
     /** Register os.faults.* plus per-process page-table counters. */
     void exportMetrics(obs::MetricRegistry &registry) const;
 

@@ -1,5 +1,7 @@
 #include "os/machine.hh"
 
+#include <algorithm>
+
 #include "obs/metrics.hh"
 
 namespace uscope::os
@@ -28,11 +30,35 @@ Machine::Machine(const MachineConfig &config)
     kernel_.setObserver(&obs_);
 }
 
+Cycles
+Machine::nextEventCycle() const
+{
+    Cycles next = core_.nextEventCycle();
+    next = std::min(next, mmu_.walker().nextEventCycle());
+    next = std::min(next, hierarchy_.nextEventCycle());
+    next = std::min(next, kernel_.nextEventCycle());
+    return next;
+}
+
 void
 Machine::run(Cycles n)
 {
-    for (Cycles i = 0; i < n; ++i)
-        core_.tick();
+    const Cycles limit = core_.cycle() + n;
+    if (!config_.fastForward) {
+        while (core_.cycle() < limit)
+            core_.tick();
+        return;
+    }
+    while (core_.cycle() < limit) {
+        const Cycles next = nextEventCycle();
+        if (next > core_.cycle()) {
+            // The jump is clamped so callers asking for exactly n
+            // cycles (trial budgets!) never overshoot.
+            core_.fastForwardTo(std::min(next, limit));
+        } else {
+            core_.tick();
+        }
+    }
 }
 
 bool
@@ -45,7 +71,19 @@ Machine::runUntilHalted(unsigned ctx, Cycles max_cycles)
 bool
 Machine::runUntil(const std::function<bool()> &pred, Cycles max_cycles)
 {
-    return core_.runUntil(pred, max_cycles);
+    if (!config_.fastForward)
+        return core_.runUntil(pred, max_cycles);
+    const Cycles limit = core_.cycle() + max_cycles;
+    while (core_.cycle() < limit) {
+        if (pred())
+            return true;
+        const Cycles next = nextEventCycle();
+        if (next > core_.cycle())
+            core_.fastForwardTo(std::min(next, limit));
+        else
+            core_.tick();
+    }
+    return pred();
 }
 
 void

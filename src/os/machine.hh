@@ -28,6 +28,36 @@
 namespace uscope::os
 {
 
+/**
+ * Master seed with an explicit "was assigned" signal.
+ *
+ * Converts implicitly to/from std::uint64_t so existing code
+ * (`config.seed = 7`, `config.seed * 3 + 1`) keeps working, but any
+ * assignment — even of the default value 42 — flips explicitlySet.
+ * Consumers that want to stamp their own seed only when the user left
+ * the default (e.g. exp::CampaignRunner's per-trial derived seeds)
+ * check explicitlySet instead of comparing against the default value,
+ * which misfired for factories that deliberately chose 42.
+ */
+struct Seed
+{
+    constexpr Seed() = default;
+    constexpr Seed(std::uint64_t v) : value(v), explicitlySet(true) {}
+
+    constexpr Seed &
+    operator=(std::uint64_t v)
+    {
+        value = v;
+        explicitlySet = true;
+        return *this;
+    }
+
+    constexpr operator std::uint64_t() const { return value; }
+
+    std::uint64_t value = 42;
+    bool explicitlySet = false;
+};
+
 /** Aggregate configuration of the whole machine. */
 struct MachineConfig
 {
@@ -38,7 +68,15 @@ struct MachineConfig
     KernelCosts costs;
     obs::ObsConfig obs;
     /** Master seed; sub-components derive their own streams. */
-    std::uint64_t seed = 42;
+    Seed seed;
+    /**
+     * Event-driven fast-forward: Machine::run/runUntil jump the clock
+     * over provably inert cycles (the minimum of every component's
+     * nextEventCycle()) instead of ticking one by one.  Results are
+     * bit-identical either way (see DESIGN.md §10); off exists for
+     * differential testing and debugging.
+     */
+    bool fastForward = true;
 };
 
 /** The machine. */
@@ -60,7 +98,11 @@ class Machine
     /** Current cycle. */
     Cycles cycle() const { return core_.cycle(); }
 
-    /** Tick for exactly @p n cycles. */
+    /**
+     * Advance exactly @p n cycles.  With config().fastForward this
+     * elides inert cycles via nextEventCycle() but lands on exactly
+     * the same state a cycle-by-cycle run would reach.
+     */
     void run(Cycles n);
 
     /**
@@ -69,8 +111,26 @@ class Machine
      */
     bool runUntilHalted(unsigned ctx, Cycles max_cycles);
 
-    /** Tick until @p pred() holds or @p max_cycles pass. */
+    /**
+     * Tick until @p pred() holds or @p max_cycles pass.
+     *
+     * @p pred must be a pure function of machine state (stats,
+     * registers, memory, context states) — not of the raw cycle
+     * counter — so that it cannot flip during a span of cycles the
+     * fast-forward path proves inert.  Every predicate in the tree
+     * satisfies this today (they test halted()/stat counters).
+     */
     bool runUntil(const std::function<bool()> &pred, Cycles max_cycles);
+
+    /**
+     * Earliest cycle at which ticking can change architectural or
+     * stats state: the minimum of every time-holding component's
+     * nextEventCycle() (core in-flight ops; the walker, hierarchy and
+     * kernel are synchronous today and report kNoEventCycle — the
+     * hooks are the plug-in points for future MSHR/async-fill models).
+     * kNoEventCycle when nothing is in flight anywhere.
+     */
+    Cycles nextEventCycle() const;
 
     /** The machine's observability hub (event ring). */
     obs::Observer &observer() { return obs_; }

@@ -7,9 +7,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <set>
 
 #include "common/bitfield.hh"
+#include "common/json.hh"
 #include "common/logging.hh"
 #include "common/random.hh"
 #include "common/stats.hh"
@@ -167,6 +169,46 @@ TEST(Histogram, CountAboveAndPercentile)
     EXPECT_NEAR(hist.percentile(0.5), 50.5, 0.01);
     EXPECT_NEAR(hist.percentile(0.0), 1.0, 0.01);
     EXPECT_NEAR(hist.percentile(1.0), 100.0, 0.01);
+}
+
+TEST(Histogram, PercentileClampsOutOfRangeFractions)
+{
+    Histogram hist(0, 200, 20);
+    for (int i = 1; i <= 100; ++i)
+        hist.add(i);
+    // A negative fraction used to make the size_t cast of a negative
+    // position undefined behaviour; out-of-range inputs now clamp.
+    EXPECT_EQ(hist.percentile(-0.5), 1.0);
+    EXPECT_EQ(hist.percentile(-1e300), 1.0);
+    EXPECT_EQ(hist.percentile(2.0), 100.0);
+    EXPECT_EQ(hist.percentile(std::numeric_limits<double>::infinity()),
+              100.0);
+    // NaN fails every comparison and clamps to the minimum.
+    EXPECT_EQ(hist.percentile(std::nan("")), 1.0);
+    // In-range behaviour is unchanged.
+    EXPECT_NEAR(hist.percentile(0.5), 50.5, 0.01);
+}
+
+TEST(Json, NonFiniteDoublesSerializeAsNullAndAreCounted)
+{
+    json::Value doc = json::Value::object()
+                          .set("ok", 1.5)
+                          .set("nan", std::nan(""))
+                          .set("inf",
+                               std::numeric_limits<double>::infinity());
+    json::Value arr = json::Value::array();
+    arr.push(-std::numeric_limits<double>::infinity());
+    arr.push(2.0);
+    doc.set("nested", std::move(arr));
+
+    EXPECT_EQ(doc.nonFiniteCount(), 3u);
+    const std::string out = doc.dump();
+    EXPECT_EQ(out,
+              "{\"ok\":1.5,\"nan\":null,\"inf\":null,"
+              "\"nested\":[null,2]}");
+
+    EXPECT_EQ(json::Value(0.25).nonFiniteCount(), 0u);
+    EXPECT_EQ(json::Value("NaN").nonFiniteCount(), 0u);
 }
 
 TEST(Histogram, RenderContainsBars)

@@ -10,6 +10,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <limits>
+#include <sstream>
 #include <stdexcept>
 #include <vector>
 
@@ -405,6 +407,108 @@ TEST(Campaign, MachineFactorySeedStamping)
     ASSERT_EQ(seeds.size(), 3u);
     for (std::size_t i = 0; i < 3; ++i)
         EXPECT_EQ(seeds[i], exp::deriveTrialSeed(77, i));
+}
+
+TEST(Campaign, MachineFactorySettingDefaultSeedValueIsHonoured)
+{
+    // Regression: a factory that *deliberately* chooses the default
+    // seed value (42) used to be indistinguishable from one that never
+    // seeded, and was silently re-stamped with the trial seed.
+    exp::CampaignSpec spec;
+    spec.trials = 3;
+    spec.masterSeed = 77;
+    spec.workers = 1;
+    std::vector<std::uint64_t> seeds;
+    spec.machineFactory = [](const exp::TrialContext &) {
+        os::MachineConfig config;
+        config.seed = 42;  // deliberately the default value
+        return config;
+    };
+    spec.body = [&](const exp::TrialContext &ctx) {
+        seeds.push_back(ctx.machine.seed);
+        return exp::TrialOutput{};
+    };
+    exp::runCampaign(std::move(spec));
+    ASSERT_EQ(seeds.size(), 3u);
+    for (std::uint64_t seed : seeds)
+        EXPECT_EQ(seed, 42u);
+}
+
+TEST(Seed, TracksExplicitAssignment)
+{
+    os::Seed seed;
+    EXPECT_FALSE(seed.explicitlySet);
+    EXPECT_EQ(static_cast<std::uint64_t>(seed), 42u);
+
+    seed = 42;  // assigning the default value still counts as "set"
+    EXPECT_TRUE(seed.explicitlySet);
+
+    os::MachineConfig config;
+    EXPECT_FALSE(config.seed.explicitlySet);
+    config.seed = 7;
+    EXPECT_TRUE(config.seed.explicitlySet);
+    // Arithmetic through the implicit conversion keeps working.
+    EXPECT_EQ(config.seed * 3 + 1, 22u);
+}
+
+TEST(TrialContext, CheckBudgetBoundaryIsInclusive)
+{
+    exp::TrialContext ctx;
+    ctx.cycleBudget = 100;
+    // The budget is inclusive: exactly-budget trials are admitted,
+    // the first cycle past it times out.
+    EXPECT_NO_THROW(ctx.checkBudget(100));
+    EXPECT_THROW(ctx.checkBudget(101), exp::TrialTimeout);
+
+    ctx.cycleBudget = 0;  // unbounded
+    EXPECT_NO_THROW(ctx.checkBudget(~Cycles{0}));
+}
+
+TEST(Campaign, ExactBudgetAdmittedOneCycleOverTimesOut)
+{
+    // Trial 0 consumes exactly the budget (fast-forward must clamp its
+    // clock jumps to the run() limit, not overshoot); trial 1 runs one
+    // cycle past it.
+    exp::CampaignSpec spec;
+    spec.trials = 2;
+    spec.masterSeed = 5;
+    spec.workers = 1;
+    spec.cycleBudget = 5000;
+    spec.body = [](const exp::TrialContext &ctx) {
+        os::Machine machine(ctx.machine);
+        machine.run(ctx.cycleBudget + ctx.index);
+        exp::TrialOutput out;
+        out.simCycles = machine.cycle();
+        return out;
+    };
+    const exp::CampaignResult result = exp::runCampaign(std::move(spec));
+    ASSERT_EQ(result.trials.size(), 2u);
+    EXPECT_EQ(result.trials[0].output.simCycles, 5000u);
+    EXPECT_EQ(result.trials[0].status, exp::TrialStatus::Ok);
+    EXPECT_EQ(result.trials[1].output.simCycles, 5001u);
+    EXPECT_EQ(result.trials[1].status, exp::TrialStatus::TimedOut);
+}
+
+TEST(ResultSink, AnnotatesNonFiniteValuesInDumps)
+{
+    exp::CampaignSpec spec;
+    spec.name = "nonfinite-campaign";
+    spec.trials = 1;
+    spec.workers = 1;
+    spec.body = [](const exp::TrialContext &) {
+        exp::TrialOutput out;
+        out.payload = exp::json::Value::object().set(
+            "bad", std::numeric_limits<double>::quiet_NaN());
+        return out;
+    };
+    const exp::CampaignResult result = exp::runCampaign(std::move(spec));
+
+    std::ostringstream os;
+    exp::JsonStreamSink sink(os, /*include_trials=*/true, /*indent=*/-1);
+    sink.consume(result);
+    const std::string dumped = os.str();
+    EXPECT_NE(dumped.find("\"bad\":null"), std::string::npos);
+    EXPECT_NE(dumped.find("\"non_finite_nulled\":1"), std::string::npos);
 }
 
 TEST(Campaign, MetricSnapshotsFlowIntoResults)

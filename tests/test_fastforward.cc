@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Differential bit-identity suite for event-driven fast-forward
+ * (DESIGN.md §10).
+ *
+ * MachineConfig::fastForward lets Machine::run/runUntil jump the clock
+ * over provably inert cycles.  The contract is that this is purely a
+ * wall-clock optimization: every stat counter, MetricSnapshot, trace
+ * event, and campaign JSON fingerprint must match the cycle-by-cycle
+ * baseline bit for bit.  This suite enforces the contract on
+ * fig10-shaped (port contention) and fig11-shaped (AES replay)
+ * workloads, with fast-forward on and off, at 1/2/4 workers — and is
+ * run under TSan in CI, where the worker sweep doubles as a race
+ * check on the skip path.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "attack/aes_attack.hh"
+#include "attack/port_contention.hh"
+#include "common/random.hh"
+#include "exp/campaign.hh"
+#include "exp/json.hh"
+#include "os/machine.hh"
+
+using namespace uscope;
+
+namespace
+{
+
+/**
+ * Per-trial payloads + aggregate, minus wall-clock noise — the same
+ * shape bench/perf_campaign compares across worker counts.
+ */
+std::string
+deterministicFingerprint(const exp::CampaignResult &result)
+{
+    std::string fp = result.aggregate.toJson().dump();
+    for (const exp::TrialResult &trial : result.trials) {
+        fp += '\n';
+        fp += trial.output.payload.dump();
+        fp += trial.output.metrics.toJson().dump();
+        fp += exp::json::Value(trial.output.simCycles).dump();
+        fp += exp::trialStatusName(trial.status);
+    }
+    return fp;
+}
+
+/** Fig.-10-shaped: SMT port-contention sweep, div vs mul arms. */
+exp::CampaignSpec
+fig10Spec(bool fast_forward, unsigned workers)
+{
+    exp::CampaignSpec spec;
+    spec.name = "ff_fig10";
+    spec.trials = 4;
+    spec.masterSeed = 42;
+    spec.workers = workers;
+    spec.body = [fast_forward](const exp::TrialContext &ctx) {
+        attack::PortContentionConfig config;
+        config.victimDivides = ctx.index % 2 == 1;
+        config.samples = 120;
+        config.replays = 8;
+        config.threshold = 120;
+        config.seed = ctx.seed;
+        config.machine.fastForward = fast_forward;
+        const attack::PortContentionResult result =
+            attack::runPortContentionAttack(config);
+
+        exp::TrialOutput out;
+        for (Cycles sample : result.samples)
+            out.metric.add(static_cast<double>(sample));
+        out.metrics = result.metrics;
+        out.simCycles = result.totalCycles;
+        out.payload = exp::json::Value::object()
+                          .set("above_threshold", result.aboveThreshold)
+                          .set("inferred_divides",
+                               result.inferredDivides);
+        return out;
+    };
+    return spec;
+}
+
+/** Fig.-11-shaped: one AES replay timeline per trial, random keys. */
+exp::CampaignSpec
+fig11Spec(bool fast_forward, unsigned workers)
+{
+    exp::CampaignSpec spec;
+    spec.name = "ff_fig11";
+    spec.trials = 3;
+    spec.masterSeed = 42;
+    spec.workers = workers;
+    spec.body = [fast_forward](const exp::TrialContext &ctx) {
+        attack::AesAttackConfig config;
+        Rng rng(ctx.seed);
+        for (unsigned i = 0; i < 16; ++i) {
+            config.key[i] = static_cast<std::uint8_t>(rng.below(256));
+            config.plaintext[i] =
+                static_cast<std::uint8_t>(rng.below(256));
+        }
+        config.seed = ctx.seed;
+        config.machine.fastForward = fast_forward;
+        const attack::Fig11Result fig11 = attack::runFig11(config);
+
+        exp::TrialOutput out;
+        out.metrics = fig11.metrics;
+        out.metric.add(fig11.matchesGroundTruth ? 1.0 : 0.0);
+        exp::json::Value probes = exp::json::Value::array();
+        for (const attack::LineProbe &probe : fig11.replays) {
+            exp::json::Value row = exp::json::Value::array();
+            for (Cycles latency : probe.latency)
+                row.push(latency);
+            probes.push(std::move(row));
+        }
+        out.payload = exp::json::Value::object()
+                          .set("consistent",
+                               fig11.consistentAcrossPrimedReplays)
+                          .set("matches", fig11.matchesGroundTruth)
+                          .set("probe_latencies", std::move(probes));
+        return out;
+    };
+    return spec;
+}
+
+/** Run @p make over ff on/off × 1/2/4 workers; all must agree. */
+void
+expectBitIdenticalEverywhere(
+    exp::CampaignSpec (*make)(bool, unsigned))
+{
+    const std::string baseline =
+        deterministicFingerprint(exp::runCampaign(make(false, 1)));
+    ASSERT_FALSE(baseline.empty());
+    for (const bool fast_forward : {false, true}) {
+        for (const unsigned workers : {1u, 2u, 4u}) {
+            const exp::CampaignResult result =
+                exp::runCampaign(make(fast_forward, workers));
+            EXPECT_EQ(deterministicFingerprint(result), baseline)
+                << "fast_forward=" << fast_forward
+                << " workers=" << workers;
+        }
+    }
+}
+
+} // namespace
+
+TEST(FastForward, Fig10FingerprintBitIdenticalAcrossModesAndWorkers)
+{
+    expectBitIdenticalEverywhere(fig10Spec);
+}
+
+TEST(FastForward, Fig11FingerprintBitIdenticalAcrossModesAndWorkers)
+{
+    expectBitIdenticalEverywhere(fig11Spec);
+}
+
+TEST(FastForward, TracedFig11EventLogIsBitIdentical)
+{
+    // Event-trace spans are part of the bit-identity contract: with
+    // tracing enabled the skip logic must refuse to elide cycles that
+    // would have recorded events (e.g. per-cycle PortConflict retries).
+    const auto run = [](bool fast_forward) {
+        attack::AesAttackConfig config;
+        for (unsigned i = 0; i < 16; ++i) {
+            config.key[i] = static_cast<std::uint8_t>(i);
+            config.plaintext[i] = static_cast<std::uint8_t>(0x20 + i);
+        }
+        config.machine.obs.traceEvents = true;
+        config.machine.fastForward = fast_forward;
+        return attack::runFig11(config);
+    };
+    const attack::Fig11Result on = run(true);
+    const attack::Fig11Result off = run(false);
+
+    EXPECT_EQ(on.events.total, off.events.total);
+    EXPECT_EQ(on.events.dropped, off.events.dropped);
+    ASSERT_EQ(on.events.events.size(), off.events.events.size());
+    for (std::size_t i = 0; i < on.events.events.size(); ++i) {
+        const obs::Event &a = on.events.events[i];
+        const obs::Event &b = off.events.events[i];
+        EXPECT_EQ(a.cycle, b.cycle) << "event " << i;
+        EXPECT_EQ(a.kind, b.kind) << "event " << i;
+        EXPECT_EQ(a.a, b.a) << "event " << i;
+        EXPECT_EQ(a.b, b.b) << "event " << i;
+        EXPECT_EQ(a.addr, b.addr) << "event " << i;
+    }
+}
+
+TEST(FastForward, RunLandsExactlyOnTheLimit)
+{
+    // An idle machine has no pending events at all; the jump must
+    // clamp to the requested cycle count, never overshoot it.
+    os::Machine machine{};
+    ASSERT_TRUE(machine.config().fastForward);
+    EXPECT_EQ(machine.nextEventCycle(), kNoEventCycle);
+    machine.run(12345);
+    EXPECT_EQ(machine.cycle(), 12345u);
+    machine.run(1);
+    EXPECT_EQ(machine.cycle(), 12346u);
+}
+
+TEST(FastForward, RngStreamMatchesCycleByCycleRun)
+{
+    // Skipped cycles still consume the per-cycle SMT arbitration draw,
+    // so the core's RNG stream — and with it every downstream decision
+    // — stays aligned with the baseline.  Compare full machine state
+    // via the metrics snapshot after a mixed idle/busy run.
+    const auto snapshot = [](bool fast_forward) {
+        os::MachineConfig config;
+        config.fastForward = fast_forward;
+        os::Machine machine(config);
+        machine.run(5000);
+        return std::pair(machine.metricsSnapshot().toJson().dump(),
+                         machine.cycle());
+    };
+    EXPECT_EQ(snapshot(true), snapshot(false));
+}
