@@ -26,6 +26,7 @@
 #include "attack/victims.hh"
 #include "core/microscope.hh"
 #include "crypto/aes.hh"
+#include "fault/plan.hh"
 #include "os/machine.hh"
 
 using namespace uscope;
@@ -35,13 +36,14 @@ namespace
 
 /** Controlled channel: recover the branch secret from fault VPNs. */
 double
-controlledChannelAccuracy(unsigned trials)
+controlledChannelAccuracy(unsigned trials, const fault::FaultPlan &plan)
 {
     unsigned correct = 0;
     for (unsigned trial = 0; trial < trials; ++trial) {
         const bool secret = trial % 2;
         os::MachineConfig mcfg;
         mcfg.seed = 100 + trial;
+        mcfg.fault = plan;
         os::Machine machine(mcfg);
         auto &kernel = machine.kernel();
         const auto victim =
@@ -109,13 +111,14 @@ portContentionAccuracy(std::uint64_t replays, unsigned trials)
 
 /** MicroScope/AES: line classification error after primed replays. */
 double
-microscopeAesErrorRate(unsigned trials)
+microscopeAesErrorRate(unsigned trials, const fault::FaultPlan &plan)
 {
     unsigned errors = 0;
     unsigned total = 0;
     for (unsigned trial = 0; trial < trials; ++trial) {
         attack::AesAttackConfig config;
         config.seed = 700 + trial;
+        config.machine.fault = plan;
         for (unsigned i = 0; i < 16; ++i) {
             config.key[i] = static_cast<std::uint8_t>(trial * 7 + i);
             config.plaintext[i] = static_cast<std::uint8_t>(i * 5);
@@ -140,13 +143,14 @@ microscopeAesErrorRate(unsigned trials)
  * re-walks) and infer the branch direction without a single fault.
  */
 double
-spmAccuracy(unsigned trials)
+spmAccuracy(unsigned trials, const fault::FaultPlan &plan)
 {
     unsigned correct = 0;
     for (unsigned trial = 0; trial < trials; ++trial) {
         const bool secret = trial % 2;
         os::MachineConfig mcfg;
         mcfg.seed = 300 + trial;
+        mcfg.fault = plan;
         os::Machine machine(mcfg);
         auto &kernel = machine.kernel();
         const auto victim =
@@ -195,21 +199,34 @@ main()
     std::printf("(measured on this substrate; paper classification in [])\n");
     std::printf("==============================================================\n\n");
 
-    const double controlled = controlledChannelAccuracy(8);
-    const double spm = spmAccuracy(8);
+    // "Noiseless" is a measurement here, not a citation: every
+    // page-granularity and replay-based row is re-run under
+    // FaultPlan::chaos() (interrupt residue, TLB/PWC shootdowns,
+    // port and timer jitter, dropped samples) and reports how much of
+    // its accuracy survives.
+    const fault::FaultPlan quiet;
+    const fault::FaultPlan noisy = fault::FaultPlan::chaos();
+
+    const double controlled = controlledChannelAccuracy(8, quiet);
+    const double controlled_n = controlledChannelAccuracy(8, noisy);
+    const double spm = spmAccuracy(8, quiet);
+    const double spm_n = spmAccuracy(8, noisy);
     const double pp_error = primeProbeOneShotErrorRate(6);
     const double port_one = portContentionAccuracy(1, 10);
     const double port_many = portContentionAccuracy(60, 10);
-    const double us_error = microscopeAesErrorRate(6);
+    const double us_error = microscopeAesErrorRate(6, quiet);
+    const double us_error_n = microscopeAesErrorRate(6, noisy);
 
     std::printf("%-34s %-10s %-12s %s\n", "channel", "spatial",
                 "temporal", "measured noise / accuracy");
-    std::printf("%-34s %-10s %-12s accuracy %.0f%%  [noiseless]\n",
+    std::printf("%-34s %-10s %-12s accuracy %.0f%% quiet, %.0f%% "
+                "under faults\n",
                 "controlled channel (page faults)", "4 KiB page",
-                "per fault", controlled * 100);
-    std::printf("%-34s %-10s %-12s accuracy %.0f%%  [noiseless]\n",
+                "per fault", controlled * 100, controlled_n * 100);
+    std::printf("%-34s %-10s %-12s accuracy %.0f%% quiet, %.0f%% "
+                "under faults\n",
                 "sneaky page monitoring (A bits)", "4 KiB page",
-                "per poll", spm * 100);
+                "per poll", spm * 100, spm_n * 100);
     std::printf("%-34s %-10s %-12s line error %.1f%%  [noisy]\n",
                 "Prime+Probe, single shot", "64 B line", "end of run",
                 pp_error * 100);
@@ -219,9 +236,10 @@ main()
     std::printf("%-34s %-10s %-12s verdict accuracy %.0f%%\n",
                 "port contention + MicroScope", "instr.",
                 "per replay", port_many * 100);
-    std::printf("%-34s %-10s %-12s line error %.1f%%  [no noise]\n",
+    std::printf("%-34s %-10s %-12s line error %.1f%% quiet, %.1f%% "
+                "under faults\n",
                 "cache probe + MicroScope", "64 B line",
-                "single-step", us_error * 100);
+                "single-step", us_error * 100, us_error_n * 100);
 
     std::printf("\nPaper's claim: only MicroScope reaches fine grain + high\n");
     std::printf("temporal resolution + no noise, in a single victim run.\n");

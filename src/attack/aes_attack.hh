@@ -75,6 +75,14 @@ struct Fig11Result
     std::vector<std::set<unsigned>> measuredLines;
     bool consistentAcrossPrimedReplays = false;
     bool matchesGroundTruth = false;
+    /**
+     * §4.3 denoising: a line is hot when a strict majority of primed
+     * replays measured it hot.  Noiselessly identical to any single
+     * primed replay; under a FaultPlan this is the estimate whose
+     * accuracy grows with replaysPerEpisode.
+     */
+    std::set<unsigned> majorityLines;
+    bool majorityMatchesGroundTruth = false;
     /** Component metrics snapshot taken after the run. */
     obs::MetricSnapshot metrics;
     /** Event trace (non-empty when config.machine.obs.traceEvents). */
@@ -90,7 +98,9 @@ struct AesEpisode
     unsigned round = 0;  ///< 1-based inner round.
     unsigned group = 0;  ///< t-group 0..3.
     /** Lines seen per table (slot 0: Td0 from the pivot window;
-     *  slots 1..3: Td1..Td3 from the handle windows). */
+     *  slots 1..3: Td1..Td3 by majority vote across the episode's
+     *  primed replays — §4.3 denoising, so a fault-evicted line in
+     *  one replay does not erase it from the episode). */
     std::array<std::set<unsigned>, 4> lines;
     /** True when every primed replay measured the same line sets. */
     bool stable = true;

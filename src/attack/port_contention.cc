@@ -65,7 +65,18 @@ runPortContentionAttack(const PortContentionConfig &config)
     result.victimCompleted = machine.core().halted(0);
     result.totalCycles = machine.cycle();
 
-    result.samples = readMonitorSamples(kernel, monitor);
+    // The fault layer models the attacker losing measurements (SMT
+    // sibling descheduled, buffer overruns): each raw sample passes
+    // one deterministic drop draw, so the draw count — and with it
+    // the schedule — depends only on the monitor geometry.
+    const std::vector<Cycles> raw = readMonitorSamples(kernel, monitor);
+    result.samples.reserve(raw.size());
+    for (Cycles sample : raw) {
+        if (machine.faults().dropMonitorSample())
+            ++result.samplesDropped;
+        else
+            result.samples.push_back(sample);
+    }
     for (Cycles sample : result.samples)
         if (sample > config.threshold)
             ++result.aboveThreshold;
@@ -74,8 +85,9 @@ runPortContentionAttack(const PortContentionConfig &config)
     std::sort(sorted.begin(), sorted.end());
     result.medianLatency = sorted.empty() ? 0 : sorted[sorted.size() / 2];
     result.maxLatency = sorted.empty() ? 0 : sorted.back();
-    result.inferredDivides =
-        inferDivides(result.aboveThreshold, config.samples);
+    result.inferredDivides = inferDivides(
+        result.aboveThreshold,
+        static_cast<unsigned>(result.samples.size()));
 
     obs::MetricRegistry registry;
     machine.exportMetrics(registry);

@@ -50,7 +50,10 @@ struct PortContentionConfig
 /** Outcome of one run. */
 struct PortContentionResult
 {
+    /** Monitor samples that survived the fault layer's drop model. */
     std::vector<Cycles> samples;
+    /** Samples lost to the machine's FaultPlan (0 when noiseless). */
+    std::uint64_t samplesDropped = 0;
     std::uint64_t aboveThreshold = 0;
     Cycles medianLatency = 0;
     Cycles maxLatency = 0;

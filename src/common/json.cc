@@ -24,6 +24,14 @@ Value::set(std::string key, Value v)
     return *this;
 }
 
+Value
+Value::raw(std::string serialized)
+{
+    Value v(Type::Raw);
+    v.string_ = std::move(serialized);
+    return v;
+}
+
 Value &
 Value::push(Value v)
 {
@@ -108,6 +116,9 @@ Value::dumpTo(std::string &out, int indent, int depth) const
         out += '"';
         out += escape(string_);
         out += '"';
+        break;
+      case Type::Raw:
+        out += string_;
         break;
       case Type::Array:
         if (array_.empty()) {

@@ -26,7 +26,7 @@ class Value
 {
   public:
     enum class Type { Null, Bool, Int, Uint, Double, String, Array,
-                      Object };
+                      Object, Raw };
 
     Value() = default;                       ///< null
     Value(bool b) : type_(Type::Bool), bool_(b) {}
@@ -41,6 +41,17 @@ class Value
     /** Empty object / array factories (a default Value is null). */
     static Value object() { return Value(Type::Object); }
     static Value array() { return Value(Type::Array); }
+
+    /**
+     * A pre-serialized JSON document, emitted verbatim by dump() —
+     * indentation requests do not reformat it.  This is how campaign
+     * checkpoints restore trial payloads without a JSON parser: the
+     * original dump() text round-trips byte for byte.  The caller
+     * vouches that @p serialized is valid JSON; nonFiniteCount()
+     * reports 0 for raw blobs (non-finite doubles were already
+     * serialized as null when the blob was first dumped).
+     */
+    static Value raw(std::string serialized);
 
     Type type() const { return type_; }
     bool isNull() const { return type_ == Type::Null; }

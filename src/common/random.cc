@@ -27,6 +27,13 @@ rotl(std::uint64_t x, int k)
 
 } // anonymous namespace
 
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    std::uint64_t state = x;
+    return splitMix64(state);
+}
+
 Rng::Rng(std::uint64_t seed_value)
 {
     seed(seed_value);

@@ -17,6 +17,15 @@ namespace uscope
 {
 
 /**
+ * SplitMix64 finalizer (Vigna): a full-avalanche 64-bit mix.  The
+ * building block for deriving decorrelated seeds from structured
+ * inputs — trial seeds from (masterSeed, index), fault-site streams
+ * from (machine seed, site id) — where plain arithmetic would hand
+ * adjacent inputs overlapping PRNG expansions.
+ */
+std::uint64_t mix64(std::uint64_t x);
+
+/**
  * Xoshiro256** PRNG (Blackman & Vigna).  Small, fast, and good enough
  * for simulation jitter; not cryptographic (the simulated RDRAND draws
  * from a separate, OS-controlled instance on purpose — see §7.2 of the

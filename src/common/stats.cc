@@ -57,6 +57,19 @@ Summary::max() const
     return count_ ? max_ : 0.0;
 }
 
+Summary
+Summary::fromParts(std::uint64_t count, double mean, double m2,
+                   double min, double max)
+{
+    Summary s;
+    s.count_ = count;
+    s.mean_ = mean;
+    s.m2_ = m2;
+    s.min_ = min;
+    s.max_ = max;
+    return s;
+}
+
 double
 Summary::variance() const
 {

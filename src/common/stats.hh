@@ -44,6 +44,20 @@ class Summary
     double variance() const;
     double stddev() const;
 
+    /**
+     * Lossless state access for checkpointing (campaign resume): m2()
+     * is the raw Welford sum of squared deviations; rawMin()/rawMax()
+     * the raw extrema (±infinity while empty, unlike min()/max()
+     * which report 0).  fromParts() rebuilds a Summary bit-identically
+     * from the five values — persist the doubles as bit patterns, not
+     * decimal text, or merge() results will drift after a resume.
+     */
+    double m2() const { return m2_; }
+    double rawMin() const { return min_; }
+    double rawMax() const { return max_; }
+    static Summary fromParts(std::uint64_t count, double mean, double m2,
+                             double min, double max);
+
   private:
     std::uint64_t count_ = 0;
     double mean_ = 0.0;

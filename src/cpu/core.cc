@@ -86,6 +86,12 @@ Core::setMemProbe(MemProbe probe)
 }
 
 void
+Core::setIssueJitterHook(IssueJitterHook hook)
+{
+    issueJitter_ = std::move(hook);
+}
+
+void
 Core::setObserver(obs::Observer *observer)
 {
     obs_ = observer;
@@ -171,6 +177,32 @@ Core::stallContext(unsigned ctx_id, Cycles duration)
     ctx.state = CtxState::Stalled;
     ctx.stallUntil = std::max(ctx.stallUntil, cycle_ + duration);
     ctx.stats.stallCycles += duration;
+}
+
+void
+Core::preemptContext(unsigned ctx_id, Cycles penalty)
+{
+    Context &ctx = ctxAt(ctx_id);
+    if (ctx.state == CtxState::Idle || ctx.state == CtxState::Halted)
+        return;
+
+    if (ctx.inTx) {
+        // A context switch aborts a transaction (TSX semantics); the
+        // abort path already redirects fetch to the abort handler.
+        doTxAbort(ctx_id);
+    } else {
+        // Precise: resume at the oldest in-flight instruction, like a
+        // fault squash (stores only write at retirement, so in-flight
+        // work re-executes safely).
+        if (!ctx.rob.empty()) {
+            ctx.fetchPc = ctx.rob.front().pc;
+            ctx.fetchStopped = false;
+        }
+        squashAll(ctx_id);
+        if (config_.fenceOnPipelineFlush)
+            ctx.serializeNext = true;
+    }
+    stallContext(ctx_id, penalty);
 }
 
 void
@@ -954,6 +986,16 @@ Core::tryIssue(unsigned ctx_id, RobEntry &entry)
 
     Cycles latency = 0;
     executeEntry(ctx_id, entry, latency);
+
+    // Fault-layer port jitter: long-latency arithmetic (the paper's
+    // contention channel) picks up deterministic extra cycles.  The
+    // hook draws from the injector's stream, never from rng_ (which
+    // fastForwardTo replays per cycle).
+    if (issueJitter_ &&
+        (inst.op == Op::Mul || inst.op == Op::Div ||
+         inst.op == Op::Fmul || inst.op == Op::Fdiv)) {
+        latency += issueJitter_(ctx_id);
+    }
 
     if (obs::tracing(obs_))
         obs_->trace.record(obs::EventKind::SpecIssue,

@@ -180,6 +180,29 @@ class Core
     /** Block a context's fetch/issue for @p duration cycles. */
     void stallContext(unsigned ctx, Cycles duration);
 
+    /**
+     * Scheduler preemption of @p ctx (fault-injection layer): squash
+     * everything in flight, resume fetch at the oldest unretired
+     * instruction (precise — stores only write at retirement, so
+     * re-execution is safe), and stall the context for @p penalty
+     * cycles of scheduler-quantum tax.  Inside a transaction the
+     * context switch aborts it instead (TSX semantics).  Idle and
+     * halted contexts just pay the stall bookkeeping-free no-op.
+     */
+    void preemptContext(unsigned ctx, Cycles penalty);
+
+    /**
+     * Deterministic-noise hook (fault-injection layer): called once
+     * per successful issue of a jitterable op (Mul/Div/Fmul/Fdiv);
+     * the returned extra cycles stretch that op's execution latency.
+     * Must NOT touch this core's own RNG stream — fastForwardTo
+     * replays that stream per skipped cycle, so any extra draw there
+     * would break fast-forward bit-identity.  Injector-owned streams
+     * are safe: issues happen at identical cycles in both modes.
+     */
+    using IssueJitterHook = std::function<Cycles(unsigned ctx)>;
+    void setIssueJitterHook(IssueJitterHook hook);
+
     /** Squash everything in flight and restart fetch at @p pc. */
     void redirectContext(unsigned ctx, std::uint64_t pc);
 
@@ -386,6 +409,7 @@ class Core
     FaultHandler faultHandler_;
     RdrandSource rdrandSource_;
     MemProbe memProbe_;
+    IssueJitterHook issueJitter_;
     obs::Observer *obs_ = nullptr;
 };
 

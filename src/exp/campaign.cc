@@ -6,22 +6,14 @@
 #include <thread>
 
 #include "common/logging.hh"
+#include "common/random.hh"
+#include "exp/checkpoint.hh"
 
 namespace uscope::exp
 {
 
 namespace
 {
-
-/** SplitMix64 finalizer (Vigna); full-avalanche 64-bit mix. */
-std::uint64_t
-mix64(std::uint64_t x)
-{
-    x += 0x9E3779B97F4A7C15ull;
-    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
-    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
-    return x ^ (x >> 31);
-}
 
 double
 elapsedSeconds(std::chrono::steady_clock::time_point since)
@@ -42,6 +34,16 @@ deriveTrialSeed(std::uint64_t master, std::uint64_t index)
     return mix64(mix64(master) ^ mix64(~index));
 }
 
+std::uint64_t
+deriveRetrySeed(std::uint64_t master, std::uint64_t index,
+                unsigned attempt)
+{
+    const std::uint64_t base = deriveTrialSeed(master, index);
+    if (attempt == 0)
+        return base;
+    return mix64(mix64(base) ^ mix64(~std::uint64_t{attempt}));
+}
+
 void
 TrialContext::checkBudget(Cycles used_cycles) const
 {
@@ -60,6 +62,7 @@ trialStatusName(TrialStatus status)
       case TrialStatus::Ok: return "ok";
       case TrialStatus::Failed: return "failed";
       case TrialStatus::TimedOut: return "timed_out";
+      case TrialStatus::Retried: return "retried";
     }
     return "?";
 }
@@ -124,6 +127,8 @@ TrialResult::toJson() const
                         .set("status", trialStatusName(status))
                         .set("wall_seconds", wallSeconds)
                         .set("sim_cycles", output.simCycles);
+    if (attempts != 1)
+        v.set("attempts", attempts);
     if (!error.empty())
         v.set("error", error);
     if (output.metric.count())
@@ -142,6 +147,7 @@ CampaignAggregate::toJson() const
         .set("ok", std::uint64_t{ok})
         .set("failed", std::uint64_t{failed})
         .set("timed_out", std::uint64_t{timedOut})
+        .set("retried", std::uint64_t{retried})
         .set("sim_cycles", simCycles)
         .set("metric", exp::toJson(metric))
         .set("scope", json::Value::object()
@@ -180,6 +186,8 @@ CampaignResult::toJson(bool include_trials) const
             .set("trials", std::uint64_t{trialCount})
             .set("master_seed", masterSeed)
             .set("workers", std::uint64_t{workers})
+            .set("resumed_trials", std::uint64_t{resumedTrials})
+            .set("worker_deaths", std::uint64_t{workerDeaths})
             .set("wall_seconds", wallSeconds)
             .set("trials_per_second", trialsPerSecond())
             .set("sim_cycles_per_second", simCyclesPerSecond())
@@ -195,17 +203,24 @@ CampaignResult::toJson(bool include_trials) const
 
 CampaignRunner::CampaignRunner(CampaignSpec spec) : spec_(std::move(spec))
 {
+    // Spec errors throw std::invalid_argument (not SimFatal): they are
+    // caller bugs at the API boundary, catchable without dragging in
+    // the simulator's error hierarchy.
     if (!spec_.body)
-        fatal("CampaignRunner: spec '%s' has no trial body",
-              spec_.name.c_str());
+        throw std::invalid_argument(format(
+            "CampaignSpec '%s' has no trial body", spec_.name.c_str()));
+    if (spec_.trials == 0)
+        throw std::invalid_argument(format(
+            "CampaignSpec '%s' has zero trials", spec_.name.c_str()));
 }
 
 TrialResult
-CampaignRunner::runTrial(std::size_t index, unsigned worker) const
+CampaignRunner::runAttempt(std::size_t index, unsigned worker,
+                           unsigned attempt) const
 {
     TrialContext ctx;
     ctx.index = index;
-    ctx.seed = deriveTrialSeed(spec_.masterSeed, index);
+    ctx.seed = deriveRetrySeed(spec_.masterSeed, index, attempt);
     ctx.worker = worker;
     ctx.cycleBudget = spec_.cycleBudget;
     ctx.machine.seed = ctx.seed;
@@ -250,6 +265,30 @@ CampaignRunner::runTrial(std::size_t index, unsigned worker) const
     return result;
 }
 
+TrialResult
+CampaignRunner::runTrial(std::size_t index, unsigned worker) const
+{
+    TrialResult result = runAttempt(index, worker, 0);
+    // Retry failures only: a TimedOut trial really consumed its budget
+    // — that is a measurement — and retrying Ok makes no sense.  The
+    // retry count is a pure function of the seeds, so fingerprints
+    // stay identical across worker counts.
+    unsigned attempts = 1;
+    while (result.status == TrialStatus::Failed &&
+           attempts <= spec_.maxRetries) {
+        TrialResult retry = runAttempt(index, worker, attempts);
+        retry.wallSeconds += result.wallSeconds;
+        if (retry.status == TrialStatus::Ok) {
+            retry.status = TrialStatus::Retried;
+            retry.error = std::move(result.error);
+        }
+        result = std::move(retry);
+        ++attempts;
+    }
+    result.attempts = attempts;
+    return result;
+}
+
 CampaignResult
 CampaignRunner::run()
 {
@@ -260,29 +299,68 @@ CampaignRunner::run()
         if (workers == 0)
             workers = 1;
     }
-    if (total > 0 && workers > total)
+    if (workers > total)
         workers = static_cast<unsigned>(total);
     if (workers == 0)
         workers = 1;
 
     std::vector<TrialResult> results(total);
+    // done[i] flips exactly once, by the one worker that claimed i (or
+    // by checkpoint restore before the pool starts); the grace pass
+    // reads it after join().  It is what distinguishes "claimed but
+    // never finished" (dead worker) from "completed".
+    std::vector<char> done(total, 0);
+
+    CampaignCheckpoint checkpoint(spec_);
+    const std::size_t resumed =
+        checkpoint.enabled() ? checkpoint.load(results, done) : 0;
+
     std::atomic<std::size_t> next{0};
-    std::size_t completed = 0;
+    std::size_t completed = resumed;
+    unsigned deadWorkers = 0;
     std::mutex lock;
 
     const auto start = std::chrono::steady_clock::now();
-    const auto drain = [&](unsigned worker) {
+    const auto claimNext = [&]() {
+        // Restored trials are done before any worker starts; skipping
+        // them here means a resumed campaign only executes the rest.
         for (;;) {
             const std::size_t index =
                 next.fetch_add(1, std::memory_order_relaxed);
-            if (index >= total)
-                return;
-            TrialResult result = runTrial(index, worker);
+            if (index >= total || !done[index])
+                return index;
+        }
+    };
+    const auto drain = [&](unsigned worker) {
+        try {
+            for (;;) {
+                const std::size_t index = claimNext();
+                if (index >= total)
+                    return;
+                TrialResult result = runTrial(index, worker);
+                checkpoint.store(result);
+                std::lock_guard<std::mutex> guard(lock);
+                results[index] = std::move(result);
+                done[index] = 1;
+                ++completed;
+                if (spec_.progress)
+                    spec_.progress(completed, total);
+            }
+        } catch (const std::exception &e) {
+            // Anything escaping the per-trial shield (a throwing
+            // progress callback, bad_alloc moving results) kills only
+            // this worker; the grace pass below finishes its trials.
             std::lock_guard<std::mutex> guard(lock);
-            results[index] = std::move(result);
-            ++completed;
-            if (spec_.progress)
-                spec_.progress(completed, total);
+            ++deadWorkers;
+            warn("campaign '%s': worker %u died (%s); finishing its "
+                 "trials serially",
+                 spec_.name.c_str(), worker, e.what());
+        } catch (...) {
+            std::lock_guard<std::mutex> guard(lock);
+            ++deadWorkers;
+            warn("campaign '%s': worker %u died (unknown exception); "
+                 "finishing its trials serially",
+                 spec_.name.c_str(), worker);
         }
     };
 
@@ -300,11 +378,26 @@ CampaignRunner::run()
             thread.join();
     }
 
+    // Grace pass: every trial a dead worker claimed but never stored
+    // re-runs here, serially.  Results are unchanged (a trial depends
+    // only on its seed); the progress callback is deliberately not
+    // re-invoked — it may be exactly what killed the worker.
+    for (std::size_t index = 0; index < total; ++index) {
+        if (done[index])
+            continue;
+        TrialResult result = runTrial(index, /*worker=*/0);
+        checkpoint.store(result);
+        results[index] = std::move(result);
+        done[index] = 1;
+    }
+
     CampaignResult campaign;
     campaign.name = spec_.name;
     campaign.trialCount = total;
     campaign.masterSeed = spec_.masterSeed;
     campaign.workers = workers;
+    campaign.resumedTrials = resumed;
+    campaign.workerDeaths = deadWorkers;
 
     // Aggregation happens here, single-threaded and in index order —
     // *never* in completion order — so N-worker and 1-worker runs of
@@ -315,6 +408,9 @@ CampaignRunner::run()
           case TrialStatus::Failed: ++campaign.aggregate.failed; break;
           case TrialStatus::TimedOut:
             ++campaign.aggregate.timedOut;
+            break;
+          case TrialStatus::Retried:
+            ++campaign.aggregate.retried;
             break;
         }
         campaign.aggregate.metric.merge(trial.output.metric);

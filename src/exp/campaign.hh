@@ -54,6 +54,16 @@ namespace uscope::exp
 std::uint64_t deriveTrialSeed(std::uint64_t master, std::uint64_t index);
 
 /**
+ * Deterministic seed for retry attempt @p attempt of trial @p index.
+ * Attempt 0 is the first run and equals deriveTrialSeed(master, index);
+ * later attempts mix the attempt number in, so a retry draws a fresh,
+ * decorrelated stream instead of deterministically replaying the
+ * failure — while remaining reproducible across reruns and resumes.
+ */
+std::uint64_t deriveRetrySeed(std::uint64_t master, std::uint64_t index,
+                              unsigned attempt);
+
+/**
  * Thrown by a trial body (or by TrialContext::checkBudget) when the
  * per-trial cycle budget is exhausted.  The runner records the trial
  * as TimedOut and moves on.
@@ -116,7 +126,12 @@ struct TrialOutput
     obs::MetricSnapshot metrics;
 };
 
-enum class TrialStatus { Ok, Failed, TimedOut };
+/**
+ * Retried means the trial *succeeded*, but only after one or more
+ * failed attempts — kept distinct from Ok so noisy-campaign reports
+ * can't silently launder flaky trials into clean ones.
+ */
+enum class TrialStatus { Ok, Failed, TimedOut, Retried };
 
 const char *trialStatusName(TrialStatus status);
 
@@ -124,10 +139,16 @@ const char *trialStatusName(TrialStatus status);
 struct TrialResult
 {
     std::size_t index = 0;
+    /** Seed of the attempt that produced `output`: the trial seed for
+     *  attempts == 1, deriveRetrySeed(master, index, attempts - 1)
+     *  after retries. */
     std::uint64_t seed = 0;
     TrialStatus status = TrialStatus::Ok;
-    /** Exception text when status != Ok. */
+    /** Exception text when status != Ok; for Retried, the text of the
+     *  most recent failed attempt (kept for the record). */
     std::string error;
+    /** Body invocations this result took (1 = no retries). */
+    unsigned attempts = 1;
     /** Host wall-clock seconds spent in the body (informational;
      *  excluded from determinism comparisons). */
     double wallSeconds = 0.0;
@@ -152,6 +173,25 @@ struct CampaignSpec
     Cycles cycleBudget = 0;
     /** Keep per-trial results in CampaignResult::trials (and JSON). */
     bool keepTrialResults = true;
+    /**
+     * Extra attempts granted to a trial whose body *throws*.  Attempt
+     * k runs with deriveRetrySeed(masterSeed, index, k); a trial that
+     * eventually succeeds is recorded as Retried (with the attempt
+     * count), one that exhausts its attempts stays Failed.  TimedOut
+     * is a measurement — the budget was genuinely consumed — and is
+     * never retried.
+     */
+    unsigned maxRetries = 0;
+    /**
+     * When non-empty: checkpoint every finished trial into this
+     * directory (atomic per-trial files + a manifest; see
+     * exp/checkpoint.hh), and on a rerun of the *same* spec restore
+     * completed trials instead of re-executing them.  Because trials
+     * are bit-deterministic in their seed, a killed-then-resumed
+     * campaign aggregates bit-identically to an uninterrupted one.
+     * A manifest from a different spec is discarded with a warning.
+     */
+    std::string checkpointDir;
 
     /** The trial body (required).  Must not touch shared state. */
     std::function<TrialOutput(const TrialContext &)> body;
@@ -191,6 +231,8 @@ struct CampaignAggregate
     std::size_t ok = 0;
     std::size_t failed = 0;
     std::size_t timedOut = 0;
+    /** Succeeded-after-retry trials (disjoint from `ok`). */
+    std::size_t retried = 0;
 
     json::Value toJson() const;
 };
@@ -203,6 +245,11 @@ struct CampaignResult
     std::uint64_t masterSeed = 0;
     unsigned workers = 0;
     double wallSeconds = 0.0;
+    /** Trials restored from a checkpoint instead of executed. */
+    std::size_t resumedTrials = 0;
+    /** Worker threads that died mid-campaign (their claimed trials
+     *  were finished serially by the grace pass). */
+    unsigned workerDeaths = 0;
     CampaignAggregate aggregate;
     /** Per-trial results, in index order (empty when the spec set
      *  keepTrialResults = false). */
@@ -215,7 +262,20 @@ struct CampaignResult
     json::Value toJson(bool include_trials = true) const;
 };
 
-/** Runs a CampaignSpec over a thread pool. */
+/**
+ * Runs a CampaignSpec over a thread pool.
+ *
+ * Robustness contract (in addition to per-trial Failed/TimedOut
+ * results): a worker thread that dies mid-campaign — a throwing
+ * progress callback, bad_alloc, a checkpoint I/O panic — degrades
+ * throughput, never results.  The survivors keep draining, and after
+ * the pool joins a serial grace pass finishes any trial the dead
+ * worker claimed but never completed; determinism is unaffected
+ * because a trial's result depends only on its seed.
+ *
+ * The constructor validates the spec and throws std::invalid_argument
+ * for a missing trial body or a zero trial count.
+ */
 class CampaignRunner
 {
   public:
@@ -226,6 +286,8 @@ class CampaignRunner
     CampaignResult run();
 
   private:
+    TrialResult runAttempt(std::size_t index, unsigned worker,
+                           unsigned attempt) const;
     TrialResult runTrial(std::size_t index, unsigned worker) const;
 
     CampaignSpec spec_;

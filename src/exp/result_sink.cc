@@ -1,10 +1,10 @@
 #include "exp/result_sink.hh"
 
 #include <filesystem>
-#include <fstream>
 #include <system_error>
 
 #include "common/logging.hh"
+#include "exp/checkpoint.hh"
 
 namespace uscope::exp
 {
@@ -86,15 +86,14 @@ JsonFileSink::consume(const CampaignResult &result)
 {
     const std::string path =
         dir_ + "/" + sanitize(result.name) + ".json";
-    std::ofstream out(path, std::ios::trunc);
-    if (!out)
-        fatal("JsonFileSink: cannot open '%s' for writing",
-              path.c_str());
-    out << annotateNonFinite(result.toJson(includeTrials_), result.name)
-               .dump(indent_)
-        << '\n';
-    if (!out)
-        fatal("JsonFileSink: short write to '%s'", path.c_str());
+    // tmp + rename: a reader racing the write — or a campaign killed
+    // mid-report — sees the previous document or the new one, never a
+    // truncated prefix.
+    writeFileAtomic(
+        path,
+        annotateNonFinite(result.toJson(includeTrials_), result.name)
+                .dump(indent_) +
+            '\n');
     lastPath_ = path;
 }
 

@@ -124,6 +124,15 @@ Cache::invalidateAll()
     }
 }
 
+std::optional<PAddr>
+Cache::residentLine(unsigned set, unsigned way) const
+{
+    const Way &w = ways_[static_cast<std::size_t>(set) * assoc_ + way];
+    if (!w.valid)
+        return std::nullopt;
+    return (w.tag * numSets_ + set) << lineShift;
+}
+
 std::size_t
 Cache::occupancy() const
 {

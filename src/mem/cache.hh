@@ -77,6 +77,14 @@ class Cache
     /** Set index this cache maps @p addr to (for eviction-set tests). */
     unsigned setIndex(PAddr addr) const;
 
+    /**
+     * Base address of the line resident at (@p set, @p way), or
+     * nullopt when that way is invalid.  Lets the fault injector pick
+     * a uniformly random victim line for interrupt-residue evictions
+     * without walking tags itself.
+     */
+    std::optional<PAddr> residentLine(unsigned set, unsigned way) const;
+
     const CacheStats &stats() const { return stats_; }
     void resetStats() { stats_ = CacheStats{}; }
 

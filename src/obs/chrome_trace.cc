@@ -16,6 +16,7 @@ namespace
 constexpr int tidReplay = 0;
 constexpr int tidWalker = 1;
 constexpr int tidMem = 2;
+constexpr int tidFault = 3;
 constexpr int tidCoreBase = 10;  ///< +ctx
 
 const char *
@@ -23,6 +24,16 @@ levelName(unsigned level)
 {
     static const char *const names[] = {"L1", "L2", "L3", "DRAM"};
     return level < 4 ? names[level] : "?";
+}
+
+/** Mirrors fault::Site (obs cannot depend on the fault library). */
+const char *
+faultSiteName(unsigned site)
+{
+    static const char *const names[] = {"interrupt", "preemption",
+                                        "port-jitter", "probe-jitter",
+                                        "sample-drop"};
+    return site < 5 ? names[site] : "?";
 }
 
 std::string
@@ -120,6 +131,12 @@ convert(const Event &e)
             .set("args", json::Value::object()
                              .set("replays", std::uint64_t{e.b})
                              .set("episode", e.addr));
+      case EventKind::FaultInject:
+        return traceEvent("fault-inject", "i", e.cycle, tidFault)
+            .set("args", json::Value::object()
+                             .set("site", faultSiteName(e.a))
+                             .set("magnitude", std::uint64_t{e.b})
+                             .set("payload", hex(e.addr)));
     }
     return traceEvent(eventKindName(e.kind), "i", e.cycle, tidMem);
 }
@@ -144,6 +161,7 @@ toChromeTraceJson(const EventLog &log, const ChromeTraceOptions &options)
     events.push(threadNameMeta(tidReplay, "replay"));
     events.push(threadNameMeta(tidWalker, "walker"));
     events.push(threadNameMeta(tidMem, "mem"));
+    events.push(threadNameMeta(tidFault, "fault"));
     events.push(threadNameMeta(tidCoreBase + 0, "core.ctx0"));
     events.push(threadNameMeta(tidCoreBase + 1, "core.ctx1"));
 

@@ -25,6 +25,7 @@
  *   Probe           hit level         latency            line pa
  *   ReplayBoundary  1=handle 2=pivot  replay # (sat.)    episode
  *   EpisodeEnd      -                 replays (sat.)     episode
+ *   FaultInject     fault::Site       magnitude          site payload
  */
 
 #ifndef USCOPE_OBS_EVENT_HH
@@ -52,10 +53,11 @@ enum class EventKind : std::uint8_t
     Probe,
     ReplayBoundary,
     EpisodeEnd,
+    FaultInject,
 };
 
 constexpr unsigned numEventKinds =
-    static_cast<unsigned>(EventKind::EpisodeEnd) + 1;
+    static_cast<unsigned>(EventKind::FaultInject) + 1;
 
 /** Printable name of an event kind. */
 const char *eventKindName(EventKind kind);

@@ -24,6 +24,7 @@ eventKindName(EventKind kind)
       case EventKind::Probe: return "Probe";
       case EventKind::ReplayBoundary: return "ReplayBoundary";
       case EventKind::EpisodeEnd: return "EpisodeEnd";
+      case EventKind::FaultInject: return "FaultInject";
     }
     return "?";
 }

@@ -310,7 +310,8 @@ Kernel::timedProbePhys(PAddr pa)
 {
     const mem::AccessResult access = hierarchy_.access(pa);
     const Cycles overhead = costs_.probeOverhead +
-        (costs_.probeJitter ? rng_.range(0, costs_.probeJitter) : 0);
+        (costs_.probeJitter ? rng_.range(0, costs_.probeJitter) : 0) +
+        (probeNoise_ ? probeNoise_() : 0);
     const Cycles latency = access.latency + overhead;
     chargeCycles(latency);
     if (obs::tracing(obs_))

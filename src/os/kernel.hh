@@ -216,6 +216,16 @@ class Kernel
     void setObserver(obs::Observer *observer) { obs_ = observer; }
 
     /**
+     * Deterministic-noise hook (fault-injection layer): extra cycles
+     * added to every timed probe measurement, modeling attacker-side
+     * RDTSC/serialization jitter on top of the kernel's own
+     * probeJitter cost model.  Draws from an injector-owned stream so
+     * the kernel's rng_ sequence is untouched.
+     */
+    using ProbeNoise = std::function<Cycles()>;
+    void setProbeNoise(ProbeNoise noise) { probeNoise_ = std::move(noise); }
+
+    /**
      * Earliest cycle at which ticking can change this component's
      * state (fast-forward contract, DESIGN.md §10).  Fault handling
      * is synchronous — handleFault() runs inside the faulting tick
@@ -263,6 +273,7 @@ class Kernel
     std::uint64_t totalFaults_ = 0;
     Summary handlerLatency_;
     obs::Observer *obs_ = nullptr;
+    ProbeNoise probeNoise_;
 };
 
 } // namespace uscope::os

@@ -16,7 +16,8 @@ Machine::Machine(const MachineConfig &config)
       core_(mem_, hierarchy_, mmu_, config.core, config.seed * 5 + 2),
       kernel_(mem_, hierarchy_, mmu_, core_, config.costs,
               config.seed * 7 + 3),
-      entropy_(config.seed * 11 + 4)
+      entropy_(config.seed * 11 + 4),
+      faults_(config.fault, config.seed * 13 + 5)
 {
     core_.setFaultHandler(
         [this](const cpu::FaultInfo &info) { kernel_.handleFault(info); });
@@ -28,6 +29,15 @@ Machine::Machine(const MachineConfig &config)
     mmu_.setObserver(&obs_);
     core_.setObserver(&obs_);
     kernel_.setObserver(&obs_);
+
+    // Wire the fault layer (all hooks stay unset for an inert plan, so
+    // the noiseless hot paths pay nothing).
+    faults_.wire(&hierarchy_, &mmu_, &core_, &obs_);
+    if (faults_.active()) {
+        core_.setIssueJitterHook(
+            [this](unsigned ctx) { return faults_.issueJitter(ctx); });
+        kernel_.setProbeNoise([this]() { return faults_.probeJitter(); });
+    }
 }
 
 Cycles
@@ -37,6 +47,7 @@ Machine::nextEventCycle() const
     next = std::min(next, mmu_.walker().nextEventCycle());
     next = std::min(next, hierarchy_.nextEventCycle());
     next = std::min(next, kernel_.nextEventCycle());
+    next = std::min(next, faults_.nextEventCycle());
     return next;
 }
 
@@ -46,7 +57,7 @@ Machine::run(Cycles n)
     const Cycles limit = core_.cycle() + n;
     if (!config_.fastForward) {
         while (core_.cycle() < limit)
-            core_.tick();
+            tick();
         return;
     }
     while (core_.cycle() < limit) {
@@ -56,7 +67,7 @@ Machine::run(Cycles n)
             // cycles (trial budgets!) never overshoot.
             core_.fastForwardTo(std::min(next, limit));
         } else {
-            core_.tick();
+            tick();
         }
     }
 }
@@ -71,9 +82,15 @@ Machine::runUntilHalted(unsigned ctx, Cycles max_cycles)
 bool
 Machine::runUntil(const std::function<bool()> &pred, Cycles max_cycles)
 {
-    if (!config_.fastForward)
-        return core_.runUntil(pred, max_cycles);
     const Cycles limit = core_.cycle() + max_cycles;
+    if (!config_.fastForward) {
+        while (core_.cycle() < limit) {
+            if (pred())
+                return true;
+            tick();
+        }
+        return pred();
+    }
     while (core_.cycle() < limit) {
         if (pred())
             return true;
@@ -81,7 +98,7 @@ Machine::runUntil(const std::function<bool()> &pred, Cycles max_cycles)
         if (next > core_.cycle())
             core_.fastForwardTo(std::min(next, limit));
         else
-            core_.tick();
+            tick();
     }
     return pred();
 }
@@ -93,6 +110,7 @@ Machine::exportMetrics(obs::MetricRegistry &registry) const
     mmu_.exportMetrics(registry);
     core_.exportMetrics(registry);
     kernel_.exportMetrics(registry);
+    faults_.exportMetrics(registry);
 }
 
 obs::MetricSnapshot

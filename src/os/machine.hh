@@ -19,6 +19,8 @@
 #include "common/random.hh"
 #include "common/types.hh"
 #include "cpu/core.hh"
+#include "fault/injector.hh"
+#include "fault/plan.hh"
 #include "mem/hierarchy.hh"
 #include "mem/phys_mem.hh"
 #include "obs/observer.hh"
@@ -67,6 +69,13 @@ struct MachineConfig
     cpu::CoreConfig core;
     KernelCosts costs;
     obs::ObsConfig obs;
+    /**
+     * The machine's fault/noise model (DESIGN.md §11).  Defaults to
+     * the process-wide environment plan — inert unless
+     * USCOPE_FAULT_PLAN=chaos is exported (the CI chaos job).
+     * Explicit assignment (even of an empty plan) always wins.
+     */
+    fault::FaultPlan fault = fault::FaultPlan::environmentDefault();
     /** Master seed; sub-components derive their own streams. */
     Seed seed;
     /**
@@ -92,8 +101,18 @@ class Machine
     Kernel &kernel() { return kernel_; }
     const MachineConfig &config() const { return config_; }
 
-    /** Advance one cycle. */
-    void tick() { core_.tick(); }
+    /** The machine's fault injector (inert for an empty plan). */
+    fault::FaultInjector &faults() { return faults_; }
+    const fault::FaultInjector &faults() const { return faults_; }
+
+    /** Advance one cycle (scheduled faults due now fire first). */
+    void
+    tick()
+    {
+        if (faults_.active())
+            faults_.poll(core_.cycle());
+        core_.tick();
+    }
 
     /** Current cycle. */
     Cycles cycle() const { return core_.cycle(); }
@@ -125,9 +144,10 @@ class Machine
     /**
      * Earliest cycle at which ticking can change architectural or
      * stats state: the minimum of every time-holding component's
-     * nextEventCycle() (core in-flight ops; the walker, hierarchy and
-     * kernel are synchronous today and report kNoEventCycle — the
-     * hooks are the plug-in points for future MSHR/async-fill models).
+     * nextEventCycle() (core in-flight ops; the fault injector's next
+     * scheduled injection; the walker, hierarchy and kernel are
+     * synchronous today and report kNoEventCycle — the hooks are the
+     * plug-in points for future MSHR/async-fill models).
      * kNoEventCycle when nothing is in flight anywhere.
      */
     Cycles nextEventCycle() const;
@@ -154,6 +174,7 @@ class Machine
     cpu::Core core_;
     Kernel kernel_;
     Rng entropy_;   ///< Hardware RDRAND source.
+    fault::FaultInjector faults_;
 };
 
 } // namespace uscope::os

@@ -9,7 +9,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdio>
+#include <filesystem>
 #include <limits>
 #include <sstream>
 #include <stdexcept>
@@ -21,6 +23,7 @@
 #include "core/microscope.hh"
 #include "cpu/program.hh"
 #include "exp/campaign.hh"
+#include "exp/checkpoint.hh"
 #include "exp/json.hh"
 #include "exp/result_sink.hh"
 #include "os/machine.hh"
@@ -587,4 +590,313 @@ TEST(ResultSink, StreamSinkEmitsParseableShape)
     EXPECT_EQ(text.front(), '{');
     EXPECT_EQ(text[text.size() - 2], '}');  // "...}\n"
     EXPECT_EQ(text.find("trial_results"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Spec validation.
+// ---------------------------------------------------------------------
+
+TEST(Campaign, SpecWithoutBodyThrows)
+{
+    exp::CampaignSpec spec;
+    spec.trials = 4;
+    EXPECT_THROW(exp::runCampaign(std::move(spec)),
+                 std::invalid_argument);
+}
+
+TEST(Campaign, SpecWithZeroTrialsThrows)
+{
+    exp::CampaignSpec spec = syntheticSpec(1, 1);
+    spec.trials = 0;
+    EXPECT_THROW(exp::runCampaign(std::move(spec)),
+                 std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------
+// Retry policy.
+// ---------------------------------------------------------------------
+
+TEST(RetrySeed, AttemptZeroIsTheTrialSeed)
+{
+    EXPECT_EQ(exp::deriveRetrySeed(42, 7, 0),
+              exp::deriveTrialSeed(42, 7));
+    // Attempts get decorrelated fresh seeds, deterministically.
+    EXPECT_NE(exp::deriveRetrySeed(42, 7, 1),
+              exp::deriveRetrySeed(42, 7, 0));
+    EXPECT_NE(exp::deriveRetrySeed(42, 7, 1),
+              exp::deriveRetrySeed(42, 7, 2));
+    EXPECT_EQ(exp::deriveRetrySeed(42, 7, 3),
+              exp::deriveRetrySeed(42, 7, 3));
+}
+
+namespace
+{
+
+/** syntheticSpec whose index-2 trial fails once and whose index-4
+ *  trial always fails — the retry-policy fixture. */
+exp::CampaignSpec
+flakySpec(std::size_t trials, unsigned workers, unsigned max_retries)
+{
+    exp::CampaignSpec spec = syntheticSpec(trials, workers);
+    spec.maxRetries = max_retries;
+    auto inner = spec.body;
+    const std::uint64_t master = spec.masterSeed;
+    spec.body = [inner, master](const exp::TrialContext &ctx) {
+        const bool first_attempt =
+            ctx.seed == exp::deriveRetrySeed(master, ctx.index, 0);
+        if (ctx.index == 2 && first_attempt)
+            throw std::runtime_error("flaky once");
+        if (ctx.index == 4)
+            throw std::runtime_error("always broken");
+        return inner(ctx);
+    };
+    return spec;
+}
+
+} // namespace
+
+TEST(Campaign, FailingTrialRetriesWithDerivedSeeds)
+{
+    const exp::CampaignResult result =
+        exp::runCampaign(flakySpec(6, 3, 2));
+
+    EXPECT_EQ(result.aggregate.retried, 1u);
+    EXPECT_EQ(result.aggregate.failed, 1u);
+    EXPECT_EQ(result.aggregate.ok, 4u);
+
+    const exp::TrialResult &flaky = result.trials[2];
+    EXPECT_EQ(flaky.status, exp::TrialStatus::Retried);
+    EXPECT_EQ(flaky.attempts, 2u);
+    // The successful attempt's seed is recorded, and the failure text
+    // is kept for the record.
+    EXPECT_EQ(flaky.seed, exp::deriveRetrySeed(1234, 2, 1));
+    EXPECT_EQ(flaky.error, "flaky once");
+    EXPECT_GT(flaky.output.metric.count(), 0u);
+
+    const exp::TrialResult &broken = result.trials[4];
+    EXPECT_EQ(broken.status, exp::TrialStatus::Failed);
+    EXPECT_EQ(broken.attempts, 3u);  // 1 original + 2 retries
+    EXPECT_EQ(broken.error, "always broken");
+
+    // Retried trials contribute to the aggregate; Failed ones do not.
+    EXPECT_EQ(result.aggregate.metric.count(), 5u * 257u);
+
+    // The whole retry history is a pure function of the seeds, so the
+    // campaign fingerprint is worker-count invariant.
+    const exp::CampaignResult serial =
+        exp::runCampaign(flakySpec(6, 1, 2));
+    EXPECT_EQ(result.aggregate.toJson().dump(),
+              serial.aggregate.toJson().dump());
+}
+
+TEST(Campaign, TimedOutIsNeverRetried)
+{
+    exp::CampaignSpec spec = syntheticSpec(3, 1);
+    spec.cycleBudget = 100;
+    spec.maxRetries = 5;
+    unsigned invocations = 0;
+    spec.body = [&invocations](const exp::TrialContext &ctx) {
+        ++invocations;
+        if (ctx.index == 1)
+            ctx.checkBudget(ctx.cycleBudget + 1);
+        return exp::TrialOutput{};
+    };
+    const exp::CampaignResult result = exp::runCampaign(std::move(spec));
+    EXPECT_EQ(result.trials[1].status, exp::TrialStatus::TimedOut);
+    EXPECT_EQ(result.trials[1].attempts, 1u);
+    // The budget was genuinely consumed; no retry was spent on it.
+    EXPECT_EQ(invocations, 3u);
+}
+
+// ---------------------------------------------------------------------
+// Worker death.
+// ---------------------------------------------------------------------
+
+TEST(Campaign, DyingWorkerDegradesGracefully)
+{
+    exp::CampaignSpec spec = syntheticSpec(12, 3);
+    std::atomic<bool> killed{false};
+    spec.progress = [&killed](std::size_t, std::size_t) {
+        if (!killed.exchange(true))
+            throw std::runtime_error("observer crashed");
+    };
+
+    const exp::CampaignResult result = exp::runCampaign(std::move(spec));
+    EXPECT_GE(result.workerDeaths, 1u);
+    EXPECT_LE(result.workerDeaths, 3u);
+
+    // Every trial still completed, and the aggregate is bit-identical
+    // to a run whose workers all survived.
+    EXPECT_EQ(result.aggregate.ok, 12u);
+    EXPECT_EQ(result.trialCount, 12u);
+    const exp::CampaignResult clean =
+        exp::runCampaign(syntheticSpec(12, 3));
+    EXPECT_EQ(result.aggregate.toJson().dump(),
+              clean.aggregate.toJson().dump());
+}
+
+// ---------------------------------------------------------------------
+// Checkpoint / resume.
+// ---------------------------------------------------------------------
+
+TEST(Checkpoint, TrialSerializationRoundTripsBitExactly)
+{
+    exp::TrialResult trial;
+    trial.index = 5;
+    trial.seed = exp::deriveRetrySeed(9, 5, 1);
+    trial.status = exp::TrialStatus::Retried;
+    trial.attempts = 2;
+    trial.error = "first attempt: bad\nmultiline detail";
+    trial.wallSeconds = 1.5;
+    trial.output.simCycles = 123456;
+    trial.output.metric.add(1.0);
+    trial.output.metric.add(2.5e-300);  // subnormal-range double
+    trial.output.metric.add(-0.0);      // signed zero survives too
+    trial.output.scope.handleFaults = 3;
+    trial.output.scope.totalReplays = 99;
+    obs::MetricRegistry registry;
+    registry.counter("t.count").set(7);
+    registry.gauge("t.gauge").set(0.1);  // not exactly representable
+    registry.latency("t.lat").record(3.25);
+    registry.latency("t.lat").record(-1.75);
+    trial.output.metrics = registry.snapshot();
+    trial.output.payload = exp::json::Value::object()
+                               .set("nested", exp::json::Value::array()
+                                                  .push(1)
+                                                  .push("two"))
+                               .set("pi", 3.141592653589793);
+
+    const std::string text = exp::CampaignCheckpoint::serializeTrial(trial);
+    const auto parsed = exp::CampaignCheckpoint::parseTrial(text);
+    ASSERT_TRUE(parsed.has_value());
+
+    EXPECT_EQ(parsed->index, trial.index);
+    EXPECT_EQ(parsed->seed, trial.seed);
+    EXPECT_EQ(parsed->status, trial.status);
+    EXPECT_EQ(parsed->attempts, trial.attempts);
+    EXPECT_EQ(parsed->error, trial.error);
+    EXPECT_EQ(parsed->output.payload.dump(), trial.output.payload.dump());
+    EXPECT_EQ(parsed->output.metrics.toJson().dump(),
+              trial.output.metrics.toJson().dump());
+
+    // The acid test: serializing the parse reproduces every byte,
+    // i.e. every double round-tripped through its bit pattern.
+    EXPECT_EQ(exp::CampaignCheckpoint::serializeTrial(*parsed), text);
+}
+
+TEST(Checkpoint, MalformedTrialFilesAreRejected)
+{
+    EXPECT_FALSE(exp::CampaignCheckpoint::parseTrial("").has_value());
+    EXPECT_FALSE(
+        exp::CampaignCheckpoint::parseTrial("garbage\n").has_value());
+
+    exp::TrialResult trial;
+    trial.output.metric.add(1.0);
+    const std::string text =
+        exp::CampaignCheckpoint::serializeTrial(trial);
+    EXPECT_TRUE(exp::CampaignCheckpoint::parseTrial(text).has_value());
+    // Any truncation invalidates the record.
+    EXPECT_FALSE(exp::CampaignCheckpoint::parseTrial(
+                     text.substr(0, text.size() / 2))
+                     .has_value());
+}
+
+namespace
+{
+
+/** A fresh, empty checkpoint directory under the test temp root. */
+std::string
+freshCheckpointDir(const char *name)
+{
+    const std::string dir = testing::TempDir() + name;
+    std::filesystem::remove_all(dir);
+    return dir;
+}
+
+} // namespace
+
+TEST(Checkpoint, KilledCampaignResumesBitIdentically)
+{
+    const std::string dir = freshCheckpointDir("uscope_resume_ckpt");
+
+    // The ground truth: the same campaign, never interrupted.
+    const exp::CampaignResult baseline =
+        exp::runCampaign(syntheticSpec(10, 2));
+
+    // First run: trials 6..9 die (as if the campaign was killed while
+    // they ran).  Failed trials are not persisted.
+    exp::CampaignSpec crashing = syntheticSpec(10, 2);
+    crashing.checkpointDir = dir;
+    auto inner = crashing.body;
+    crashing.body = [inner](const exp::TrialContext &ctx) {
+        if (ctx.index >= 6)
+            throw std::runtime_error("killed mid-campaign");
+        return inner(ctx);
+    };
+    const exp::CampaignResult first = exp::runCampaign(std::move(crashing));
+    EXPECT_EQ(first.aggregate.ok, 6u);
+    EXPECT_EQ(first.aggregate.failed, 4u);
+    EXPECT_EQ(first.resumedTrials, 0u);
+
+    // Second run: healthy body, same spec, same directory.  Only the
+    // four unfinished trials execute; the aggregate matches the
+    // uninterrupted run bit for bit.
+    exp::CampaignSpec resumed = syntheticSpec(10, 2);
+    resumed.checkpointDir = dir;
+    std::atomic<unsigned> invocations{0};
+    auto healthy = resumed.body;
+    resumed.body = [healthy, &invocations](const exp::TrialContext &ctx) {
+        ++invocations;
+        return healthy(ctx);
+    };
+    const exp::CampaignResult second = exp::runCampaign(std::move(resumed));
+    EXPECT_EQ(second.resumedTrials, 6u);
+    EXPECT_EQ(invocations.load(), 4u);
+    EXPECT_EQ(second.aggregate.ok, 10u);
+    EXPECT_EQ(second.aggregate.toJson().dump(),
+              baseline.aggregate.toJson().dump());
+    ASSERT_EQ(second.trials.size(), baseline.trials.size());
+    for (std::size_t i = 0; i < baseline.trials.size(); ++i) {
+        EXPECT_EQ(second.trials[i].seed, baseline.trials[i].seed);
+        EXPECT_EQ(second.trials[i].output.payload.dump(),
+                  baseline.trials[i].output.payload.dump());
+    }
+
+    // A third run restores everything and executes nothing.
+    exp::CampaignSpec replay = syntheticSpec(10, 2);
+    replay.checkpointDir = dir;
+    replay.body = [](const exp::TrialContext &) -> exp::TrialOutput {
+        throw std::runtime_error("must not run");
+    };
+    const exp::CampaignResult third = exp::runCampaign(std::move(replay));
+    EXPECT_EQ(third.resumedTrials, 10u);
+    EXPECT_EQ(third.aggregate.toJson().dump(),
+              baseline.aggregate.toJson().dump());
+}
+
+TEST(Checkpoint, MismatchedManifestIsDiscarded)
+{
+    const std::string dir = freshCheckpointDir("uscope_mismatch_ckpt");
+
+    exp::CampaignSpec a = syntheticSpec(4, 1);
+    a.name = "campaign-a";
+    a.checkpointDir = dir;
+    exp::runCampaign(std::move(a));
+
+    // A different campaign pointed at the same directory must not
+    // inherit campaign-a's trials.
+    exp::CampaignSpec b = syntheticSpec(4, 1);
+    b.name = "campaign-b";
+    b.masterSeed = 4321;
+    b.checkpointDir = dir;
+    const exp::CampaignResult fresh = exp::runCampaign(std::move(b));
+    EXPECT_EQ(fresh.resumedTrials, 0u);
+    EXPECT_EQ(fresh.aggregate.ok, 4u);
+
+    // The directory now belongs to campaign-b: a rerun resumes it.
+    exp::CampaignSpec again = syntheticSpec(4, 1);
+    again.name = "campaign-b";
+    again.masterSeed = 4321;
+    again.checkpointDir = dir;
+    EXPECT_EQ(exp::runCampaign(std::move(again)).resumedTrials, 4u);
 }

@@ -51,14 +51,15 @@ deterministicFingerprint(const exp::CampaignResult &result)
 
 /** Fig.-10-shaped: SMT port-contention sweep, div vs mul arms. */
 exp::CampaignSpec
-fig10Spec(bool fast_forward, unsigned workers)
+fig10Spec(bool fast_forward, unsigned workers,
+          const fault::FaultPlan &plan = {})
 {
     exp::CampaignSpec spec;
     spec.name = "ff_fig10";
     spec.trials = 4;
     spec.masterSeed = 42;
     spec.workers = workers;
-    spec.body = [fast_forward](const exp::TrialContext &ctx) {
+    spec.body = [fast_forward, plan](const exp::TrialContext &ctx) {
         attack::PortContentionConfig config;
         config.victimDivides = ctx.index % 2 == 1;
         config.samples = 120;
@@ -66,6 +67,7 @@ fig10Spec(bool fast_forward, unsigned workers)
         config.threshold = 120;
         config.seed = ctx.seed;
         config.machine.fastForward = fast_forward;
+        config.machine.fault = plan;
         const attack::PortContentionResult result =
             attack::runPortContentionAttack(config);
 
@@ -85,14 +87,15 @@ fig10Spec(bool fast_forward, unsigned workers)
 
 /** Fig.-11-shaped: one AES replay timeline per trial, random keys. */
 exp::CampaignSpec
-fig11Spec(bool fast_forward, unsigned workers)
+fig11Spec(bool fast_forward, unsigned workers,
+          const fault::FaultPlan &plan = {})
 {
     exp::CampaignSpec spec;
     spec.name = "ff_fig11";
     spec.trials = 3;
     spec.masterSeed = 42;
     spec.workers = workers;
-    spec.body = [fast_forward](const exp::TrialContext &ctx) {
+    spec.body = [fast_forward, plan](const exp::TrialContext &ctx) {
         attack::AesAttackConfig config;
         Rng rng(ctx.seed);
         for (unsigned i = 0; i < 16; ++i) {
@@ -102,6 +105,7 @@ fig11Spec(bool fast_forward, unsigned workers)
         }
         config.seed = ctx.seed;
         config.machine.fastForward = fast_forward;
+        config.machine.fault = plan;
         const attack::Fig11Result fig11 = attack::runFig11(config);
 
         exp::TrialOutput out;
@@ -121,6 +125,46 @@ fig11Spec(bool fast_forward, unsigned workers)
                           .set("probe_latencies", std::move(probes));
         return out;
     };
+    return spec;
+}
+
+/**
+ * A dense FaultPlan for the noisy differential runs: every fault class
+ * fires inside these small workloads, so the fingerprint covers the
+ * scheduled-injection path (nextEventCycle interplay) and all three
+ * event-coupled noise streams under fast-forward.
+ */
+fault::FaultPlan
+denseFaults()
+{
+    fault::FaultPlan plan;
+    plan.interruptMeanGap = 800;
+    plan.interruptEvictions = 64;
+    plan.preemptMeanGap = 5000;
+    plan.portJitterRate = 0.1;
+    plan.portJitterMax = 3;
+    plan.probeJitterMax = 5;
+    plan.sampleDropRate = 0.1;
+    return plan;
+}
+
+/** fig10Spec under the dense fault plan. */
+exp::CampaignSpec
+noisyFig10Spec(bool fast_forward, unsigned workers)
+{
+    exp::CampaignSpec spec =
+        fig10Spec(fast_forward, workers, denseFaults());
+    spec.name = "ff_fig10_noisy";
+    return spec;
+}
+
+/** fig11Spec under the dense fault plan. */
+exp::CampaignSpec
+noisyFig11Spec(bool fast_forward, unsigned workers)
+{
+    exp::CampaignSpec spec =
+        fig11Spec(fast_forward, workers, denseFaults());
+    spec.name = "ff_fig11_noisy";
     return spec;
 }
 
@@ -147,12 +191,44 @@ expectBitIdenticalEverywhere(
 
 TEST(FastForward, Fig10FingerprintBitIdenticalAcrossModesAndWorkers)
 {
-    expectBitIdenticalEverywhere(fig10Spec);
+    expectBitIdenticalEverywhere(
+        [](bool ff, unsigned workers) { return fig10Spec(ff, workers); });
 }
 
 TEST(FastForward, Fig11FingerprintBitIdenticalAcrossModesAndWorkers)
 {
-    expectBitIdenticalEverywhere(fig11Spec);
+    expectBitIdenticalEverywhere(
+        [](bool ff, unsigned workers) { return fig11Spec(ff, workers); });
+}
+
+TEST(FastForward, NoisyFig10FingerprintBitIdenticalEverywhere)
+{
+    // The §11 contract: a scheduled injection holds the event horizon,
+    // so fast-forward lands on every firing cycle and the whole fault
+    // schedule — and everything downstream of it — is bit-identical
+    // with the skip path on or off, at any worker count.
+    expectBitIdenticalEverywhere(noisyFig10Spec);
+}
+
+TEST(FastForward, NoisyFig11FingerprintBitIdenticalEverywhere)
+{
+    expectBitIdenticalEverywhere(noisyFig11Spec);
+}
+
+TEST(FastForward, NoisyRunsActuallyInjectFaults)
+{
+    // Guard against the noisy differential tests passing vacuously:
+    // the dense plan must fire visibly inside these small workloads.
+    const exp::CampaignResult result =
+        exp::runCampaign(noisyFig10Spec(true, 1));
+    const obs::MetricValue *interrupts =
+        result.aggregate.metrics.find("fault.interrupts");
+    ASSERT_NE(interrupts, nullptr);
+    EXPECT_GT(interrupts->counter, 0u);
+    const obs::MetricValue *dropped =
+        result.aggregate.metrics.find("fault.samples_dropped");
+    ASSERT_NE(dropped, nullptr);
+    EXPECT_GT(dropped->counter, 0u);
 }
 
 TEST(FastForward, TracedFig11EventLogIsBitIdentical)
@@ -190,8 +266,13 @@ TEST(FastForward, TracedFig11EventLogIsBitIdentical)
 TEST(FastForward, RunLandsExactlyOnTheLimit)
 {
     // An idle machine has no pending events at all; the jump must
-    // clamp to the requested cycle count, never overshoot it.
-    os::Machine machine{};
+    // clamp to the requested cycle count, never overshoot it.  The
+    // premise requires a noiseless machine: pin an empty FaultPlan so
+    // a USCOPE_FAULT_PLAN=chaos environment (the CI chaos job) cannot
+    // schedule injections that would hold the event horizon finite.
+    os::MachineConfig mcfg;
+    mcfg.fault = fault::FaultPlan{};
+    os::Machine machine(mcfg);
     ASSERT_TRUE(machine.config().fastForward);
     EXPECT_EQ(machine.nextEventCycle(), kNoEventCycle);
     machine.run(12345);
