@@ -18,14 +18,34 @@
  *     elision contract — while the wall-clock speedup is measured and
  *     reported.  `--fast-forward={on,off}` pins both sections to one
  *     mode (and skips the A/B comparison).
+ *  3. **Prefix-snapshot A/B** (warmup-heavy Fig.-11-shaped arm,
+ *     DESIGN.md §12) — each trial needs the same expensive prefix
+ *     (enclave build, victim codegen, warm decryptions) before its
+ *     private replay episode.  The baseline re-runs the prefix cold
+ *     per trial; the fast arm runs it once per worker, snapshots, and
+ *     forks the snapshot per trial with per-trial reseeding
+ *     (CampaignSpec::warmup + prefixCache + machinePool).  The
+ *     determinism fingerprints must be byte-identical across arms — a
+ *     hard failure otherwise — and the measured speedup lands in
+ *     bench-results/BENCH_prefix.json (CI fails the A/B if the fast
+ *     arm is not at least as fast; the paper-repro target is >= 2x).
+ *     `--prefix-cache={on,off}` / `--pool={on,off}` pin one arm.
  */
 
+#include <array>
 #include <cstdio>
+#include <fstream>
+#include <optional>
+#include <string>
 #include <thread>
+#include <vector>
 
 #include "attack/aes_attack.hh"
 #include "attack/port_contention.hh"
 #include "common/random.hh"
+#include "core/microscope.hh"
+#include "crypto/aes.hh"
+#include "crypto/aes_codegen.hh"
 #include "exp/campaign.hh"
 #include "exp/result_sink.hh"
 #include "obs/cli.hh"
@@ -148,13 +168,306 @@ report(const char *label, const exp::CampaignResult &result)
                 result.trialCount);
 }
 
+// ---------------------------------------------------------------------
+// Section 3: prefix-snapshot A/B (DESIGN.md §12).
+// ---------------------------------------------------------------------
+
+constexpr std::size_t prefixTrials = 12;
+/** Warm decryptions inside the prefix — what makes it warmup-heavy. */
+constexpr unsigned prefixWarmRuns = 4;
+constexpr Cycles prefixHitThreshold = 100;
+
+/** One fixed campaign-wide AES key (the warmup is shared by every
+ *  trial, so it cannot depend on a trial seed). */
+constexpr std::array<std::uint8_t, 16> prefixKey = {
+    0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+    0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c};
+
+/**
+ * The warmup artifact: every handle the prefix mints, valid in each
+ * fork exactly because forks share the warmed-up machine state.  The
+ * enclave pages are deliberately left unsealed — each trial loads its
+ * own ciphertext into the (COW-copied) input page.
+ */
+struct PrefixRig
+{
+    os::Pid pid = 0;
+    crypto::AesKey decKey;
+    crypto::AesKey encKey;
+    crypto::AesVictimLayout layout;
+    std::array<PAddr, 5> tablePa{};
+    std::shared_ptr<const cpu::Program> program;
+
+    PrefixRig()
+        : decKey(prefixKey.data(), 128, true),
+          encKey(prefixKey.data(), 128, false)
+    {
+    }
+};
+
+exp::CampaignSpec
+prefixSpec(const char *name, bool prefix_cache, bool pool)
+{
+    exp::CampaignSpec spec;
+    spec.name = name;
+    spec.trials = prefixTrials;
+    spec.masterSeed = 42;
+    spec.workers = 1;
+    spec.prefixCache = prefix_cache;
+    spec.machinePool = pool;
+    // The fingerprint rides on the aggregate (plus payloads); the
+    // per-trial component-metric blocks are pure serialization weight.
+    spec.perTrialMetrics = false;
+
+    spec.warmup = [](os::Machine &m) -> std::shared_ptr<const void> {
+        auto rig = std::make_shared<PrefixRig>();
+        os::Kernel &kernel = m.kernel();
+        rig->pid = kernel.createProcess("aes-enclave");
+        rig->layout = crypto::setupAesVictim(kernel, rig->pid,
+                                             rig->decKey);
+        for (unsigned t = 0; t < 5; ++t)
+            rig->tablePa[t] =
+                *kernel.translate(rig->pid, rig->layout.tableVa(t));
+        rig->program = std::make_shared<const cpu::Program>(
+            crypto::buildAesDecryptProgram(rig->layout));
+
+        // The expensive part: full warm decryptions of a fixed block,
+        // leaving the TLB/PWC/predictor/caches trained the way a
+        // long-running victim's machine would be.
+        std::uint8_t ct[16];
+        const std::uint8_t warm_plain[16] = {};
+        crypto::encryptBlock(rig->encKey, warm_plain, ct);
+        crypto::loadCiphertext(kernel, rig->pid, rig->layout, ct);
+        for (unsigned run = 0; run < prefixWarmRuns; ++run) {
+            kernel.startOnContext(rig->pid, 0, rig->program);
+            m.runUntilHalted(0, 50'000'000);
+        }
+        return rig;
+    };
+
+    spec.body = [](const exp::TrialContext &ctx) {
+        os::Machine &m = *ctx.fork;
+        const auto *rig =
+            static_cast<const PrefixRig *>(ctx.warmupData);
+
+        // Per-trial secret input, drawn from the trial stream.
+        Rng rng(ctx.seed);
+        std::uint8_t plaintext[16], ct[16];
+        for (unsigned i = 0; i < 16; ++i)
+            plaintext[i] = static_cast<std::uint8_t>(rng.below(256));
+        crypto::encryptBlock(rig->encKey, plaintext, ct);
+        crypto::loadCiphertext(m.kernel(), rig->pid, rig->layout, ct);
+
+        const auto probeTable = [&](unsigned table) {
+            attack::LineProbe probe;
+            for (unsigned line = 0; line < 16; ++line) {
+                const os::ProbeResult r = m.kernel().timedProbePhys(
+                    rig->tablePa[table] + line * lineSize);
+                probe.latency[line] = r.latency;
+                probe.level[line] = r.level;
+            }
+            return probe;
+        };
+        const auto primeTables = [&] {
+            for (unsigned t = 0; t < 4; ++t)
+                m.kernel().primeRange(rig->tablePa[t], 1024);
+        };
+
+        std::vector<attack::LineProbe> replays;
+        ms::Microscope scope(m);
+        ms::AttackRecipe recipe;
+        recipe.victim = rig->pid;
+        recipe.replayHandle = rig->layout.td0;
+        recipe.pivot = rig->layout.rk;
+        recipe.confidence = 3;
+        recipe.maxEpisodes = 1;
+        recipe.walkPlan = ms::PageWalkPlan::longest();
+        recipe.onReplay = [&](const ms::ReplayEvent &) {
+            replays.push_back(probeTable(1));
+            return true;
+        };
+        recipe.beforeResume = [&](const ms::ReplayEvent &) {
+            primeTables();
+        };
+        scope.setRecipe(std::move(recipe));
+
+        primeTables();
+        scope.arm();
+        m.kernel().startOnContext(rig->pid, 0, rig->program);
+        m.runUntilHalted(0, 50'000'000);
+        scope.disarm();
+
+        // Ground truth + majority vote over the primed replays, as in
+        // the Figure-11 run.
+        std::set<unsigned> expected;
+        const crypto::DecAccessTrace trace =
+            crypto::traceDecryption(rig->decKey, ct);
+        for (std::uint8_t index : trace.indices[0][1])
+            expected.insert(crypto::tableLineOf(index));
+        std::array<unsigned, 16> votes{};
+        std::size_t primed = replays.size() > 1 ? replays.size() - 1
+                                                : 0;
+        for (std::size_t i = 1; i < replays.size(); ++i)
+            for (unsigned line :
+                 replays[i].hitLines(prefixHitThreshold))
+                ++votes[line];
+        std::set<unsigned> majority;
+        for (unsigned line = 0; line < 16; ++line)
+            if (votes[line] * 2 > primed)
+                majority.insert(line);
+        const bool matches = primed > 0 && majority == expected;
+
+        exp::TrialOutput out;
+        out.metric.add(matches ? 1.0 : 0.0);
+        out.simCycles = m.cycle() - ctx.forkCycle;
+        out.scope.episodes = 1;
+        out.scope.totalReplays = scope.stats().totalReplays;
+        obs::MetricRegistry registry;
+        m.exportMetrics(registry);
+        scope.exportMetrics(registry);
+        out.metrics = registry.snapshot();
+
+        exp::json::Value probes = exp::json::Value::array();
+        for (const attack::LineProbe &probe : replays) {
+            exp::json::Value row = exp::json::Value::array();
+            for (Cycles latency : probe.latency)
+                row.push(latency);
+            probes.push(std::move(row));
+        }
+        out.payload = exp::json::Value::object()
+                          .set("matches_ground_truth", matches)
+                          .set("probe_latencies", std::move(probes));
+        return out;
+    };
+    return spec;
+}
+
+std::string
+fnvHex(const std::string &s)
+{
+    std::uint64_t h = 1469598103934665603ull;
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 1099511628211ull;
+    }
+    char buf[19];
+    std::snprintf(buf, sizeof buf, "0x%016llx",
+                  static_cast<unsigned long long>(h));
+    return buf;
+}
+
+void
+writeTextFile(const std::string &path, const std::string &text)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << text;
+}
+
+/** Run section 3; returns false on a hard failure. */
+bool
+prefixSection(std::optional<bool> prefix_cache, std::optional<bool> pool,
+              exp::JsonFileSink &sink)
+{
+    std::printf("\n==============================================================\n");
+    std::printf("Prefix-snapshot A/B: warmup-heavy Fig.-11-shaped arm, "
+                "%zu trials, %u warm runs\n",
+                prefixTrials, prefixWarmRuns);
+    std::printf("==============================================================\n\n");
+
+    if (prefix_cache || pool) {
+        // Pinned mode: measure one configuration, no A/B.
+        const bool cache = prefix_cache.value_or(true);
+        const bool pooled = pool.value_or(true);
+        exp::CampaignResult pinned =
+            exp::runCampaign(prefixSpec("perf_campaign_prefix_pinned",
+                                        cache, pooled));
+        std::printf("prefix-cache=%s pool=%s:\n", cache ? "on" : "off",
+                    pooled ? "on" : "off");
+        report("pinned", pinned);
+        sink.consume(pinned);
+        writeTextFile(cache ? "bench-results/BENCH_prefix_fp_on.txt"
+                            : "bench-results/BENCH_prefix_fp_off.txt",
+                      deterministicFingerprint(pinned));
+        return pinned.aggregate.ok == prefixTrials;
+    }
+
+    exp::CampaignResult off = exp::runCampaign(
+        prefixSpec("perf_campaign_prefix_off", false, false));
+    report("cold", off);
+    exp::CampaignResult on = exp::runCampaign(
+        prefixSpec("perf_campaign_prefix_on", true, true));
+    report("forked", on);
+
+    const double speedup =
+        on.wallSeconds > 0.0 ? off.wallSeconds / on.wallSeconds : 0.0;
+    std::printf("\nprefix-cache speedup (1 worker): %.2fx "
+                "(paper-repro target: >= 2x)\n", speedup);
+
+    // The fork contract: a forked trial is byte-identical to a cold
+    // trial that reseeds at the same point.  Hard failure if violated.
+    const std::string fpOff = deterministicFingerprint(off);
+    const std::string fpOn = deterministicFingerprint(on);
+    const bool identical = fpOff == fpOn;
+    std::printf("fingerprints byte-identical across arms: %s\n",
+                identical ? "yes" : "NO");
+
+    sink.consume(off);
+    sink.consume(on);
+    writeTextFile("bench-results/BENCH_prefix_fp_off.txt", fpOff);
+    writeTextFile("bench-results/BENCH_prefix_fp_on.txt", fpOn);
+
+    const exp::json::Value bench =
+        exp::json::Value::object()
+            .set("bench", "perf_campaign_prefix")
+            .set("config",
+                 exp::json::Value::object()
+                     .set("trials", std::uint64_t{prefixTrials})
+                     .set("warm_runs", std::uint64_t{prefixWarmRuns})
+                     .set("workers", std::uint64_t{1})
+                     .set("master_seed", std::uint64_t{42}))
+            .set("trials_per_sec", on.trialsPerSecond())
+            .set("trials_per_sec_off", off.trialsPerSecond())
+            .set("speedup_vs_off", speedup)
+            .set("fingerprints_identical", identical)
+            .set("fingerprint", fnvHex(fpOn));
+    writeTextFile("bench-results/BENCH_prefix.json", bench.dump());
+    std::printf("bench JSON: bench-results/BENCH_prefix.json "
+                "(+ fingerprint files)\n");
+
+    // CI gate: determinism is absolute; the speedup must never regress
+    // below break-even (the >= 2x target is tracked via the JSON).
+    return identical && speedup >= 1.0 &&
+           off.aggregate.ok == prefixTrials &&
+           on.aggregate.ok == prefixTrials;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
+    // Peel off this bench's own A/B flags before the shared obs
+    // parser sees (and warns about) them.
+    std::optional<bool> prefixCacheFlag;
+    std::optional<bool> poolFlag;
+    std::vector<char *> rest;
+    rest.push_back(argv[0]);
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--prefix-cache=on")
+            prefixCacheFlag = true;
+        else if (arg == "--prefix-cache=off")
+            prefixCacheFlag = false;
+        else if (arg == "--pool=on")
+            poolFlag = true;
+        else if (arg == "--pool=off")
+            poolFlag = false;
+        else
+            rest.push_back(argv[i]);
+    }
     const obs::BenchObsOptions opts = obs::parseBenchObsOptions(
-        argc, argv, "bench-results/perf_campaign.trace.json");
+        static_cast<int>(rest.size()), rest.data(),
+        "bench-results/perf_campaign.trace.json");
     const unsigned hw = std::thread::hardware_concurrency();
     // Sharding section: fast-forward on unless pinned off, so the
     // throughput numbers reflect the production configuration.
@@ -220,6 +533,7 @@ main(int argc, char **argv)
         sink.consume(pinned);
         std::printf("campaign JSON: %s\n", sink.lastPath().c_str());
         ok = ok && pinned.aggregate.ok == fig11Trials;
+        ok = prefixSection(prefixCacheFlag, poolFlag, sink) && ok;
         return ok ? 0 : 1;
     }
 
@@ -259,5 +573,7 @@ main(int argc, char **argv)
     ok = ok && ffIdentical && ffOff.aggregate.ok == fig11Trials &&
          ffOn.aggregate.ok == fig11Trials &&
          ffOn4.aggregate.ok == fig11Trials;
+
+    ok = prefixSection(prefixCacheFlag, poolFlag, sink) && ok;
     return ok ? 0 : 1;
 }

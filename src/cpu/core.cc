@@ -53,6 +53,32 @@ Core::Core(mem::PhysMem &mem, mem::Hierarchy &hierarchy, vm::Mmu &mmu,
     }
 }
 
+void
+Core::copyStateFrom(const Core &other)
+{
+    rng_ = other.rng_;
+    cycle_ = other.cycle_;
+    contexts_ = other.contexts_;
+    ports_ = other.ports_;
+    predictor_ = other.predictor_;
+    issuedThisCycle_ = other.issuedThisCycle_;
+}
+
+void
+Core::reset(std::uint64_t seed)
+{
+    rng_.seed(seed);
+    cycle_ = 0;
+    contexts_.assign(config_.numContexts, Context{});
+    for (Context &ctx : contexts_) {
+        ctx.lastIntWriter.fill(-1);
+        ctx.lastFpWriter.fill(-1);
+    }
+    ports_.reset();
+    predictor_.reset();
+    issuedThisCycle_ = 0;
+}
+
 Core::Context &
 Core::ctxAt(unsigned ctx)
 {

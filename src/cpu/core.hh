@@ -98,6 +98,9 @@ struct CoreConfig
     bool fenceOnPipelineFlush = false;
 
     unsigned predictorEntries = 4096;
+
+    /** Structural equality (snapshot/pool compatibility checks). */
+    bool operator==(const CoreConfig &) const = default;
 };
 
 /** Why a context's retirement raised an event. */
@@ -265,6 +268,24 @@ class Core
 
     /** Current ROB occupancy (tests). */
     std::size_t robOccupancy(unsigned ctx) const;
+
+    /**
+     * Adopt @p other's mutable state — cycle counter, contexts (ROB,
+     * registers, TSX checkpoints, stats), ports, predictor, and the
+     * SMT-arbitration RNG stream (snapshot forking, DESIGN.md §12).
+     * Configs must match.  Callbacks (fault handler, RDRAND source,
+     * probes, jitter hooks), the memory-system references, and the
+     * observer wiring stay this core's own: they capture the owning
+     * Machine and would dangle if carried across.
+     */
+    void copyStateFrom(const Core &other);
+
+    /** Return to the just-constructed state with a fresh @p seed. */
+    void reset(std::uint64_t seed);
+
+    /** Re-derive the SMT-arbitration stream from @p seed (fork
+     *  reseed; leaves all architectural state and stats alone). */
+    void reseed(std::uint64_t seed) { rng_.seed(seed); }
 
     /** Wire the owning Machine's observability hub (may be null);
      *  binds the hub's event clock to this core's cycle counter. */

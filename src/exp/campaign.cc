@@ -44,6 +44,15 @@ deriveRetrySeed(std::uint64_t master, std::uint64_t index,
     return mix64(mix64(base) ^ mix64(~std::uint64_t{attempt}));
 }
 
+std::uint64_t
+deriveWarmupSeed(std::uint64_t master)
+{
+    // A fixed odd constant (the SplitMix64 increment) stands in for
+    // the index that trial/retry seeds mix in, keeping the warmup
+    // stream decorrelated from every per-trial stream.
+    return mix64(mix64(master) ^ 0x9E3779B97F4A7C15ull);
+}
+
 void
 TrialContext::checkBudget(Cycles used_cycles) const
 {
@@ -212,11 +221,62 @@ CampaignRunner::CampaignRunner(CampaignSpec spec) : spec_(std::move(spec))
     if (spec_.trials == 0)
         throw std::invalid_argument(format(
             "CampaignSpec '%s' has zero trials", spec_.name.c_str()));
+    if (!spec_.perTrialMetrics && !spec_.checkpointDir.empty())
+        throw std::invalid_argument(format(
+            "CampaignSpec '%s': perTrialMetrics = false is incompatible "
+            "with a checkpointDir (checkpoints serialize full per-trial "
+            "results, reintroducing the skipped work)",
+            spec_.name.c_str()));
+}
+
+/**
+ * Per-worker machine pool and post-warmup snapshot cache.  Owned by
+ * exactly one worker thread (or the serial grace pass): the snapshot
+ * and its forks COW-share pages through non-atomic refcounts.
+ */
+struct CampaignRunner::WorkerState
+{
+    /** The pooled Machine (reset per trial); null until first use or
+     *  after a structural change replaced it. */
+    std::unique_ptr<os::Machine> pooled;
+
+    struct WarmupEntry
+    {
+        /** Structural key: the warmup-seeded config this entry was
+         *  built from (seeds are ignored by the match). */
+        os::MachineConfig config;
+        os::Snapshot snap;
+        std::shared_ptr<const void> data;
+    };
+    /** One entry per distinct machine structure this worker has seen;
+     *  campaigns sweep a handful of structures at most, so a linear
+     *  scan beats hashing a whole MachineConfig. */
+    std::vector<WarmupEntry> warmups;
+};
+
+os::Machine &
+CampaignRunner::acquireMachine(WorkerState &ws,
+                               std::unique_ptr<os::Machine> &scratch,
+                               const os::MachineConfig &config,
+                               bool reset_state) const
+{
+    if (spec_.machinePool) {
+        if (ws.pooled && os::sameStructure(ws.pooled->config(), config)) {
+            if (reset_state)
+                ws.pooled->reset(config);
+        } else {
+            // First trial, or a structural sweep moved on: (re)build.
+            ws.pooled = std::make_unique<os::Machine>(config);
+        }
+        return *ws.pooled;
+    }
+    scratch = std::make_unique<os::Machine>(config);
+    return *scratch;
 }
 
 TrialResult
 CampaignRunner::runAttempt(std::size_t index, unsigned worker,
-                           unsigned attempt) const
+                           unsigned attempt, WorkerState &ws) const
 {
     TrialContext ctx;
     ctx.index = index;
@@ -239,8 +299,58 @@ CampaignRunner::runAttempt(std::size_t index, unsigned worker,
     result.index = index;
     result.seed = ctx.seed;
 
+    // Machine provisioning state must outlive the body call: `scratch`
+    // owns the trial's machine when pooling is off, `hold` keeps a
+    // cold-path warmup artifact alive while the body uses it.
+    std::unique_ptr<os::Machine> scratch;
+    std::shared_ptr<const void> hold;
+
     const auto start = std::chrono::steady_clock::now();
     try {
+        // Provision the trial's machine (inside the shield: a warmup
+        // that throws is a Failed trial, not a dead worker).
+        if (spec_.warmup) {
+            os::MachineConfig warm_config = ctx.machine;
+            warm_config.seed = deriveWarmupSeed(spec_.masterSeed);
+            if (spec_.prefixCache) {
+                // Fork path: warm once per structure per worker, then
+                // restore + reseed per trial.
+                WorkerState::WarmupEntry *entry = nullptr;
+                for (WorkerState::WarmupEntry &e : ws.warmups)
+                    if (os::sameStructure(e.config, warm_config))
+                        entry = &e;
+                if (!entry) {
+                    os::Machine warm(warm_config);
+                    WorkerState::WarmupEntry fresh;
+                    fresh.config = warm_config;
+                    fresh.data = spec_.warmup(warm);
+                    fresh.snap = warm.snapshot();
+                    ws.warmups.push_back(std::move(fresh));
+                    entry = &ws.warmups.back();
+                }
+                os::Machine &machine = acquireMachine(
+                    ws, scratch, warm_config, /*reset_state=*/false);
+                machine.restoreFrom(entry->snap);
+                machine.reseed(ctx.seed);
+                ctx.fork = &machine;
+                ctx.warmupData = entry->data.get();
+            } else {
+                // Cold path (the A/B baseline): re-run the warmup on a
+                // seed-fresh machine, then reseed at the same point.
+                os::Machine &machine = acquireMachine(
+                    ws, scratch, warm_config, /*reset_state=*/true);
+                hold = spec_.warmup(machine);
+                machine.reseed(ctx.seed);
+                ctx.fork = &machine;
+                ctx.warmupData = hold.get();
+            }
+            ctx.forkCycle = ctx.fork->cycle();
+        } else if (spec_.provideMachine) {
+            ctx.fork = &acquireMachine(ws, scratch, ctx.machine,
+                                       /*reset_state=*/true);
+            ctx.forkCycle = ctx.fork->cycle();
+        }
+
         result.output = spec_.body(ctx);
         result.status = TrialStatus::Ok;
         if (spec_.cycleBudget &&
@@ -266,9 +376,10 @@ CampaignRunner::runAttempt(std::size_t index, unsigned worker,
 }
 
 TrialResult
-CampaignRunner::runTrial(std::size_t index, unsigned worker) const
+CampaignRunner::runTrial(std::size_t index, unsigned worker,
+                         WorkerState &ws) const
 {
-    TrialResult result = runAttempt(index, worker, 0);
+    TrialResult result = runAttempt(index, worker, 0, ws);
     // Retry failures only: a TimedOut trial really consumed its budget
     // — that is a measurement — and retrying Ok makes no sense.  The
     // retry count is a pure function of the seeds, so fingerprints
@@ -276,7 +387,7 @@ CampaignRunner::runTrial(std::size_t index, unsigned worker) const
     unsigned attempts = 1;
     while (result.status == TrialStatus::Failed &&
            attempts <= spec_.maxRetries) {
-        TrialResult retry = runAttempt(index, worker, attempts);
+        TrialResult retry = runAttempt(index, worker, attempts, ws);
         retry.wallSeconds += result.wallSeconds;
         if (retry.status == TrialStatus::Ok) {
             retry.status = TrialStatus::Retried;
@@ -332,12 +443,15 @@ CampaignRunner::run()
         }
     };
     const auto drain = [&](unsigned worker) {
+        // Thread-confined: the pooled machine and every cached
+        // snapshot (plus its COW forks) live and die on this worker.
+        WorkerState ws;
         try {
             for (;;) {
                 const std::size_t index = claimNext();
                 if (index >= total)
                     return;
-                TrialResult result = runTrial(index, worker);
+                TrialResult result = runTrial(index, worker, ws);
                 checkpoint.store(result);
                 std::lock_guard<std::mutex> guard(lock);
                 results[index] = std::move(result);
@@ -382,10 +496,14 @@ CampaignRunner::run()
     // re-runs here, serially.  Results are unchanged (a trial depends
     // only on its seed); the progress callback is deliberately not
     // re-invoked — it may be exactly what killed the worker.
+    // Worker pools/snapshot caches died with their threads; the grace
+    // pass warms its own (results are unchanged — a trial depends only
+    // on its seed, and forked trials are bit-identical to cold ones).
+    WorkerState grace_ws;
     for (std::size_t index = 0; index < total; ++index) {
         if (done[index])
             continue;
-        TrialResult result = runTrial(index, /*worker=*/0);
+        TrialResult result = runTrial(index, /*worker=*/0, grace_ws);
         checkpoint.store(result);
         results[index] = std::move(result);
         done[index] = 1;
@@ -402,7 +520,7 @@ CampaignRunner::run()
     // Aggregation happens here, single-threaded and in index order —
     // *never* in completion order — so N-worker and 1-worker runs of
     // the same spec produce bit-identical aggregates.
-    for (const TrialResult &trial : results) {
+    for (TrialResult &trial : results) {
         switch (trial.status) {
           case TrialStatus::Ok: ++campaign.aggregate.ok; break;
           case TrialStatus::Failed: ++campaign.aggregate.failed; break;
@@ -419,6 +537,12 @@ CampaignRunner::run()
         campaign.aggregate.simCycles += trial.output.simCycles;
         if (spec_.reduce)
             spec_.reduce(trial);
+        // Aggregate-only campaigns drop each snapshot right after its
+        // merge (and after the reducer saw it): the retained trials
+        // stay light and toJson() skips the per-trial metric blocks
+        // entirely, instead of serializing and then ignoring them.
+        if (!spec_.perTrialMetrics)
+            trial.output.metrics = obs::MetricSnapshot{};
     }
     if (spec_.keepTrialResults)
         campaign.trials = std::move(results);

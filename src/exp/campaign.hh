@@ -31,6 +31,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -64,6 +65,14 @@ std::uint64_t deriveRetrySeed(std::uint64_t master, std::uint64_t index,
                               unsigned attempt);
 
 /**
+ * Deterministic seed for a campaign's warmup prefix (DESIGN.md §12).
+ * Depends only on the master seed — the warmup is shared by every
+ * trial, so it must not favour any trial's stream — and is mixed away
+ * from deriveTrialSeed/deriveRetrySeed values.
+ */
+std::uint64_t deriveWarmupSeed(std::uint64_t master);
+
+/**
  * Thrown by a trial body (or by TrialContext::checkBudget) when the
  * per-trial cycle budget is exhausted.  The runner records the trial
  * as TimedOut and moves on.
@@ -93,6 +102,33 @@ struct TrialContext
      * (ctx.machine)` — one private machine per trial.
      */
     os::MachineConfig machine;
+
+    /**
+     * Runner-provided machine, non-null when the spec declared a
+     * warmup or set provideMachine (DESIGN.md §12).  Already reseeded
+     * with `seed`; when it came from a warmup it is a fork of the
+     * per-worker post-warmup snapshot (or a freshly re-warmed machine
+     * when prefixCache is off — bit-identical either way).  Bodies
+     * must use it instead of constructing their own machine, and must
+     * not destroy it; it may be a pooled instance owned by the runner.
+     */
+    os::Machine *fork = nullptr;
+
+    /**
+     * Artifact returned by the spec's warmup (nullptr without one):
+     * the handles a warmup mints — pids, victim layouts, program
+     * images — valid in `fork` exactly because forks share the
+     * warmed-up state.  Bodies cast it back to the concrete type the
+     * warmup returned.
+     */
+    const void *warmupData = nullptr;
+
+    /**
+     * fork->cycle() at hand-off (0 without a runner-provided machine).
+     * Bodies report TrialOutput::simCycles relative to this, so the
+     * shared warmup's cycles are not charged to any trial's budget.
+     */
+    Cycles forkCycle = 0;
 
     /**
      * Throw TrialTimeout when @p used_cycles exceeds the budget.
@@ -197,6 +233,62 @@ struct CampaignSpec
     std::function<TrialOutput(const TrialContext &)> body;
 
     /**
+     * Optional warmup prefix (DESIGN.md §12): shared setup every trial
+     * of a machine structure needs — process creation, victim code
+     * generation, cache priming.  Runs on a machine seeded with
+     * deriveWarmupSeed(masterSeed) (never a trial seed: the prefix is
+     * shared, so it must not favour any trial's stream).  The returned
+     * artifact is handed to every body via TrialContext::warmupData
+     * and kept alive by the runner for the body's duration.
+     *
+     * With prefixCache (default), each worker runs the warmup once per
+     * unique machine structure, snapshots the result, and forks the
+     * snapshot per trial; with it off the warmup re-runs cold before
+     * every trial.  The reseed-at-fork contract makes the two paths
+     * bit-identical — prefixCache is a pure wall-clock knob (the A/B
+     * switch bench/perf_campaign and tests/test_snapshot.cc exercise).
+     */
+    std::function<std::shared_ptr<const void>(os::Machine &)> warmup;
+
+    /**
+     * Fork trials from the per-worker post-warmup snapshot instead of
+     * re-running the warmup per trial.  Meaningless without `warmup`.
+     */
+    bool prefixCache = true;
+
+    /**
+     * Reuse one pooled Machine per worker (Machine::reset /
+     * restoreFrom) instead of constructing and destroying one per
+     * trial, keeping page slabs and component buffers hot.  The pooled
+     * instance is replaced when a trial's structure differs
+     * (os::sameStructure).  Pure wall-clock knob: reset() is
+     * bit-identical to fresh construction.
+     */
+    bool machinePool = true;
+
+    /**
+     * Hand every trial a runner-managed machine via TrialContext::fork
+     * even without a warmup, so warmup-less campaigns benefit from
+     * machinePool too.  Off by default: legacy bodies construct their
+     * own machines and would ignore (and double-build) the provided
+     * one.  Implied by `warmup`.
+     */
+    bool provideMachine = false;
+
+    /**
+     * Keep per-trial MetricSnapshots in trial results.  When a sink
+     * only wants the campaign aggregate, turning this off drops each
+     * trial's snapshot right after its index-order merge — the
+     * aggregate is unchanged, but toJson() no longer re-serializes
+     * hundreds of identical component-metric blocks and the retained
+     * trials stay small.  Incompatible with checkpointDir: per-trial
+     * checkpoints serialize full results *before* the post-merge drop,
+     * which would silently reintroduce exactly the work this flag
+     * promises to skip — the constructor rejects the combination.
+     */
+    bool perTrialMetrics = true;
+
+    /**
      * Optional factory producing the MachineConfig for a trial (sweep
      * ROB sizes, defenses, cache geometry...).  The runner stamps the
      * trial seed into the returned config unless the factory assigned
@@ -286,9 +378,27 @@ class CampaignRunner
     CampaignResult run();
 
   private:
+    /**
+     * Per-worker mutable state (DESIGN.md §12): the pooled Machine and
+     * the post-warmup snapshot cache, keyed by structural config.
+     * Each worker thread owns exactly one — snapshots COW-share pages
+     * with their forks, and page refcounts are deliberately
+     * non-atomic, so a WorkerState must never cross threads.  The
+     * serial grace pass builds its own.
+     */
+    struct WorkerState;
+
     TrialResult runAttempt(std::size_t index, unsigned worker,
-                           unsigned attempt) const;
-    TrialResult runTrial(std::size_t index, unsigned worker) const;
+                           unsigned attempt, WorkerState &ws) const;
+    TrialResult runTrial(std::size_t index, unsigned worker,
+                         WorkerState &ws) const;
+
+    /** Pooled (or scratch) machine with @p config's structure, reset
+     *  to seed-fresh state when @p reset_state. */
+    os::Machine &acquireMachine(WorkerState &ws,
+                                std::unique_ptr<os::Machine> &scratch,
+                                const os::MachineConfig &config,
+                                bool reset_state) const;
 
     CampaignSpec spec_;
 };

@@ -40,6 +40,38 @@ FaultInjector::FaultInjector(const FaultPlan &plan, std::uint64_t seed)
 }
 
 void
+FaultInjector::copyStateFrom(const FaultInjector &other)
+{
+    rngInterrupt_ = other.rngInterrupt_;
+    rngPreempt_ = other.rngPreempt_;
+    rngPort_ = other.rngPort_;
+    rngProbe_ = other.rngProbe_;
+    rngDrop_ = other.rngDrop_;
+    nextInterrupt_ = other.nextInterrupt_;
+    nextPreempt_ = other.nextPreempt_;
+    stats_ = other.stats_;
+}
+
+void
+FaultInjector::reseedAt(std::uint64_t seed, Cycles now)
+{
+    rngInterrupt_.seed(siteSeed(seed, Site::Interrupt));
+    rngPreempt_.seed(siteSeed(seed, Site::Preemption));
+    rngPort_.seed(siteSeed(seed, Site::PortJitter));
+    rngProbe_.seed(siteSeed(seed, Site::ProbeJitter));
+    rngDrop_.seed(siteSeed(seed, Site::SampleDrop));
+    // Re-draw the schedules from the new streams, anchored at `now`
+    // (the constructor is the now == 0 special case).
+    nextInterrupt_ = plan_.interruptMeanGap
+                         ? now + gapDraw(rngInterrupt_,
+                                         plan_.interruptMeanGap)
+                         : kNoEventCycle;
+    nextPreempt_ = plan_.preemptMeanGap
+                       ? now + gapDraw(rngPreempt_, plan_.preemptMeanGap)
+                       : kNoEventCycle;
+}
+
+void
 FaultInjector::wire(mem::Hierarchy *hierarchy, vm::Mmu *mmu,
                     cpu::Core *core, obs::Observer *observer)
 {

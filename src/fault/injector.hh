@@ -135,6 +135,28 @@ class FaultInjector
      *  sample. */
     bool dropMonitorSample();
 
+    /**
+     * Adopt @p other's RNG streams, pending firing cycles, and stats
+     * (snapshot forking, DESIGN.md §12).  Plans must match; the wired
+     * component pointers stay this injector's own.
+     */
+    void copyStateFrom(const FaultInjector &other);
+
+    /**
+     * Re-derive every site stream from @p seed and re-draw the next
+     * scheduled firings *relative to @p now* — the reseed-at-fork
+     * primitive.  A cold machine reseeded at cycle C and a fork
+     * restored to cycle C then reseeded produce the same schedule.
+     */
+    void reseedAt(std::uint64_t seed, Cycles now);
+
+    /** Return to the just-constructed state with a fresh @p seed. */
+    void reset(std::uint64_t seed)
+    {
+        stats_ = FaultStats{};
+        reseedAt(seed, 0);
+    }
+
     /** Register fault.* counters. */
     void exportMetrics(obs::MetricRegistry &registry) const;
 

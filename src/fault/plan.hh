@@ -95,6 +95,9 @@ struct FaultPlan
      *  descheduled, buffer overrun, ...). */
     double sampleDropRate = 0.0;
 
+    /** Structural equality (snapshot/pool compatibility checks). */
+    bool operator==(const FaultPlan &) const = default;
+
     /** True when any knob is active (the injector's fast-path gate). */
     bool enabled() const;
 

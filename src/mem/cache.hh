@@ -88,6 +88,25 @@ class Cache
     const CacheStats &stats() const { return stats_; }
     void resetStats() { stats_ = CacheStats{}; }
 
+    /**
+     * Adopt @p other's ways, LRU clock, and stats (snapshot forking,
+     * DESIGN.md §12).  Both caches must share the same geometry.
+     */
+    void copyStateFrom(const Cache &other)
+    {
+        ways_ = other.ways_;
+        clock_ = other.clock_;
+        stats_ = other.stats_;
+    }
+
+    /** Return to the just-constructed state (empty, zero stats). */
+    void reset()
+    {
+        ways_.assign(ways_.size(), Way{});
+        clock_ = 0;
+        stats_ = CacheStats{};
+    }
+
   private:
     struct Way
     {

@@ -141,6 +141,24 @@ Hierarchy::resetStats()
     l3_.resetStats();
 }
 
+void
+Hierarchy::copyStateFrom(const Hierarchy &other)
+{
+    l1_.copyStateFrom(other.l1_);
+    l2_.copyStateFrom(other.l2_);
+    l3_.copyStateFrom(other.l3_);
+    rng_ = other.rng_;
+}
+
+void
+Hierarchy::reset(std::uint64_t seed)
+{
+    l1_.reset();
+    l2_.reset();
+    l3_.reset();
+    rng_.seed(seed);
+}
+
 namespace
 {
 

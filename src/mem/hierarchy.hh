@@ -77,6 +77,9 @@ struct MemConfig
     Cycles dramLatency = 290;
     /** DRAM latency jitter: uniform in [-jitter, +jitter]. */
     Cycles dramJitter = 15;
+
+    /** Structural equality (snapshot/pool compatibility checks). */
+    bool operator==(const MemConfig &) const = default;
 };
 
 /** L1D + L2 + inclusive L3 + DRAM, shared by both SMT contexts. */
@@ -122,6 +125,19 @@ class Hierarchy
     const Cache &l3() const { return l3_; }
 
     void resetStats();
+
+    /**
+     * Adopt @p other's cache contents, stats, and DRAM-jitter RNG
+     * stream (snapshot forking, DESIGN.md §12).  Configs must match;
+     * the observer wiring is left untouched.
+     */
+    void copyStateFrom(const Hierarchy &other);
+
+    /** Seed-fresh state: empty caches, zero stats, reseeded jitter. */
+    void reset(std::uint64_t seed);
+
+    /** Re-derive the DRAM-jitter stream from @p seed (fork reseed). */
+    void reseed(std::uint64_t seed) { rng_.seed(seed); }
 
     /** Wire the owning Machine's observability hub (may be null). */
     void setObserver(obs::Observer *observer) { obs_ = observer; }

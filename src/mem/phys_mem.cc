@@ -3,11 +3,55 @@
 #include <cstring>
 
 #include "common/logging.hh"
+#include "common/random.hh"
 
 namespace uscope::mem
 {
 
-PhysMem::PhysMem(std::uint64_t size) : size_(size)
+PageArena::PageRef
+PageArena::allocZeroed()
+{
+    if (free_.empty()) {
+        if (refs_.size() == static_cast<std::size_t>(kNullRef))
+            panic("PageArena exhausted its 32-bit slot space");
+        if ((refs_.size() & slabPagesMask) == 0) {
+            auto slab = std::make_unique<std::uint8_t[]>(
+                std::size_t{1} << (slabPagesShift + pageShift));
+            slabs_.push_back(std::move(slab));
+        }
+        refs_.push_back(1);
+        const PageRef ref = static_cast<PageRef>(refs_.size() - 1);
+        std::memset(data(ref), 0, pageSize);
+        return ref;
+    }
+    const PageRef ref = free_.back();
+    free_.pop_back();
+    refs_[ref] = 1;
+    std::memset(data(ref), 0, pageSize);
+    return ref;
+}
+
+PageArena::PageRef
+PageArena::allocCopyOf(PageRef src)
+{
+    // Grab the slot first: allocZeroed may grow slabs_, but PageRefs
+    // and slab base pointers are stable, so data(src) stays valid.
+    const PageRef ref = allocZeroed();
+    std::memcpy(data(ref), data(src), pageSize);
+    return ref;
+}
+
+namespace
+{
+
+/** Initial index capacity; must be a power of two. */
+constexpr std::size_t kInitialSlots = 256;
+
+} // namespace
+
+PhysMem::PhysMem(std::uint64_t size)
+    : size_(size), arena_(std::make_shared<PageArena>()),
+      slots_(kInitialSlots), mask_(kInitialSlots - 1)
 {
 }
 
@@ -21,22 +65,65 @@ PhysMem::checkBounds(PAddr addr, std::uint64_t len) const
               static_cast<unsigned long long>(size_));
 }
 
-PhysMem::Page &
-PhysMem::pageFor(PAddr addr)
+std::size_t
+PhysMem::probe(Ppn ppn) const
 {
-    auto &slot = pages_[pageNumber(addr)];
-    if (!slot) {
-        slot = std::make_unique<Page>();
-        slot->fill(0);
-    }
-    return *slot;
+    std::size_t i = mix64(ppn) & mask_;
+    while (slots_[i].ref != PageArena::kNullRef && slots_[i].ppn != ppn)
+        i = (i + 1) & mask_;
+    return i;
 }
 
-const PhysMem::Page *
+void
+PhysMem::grow()
+{
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(old.size() * 2, Slot{});
+    mask_ = slots_.size() - 1;
+    for (const Slot &slot : old) {
+        if (slot.ref == PageArena::kNullRef)
+            continue;
+        std::size_t i = mix64(slot.ppn) & mask_;
+        while (slots_[i].ref != PageArena::kNullRef)
+            i = (i + 1) & mask_;
+        slots_[i] = slot;
+    }
+}
+
+std::uint8_t *
+PhysMem::pageFor(PAddr addr)
+{
+    const Ppn ppn = pageNumber(addr);
+    std::size_t i = probe(ppn);
+    if (slots_[i].ref == PageArena::kNullRef) {
+        // Keep the load factor below ~2/3 so probes stay short.
+        if ((used_ + 1) * 3 > slots_.size() * 2) {
+            grow();
+            i = probe(ppn);
+        }
+        slots_[i].ppn = ppn;
+        slots_[i].ref = arena_->allocZeroed();
+        ++used_;
+        return arena_->data(slots_[i].ref);
+    }
+    PageRef ref = slots_[i].ref;
+    if (arena_->refs(ref) > 1) {
+        // Copy-on-write: un-share before the first write.
+        const PageRef fresh = arena_->allocCopyOf(ref);
+        arena_->decref(ref);
+        slots_[i].ref = fresh;
+        ref = fresh;
+    }
+    return arena_->data(ref);
+}
+
+const std::uint8_t *
 PhysMem::pageForConst(PAddr addr) const
 {
-    auto it = pages_.find(pageNumber(addr));
-    return it == pages_.end() ? nullptr : it->second.get();
+    const std::size_t i = probe(pageNumber(addr));
+    return slots_[i].ref == PageArena::kNullRef
+               ? nullptr
+               : arena_->data(slots_[i].ref);
 }
 
 std::uint64_t
@@ -46,9 +133,9 @@ PhysMem::read(PAddr addr, unsigned len) const
     std::uint64_t val = 0;
     for (unsigned i = 0; i < len; ++i) {
         const PAddr byte_addr = addr + i;
-        const Page *page = pageForConst(byte_addr);
+        const std::uint8_t *page = pageForConst(byte_addr);
         const std::uint8_t byte =
-            page ? (*page)[byte_addr & pageOffsetMask] : 0;
+            page ? page[byte_addr & pageOffsetMask] : 0;
         val |= static_cast<std::uint64_t>(byte) << (8 * i);
     }
     return val;
@@ -76,8 +163,8 @@ PhysMem::writeBytes(PAddr addr, const void *src, std::uint64_t len)
         const std::uint64_t in_page =
             std::min<std::uint64_t>(len - done,
                                     pageSize - (cur & pageOffsetMask));
-        std::memcpy(pageFor(cur).data() + (cur & pageOffsetMask),
-                    bytes + done, in_page);
+        std::memcpy(pageFor(cur) + (cur & pageOffsetMask), bytes + done,
+                    in_page);
         done += in_page;
     }
 }
@@ -93,10 +180,10 @@ PhysMem::readBytes(PAddr addr, void *dst, std::uint64_t len) const
         const std::uint64_t in_page =
             std::min<std::uint64_t>(len - done,
                                     pageSize - (cur & pageOffsetMask));
-        const Page *page = pageForConst(cur);
+        const std::uint8_t *page = pageForConst(cur);
         if (page) {
-            std::memcpy(bytes + done,
-                        page->data() + (cur & pageOffsetMask), in_page);
+            std::memcpy(bytes + done, page + (cur & pageOffsetMask),
+                        in_page);
         } else {
             std::memset(bytes + done, 0, in_page);
         }
@@ -108,9 +195,51 @@ void
 PhysMem::zeroPage(Ppn ppn)
 {
     checkBounds(ppn << pageShift, pageSize);
-    auto it = pages_.find(ppn);
-    if (it != pages_.end())
-        it->second->fill(0);
+    const std::size_t i = probe(ppn);
+    if (slots_[i].ref == PageArena::kNullRef)
+        return;
+    if (arena_->refs(slots_[i].ref) > 1) {
+        // Shared: swap in a fresh zero page instead of copying bytes
+        // we are about to clear.
+        arena_->decref(slots_[i].ref);
+        slots_[i].ref = arena_->allocZeroed();
+        return;
+    }
+    std::memset(arena_->data(slots_[i].ref), 0, pageSize);
+}
+
+void
+PhysMem::releaseAll()
+{
+    for (Slot &slot : slots_) {
+        if (slot.ref == PageArena::kNullRef)
+            continue;
+        arena_->decref(slot.ref);
+        slot = Slot{};
+    }
+    used_ = 0;
+}
+
+void
+PhysMem::shareStateFrom(const PhysMem &src)
+{
+    if (&src == this)
+        return;
+    releaseAll();
+    size_ = src.size_;
+    arena_ = src.arena_;
+    slots_ = src.slots_;
+    mask_ = src.mask_;
+    used_ = src.used_;
+    for (const Slot &slot : slots_)
+        if (slot.ref != PageArena::kNullRef)
+            arena_->incref(slot.ref);
+}
+
+void
+PhysMem::reset()
+{
+    releaseAll();
 }
 
 } // namespace uscope::mem

@@ -7,20 +7,92 @@
  * load/store units, and the kernel all read and write the same storage.
  * Timing is modelled separately by the cache hierarchy — PhysMem is the
  * functional backing store.
+ *
+ * Storage is a slab arena of refcounted page slots plus an
+ * open-addressed PPN → slot index (no per-page heap node, no hash-map
+ * pointer chase on the hot path).  Two PhysMem instances may share
+ * pages copy-on-write via shareStateFrom(): both sides keep reading
+ * the shared bytes for free, and whichever side writes a shared page
+ * first gets a private copy (DESIGN.md §12).  Sharing is only legal
+ * between instances owned by the same thread — refcounts are not
+ * atomic by design (snapshots and forks are per-worker).
  */
 
 #ifndef USCOPE_MEM_PHYS_MEM_HH
 #define USCOPE_MEM_PHYS_MEM_HH
 
-#include <array>
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
+#include <vector>
 
 #include "common/types.hh"
 
 namespace uscope::mem
 {
+
+/**
+ * Slab-backed storage for refcounted physical pages.  Page bytes live
+ * in large contiguous slabs; a PageRef is a stable 32-bit slot index.
+ * Freed slots go on a free list and are reused, so a Machine that is
+ * reset() between trials never gives slabs back to the allocator.
+ */
+class PageArena
+{
+  public:
+    using PageRef = std::uint32_t;
+    static constexpr PageRef kNullRef = ~PageRef{0};
+
+    /** Allocate a zero-filled page with refcount 1. */
+    PageRef allocZeroed();
+
+    /** Allocate a copy of @p src's bytes with refcount 1. */
+    PageRef allocCopyOf(PageRef src);
+
+    void incref(PageRef ref) { ++refs_[ref]; }
+
+    /** Drop one reference; a slot reaching zero joins the free list. */
+    void decref(PageRef ref)
+    {
+        if (--refs_[ref] == 0)
+            free_.push_back(ref);
+    }
+
+    std::uint32_t refs(PageRef ref) const { return refs_[ref]; }
+
+    std::uint8_t *data(PageRef ref)
+    {
+        return slabs_[ref >> slabPagesShift].get() +
+               (static_cast<std::size_t>(ref & slabPagesMask)
+                << pageShift);
+    }
+
+    const std::uint8_t *data(PageRef ref) const
+    {
+        return slabs_[ref >> slabPagesShift].get() +
+               (static_cast<std::size_t>(ref & slabPagesMask)
+                << pageShift);
+    }
+
+    /** Total page slots backed by slabs (reserved, live or free). */
+    std::size_t pagesReserved() const
+    {
+        return slabs_.size() << slabPagesShift;
+    }
+
+    /** Page slots currently holding a referenced page. */
+    std::size_t pagesLive() const { return refs_.size() - free_.size(); }
+
+  private:
+    // 64 pages (256 KiB) per slab: large enough to amortize the
+    // allocation, small enough that tiny tests stay tiny.
+    static constexpr unsigned slabPagesShift = 6;
+    static constexpr std::uint32_t slabPagesMask =
+        (1u << slabPagesShift) - 1;
+
+    std::vector<std::unique_ptr<std::uint8_t[]>> slabs_;
+    std::vector<std::uint32_t> refs_; // per slot; index == PageRef
+    std::vector<PageRef> free_;
+};
 
 /** Sparse physical memory; pages materialize zero-filled on first touch. */
 class PhysMem
@@ -28,6 +100,9 @@ class PhysMem
   public:
     /** @param size Total physical memory size in bytes (for bounds). */
     explicit PhysMem(std::uint64_t size = std::uint64_t{1} << 32);
+
+    PhysMem(const PhysMem &) = delete;
+    PhysMem &operator=(const PhysMem &) = delete;
 
     std::uint64_t size() const { return size_; }
 
@@ -54,22 +129,58 @@ class PhysMem
     /** Bulk copy out of physical memory. */
     void readBytes(PAddr addr, void *dst, std::uint64_t len) const;
 
-    /** Zero a whole physical page. */
+    /** Zero a whole physical page (stays materialized if present). */
     void zeroPage(Ppn ppn);
 
+    /**
+     * Become a copy-on-write alias of @p src: adopt its arena, share
+     * every materialized page, and let first-writers (on either side)
+     * copy privately.  Own pages are released first.  Both instances
+     * must belong to the same thread from here on.
+     */
+    void shareStateFrom(const PhysMem &src);
+
+    /**
+     * Drop every materialized page.  Slabs stay reserved in the arena
+     * for reuse, so a pooled Machine's reset() performs no page-sized
+     * allocation on its next warm-up.
+     */
+    void reset();
+
     /** Number of pages materialized so far (for tests/stats). */
-    std::size_t pagesAllocated() const { return pages_.size(); }
+    std::size_t pagesAllocated() const { return used_; }
+
+    /** Page slots the backing arena keeps reserved (for tests). */
+    std::size_t slabPagesReserved() const
+    {
+        return arena_->pagesReserved();
+    }
 
   private:
-    using Page = std::array<std::uint8_t, pageSize>;
+    using PageRef = PageArena::PageRef;
 
-    Page &pageFor(PAddr addr);
-    const Page *pageForConst(PAddr addr) const;
+    struct Slot
+    {
+        Ppn ppn = 0;
+        PageRef ref = PageArena::kNullRef; // kNullRef == empty slot
+    };
+
+    /** Writable page bytes for @p addr (materializes, un-shares). */
+    std::uint8_t *pageFor(PAddr addr);
+
+    /** Readable page bytes for @p addr, or nullptr if untouched. */
+    const std::uint8_t *pageForConst(PAddr addr) const;
+
+    std::size_t probe(Ppn ppn) const;
+    void grow();
+    void releaseAll();
     void checkBounds(PAddr addr, std::uint64_t len) const;
 
     std::uint64_t size_;
-    // unique_ptr keeps the map nodes small and page storage stable.
-    mutable std::unordered_map<Ppn, std::unique_ptr<Page>> pages_;
+    std::shared_ptr<PageArena> arena_;
+    std::vector<Slot> slots_; // open-addressed, power-of-two size
+    std::size_t mask_;
+    std::size_t used_ = 0;
 };
 
 } // namespace uscope::mem

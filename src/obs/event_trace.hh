@@ -98,6 +98,20 @@ class EventTrace
     /** Forget every recorded event (capacity is kept). */
     void clear() { total_ = 0; }
 
+    /**
+     * Adopt @p other's recorded events, counters, and enable flag
+     * (snapshot forking, DESIGN.md §12).  The clock binding is NOT
+     * copied: it points into the owning Machine's core and would
+     * dangle across machines — each trace keeps its own.
+     */
+    void copyStateFrom(const EventTrace &other)
+    {
+        enabled_ = other.enabled_;
+        total_ = other.total_;
+        mask_ = other.mask_;
+        ring_ = other.ring_;
+    }
+
   private:
     bool enabled_ = false;
     const std::uint64_t *clock_ = nullptr;

@@ -35,6 +35,9 @@ struct ObsConfig
     bool traceEvents = false;
     /** Ring slots (rounded up to a power of two). */
     std::size_t traceCapacity = std::size_t{1} << 16;
+
+    /** Structural equality (snapshot/pool compatibility checks). */
+    bool operator==(const ObsConfig &) const = default;
 };
 
 /** The hub itself. */

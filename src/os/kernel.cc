@@ -15,6 +15,51 @@ Kernel::Kernel(mem::PhysMem &mem, mem::Hierarchy &hierarchy,
 {
 }
 
+void
+Kernel::copyStateFrom(const Kernel &other)
+{
+    rng_ = other.rng_;
+    frames_.copyStateFrom(other.frames_);
+    processes_.clear();
+    processes_.reserve(other.processes_.size());
+    for (const Process &src : other.processes_) {
+        Process p;
+        p.pid = src.pid;
+        p.name = src.name;
+        // Rebind the table over this kernel's memory/frames; the tree
+        // bytes themselves arrived with the copied PhysMem.
+        p.pageTable = std::make_unique<vm::PageTable>(mem_, frames_,
+                                                      *src.pageTable);
+        p.pcid = src.pcid;
+        p.pcBias = src.pcBias;
+        p.nextVa = src.nextVa;
+        p.enclaves = src.enclaves;
+        p.faultCount = src.faultCount;
+        p.boundCtx = src.boundCtx;
+        processes_.push_back(std::move(p));
+    }
+    module_ = nullptr;
+    inHandler_ = other.inHandler_;
+    handlerBudget_ = other.handlerBudget_;
+    handlerCycles_ = other.handlerCycles_;
+    totalFaults_ = other.totalFaults_;
+    handlerLatency_ = other.handlerLatency_;
+}
+
+void
+Kernel::reset(std::uint64_t seed)
+{
+    rng_.seed(seed);
+    frames_.reset();
+    processes_.clear();
+    module_ = nullptr;
+    inHandler_ = false;
+    handlerBudget_ = 0;
+    handlerCycles_ = 0;
+    totalFaults_ = 0;
+    handlerLatency_ = Summary{};
+}
+
 Kernel::Process &
 Kernel::processOf(Pid pid)
 {

@@ -68,6 +68,9 @@ struct KernelCosts
     Cycles probeJitter = 8;
     /** Signalling the Monitor process (shared memory poke). */
     Cycles signalMonitor = 50;
+
+    /** Structural equality (snapshot/pool compatibility checks). */
+    bool operator==(const KernelCosts &) const = default;
 };
 
 /** Result of a kernel timed probe of one cache line. */
@@ -211,6 +214,25 @@ class Kernel
 
     /** Total number of faults taken machine-wide. */
     std::uint64_t totalFaults() const { return totalFaults_; }
+
+    /**
+     * Adopt @p other's mutable state — frame allocator, processes
+     * (page tables rebound over this kernel's memory), fault-path
+     * counters, and the RNG stream (snapshot forking, DESIGN.md §12).
+     * Costs must match.  The module pointer is NOT carried over:
+     * fault modules (e.g. ms::Microscope) are external objects that
+     * register against one specific kernel; a fork starts unmodded
+     * and the module's machine-visible effects (present bits, staged
+     * lines, TLB/PWC state) arrive via the copied memory system.
+     */
+    void copyStateFrom(const Kernel &other);
+
+    /** Return to the just-constructed state with a fresh @p seed. */
+    void reset(std::uint64_t seed);
+
+    /** Re-derive the kernel's RNG stream (probe jitter) from @p seed
+     *  (fork reseed; leaves processes, frames, and stats alone). */
+    void reseed(std::uint64_t seed) { rng_.seed(seed); }
 
     /** Wire the owning Machine's observability hub (may be null). */
     void setObserver(obs::Observer *observer) { obs_ = observer; }

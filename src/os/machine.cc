@@ -1,11 +1,35 @@
 #include "os/machine.hh"
 
 #include <algorithm>
+#include <memory>
 
+#include "common/logging.hh"
 #include "obs/metrics.hh"
 
 namespace uscope::os
 {
+
+bool
+sameStructure(const MachineConfig &a, const MachineConfig &b)
+{
+    return a.physMemBytes == b.physMemBytes && a.mem == b.mem &&
+           a.mmu == b.mmu && a.core == b.core && a.costs == b.costs &&
+           a.obs == b.obs && a.fault == b.fault &&
+           a.fastForward == b.fastForward;
+}
+
+namespace
+{
+
+const MachineConfig &
+configOf(const Snapshot &snap)
+{
+    if (!snap.valid())
+        panic("Machine: invalid (empty or moved-from) Snapshot");
+    return snap.config();
+}
+
+} // namespace
 
 Machine::Machine(const MachineConfig &config)
     : config_(config),
@@ -38,6 +62,71 @@ Machine::Machine(const MachineConfig &config)
             [this](unsigned ctx) { return faults_.issueJitter(ctx); });
         kernel_.setProbeNoise([this]() { return faults_.probeJitter(); });
     }
+}
+
+Machine::Machine(const Snapshot &snap) : Machine(configOf(snap))
+{
+    copyStateFrom(*snap.frozen_);
+}
+
+void
+Machine::copyStateFrom(const Machine &other)
+{
+    if (!sameStructure(config_, other.config_))
+        panic("Machine::copyStateFrom: structural config mismatch");
+    config_.seed = other.config_.seed;
+    mem_.shareStateFrom(other.mem_);
+    hierarchy_.copyStateFrom(other.hierarchy_);
+    mmu_.copyStateFrom(other.mmu_);
+    core_.copyStateFrom(other.core_);
+    kernel_.copyStateFrom(other.kernel_);
+    entropy_ = other.entropy_;
+    faults_.copyStateFrom(other.faults_);
+    obs_.trace.copyStateFrom(other.obs_.trace);
+}
+
+Snapshot
+Machine::snapshot() const
+{
+    auto frozen = std::make_unique<Machine>(config_);
+    frozen->copyStateFrom(*this);
+    return Snapshot(std::move(frozen));
+}
+
+void
+Machine::restoreFrom(const Snapshot &snap)
+{
+    if (!snap.valid())
+        panic("Machine::restoreFrom: invalid Snapshot");
+    copyStateFrom(*snap.frozen_);
+}
+
+void
+Machine::reset(const MachineConfig &config)
+{
+    if (!sameStructure(config_, config))
+        panic("Machine::reset: structural config mismatch "
+              "(construct a new Machine instead)");
+    config_ = config;
+    mem_.reset();
+    hierarchy_.reset(config_.seed * 3 + 1);
+    mmu_.reset();
+    core_.reset(config_.seed * 5 + 2);
+    kernel_.reset(config_.seed * 7 + 3);
+    entropy_.seed(config_.seed * 11 + 4);
+    faults_.reset(config_.seed * 13 + 5);
+    obs_.trace.clear();
+}
+
+void
+Machine::reseed(std::uint64_t seed)
+{
+    config_.seed = seed;
+    hierarchy_.reseed(config_.seed * 3 + 1);
+    core_.reseed(config_.seed * 5 + 2);
+    kernel_.reseed(config_.seed * 7 + 3);
+    entropy_.seed(config_.seed * 11 + 4);
+    faults_.reseedAt(config_.seed * 13 + 5, core_.cycle());
 }
 
 Cycles

@@ -88,11 +88,27 @@ struct MachineConfig
     bool fastForward = true;
 };
 
+/**
+ * Structural equality of two configs: every knob except the seed.
+ * Machines with the same structure can share snapshots and pooled
+ * instances — only their RNG streams (reseedable at any time) differ.
+ */
+bool sameStructure(const MachineConfig &a, const MachineConfig &b);
+
+class Snapshot;
+
 /** The machine. */
 class Machine
 {
   public:
     explicit Machine(const MachineConfig &config = MachineConfig{});
+
+    /**
+     * Construct a machine whose state equals @p snap (DESIGN.md §12).
+     * Pages are shared copy-on-write with the snapshot; everything
+     * else is copied.  Panics on an invalid (moved-from) snapshot.
+     */
+    explicit Machine(const Snapshot &snap);
 
     mem::PhysMem &mem() { return mem_; }
     mem::Hierarchy &hierarchy() { return hierarchy_; }
@@ -165,7 +181,64 @@ class Machine
     /** Convenience: exportMetrics into a fresh registry + snapshot. */
     obs::MetricSnapshot metricsSnapshot() const;
 
+    // ------------------------------------------------------------------
+    // Snapshot, fork, and pooling (DESIGN.md §12).
+    // ------------------------------------------------------------------
+
+    /**
+     * Freeze a deep-but-cheap copy of the machine's entire mutable
+     * state: core/ROB/contexts, TLB/PWC/walker, cache ways, kernel
+     * processes and fault-path counters, RNG streams, fault-injector
+     * schedule, stats, and the event-trace ring.  Physical pages are
+     * shared copy-on-write — the snapshot holds references and this
+     * machine's (or any fork's) first write to a shared page copies
+     * it, so the snapshot stays frozen.
+     *
+     * Registered fault modules (ms::Microscope) are per-machine
+     * external objects and are NOT captured; their machine-visible
+     * effects (present bits, staged PT/data lines, TLB/PWC state)
+     * are, via the copied memory system.
+     */
+    Snapshot snapshot() const;
+
+    /**
+     * Overwrite this machine's state with @p snap's (same structural
+     * config required).  Cheaper than constructing from the snapshot
+     * when an instance is pooled: buffers are reused, and pages this
+     * machine privatized since the last restore return to the shared
+     * arena's free list.
+     */
+    void restoreFrom(const Snapshot &snap);
+
+    /**
+     * Return a pooled instance to the seed-fresh state a newly
+     * constructed Machine(config()) would have — bit-identically so,
+     * including every RNG stream and stat — without freeing the page
+     * slabs or per-component buffers.
+     */
+    void reset() { reset(config_); }
+
+    /**
+     * reset() adopting @p config (e.g. a new trial's seed).  Panics
+     * unless sameStructure(config(), config): pooling never silently
+     * rebuilds geometry — construct a new Machine for that.
+     */
+    void reset(const MachineConfig &config);
+
+    /**
+     * Re-derive every component RNG stream from @p seed, anchored at
+     * the *current* cycle — the reseed-at-fork primitive.  Leaves all
+     * architectural state, stats, and traces alone.  The determinism
+     * contract: a cold machine that runs a warmup and reseeds equals,
+     * bit for bit, a fork restored from the post-warmup snapshot and
+     * reseeded with the same seed.
+     */
+    void reseed(std::uint64_t seed);
+
   private:
+    /** Overwrite all mutable state with @p other's (same structure). */
+    void copyStateFrom(const Machine &other);
+
     MachineConfig config_;
     obs::Observer obs_;
     mem::PhysMem mem_;
@@ -175,6 +248,42 @@ class Machine
     Kernel kernel_;
     Rng entropy_;   ///< Hardware RDRAND source.
     fault::FaultInjector faults_;
+};
+
+/**
+ * A frozen Machine state (DESIGN.md §12): the product of
+ * Machine::snapshot(), consumed by Machine(const Snapshot&) and
+ * Machine::restoreFrom().  Internally a full state-clone machine that
+ * is never ticked; it COW-shares pages with the machine it was taken
+ * from and with every fork, so holding one is cheap.  Move-only.
+ * Thread confinement follows the Machine rule: a snapshot and all of
+ * its forks belong to one simulating thread (page refcounts are
+ * deliberately non-atomic).
+ */
+class Snapshot
+{
+  public:
+    Snapshot() = default;
+    Snapshot(Snapshot &&) = default;
+    Snapshot &operator=(Snapshot &&) = default;
+
+    /** False for a default-constructed or moved-from snapshot. */
+    bool valid() const { return frozen_ != nullptr; }
+
+    /** The frozen machine's config (requires valid()). */
+    const MachineConfig &config() const { return frozen_->config(); }
+
+    /** Cycle the snapshot was taken at (requires valid()). */
+    Cycles cycle() const { return frozen_->cycle(); }
+
+  private:
+    friend class Machine;
+    explicit Snapshot(std::unique_ptr<Machine> frozen)
+        : frozen_(std::move(frozen))
+    {
+    }
+
+    std::unique_ptr<Machine> frozen_;
 };
 
 } // namespace uscope::os

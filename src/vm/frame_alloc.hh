@@ -37,6 +37,25 @@ class FrameAllocator
     std::uint64_t framesInUse() const { return inUse_; }
     std::uint64_t framesTotal() const { return count_; }
 
+    /**
+     * Adopt @p other's allocation cursor and free list (snapshot
+     * forking, DESIGN.md §12).  Pools must cover the same region.
+     */
+    void copyStateFrom(const FrameAllocator &other)
+    {
+        next_ = other.next_;
+        inUse_ = other.inUse_;
+        freeList_ = other.freeList_;
+    }
+
+    /** Return to the just-constructed state (every frame free). */
+    void reset()
+    {
+        next_ = 0;
+        inUse_ = 0;
+        freeList_.clear();
+    }
+
   private:
     Ppn base_;
     std::uint64_t count_;

@@ -35,6 +35,9 @@ struct MmuConfig
     unsigned pwcCapacity = 32;
     /** Fixed per-level walker sequencing cost. */
     Cycles walkStepCost = 2;
+
+    /** Structural equality (snapshot/pool compatibility checks). */
+    bool operator==(const MmuConfig &) const = default;
 };
 
 /** Outcome of one address translation. */
@@ -86,6 +89,28 @@ class Mmu
     const Tlb &l2Tlb() const { return l2Tlb_; }
     const Pwc &pwc() const { return pwc_; }
     const Walker &walker() const { return walker_; }
+
+    /**
+     * Adopt @p other's TLB/PWC contents and walker stats (snapshot
+     * forking, DESIGN.md §12).  Configs must match; references and
+     * observer wiring stay this MMU's own.
+     */
+    void copyStateFrom(const Mmu &other)
+    {
+        l1Tlb_.copyStateFrom(other.l1Tlb_);
+        l2Tlb_.copyStateFrom(other.l2Tlb_);
+        pwc_.copyStateFrom(other.pwc_);
+        walker_.copyStateFrom(other.walker_);
+    }
+
+    /** Return to the just-constructed state. */
+    void reset()
+    {
+        l1Tlb_.reset();
+        l2Tlb_.reset();
+        pwc_.reset();
+        walker_.reset();
+    }
 
     /** Wire the owning Machine's observability hub (may be null). */
     void setObserver(obs::Observer *observer)

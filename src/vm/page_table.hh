@@ -61,6 +61,20 @@ class PageTable
      */
     PageTable(mem::PhysMem &mem, FrameAllocator &frames);
 
+    /**
+     * Rebind-clone for snapshot forking (DESIGN.md §12): a view of
+     * @p src's tree over @p mem / @p frames.  Allocates nothing — the
+     * table bytes already exist in the (copied) physical memory and
+     * the frame allocator's cursor was copied wholesale, so only the
+     * root pointer and counters carry over.
+     */
+    PageTable(mem::PhysMem &mem, FrameAllocator &frames,
+              const PageTable &src)
+        : mem_(mem), frames_(frames), rootPa_(src.rootPa_),
+          stats_(src.stats_)
+    {
+    }
+
     /** Physical base address of the root table (CR3). */
     PAddr root() const { return rootPa_; }
 

@@ -59,6 +59,25 @@ class Pwc
     std::uint64_t hits() const { return hits_; }
     std::uint64_t misses() const { return misses_; }
 
+    /**
+     * Adopt @p other's entries and counters (snapshot forking,
+     * DESIGN.md §12).  Both PWCs must share the same capacity.
+     */
+    void copyStateFrom(const Pwc &other)
+    {
+        entries_ = other.entries_;
+        hits_ = other.hits_;
+        misses_ = other.misses_;
+    }
+
+    /** Return to the just-constructed state (empty, zero counters). */
+    void reset()
+    {
+        entries_.clear();
+        hits_ = 0;
+        misses_ = 0;
+    }
+
   private:
     struct Entry
     {

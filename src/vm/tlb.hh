@@ -72,6 +72,25 @@ class Tlb
     const TlbStats &stats() const { return stats_; }
     void resetStats() { stats_ = TlbStats{}; }
 
+    /**
+     * Adopt @p other's ways, LRU clock, and stats (snapshot forking,
+     * DESIGN.md §12).  Both TLBs must share the same geometry.
+     */
+    void copyStateFrom(const Tlb &other)
+    {
+        ways_ = other.ways_;
+        clock_ = other.clock_;
+        stats_ = other.stats_;
+    }
+
+    /** Return to the just-constructed state (empty, zero stats). */
+    void reset()
+    {
+        ways_.assign(ways_.size(), Way{});
+        clock_ = 0;
+        stats_ = TlbStats{};
+    }
+
   private:
     struct Way
     {

@@ -87,6 +87,21 @@ class Walker
     /** Distribution of end-to-end walk latencies. */
     const Summary &latencySummary() const { return latency_; }
 
+    /**
+     * Adopt @p other's counters and latency summary (snapshot
+     * forking, DESIGN.md §12).  The memory/hierarchy/PWC references
+     * and observer wiring stay this walker's own — the walker holds
+     * no other mutable state.
+     */
+    void copyStateFrom(const Walker &other)
+    {
+        stats_ = other.stats_;
+        latency_ = other.latency_;
+    }
+
+    /** Return to the just-constructed state. */
+    void reset() { resetStats(); }
+
     /** Wire the owning Machine's observability hub (may be null). */
     void setObserver(obs::Observer *observer) { obs_ = observer; }
 
