@@ -30,15 +30,26 @@
  *     bench-results/BENCH_prefix.json (CI fails the A/B if the fast
  *     arm is not at least as fast; the paper-repro target is >= 2x).
  *     `--prefix-cache={on,off}` / `--pool={on,off}` pin one arm.
+ *  4. **Service A/B** (DESIGN.md §13) — the same fig11_aes_replay
+ *     request executed in-process (exp::runCampaign) and through a
+ *     live uscope-campaignd at 1, 2, and 4 worker *processes*.  Every
+ *     service fingerprint must equal the in-process one — a hard
+ *     failure otherwise — and the protocol/process-distribution
+ *     overhead at 1 worker is gated (<= 1.5x in-process wall time).
+ *     Results land in bench-results/BENCH_svc.json.  `--svc=off`
+ *     skips the section (e.g. sandboxes without AF_UNIX sockets).
  */
 
 #include <array>
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <optional>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include <unistd.h>
 
 #include "attack/aes_attack.hh"
 #include "attack/port_contention.hh"
@@ -49,6 +60,10 @@
 #include "exp/campaign.hh"
 #include "exp/result_sink.hh"
 #include "obs/cli.hh"
+#include "svc/client.hh"
+#include "svc/daemon.hh"
+#include "svc/registry.hh"
+#include "svc/worker.hh"
 
 using namespace uscope;
 
@@ -142,20 +157,10 @@ fig11StyleSpec(const char *name, unsigned workers, bool fast_forward)
     return spec;
 }
 
-/** Per-trial payloads + aggregate, minus wall-clock noise. */
-std::string
-deterministicFingerprint(const exp::CampaignResult &result)
-{
-    std::string fp = result.aggregate.toJson().dump();
-    for (const exp::TrialResult &trial : result.trials) {
-        fp += '\n';
-        fp += trial.output.payload.dump();
-        fp += trial.output.metrics.toJson().dump();
-        fp += exp::json::Value(trial.output.simCycles).dump();
-        fp += exp::trialStatusName(trial.status);
-    }
-    return fp;
-}
+// Fingerprint + hash shapes live in the library now (shared with the
+// campaign service daemon and tests/test_fastforward).
+using exp::deterministicFingerprint;
+using exp::fnv1aHex;
 
 void
 report(const char *label, const exp::CampaignResult &result)
@@ -342,20 +347,6 @@ prefixSpec(const char *name, bool prefix_cache, bool pool)
     return spec;
 }
 
-std::string
-fnvHex(const std::string &s)
-{
-    std::uint64_t h = 1469598103934665603ull;
-    for (unsigned char c : s) {
-        h ^= c;
-        h *= 1099511628211ull;
-    }
-    char buf[19];
-    std::snprintf(buf, sizeof buf, "0x%016llx",
-                  static_cast<unsigned long long>(h));
-    return buf;
-}
-
 void
 writeTextFile(const std::string &path, const std::string &text)
 {
@@ -429,7 +420,7 @@ prefixSection(std::optional<bool> prefix_cache, std::optional<bool> pool,
             .set("trials_per_sec_off", off.trialsPerSecond())
             .set("speedup_vs_off", speedup)
             .set("fingerprints_identical", identical)
-            .set("fingerprint", fnvHex(fpOn));
+            .set("fingerprint", fnv1aHex(fpOn));
     writeTextFile("bench-results/BENCH_prefix.json", bench.dump());
     std::printf("bench JSON: bench-results/BENCH_prefix.json "
                 "(+ fingerprint files)\n");
@@ -441,15 +432,148 @@ prefixSection(std::optional<bool> prefix_cache, std::optional<bool> pool,
            on.aggregate.ok == prefixTrials;
 }
 
+// ---------------------------------------------------------------------
+// Section 4: in-process vs service A/B (DESIGN.md §13).
+// ---------------------------------------------------------------------
+
+constexpr std::size_t svcTrials = 16;
+/** Protocol + process-distribution overhead budget at 1 worker. */
+constexpr double svcOverheadGate = 1.5;
+
+struct SvcArm
+{
+    unsigned workers = 0;
+    double wallSeconds = 0.0;
+    std::string fingerprint;
+    bool ok = false;
+};
+
+/** One daemon lifecycle: spawn, submit, measure, shut down. */
+SvcArm
+runServiceArm(const svc::CampaignRequest &request, unsigned workers)
+{
+    static int counter = 0;
+    svc::DaemonConfig config;
+    config.socketPath = "/tmp/uscope_perf_svc_" +
+                        std::to_string(::getpid()) + "_" +
+                        std::to_string(counter++);
+    config.workers = workers;
+    std::thread daemon_thread([config] {
+        svc::Daemon daemon(config);
+        daemon.run();
+    });
+
+    SvcArm arm;
+    arm.workers = workers;
+    svc::Client client(config.socketPath);
+    if (client.connected() && client.ping()) {
+        // The clock starts after the workers are up: the arm measures
+        // steady-state dispatch overhead, not one-time spawn cost.
+        const auto start = std::chrono::steady_clock::now();
+        const svc::SubmitResult result = client.submit(request);
+        arm.wallSeconds = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - start)
+                              .count();
+        arm.ok = result.ok;
+        arm.fingerprint = result.fingerprint;
+    }
+    client.shutdownDaemon();
+    daemon_thread.join();
+    return arm;
+}
+
+/** Run section 4; returns false on a hard failure. */
+bool
+svcSection(std::optional<bool> svc_flag)
+{
+    std::printf("\n==============================================================\n");
+    std::printf("Service A/B: fig11_aes_replay through uscope-campaignd, "
+                "%zu trials\n", svcTrials);
+    std::printf("==============================================================\n\n");
+
+    if (svc_flag && !*svc_flag) {
+        std::printf("skipped (--svc=off)\n");
+        return true;
+    }
+
+    svc::CampaignRequest request;
+    request.recipe = "fig11_aes_replay";
+    request.trials = svcTrials;
+    request.masterSeed = 42;
+
+    // The reference arm: the identical request through the identical
+    // registry, executed by the in-process runner.
+    exp::CampaignResult inproc =
+        exp::runCampaign(svc::buildSpec(request));
+    report("inproc", inproc);
+    const std::string reference =
+        fnv1aHex(deterministicFingerprint(inproc));
+
+    bool ok = inproc.aggregate.ok == svcTrials;
+    double overhead = 0.0;
+    double bestTrialsPerSec = 0.0;
+    exp::json::Value arms = exp::json::Value::array();
+    for (unsigned workers : {1u, 2u, 4u}) {
+        const SvcArm arm = runServiceArm(request, workers);
+        const bool match = arm.ok && arm.fingerprint == reference;
+        const double tps =
+            arm.wallSeconds > 0.0 ? svcTrials / arm.wallSeconds : 0.0;
+        std::printf("service  %u worker(s): %6.2fs wall, %5.1f "
+                    "trials/s, fingerprint %s (%s)\n",
+                    workers, arm.wallSeconds, tps,
+                    arm.fingerprint.c_str(),
+                    match ? "match" : "MISMATCH");
+        if (workers == 1 && inproc.wallSeconds > 0.0)
+            overhead = arm.wallSeconds / inproc.wallSeconds;
+        bestTrialsPerSec = std::max(bestTrialsPerSec, tps);
+        arms.push(exp::json::Value::object()
+                      .set("workers", workers)
+                      .set("wall_seconds", arm.wallSeconds)
+                      .set("trials_per_sec", tps)
+                      .set("fingerprint_match", match));
+        ok = ok && match;
+    }
+
+    std::printf("\nservice overhead vs in-process (1 worker): %.2fx "
+                "(gate: <= %.1fx)\n", overhead, svcOverheadGate);
+
+    const exp::json::Value bench =
+        exp::json::Value::object()
+            .set("bench", "perf_campaign_svc")
+            .set("config",
+                 exp::json::Value::object()
+                     .set("recipe", "fig11_aes_replay")
+                     .set("trials", std::uint64_t{svcTrials})
+                     .set("master_seed", std::uint64_t{42}))
+            .set("trials_per_sec", bestTrialsPerSec)
+            .set("overhead_vs_inprocess", overhead)
+            .set("fingerprints_identical", ok)
+            .set("fingerprint", reference)
+            .set("arms", std::move(arms));
+    writeTextFile("bench-results/BENCH_svc.json", bench.dump());
+    std::printf("bench JSON: bench-results/BENCH_svc.json\n");
+
+    // Determinism is absolute; the overhead gate keeps the wire +
+    // checkpoint machinery honest (trials dominate by construction).
+    return ok && overhead > 0.0 && overhead <= svcOverheadGate;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
+    // Section 4's daemon re-execs this very binary as its worker
+    // pool; the marker check must precede all flag parsing.
+    int worker_exit = 0;
+    if (svc::maybeRunWorkerMain(argc, argv, &worker_exit))
+        return worker_exit;
+
     // Peel off this bench's own A/B flags before the shared obs
     // parser sees (and warns about) them.
     std::optional<bool> prefixCacheFlag;
     std::optional<bool> poolFlag;
+    std::optional<bool> svcFlag;
     std::vector<char *> rest;
     rest.push_back(argv[0]);
     for (int i = 1; i < argc; ++i) {
@@ -462,6 +586,10 @@ main(int argc, char **argv)
             poolFlag = true;
         else if (arg == "--pool=off")
             poolFlag = false;
+        else if (arg == "--svc=on")
+            svcFlag = true;
+        else if (arg == "--svc=off")
+            svcFlag = false;
         else
             rest.push_back(argv[i]);
     }
@@ -534,6 +662,7 @@ main(int argc, char **argv)
         std::printf("campaign JSON: %s\n", sink.lastPath().c_str());
         ok = ok && pinned.aggregate.ok == fig11Trials;
         ok = prefixSection(prefixCacheFlag, poolFlag, sink) && ok;
+        ok = svcSection(svcFlag) && ok;
         return ok ? 0 : 1;
     }
 
@@ -575,5 +704,6 @@ main(int argc, char **argv)
          ffOn4.aggregate.ok == fig11Trials;
 
     ok = prefixSection(prefixCacheFlag, poolFlag, sink) && ok;
+    ok = svcSection(svcFlag) && ok;
     return ok ? 0 : 1;
 }

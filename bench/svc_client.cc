@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Command-line client for uscope-campaignd (DESIGN.md §13).
+ *
+ * Submits one campaign request to a running daemon, streams update
+ * frames as NDJSON, and writes the final result + fingerprint to
+ * files — which is exactly the shape the svc-smoke CI job needs:
+ *
+ *   svc_client --socket=S --recipe=fig11_aes_replay --trials=16 \
+ *       --stream-every=1 --out=run.ndjson --fingerprint-out=fp.txt
+ *
+ * `--inprocess` runs the *same* request through exp::runCampaign in
+ * this process instead of the service — same recipe registry, same
+ * spec construction — producing the reference fingerprint a service
+ * run must match byte for byte.  `--wait-ready` pings until the
+ * daemon answers; `--shutdown` asks it to exit.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <optional>
+#include <string>
+
+#include "exp/campaign.hh"
+#include "svc/client.hh"
+#include "svc/registry.hh"
+#include "svc/worker.hh"
+
+using namespace uscope;
+
+namespace
+{
+
+void
+usage(const char *argv0)
+{
+    std::printf(
+        "usage: %s --socket=PATH [--recipe=NAME] [options]\n"
+        "\n"
+        "  --recipe=NAME         registered recipe to run\n"
+        "  --name=NAME           campaign name (default: recipe)\n"
+        "  --namespace=NS        tenant seed namespace (default: none)\n"
+        "  --trials=N            trial count (0 = recipe default)\n"
+        "  --seed=N              master seed (default 42)\n"
+        "  --max-retries=N       retry budget per trial\n"
+        "  --stream-every=N      update frame every N trials\n"
+        "  --out=PATH            NDJSON stream of updates + result\n"
+        "  --fingerprint-out=P   write the result fingerprint to P\n"
+        "  --inprocess           run via exp::runCampaign instead of\n"
+        "                        the service (reference fingerprint)\n"
+        "  --workers=N           worker threads for --inprocess\n"
+        "  --wait-ready          ping until the daemon answers, exit\n"
+        "  --shutdown            ask the daemon to exit\n",
+        argv0);
+}
+
+void
+writeTextFile(const std::string &path, const std::string &text)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << text;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    // Any service binary can be a worker; harmless here, but it keeps
+    // the "one binary, every role" invariant uniform.
+    int worker_exit = 0;
+    if (svc::maybeRunWorkerMain(argc, argv, &worker_exit))
+        return worker_exit;
+
+    std::string socket, out_path, fingerprint_path;
+    svc::CampaignRequest request;
+    std::size_t stream_every = 0;
+    unsigned inprocess_workers = 1;
+    bool inprocess = false, wait_ready = false, shutdown = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto valueOf = [&](const char *prefix)
+            -> std::optional<std::string> {
+            const std::size_t n = std::string(prefix).size();
+            if (arg.rfind(prefix, 0) == 0)
+                return arg.substr(n);
+            return std::nullopt;
+        };
+        if (auto v = valueOf("--socket="))
+            socket = *v;
+        else if (auto v = valueOf("--recipe="))
+            request.recipe = *v;
+        else if (auto v = valueOf("--name="))
+            request.name = *v;
+        else if (auto v = valueOf("--namespace="))
+            request.ns = *v;
+        else if (auto v = valueOf("--trials="))
+            request.trials =
+                static_cast<std::size_t>(std::atoll(v->c_str()));
+        else if (auto v = valueOf("--seed="))
+            request.masterSeed = std::strtoull(v->c_str(), nullptr, 0);
+        else if (auto v = valueOf("--max-retries="))
+            request.maxRetries =
+                static_cast<unsigned>(std::atoi(v->c_str()));
+        else if (auto v = valueOf("--stream-every="))
+            stream_every =
+                static_cast<std::size_t>(std::atoll(v->c_str()));
+        else if (auto v = valueOf("--out="))
+            out_path = *v;
+        else if (auto v = valueOf("--fingerprint-out="))
+            fingerprint_path = *v;
+        else if (auto v = valueOf("--workers="))
+            inprocess_workers =
+                static_cast<unsigned>(std::atoi(v->c_str()));
+        else if (arg == "--inprocess")
+            inprocess = true;
+        else if (arg == "--wait-ready")
+            wait_ready = true;
+        else if (arg == "--shutdown")
+            shutdown = true;
+        else if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else {
+            std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
+            usage(argv[0]);
+            return 2;
+        }
+    }
+
+    if (inprocess) {
+        // The reference arm: the identical request through the
+        // identical registry, executed by the in-process runner.
+        if (request.recipe.empty()) {
+            usage(argv[0]);
+            return 2;
+        }
+        exp::CampaignSpec spec = svc::buildSpec(request);
+        spec.workers = inprocess_workers;
+        const exp::CampaignResult result = exp::runCampaign(spec);
+        const std::string fingerprint =
+            exp::fnv1aHex(exp::deterministicFingerprint(result));
+        std::printf("inprocess: %zu trials, %zu ok, fingerprint %s\n",
+                    result.trialCount, result.aggregate.ok,
+                    fingerprint.c_str());
+        if (!fingerprint_path.empty())
+            writeTextFile(fingerprint_path, fingerprint + "\n");
+        if (!out_path.empty())
+            writeTextFile(out_path,
+                          result.toJson(false).dump() + "\n");
+        return result.aggregate.failed == 0 ? 0 : 1;
+    }
+
+    if (socket.empty()) {
+        usage(argv[0]);
+        return 2;
+    }
+    svc::Client client(socket);
+    if (!client.connected()) {
+        std::fprintf(stderr, "cannot connect to '%s'\n",
+                     socket.c_str());
+        return 1;
+    }
+    if (wait_ready) {
+        for (int i = 0; i < 100; ++i)
+            if (client.ping())
+                return 0;
+        return 1;
+    }
+    if (shutdown)
+        return client.shutdownDaemon() ? 0 : 1;
+    if (request.recipe.empty()) {
+        usage(argv[0]);
+        return 2;
+    }
+
+    std::ofstream stream;
+    if (!out_path.empty())
+        stream.open(out_path, std::ios::binary | std::ios::trunc);
+    const svc::SubmitResult result = client.submit(
+        request, stream_every, [&](const json::Value &update) {
+            if (stream.is_open()) {
+                stream << update.dump() << '\n';
+                stream.flush(); // the smoke test tails this file live
+            }
+        });
+    if (!result.ok) {
+        std::fprintf(stderr, "campaign failed: %s\n",
+                     result.error.c_str());
+        return 1;
+    }
+    std::printf("service: %zu trials (%zu resumed), %u worker "
+                "deaths, %zu steals, %zu updates, fingerprint %s\n",
+                result.totalTrials, result.resumedTrials,
+                result.workerDeaths, result.steals, result.updates,
+                result.fingerprint.c_str());
+    if (stream.is_open())
+        stream << result.resultJson << '\n';
+    if (!fingerprint_path.empty())
+        writeTextFile(fingerprint_path, result.fingerprint + "\n");
+    return 0;
+}

@@ -1,10 +1,13 @@
 /**
  * @file
- * A minimal, dependency-free JSON value + writer shared by result
- * export (src/exp) and observability export (src/obs).  Write-only by
- * design: the simulator produces results, external tooling (plots,
- * EXPERIMENTS.md regeneration, Perfetto) consumes them — we never
- * parse JSON back in.
+ * A minimal, dependency-free JSON value + writer/reader shared by
+ * result export (src/exp), observability export (src/obs), and the
+ * campaign-service wire protocol (src/svc).  Historically write-only
+ * (the simulator produced results, external tooling consumed them);
+ * the service daemon made the reverse direction load-bearing — clients
+ * submit campaign specs as JSON — so parse() and the read accessors
+ * below exist now.  Result export remains write-only: nothing in the
+ * simulator parses its own reports back in.
  *
  * Objects preserve insertion order so dumps are deterministic and
  * diffable; non-finite doubles serialize as null (JSON has no NaN).
@@ -14,6 +17,7 @@
 #define USCOPE_COMMON_JSON_HH
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -55,6 +59,53 @@ class Value
 
     Type type() const { return type_; }
     bool isNull() const { return type_ == Type::Null; }
+    bool isBool() const { return type_ == Type::Bool; }
+    bool isString() const { return type_ == Type::String; }
+    bool isArray() const { return type_ == Type::Array; }
+    bool isObject() const { return type_ == Type::Object; }
+
+    bool
+    isNumber() const
+    {
+        return type_ == Type::Int || type_ == Type::Uint ||
+               type_ == Type::Double;
+    }
+
+    // -----------------------------------------------------------------
+    // Read accessors (the svc wire protocol's view of a parsed value).
+    // All are total: a kind mismatch returns the fallback / an empty
+    // container instead of throwing, so message handlers reduce to
+    // straight-line reads followed by validity checks.
+    // -----------------------------------------------------------------
+
+    /** Object member lookup; nullptr when absent or not an object. */
+    const Value *get(const std::string &key) const;
+
+    /** Numeric coercions (Int/Uint/Double interconvert; a negative
+     *  value reads as 0 through asU64). */
+    std::uint64_t asU64(std::uint64_t fallback = 0) const;
+    std::int64_t asI64(std::int64_t fallback = 0) const;
+    double asDouble(double fallback = 0.0) const;
+    bool asBool(bool fallback = false) const;
+
+    /** String payload; empty for non-strings. */
+    const std::string &asString() const;
+
+    /** Array elements (empty for non-arrays). */
+    const std::vector<Value> &items() const;
+
+    /** Object members in insertion order (empty for non-objects). */
+    const std::vector<std::pair<std::string, Value>> &entries() const;
+
+    /**
+     * Parse one JSON document (the inverse of dump() for everything
+     * but Raw, which parses as whatever it serialized).  Returns
+     * nullopt on malformed input — truncation, trailing garbage,
+     * invalid escapes, nesting deeper than an internal sanity bound.
+     * Integral numbers parse as Uint (or Int when negative); anything
+     * with a fraction or exponent parses as Double.
+     */
+    static std::optional<Value> parse(const std::string &text);
 
     /** Object insert (keeps insertion order); returns *this to chain. */
     Value &set(std::string key, Value v);

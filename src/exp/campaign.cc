@@ -230,11 +230,11 @@ CampaignRunner::CampaignRunner(CampaignSpec spec) : spec_(std::move(spec))
 }
 
 /**
- * Per-worker machine pool and post-warmup snapshot cache.  Owned by
+ * Per-executor machine pool and post-warmup snapshot cache.  Owned by
  * exactly one worker thread (or the serial grace pass): the snapshot
  * and its forks COW-share pages through non-atomic refcounts.
  */
-struct CampaignRunner::WorkerState
+struct TrialExecutor::State
 {
     /** The pooled Machine (reset per trial); null until first use or
      *  after a structural change replaced it. */
@@ -245,6 +245,13 @@ struct CampaignRunner::WorkerState
         /** Structural key: the warmup-seeded config this entry was
          *  built from (seeds are ignored by the match). */
         os::MachineConfig config;
+        /** Cross-campaign identity (CampaignSpec::structureKey);
+         *  empty = anonymous, flushed at beginCampaign. */
+        std::string key;
+        /** deriveWarmupSeed(masterSeed) the warmup ran with — part of
+         *  the identity: same structure + key but a different master
+         *  seed is a different post-warmup state. */
+        std::uint64_t warmupSeed = 0;
         os::Snapshot snap;
         std::shared_ptr<const void> data;
     };
@@ -254,13 +261,31 @@ struct CampaignRunner::WorkerState
     std::vector<WarmupEntry> warmups;
 };
 
-os::Machine &
-CampaignRunner::acquireMachine(WorkerState &ws,
-                               std::unique_ptr<os::Machine> &scratch,
-                               const os::MachineConfig &config,
-                               bool reset_state) const
+TrialExecutor::TrialExecutor() : state_(std::make_unique<State>()) {}
+
+TrialExecutor::~TrialExecutor() = default;
+
+void
+TrialExecutor::beginCampaign(const CampaignSpec &spec)
 {
-    if (spec_.machinePool) {
+    // Anonymous warmups never outlive their campaign; keyed warmups
+    // survive as long as the new spec could legitimately reuse them.
+    std::vector<State::WarmupEntry> kept;
+    for (State::WarmupEntry &entry : state_->warmups) {
+        if (!entry.key.empty() && entry.key == spec.structureKey)
+            kept.push_back(std::move(entry));
+    }
+    state_->warmups = std::move(kept);
+}
+
+os::Machine &
+TrialExecutor::acquireMachine(const CampaignSpec &spec,
+                              std::unique_ptr<os::Machine> &scratch,
+                              const os::MachineConfig &config,
+                              bool reset_state)
+{
+    if (spec.machinePool) {
+        State &ws = *state_;
         if (ws.pooled && os::sameStructure(ws.pooled->config(), config)) {
             if (reset_state)
                 ws.pooled->reset(config);
@@ -275,17 +300,17 @@ CampaignRunner::acquireMachine(WorkerState &ws,
 }
 
 TrialResult
-CampaignRunner::runAttempt(std::size_t index, unsigned worker,
-                           unsigned attempt, WorkerState &ws) const
+TrialExecutor::runAttempt(const CampaignSpec &spec, std::size_t index,
+                          unsigned worker, unsigned attempt)
 {
     TrialContext ctx;
     ctx.index = index;
-    ctx.seed = deriveRetrySeed(spec_.masterSeed, index, attempt);
+    ctx.seed = deriveRetrySeed(spec.masterSeed, index, attempt);
     ctx.worker = worker;
-    ctx.cycleBudget = spec_.cycleBudget;
+    ctx.cycleBudget = spec.cycleBudget;
     ctx.machine.seed = ctx.seed;
-    if (spec_.machineFactory) {
-        ctx.machine = spec_.machineFactory(ctx);
+    if (spec.machineFactory) {
+        ctx.machine = spec.machineFactory(ctx);
         // A factory that never thought about seeding still gets a
         // deterministic per-trial stream.  os::Seed records whether
         // the factory assigned one, so a factory that deliberately
@@ -309,27 +334,33 @@ CampaignRunner::runAttempt(std::size_t index, unsigned worker,
     try {
         // Provision the trial's machine (inside the shield: a warmup
         // that throws is a Failed trial, not a dead worker).
-        if (spec_.warmup) {
+        if (spec.warmup) {
+            State &ws = *state_;
             os::MachineConfig warm_config = ctx.machine;
-            warm_config.seed = deriveWarmupSeed(spec_.masterSeed);
-            if (spec_.prefixCache) {
+            warm_config.seed = deriveWarmupSeed(spec.masterSeed);
+            const std::uint64_t warm_seed = warm_config.seed;
+            if (spec.prefixCache) {
                 // Fork path: warm once per structure per worker, then
                 // restore + reseed per trial.
-                WorkerState::WarmupEntry *entry = nullptr;
-                for (WorkerState::WarmupEntry &e : ws.warmups)
-                    if (os::sameStructure(e.config, warm_config))
+                State::WarmupEntry *entry = nullptr;
+                for (State::WarmupEntry &e : ws.warmups)
+                    if (e.key == spec.structureKey &&
+                        e.warmupSeed == warm_seed &&
+                        os::sameStructure(e.config, warm_config))
                         entry = &e;
                 if (!entry) {
                     os::Machine warm(warm_config);
-                    WorkerState::WarmupEntry fresh;
+                    State::WarmupEntry fresh;
                     fresh.config = warm_config;
-                    fresh.data = spec_.warmup(warm);
+                    fresh.key = spec.structureKey;
+                    fresh.warmupSeed = warm_seed;
+                    fresh.data = spec.warmup(warm);
                     fresh.snap = warm.snapshot();
                     ws.warmups.push_back(std::move(fresh));
                     entry = &ws.warmups.back();
                 }
                 os::Machine &machine = acquireMachine(
-                    ws, scratch, warm_config, /*reset_state=*/false);
+                    spec, scratch, warm_config, /*reset_state=*/false);
                 machine.restoreFrom(entry->snap);
                 machine.reseed(ctx.seed);
                 ctx.fork = &machine;
@@ -338,28 +369,28 @@ CampaignRunner::runAttempt(std::size_t index, unsigned worker,
                 // Cold path (the A/B baseline): re-run the warmup on a
                 // seed-fresh machine, then reseed at the same point.
                 os::Machine &machine = acquireMachine(
-                    ws, scratch, warm_config, /*reset_state=*/true);
-                hold = spec_.warmup(machine);
+                    spec, scratch, warm_config, /*reset_state=*/true);
+                hold = spec.warmup(machine);
                 machine.reseed(ctx.seed);
                 ctx.fork = &machine;
                 ctx.warmupData = hold.get();
             }
             ctx.forkCycle = ctx.fork->cycle();
-        } else if (spec_.provideMachine) {
-            ctx.fork = &acquireMachine(ws, scratch, ctx.machine,
+        } else if (spec.provideMachine) {
+            ctx.fork = &acquireMachine(spec, scratch, ctx.machine,
                                        /*reset_state=*/true);
             ctx.forkCycle = ctx.fork->cycle();
         }
 
-        result.output = spec_.body(ctx);
+        result.output = spec.body(ctx);
         result.status = TrialStatus::Ok;
-        if (spec_.cycleBudget &&
-            result.output.simCycles > spec_.cycleBudget) {
+        if (spec.cycleBudget &&
+            result.output.simCycles > spec.cycleBudget) {
             result.status = TrialStatus::TimedOut;
             result.error = format(
                 "cycle budget exceeded (%llu > %llu)",
                 static_cast<unsigned long long>(result.output.simCycles),
-                static_cast<unsigned long long>(spec_.cycleBudget));
+                static_cast<unsigned long long>(spec.cycleBudget));
         }
     } catch (const TrialTimeout &e) {
         result.status = TrialStatus::TimedOut;
@@ -376,18 +407,18 @@ CampaignRunner::runAttempt(std::size_t index, unsigned worker,
 }
 
 TrialResult
-CampaignRunner::runTrial(std::size_t index, unsigned worker,
-                         WorkerState &ws) const
+TrialExecutor::runTrial(const CampaignSpec &spec, std::size_t index,
+                        unsigned worker)
 {
-    TrialResult result = runAttempt(index, worker, 0, ws);
+    TrialResult result = runAttempt(spec, index, worker, 0);
     // Retry failures only: a TimedOut trial really consumed its budget
     // — that is a measurement — and retrying Ok makes no sense.  The
     // retry count is a pure function of the seeds, so fingerprints
     // stay identical across worker counts.
     unsigned attempts = 1;
     while (result.status == TrialStatus::Failed &&
-           attempts <= spec_.maxRetries) {
-        TrialResult retry = runAttempt(index, worker, attempts, ws);
+           attempts <= spec.maxRetries) {
+        TrialResult retry = runAttempt(spec, index, worker, attempts);
         retry.wallSeconds += result.wallSeconds;
         if (retry.status == TrialStatus::Ok) {
             retry.status = TrialStatus::Retried;
@@ -398,6 +429,85 @@ CampaignRunner::runTrial(std::size_t index, unsigned worker,
     }
     result.attempts = attempts;
     return result;
+}
+
+CampaignAggregate
+aggregateTrials(const std::vector<TrialResult> &results)
+{
+    CampaignAggregate aggregate;
+    for (const TrialResult &trial : results) {
+        switch (trial.status) {
+          case TrialStatus::Ok: ++aggregate.ok; break;
+          case TrialStatus::Failed: ++aggregate.failed; break;
+          case TrialStatus::TimedOut: ++aggregate.timedOut; break;
+          case TrialStatus::Retried: ++aggregate.retried; break;
+        }
+        aggregate.metric.merge(trial.output.metric);
+        aggregate.scope.merge(trial.output.scope);
+        aggregate.metrics.merge(trial.output.metrics);
+        aggregate.simCycles += trial.output.simCycles;
+    }
+    return aggregate;
+}
+
+std::string
+deterministicFingerprint(const CampaignResult &result)
+{
+    std::string fp = result.aggregate.toJson().dump();
+    for (const TrialResult &trial : result.trials) {
+        fp += '\n';
+        fp += trial.output.payload.dump();
+        fp += trial.output.metrics.toJson().dump();
+        fp += json::Value(trial.output.simCycles).dump();
+        fp += trialStatusName(trial.status);
+    }
+    return fp;
+}
+
+std::string
+fnv1aHex(const std::string &s)
+{
+    std::uint64_t h = 1469598103934665603ull;
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 1099511628211ull;
+    }
+    return format("0x%016llx", static_cast<unsigned long long>(h));
+}
+
+std::size_t
+runShardRange(const CampaignSpec &spec, std::size_t lo, std::size_t hi,
+              TrialExecutor &exec, CampaignCheckpoint *checkpoint,
+              const std::function<void(TrialResult &&, bool)> &emit,
+              const std::function<std::size_t()> &currentHi)
+{
+    std::size_t emitted = 0;
+    for (std::size_t index = lo; index < hi; ++index) {
+        if (currentHi) {
+            // The shrink hook only ever tightens: a steal moved this
+            // shard's end down, never up (new work arrives as a new
+            // shard, not by growing this one).
+            const std::size_t limit = currentHi();
+            if (limit < hi)
+                hi = limit;
+            if (index >= hi)
+                break;
+        }
+        if (checkpoint) {
+            if (std::optional<TrialResult> restored =
+                    checkpoint->loadTrial(index)) {
+                emit(std::move(*restored), /*restored=*/true);
+                ++emitted;
+                continue;
+            }
+        }
+        TrialResult result = exec.runTrial(spec, index, /*worker=*/0);
+        if (checkpoint)
+            checkpoint->store(result);
+        emit(std::move(result), /*restored=*/false);
+        ++emitted;
+    }
+    return emitted;
 }
 
 CampaignResult
@@ -445,13 +555,15 @@ CampaignRunner::run()
     const auto drain = [&](unsigned worker) {
         // Thread-confined: the pooled machine and every cached
         // snapshot (plus its COW forks) live and die on this worker.
-        WorkerState ws;
+        TrialExecutor executor;
+        executor.beginCampaign(spec_);
         try {
             for (;;) {
                 const std::size_t index = claimNext();
                 if (index >= total)
                     return;
-                TrialResult result = runTrial(index, worker, ws);
+                TrialResult result =
+                    executor.runTrial(spec_, index, worker);
                 checkpoint.store(result);
                 std::lock_guard<std::mutex> guard(lock);
                 results[index] = std::move(result);
@@ -499,11 +611,12 @@ CampaignRunner::run()
     // Worker pools/snapshot caches died with their threads; the grace
     // pass warms its own (results are unchanged — a trial depends only
     // on its seed, and forked trials are bit-identical to cold ones).
-    WorkerState grace_ws;
+    TrialExecutor grace;
+    grace.beginCampaign(spec_);
     for (std::size_t index = 0; index < total; ++index) {
         if (done[index])
             continue;
-        TrialResult result = runTrial(index, /*worker=*/0, grace_ws);
+        TrialResult result = grace.runTrial(spec_, index, /*worker=*/0);
         checkpoint.store(result);
         results[index] = std::move(result);
         done[index] = 1;
@@ -519,28 +632,17 @@ CampaignRunner::run()
 
     // Aggregation happens here, single-threaded and in index order —
     // *never* in completion order — so N-worker and 1-worker runs of
-    // the same spec produce bit-identical aggregates.
+    // the same spec produce bit-identical aggregates.  The fold itself
+    // is aggregateTrials(), shared with the campaign service daemon.
+    campaign.aggregate = aggregateTrials(results);
     for (TrialResult &trial : results) {
-        switch (trial.status) {
-          case TrialStatus::Ok: ++campaign.aggregate.ok; break;
-          case TrialStatus::Failed: ++campaign.aggregate.failed; break;
-          case TrialStatus::TimedOut:
-            ++campaign.aggregate.timedOut;
-            break;
-          case TrialStatus::Retried:
-            ++campaign.aggregate.retried;
-            break;
-        }
-        campaign.aggregate.metric.merge(trial.output.metric);
-        campaign.aggregate.scope.merge(trial.output.scope);
-        campaign.aggregate.metrics.merge(trial.output.metrics);
-        campaign.aggregate.simCycles += trial.output.simCycles;
         if (spec_.reduce)
             spec_.reduce(trial);
-        // Aggregate-only campaigns drop each snapshot right after its
-        // merge (and after the reducer saw it): the retained trials
-        // stay light and toJson() skips the per-trial metric blocks
-        // entirely, instead of serializing and then ignoring them.
+        // Aggregate-only campaigns drop each snapshot right after the
+        // aggregate fold (and after the reducer saw it): the retained
+        // trials stay light and toJson() skips the per-trial metric
+        // blocks entirely, instead of serializing and then ignoring
+        // them.
         if (!spec_.perTrialMetrics)
             trial.output.metrics = obs::MetricSnapshot{};
     }

@@ -267,6 +267,23 @@ struct CampaignSpec
     bool machinePool = true;
 
     /**
+     * Identity of this spec's warmup *behavior*, for cross-campaign
+     * snapshot reuse (the campaign service's long-lived workers).  A
+     * post-warmup snapshot is a function of (warmup closure, machine
+     * structure, warmup seed); machine structure and seed are compared
+     * directly, but closures cannot be, so a persistent TrialExecutor
+     * only reuses a cached warmup across campaigns when both specs
+     * carry the same non-empty structureKey.  Empty (the default)
+     * means "anonymous": the cache is flushed at every
+     * TrialExecutor::beginCampaign, restoring the one-campaign scoping
+     * CampaignRunner always had.  Registry recipes set this to the
+     * recipe name (plus any param that changes warmup behavior beyond
+     * structure), which is what keeps a service worker's Machine pool
+     * hot across same-shaped campaigns.
+     */
+    std::string structureKey;
+
+    /**
      * Hand every trial a runner-managed machine via TrialContext::fork
      * even without a warmup, so warmup-less campaigns benefit from
      * machinePool too.  Off by default: legacy bodies construct their
@@ -355,6 +372,101 @@ struct CampaignResult
 };
 
 /**
+ * The per-worker trial execution engine (DESIGN.md §12/§13): owns the
+ * pooled Machine and the post-warmup snapshot cache, and runs one
+ * trial at a time of whatever spec it is handed.  CampaignRunner
+ * creates one per worker thread; the campaign service's worker
+ * processes keep ONE alive across campaigns, which is what keeps
+ * pre-warmed Machine pools hot between same-structured submissions.
+ *
+ * Thread confinement: snapshots COW-share pages with their forks
+ * through non-atomic refcounts, so a TrialExecutor must never cross
+ * threads.
+ */
+class TrialExecutor
+{
+  public:
+    TrialExecutor();
+    ~TrialExecutor();
+    TrialExecutor(const TrialExecutor &) = delete;
+    TrialExecutor &operator=(const TrialExecutor &) = delete;
+
+    /**
+     * Mark the start of a (possibly new) campaign.  Cached warmup
+     * snapshots survive only when their spec carried a non-empty
+     * structureKey matching @p spec's (and the warmup seed agrees);
+     * anonymous entries are flushed here.  The pooled Machine always
+     * survives — structure is re-checked per trial anyway.
+     */
+    void beginCampaign(const CampaignSpec &spec);
+
+    /** Run trial @p index of @p spec, including the spec's retry
+     *  policy.  `worker` is informational (lands in ctx.worker). */
+    TrialResult runTrial(const CampaignSpec &spec, std::size_t index,
+                         unsigned worker);
+
+  private:
+    struct State;
+
+    TrialResult runAttempt(const CampaignSpec &spec, std::size_t index,
+                           unsigned worker, unsigned attempt);
+    /** Pooled (or scratch) machine with @p config's structure, reset
+     *  to seed-fresh state when @p reset_state. */
+    os::Machine &acquireMachine(const CampaignSpec &spec,
+                                std::unique_ptr<os::Machine> &scratch,
+                                const os::MachineConfig &config,
+                                bool reset_state);
+
+    std::unique_ptr<State> state_;
+};
+
+class CampaignCheckpoint;
+
+/**
+ * Fold @p results (which must be in trial-index order) into a
+ * CampaignAggregate — status counts, Summary/scope/metric merges, sim
+ * cycle totals.  Shared by CampaignRunner and the campaign service
+ * daemon so a service-dispatched campaign aggregates bit-identically
+ * to an in-process run of the same spec.
+ */
+CampaignAggregate aggregateTrials(const std::vector<TrialResult> &results);
+
+/**
+ * The campaign's determinism fingerprint: the aggregate JSON plus
+ * every trial's payload, metrics, sim cycles, and status — everything
+ * except wall-clock noise (wall seconds, worker counts, retry
+ * attempt counts).  Two runs of the same spec must produce identical
+ * fingerprints regardless of worker count, fast-forward mode, prefix
+ * caching, checkpoint resume, or in-process vs service dispatch.
+ * Requires the result to retain its trials (keepTrialResults).
+ */
+std::string deterministicFingerprint(const CampaignResult &result);
+
+/** FNV-1a of @p s as "0x%016llx" — the compact form fingerprints are
+ *  exchanged in (bench JSON, service result frames). */
+std::string fnv1aHex(const std::string &s);
+
+/**
+ * Run trials [lo, hi) of @p spec serially on the calling thread — the
+ * campaign service's shard execution entry point.  For each index:
+ * when @p checkpoint is non-null and holds a valid persisted trial,
+ * that result is restored instead of executed (emit's `restored` is
+ * true); otherwise the trial runs on @p exec and, when @p checkpoint
+ * is non-null, is persisted before emit sees it — so a consumer that
+ * dies after emit can always recover the trial from the checkpoint.
+ *
+ * When @p currentHi is provided it is re-read before every trial and
+ * tightens (never extends) the range — the work-stealing shrink hook:
+ * a worker whose shard is being split polls its control socket there.
+ * Returns the number of trials emitted.
+ */
+std::size_t runShardRange(
+    const CampaignSpec &spec, std::size_t lo, std::size_t hi,
+    TrialExecutor &exec, CampaignCheckpoint *checkpoint,
+    const std::function<void(TrialResult &&, bool restored)> &emit,
+    const std::function<std::size_t()> &currentHi = {});
+
+/**
  * Runs a CampaignSpec over a thread pool.
  *
  * Robustness contract (in addition to per-trial Failed/TimedOut
@@ -378,28 +490,6 @@ class CampaignRunner
     CampaignResult run();
 
   private:
-    /**
-     * Per-worker mutable state (DESIGN.md §12): the pooled Machine and
-     * the post-warmup snapshot cache, keyed by structural config.
-     * Each worker thread owns exactly one — snapshots COW-share pages
-     * with their forks, and page refcounts are deliberately
-     * non-atomic, so a WorkerState must never cross threads.  The
-     * serial grace pass builds its own.
-     */
-    struct WorkerState;
-
-    TrialResult runAttempt(std::size_t index, unsigned worker,
-                           unsigned attempt, WorkerState &ws) const;
-    TrialResult runTrial(std::size_t index, unsigned worker,
-                         WorkerState &ws) const;
-
-    /** Pooled (or scratch) machine with @p config's structure, reset
-     *  to seed-fresh state when @p reset_state. */
-    os::Machine &acquireMachine(WorkerState &ws,
-                                std::unique_ptr<os::Machine> &scratch,
-                                const os::MachineConfig &config,
-                                bool reset_state) const;
-
     CampaignSpec spec_;
 };
 

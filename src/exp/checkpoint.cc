@@ -1,11 +1,15 @@
 #include "exp/checkpoint.hh"
 
 #include <bit>
+#include <cerrno>
 #include <cstdlib>
+#include <cstring>
+#include <fcntl.h>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <system_error>
+#include <unistd.h>
 
 #include "common/logging.hh"
 
@@ -158,25 +162,78 @@ statusFromName(const std::string &name)
 
 } // namespace
 
+namespace
+{
+
+/**
+ * fsync a directory so a rename inside it survives power loss.  Some
+ * filesystems refuse to fsync directories; that degrades durability,
+ * not atomicity, so it warns instead of failing the campaign.
+ */
+void
+fsyncDirectory(const std::string &dir)
+{
+    const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (fd < 0) {
+        warn("writeFileAtomic: cannot open directory '%s' to fsync: %s",
+             dir.c_str(), std::strerror(errno));
+        return;
+    }
+    if (::fsync(fd) != 0 && errno != EINVAL && errno != ENOTSUP)
+        warn("writeFileAtomic: fsync of directory '%s' failed: %s",
+             dir.c_str(), std::strerror(errno));
+    ::close(fd);
+}
+
+} // namespace
+
 void
 writeFileAtomic(const std::string &path, const std::string &content)
 {
     const std::string tmp = path + ".tmp";
-    {
-        std::ofstream out(tmp, std::ios::trunc | std::ios::binary);
-        if (!out)
-            fatal("writeFileAtomic: cannot open '%s' for writing",
-                  tmp.c_str());
-        out << content;
-        out.flush();
-        if (!out)
-            fatal("writeFileAtomic: short write to '%s'", tmp.c_str());
+    const int fd = ::open(tmp.c_str(),
+                          O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+    if (fd < 0)
+        fatal("writeFileAtomic: cannot open '%s' for writing: %s",
+              tmp.c_str(), std::strerror(errno));
+    std::size_t written = 0;
+    while (written < content.size()) {
+        const ssize_t n = ::write(fd, content.data() + written,
+                                  content.size() - written);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            const int err = errno;
+            ::close(fd);
+            fatal("writeFileAtomic: short write to '%s': %s",
+                  tmp.c_str(), std::strerror(err));
+        }
+        written += static_cast<std::size_t>(n);
     }
+    // Data must be on disk *before* the rename becomes visible, or a
+    // power cut can leave a fully-renamed, zero-length file — the one
+    // torn state the tmp+rename dance exists to rule out.
+    if (::fsync(fd) != 0 && errno != EINVAL && errno != ENOTSUP) {
+        const int err = errno;
+        ::close(fd);
+        fatal("writeFileAtomic: fsync of '%s' failed: %s", tmp.c_str(),
+              std::strerror(err));
+    }
+    ::close(fd);
+
     std::error_code ec;
     std::filesystem::rename(tmp, path, ec);
     if (ec)
         fatal("writeFileAtomic: rename '%s' -> '%s' failed: %s",
               tmp.c_str(), path.c_str(), ec.message().c_str());
+
+    // And the rename itself must reach disk: the directory entry is
+    // what a resuming campaign (or a worker told a manifest exists)
+    // will look up after a crash.
+    const std::filesystem::path parent =
+        std::filesystem::path(path).parent_path();
+    fsyncDirectory(parent.empty() ? std::string(".")
+                                  : parent.string());
 }
 
 std::string
@@ -355,6 +412,44 @@ CampaignCheckpoint::CampaignCheckpoint(const CampaignSpec &spec)
     writeFileAtomic(manifestPath(), manifestText());
 }
 
+std::optional<TrialResult>
+CampaignCheckpoint::loadTrial(std::size_t index) const
+{
+    if (!resuming_ || index >= trials_)
+        return std::nullopt;
+    const std::optional<std::string> text = readFile(trialPath(index));
+    if (!text)
+        return std::nullopt; // never completed — just run it
+    std::optional<TrialResult> trial = parseTrial(*text);
+    if (!trial) {
+        // Truncated or non-parseable (e.g. the write raced a power
+        // cut on a filesystem that defeated the fsync dance): the
+        // file carries no usable result, so the trial re-runs — a
+        // per-trial cost, never a campaign abort.
+        warn("campaign '%s': checkpoint '%s' is truncated or "
+             "non-parseable; re-running trial %zu",
+             name_.c_str(), trialPath(index).c_str(), index);
+        return std::nullopt;
+    }
+    // The seed re-derivation is the integrity check: a file that
+    // parsed but does not carry the seed this campaign would hand
+    // this trial is stale or tampered with, and re-running is always
+    // safe.  A persisted Failed status is equally impossible —
+    // store() never writes those — so it gets the same treatment.
+    const bool valid =
+        trial->index == index &&
+        trial->status != TrialStatus::Failed &&
+        trial->seed ==
+            deriveRetrySeed(masterSeed_, index, trial->attempts - 1);
+    if (!valid) {
+        warn("campaign '%s': checkpoint '%s' is stale or inconsistent "
+             "with this campaign; re-running trial %zu",
+             name_.c_str(), trialPath(index).c_str(), index);
+        return std::nullopt;
+    }
+    return trial;
+}
+
 std::size_t
 CampaignCheckpoint::load(std::vector<TrialResult> &results,
                          std::vector<char> &done) const
@@ -363,25 +458,9 @@ CampaignCheckpoint::load(std::vector<TrialResult> &results,
         return 0;
     std::size_t restored = 0;
     for (std::size_t index = 0; index < trials_; ++index) {
-        const std::optional<std::string> text =
-            readFile(trialPath(index));
-        if (!text)
+        std::optional<TrialResult> trial = loadTrial(index);
+        if (!trial)
             continue;
-        std::optional<TrialResult> trial = parseTrial(*text);
-        // The seed re-derivation is the integrity check: a file that
-        // parsed but does not carry the seed this campaign would hand
-        // this trial is stale or tampered with, and re-running is
-        // always safe.
-        const bool valid =
-            trial && trial->index == index &&
-            trial->seed == deriveRetrySeed(masterSeed_, index,
-                                           trial->attempts - 1);
-        if (!valid) {
-            warn("campaign '%s': checkpoint '%s' is corrupt or stale; "
-                 "re-running trial %zu",
-                 name_.c_str(), trialPath(index).c_str(), index);
-            continue;
-        }
         results[index] = std::move(*trial);
         done[index] = 1;
         ++restored;

@@ -24,6 +24,17 @@
  * been caused by whatever interrupted the campaign, so a resume
  * re-attempts it.  Ok, TimedOut, and Retried trials are deterministic
  * measurements and are skipped on resume.
+ *
+ * Shard manifests (DESIGN.md §13): the checkpoint directory doubles
+ * as the campaign service's durable shard-handoff token.  Several
+ * worker *processes* may attach to one directory concurrently — the
+ * manifest is written once by the daemon before any shard is
+ * dispatched, every worker verifies its own spec against it, and
+ * per-trial files are keyed by absolute trial index, so two workers
+ * racing on a stolen range write byte-identical files (trials are
+ * bit-deterministic in their seed) and the atomic rename makes the
+ * race harmless.  A reassigned shard resumes by consulting
+ * loadTrial() per index and re-running only what is missing.
  */
 
 #ifndef USCOPE_EXP_CHECKPOINT_HH
@@ -40,11 +51,20 @@ namespace uscope::exp
 {
 
 /**
- * Atomically replace @p path: write to `<path>.tmp`, then rename over
- * the destination.  On POSIX the rename is atomic within a directory,
- * so concurrent readers — and a campaign resuming after a kill — see
- * either the old content or the new, never a prefix.  Throws SimFatal
- * on any I/O failure.
+ * Atomically AND durably replace @p path: write to `<path>.tmp`,
+ * fsync the tmp file, rename over the destination, then fsync the
+ * parent directory.  On POSIX the rename is atomic within a
+ * directory, so concurrent readers — and a campaign resuming after a
+ * kill — see either the old content or the new, never a prefix; the
+ * two fsyncs extend that guarantee to *power loss*, not just process
+ * death: without them the rename can reach disk before the data (the
+ * classic ext4 zero-length-file hazard), or the rename itself can be
+ * lost with the directory update still in the page cache.  The
+ * campaign service's shard-reassignment correctness rides on this —
+ * a manifest a worker was told exists must actually be readable after
+ * the machine comes back.  Throws SimFatal on any I/O failure;
+ * filesystems that cannot fsync a directory (EINVAL/ENOTSUP) degrade
+ * to the old atomic-only behavior with a warning.
  */
 void writeFileAtomic(const std::string &path, const std::string &content);
 
@@ -77,6 +97,20 @@ class CampaignCheckpoint
      */
     std::size_t load(std::vector<TrialResult> &results,
                      std::vector<char> &done) const;
+
+    /**
+     * Restore one trial, or nullopt when it must (re-)run.  This is
+     * the shard-resume primitive (exp::runShardRange, the campaign
+     * service): a missing file is a trial that never completed; a
+     * truncated, non-parseable, or otherwise invalid file — index
+     * mismatch, a seed that does not match the derivation for this
+     * index, a persisted Failed status (store() never writes those) —
+     * is logged as a warning and treated exactly like a missing one,
+     * so a torn checkpoint costs re-running *that trial*, never an
+     * aborted campaign.  Inert (always nullopt) when resuming() is
+     * false.
+     */
+    std::optional<TrialResult> loadTrial(std::size_t index) const;
 
     /**
      * Persist one finished trial (atomic write; Failed trials are

@@ -93,6 +93,19 @@ MetricSnapshot::merge(const MetricSnapshot &other)
     values = std::move(merged);
 }
 
+MetricSnapshot
+MetricSnapshot::prefixed(const std::string &prefix) const
+{
+    MetricSnapshot out;
+    out.values.reserve(values.size());
+    for (const MetricValue &value : values) {
+        MetricValue tagged = value;
+        tagged.name = prefix + value.name;
+        out.values.push_back(std::move(tagged));
+    }
+    return out;
+}
+
 json::Value
 MetricSnapshot::toJson() const
 {

@@ -118,6 +118,16 @@ struct MetricSnapshot
      */
     void merge(const MetricSnapshot &other);
 
+    /**
+     * A copy with every name prefixed by @p prefix (e.g.
+     * "svc.worker3." + "core.issued" -> "svc.worker3.core.issued").
+     * A uniform prefix preserves the name-sort order, so the result is
+     * still a valid snapshot for merge().  This is how the campaign
+     * service tags per-worker metric streams with the worker id
+     * without kind collisions against the untagged aggregate.
+     */
+    MetricSnapshot prefixed(const std::string &prefix) const;
+
     /** {"name": value-or-summary-object, ...} in name order. */
     uscope::json::Value toJson() const;
 };

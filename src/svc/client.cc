@@ -1,0 +1,139 @@
+#include "svc/client.hh"
+
+#include <chrono>
+#include <thread>
+
+#include "common/logging.hh"
+
+namespace uscope::svc
+{
+
+namespace
+{
+
+std::string
+stringField(const json::Value &msg, const char *key)
+{
+    const json::Value *v = msg.get(key);
+    return v ? v->asString() : std::string();
+}
+
+std::uint64_t
+field(const json::Value &msg, const char *key)
+{
+    const json::Value *v = msg.get(key);
+    return v ? v->asU64() : 0;
+}
+
+} // namespace
+
+Client::Client(const std::string &socket_path, int connect_timeout_ms)
+{
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::milliseconds(connect_timeout_ms);
+    for (;;) {
+        const int fd = connectUnix(socket_path);
+        if (fd >= 0) {
+            conn_ = Conn(fd);
+            return;
+        }
+        if (std::chrono::steady_clock::now() >= deadline)
+            return; // connected() == false; callers decide
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+}
+
+std::optional<json::Value>
+Client::nextMessage(int timeout_ms)
+{
+    for (;;) {
+        if (std::optional<json::Value> msg = conn_.next())
+            return msg;
+        if (!conn_.open())
+            return std::nullopt;
+        if (!waitReadable(conn_.fd(), timeout_ms))
+            return std::nullopt;
+        if (!conn_.pump() && !conn_.open()) {
+            // Drain whatever arrived with the hangup.
+            if (std::optional<json::Value> msg = conn_.next())
+                return msg;
+            return std::nullopt;
+        }
+    }
+}
+
+bool
+Client::ping(int timeout_ms)
+{
+    if (!conn_.send(json::Value::object().set("type", "ping")))
+        return false;
+    const std::optional<json::Value> reply = nextMessage(timeout_ms);
+    return reply && stringField(*reply, "type") == "pong";
+}
+
+SubmitResult
+Client::submit(const CampaignRequest &request,
+               std::size_t stream_every,
+               const std::function<void(const json::Value &)> &on_update)
+{
+    SubmitResult out;
+    json::Value msg = json::Value::object()
+                          .set("type", "submit")
+                          .set("request", request.toJson());
+    if (stream_every)
+        msg.set("stream_every",
+                static_cast<std::uint64_t>(stream_every));
+    if (!conn_.send(msg)) {
+        out.error = "daemon connection lost on submit";
+        return out;
+    }
+
+    // No overall timeout: a campaign takes as long as it takes.  The
+    // per-wait timeout only bounds how often we notice a dead daemon.
+    for (;;) {
+        const std::optional<json::Value> frame = nextMessage(1000);
+        if (!frame) {
+            if (!conn_.open()) {
+                out.error = "daemon connection lost";
+                return out;
+            }
+            continue;
+        }
+        const std::string type = stringField(*frame, "type");
+        if (type == "accepted") {
+            out.totalTrials = field(*frame, "total");
+            out.resumedTrials = field(*frame, "resumed");
+        } else if (type == "update") {
+            ++out.updates;
+            if (on_update)
+                on_update(*frame);
+        } else if (type == "result") {
+            out.ok = true;
+            out.fingerprint = stringField(*frame, "fingerprint");
+            out.workerDeaths =
+                static_cast<unsigned>(field(*frame, "worker_deaths"));
+            out.steals = field(*frame, "steals");
+            if (const json::Value *result = frame->get("result"))
+                out.resultJson = result->dump();
+            return out;
+        } else if (type == "error") {
+            out.error = stringField(*frame, "message");
+            return out;
+        } else {
+            warn("svc client: unexpected frame type '%s'",
+                 type.c_str());
+        }
+    }
+}
+
+bool
+Client::shutdownDaemon(int timeout_ms)
+{
+    if (!conn_.send(json::Value::object().set("type", "shutdown")))
+        return false;
+    const std::optional<json::Value> reply = nextMessage(timeout_ms);
+    return reply && stringField(*reply, "type") == "ok";
+}
+
+} // namespace uscope::svc

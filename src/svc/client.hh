@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Blocking client for uscope-campaignd (DESIGN.md §13): connect,
+ * submit a CampaignRequest, stream update frames through a callback,
+ * return the final result.  One Client is one connection, confined to
+ * one thread; tenants wanting concurrent submissions open one Client
+ * each (exactly what tests/test_svc's two-tenant suite does).
+ */
+
+#ifndef USCOPE_SVC_CLIENT_HH
+#define USCOPE_SVC_CLIENT_HH
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "common/json.hh"
+#include "svc/registry.hh"
+#include "svc/wire.hh"
+
+namespace uscope::svc
+{
+
+/** The daemon's final answer for one submission. */
+struct SubmitResult
+{
+    bool ok = false;
+    /** Error text when !ok. */
+    std::string error;
+    /** exp::fnv1aHex of the campaign's deterministic fingerprint —
+     *  the value every service-vs-in-process comparison checks. */
+    std::string fingerprint;
+    unsigned workerDeaths = 0;
+    std::size_t steals = 0;
+    std::size_t totalTrials = 0;
+    /** Trials restored from durable state instead of executed. */
+    std::size_t resumedTrials = 0;
+    /** Update frames received while the campaign ran. */
+    std::size_t updates = 0;
+    /** The full result frame's "result" member (compact JSON). */
+    std::string resultJson;
+};
+
+class Client
+{
+  public:
+    /** Connect to @p socket_path, retrying for up to
+     *  @p connect_timeout_ms (daemons take a moment to bind). */
+    explicit Client(const std::string &socket_path,
+                    int connect_timeout_ms = 5000);
+
+    bool connected() const { return conn_.open(); }
+
+    /** Round-trip a ping; the wait-ready probe. */
+    bool ping(int timeout_ms = 2000);
+
+    /**
+     * Submit and block until the result (or error) frame.
+     * @p stream_every asks for an update every N completed trials
+     * (0 = daemon default); each update frame is handed to
+     * @p on_update (compact JSON object) as it arrives.
+     */
+    SubmitResult submit(
+        const CampaignRequest &request, std::size_t stream_every = 0,
+        const std::function<void(const json::Value &)> &on_update = {});
+
+    /** Ask the daemon to exit; true when it acknowledged. */
+    bool shutdownDaemon(int timeout_ms = 5000);
+
+  private:
+    std::optional<json::Value> nextMessage(int timeout_ms);
+
+    Conn conn_;
+};
+
+} // namespace uscope::svc
+
+#endif // USCOPE_SVC_CLIENT_HH

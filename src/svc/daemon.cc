@@ -1,0 +1,820 @@
+#include "svc/daemon.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <deque>
+#include <filesystem>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include <poll.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "common/logging.hh"
+#include "exp/campaign.hh"
+#include "exp/checkpoint.hh"
+#include "obs/metrics.hh"
+#include "svc/registry.hh"
+#include "svc/shard.hh"
+#include "svc/wire.hh"
+#include "svc/worker.hh"
+
+namespace uscope::svc
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+std::uint64_t
+field(const json::Value &msg, const char *key,
+      std::uint64_t fallback = 0)
+{
+    const json::Value *v = msg.get(key);
+    return v ? v->asU64(fallback) : fallback;
+}
+
+std::string
+stringField(const json::Value &msg, const char *key)
+{
+    const json::Value *v = msg.get(key);
+    return v ? v->asString() : std::string();
+}
+
+std::string
+selfExePath()
+{
+    char buf[4096];
+    const ssize_t n =
+        ::readlink("/proc/self/exe", buf, sizeof buf - 1);
+    if (n <= 0)
+        fatal("svc: readlink(/proc/self/exe): %s",
+              std::strerror(errno));
+    return std::string(buf, static_cast<std::size_t>(n));
+}
+
+/** Campaign names become directory components. */
+std::string
+sanitizeName(const std::string &name)
+{
+    std::string out;
+    for (char c : name)
+        out += (std::isalnum(static_cast<unsigned char>(c)) ||
+                c == '-' || c == '_')
+                   ? c
+                   : '_';
+    return out.empty() ? std::string("campaign") : out;
+}
+
+/**
+ * A worker's lifetime counters as a MetricSnapshot.  The counters
+ * object's keys arrive alphabetically sorted (the worker builds it
+ * that way), which a snapshot requires; sort defensively anyway.
+ */
+obs::MetricSnapshot
+countersSnapshot(const json::Value &counters)
+{
+    obs::MetricSnapshot snap;
+    for (const auto &[name, value] : counters.entries()) {
+        obs::MetricValue v;
+        v.name = name;
+        v.kind = obs::MetricKind::Counter;
+        v.counter = value.asU64();
+        snap.values.push_back(std::move(v));
+    }
+    std::sort(snap.values.begin(), snap.values.end(),
+              [](const obs::MetricValue &a, const obs::MetricValue &b) {
+                  return a.name < b.name;
+              });
+    return snap;
+}
+
+} // namespace
+
+struct Daemon::Impl
+{
+    /** One accepted connection; role is decided by its first message
+     *  (hello => worker, anything else => client). */
+    struct Session
+    {
+        std::uint64_t key = 0;
+        Conn conn;
+        int workerId = -1;
+    };
+
+    struct WorkerSlot
+    {
+        int id = 0;
+        pid_t pid = -1;
+        /** Session key of the live connection, 0 when none. */
+        std::uint64_t sessionKey = 0;
+        bool busy = false;
+        std::uint64_t campaign = 0;
+        std::size_t shard = 0;
+        unsigned spawns = 0;
+        bool dieAfterSpent = false;
+        Clock::time_point lastBeat = Clock::now();
+        json::Value counters = json::Value::object();
+    };
+
+    struct Campaign
+    {
+        std::uint64_t id = 0;
+        CampaignRequest request;
+        exp::CampaignSpec spec;
+        std::string checkpointDir;
+        std::unique_ptr<ShardScheduler> sched;
+        std::vector<exp::TrialResult> results;
+        std::size_t resumed = 0;
+        std::uint64_t clientKey = 0;
+        std::size_t streamEvery = 0;
+        std::size_t sinceUpdate = 0;
+        unsigned workerDeaths = 0;
+        Clock::time_point start = Clock::now();
+    };
+
+    DaemonConfig config;
+    int listenFd = -1;
+    std::uint64_t nextSessionKey = 1;
+    std::uint64_t nextCampaignId = 1;
+    std::vector<std::unique_ptr<Session>> sessions;
+    std::vector<WorkerSlot> slots;
+    std::deque<Campaign> campaigns;
+    bool shuttingDown = false;
+
+    explicit Impl(DaemonConfig cfg) : config(std::move(cfg))
+    {
+        if (config.socketPath.empty())
+            fatal("svc: daemon needs a socket path");
+        if (config.workers == 0)
+            config.workers = 1;
+        if (config.workerExe.empty())
+            config.workerExe = selfExePath();
+    }
+
+    Session *
+    sessionByKey(std::uint64_t key)
+    {
+        for (auto &s : sessions)
+            if (s->key == key)
+                return s.get();
+        return nullptr;
+    }
+
+    Campaign *
+    campaignById(std::uint64_t id)
+    {
+        for (Campaign &c : campaigns)
+            if (c.id == id)
+                return &c;
+        return nullptr;
+    }
+
+    // -----------------------------------------------------------------
+    // Worker process management.
+    // -----------------------------------------------------------------
+
+    void
+    spawnWorker(WorkerSlot &slot)
+    {
+        std::vector<std::string> args;
+        args.push_back(config.workerExe);
+        args.push_back(kWorkerArg);
+        args.push_back("--socket=" + config.socketPath);
+        args.push_back("--id=" + std::to_string(slot.id));
+        if (slot.id == 0 && config.worker0DieAfter &&
+            !slot.dieAfterSpent) {
+            args.push_back("--die-after-trials=" +
+                           std::to_string(config.worker0DieAfter));
+            slot.dieAfterSpent = true;
+        }
+        std::vector<char *> argv;
+        for (std::string &a : args)
+            argv.push_back(a.data());
+        argv.push_back(nullptr);
+
+        const pid_t pid = ::fork();
+        if (pid < 0) {
+            warn("svc: fork failed for worker %d: %s", slot.id,
+                 std::strerror(errno));
+            return;
+        }
+        if (pid == 0) {
+            ::execv(config.workerExe.c_str(), argv.data());
+            // exec failed; nothing sane to do in the child.
+            ::_exit(127);
+        }
+        slot.pid = pid;
+        ++slot.spawns;
+        slot.busy = false;
+        slot.lastBeat = Clock::now();
+        inform("svc: spawned worker %d (pid %d, attempt %u)", slot.id,
+               static_cast<int>(pid), slot.spawns);
+    }
+
+    void
+    handleWorkerDeath(WorkerSlot &slot, const char *why)
+    {
+        warn("svc: worker %d (pid %d) died: %s", slot.id,
+             static_cast<int>(slot.pid), why);
+        if (Session *s = sessionByKey(slot.sessionKey))
+            s->conn.close();
+        slot.sessionKey = 0;
+        slot.pid = -1;
+        slot.busy = false;
+
+        for (Campaign &c : campaigns) {
+            if (c.sched->onWorkerDead(slot.id) > 0)
+                ++c.workerDeaths;
+        }
+        if (!shuttingDown) {
+            if (slot.spawns < config.maxRespawns)
+                spawnWorker(slot);
+            else
+                warn("svc: worker %d exhausted its %u respawns",
+                     slot.id, config.maxRespawns);
+        }
+    }
+
+    void
+    reapChildren()
+    {
+        for (;;) {
+            int status = 0;
+            const pid_t pid = ::waitpid(-1, &status, WNOHANG);
+            if (pid <= 0)
+                return;
+            for (WorkerSlot &slot : slots) {
+                if (slot.pid == pid)
+                    handleWorkerDeath(slot, "process exited");
+            }
+        }
+    }
+
+    void
+    checkHeartbeats()
+    {
+        for (WorkerSlot &slot : slots) {
+            if (!slot.busy || slot.pid < 0)
+                continue;
+            if (secondsSince(slot.lastBeat) <=
+                config.heartbeatTimeoutSec)
+                continue;
+            // Busy and silent past the deadline: presumed wedged.
+            ::kill(slot.pid, SIGKILL);
+            handleWorkerDeath(slot, "heartbeat timeout");
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Campaign lifecycle.
+    // -----------------------------------------------------------------
+
+    void
+    sendError(Session &to, std::uint64_t campaign_id,
+              const std::string &message)
+    {
+        to.conn.send(json::Value::object()
+                         .set("type", "error")
+                         .set("campaign", campaign_id)
+                         .set("message", message));
+    }
+
+    void
+    handleSubmit(Session &client, const json::Value &msg)
+    {
+        const json::Value *request_json = msg.get("request");
+        std::optional<CampaignRequest> request =
+            request_json ? CampaignRequest::fromJson(*request_json)
+                         : std::nullopt;
+        if (!request) {
+            sendError(client, 0, "malformed campaign request");
+            return;
+        }
+        Campaign c;
+        c.id = nextCampaignId++;
+        c.request = *request;
+        try {
+            c.spec = buildSpec(c.request);
+        } catch (const std::exception &e) {
+            sendError(client, c.id, e.what());
+            return;
+        }
+        if (c.spec.trials == 0) {
+            sendError(client, c.id, "campaign has zero trials");
+            return;
+        }
+        c.clientKey = client.key;
+        c.streamEvery = msg.get("stream_every")
+                            ? field(msg, "stream_every")
+                            : config.streamEvery;
+        c.results.resize(c.spec.trials);
+        c.sched = std::make_unique<ShardScheduler>(c.spec.trials,
+                                                   config.workers);
+
+        if (!config.stateDir.empty()) {
+            // The durable identity covers everything that determines
+            // results; same request => same directory => a daemon
+            // restart resumes instead of restarting.
+            c.checkpointDir =
+                config.stateDir + "/" + sanitizeName(c.spec.name) +
+                "-" +
+                exp::fnv1aHex(c.request.identityKey()).substr(2);
+            c.spec.checkpointDir = c.checkpointDir;
+            const exp::CampaignCheckpoint checkpoint(c.spec);
+            if (checkpoint.resuming()) {
+                for (std::size_t i = 0; i < c.spec.trials; ++i) {
+                    std::optional<exp::TrialResult> trial =
+                        checkpoint.loadTrial(i);
+                    if (!trial)
+                        continue;
+                    c.results[i] = std::move(*trial);
+                    c.sched->seedDone(i);
+                    ++c.resumed;
+                }
+            }
+        }
+
+        client.conn.send(
+            json::Value::object()
+                .set("type", "accepted")
+                .set("campaign", c.id)
+                .set("total",
+                     static_cast<std::uint64_t>(c.spec.trials))
+                .set("resumed",
+                     static_cast<std::uint64_t>(c.resumed)));
+        inform("svc: campaign %llu '%s' accepted (%zu trials, %zu "
+               "resumed, ns='%s')",
+               static_cast<unsigned long long>(c.id),
+               c.spec.name.c_str(), c.spec.trials, c.resumed,
+               c.request.ns.c_str());
+        campaigns.push_back(std::move(c));
+        assignIdleWorkers();
+        finishCompleted(); // a fully-resumed campaign is already done
+    }
+
+    /** Partial aggregate over completed trials, in index order —
+     *  the same fold the final result uses. */
+    exp::CampaignAggregate
+    partialAggregate(const Campaign &c) const
+    {
+        std::vector<exp::TrialResult> done;
+        for (std::size_t i = 0; i < c.results.size(); ++i)
+            if (c.sched->isDone(i))
+                done.push_back(c.results[i]);
+        return exp::aggregateTrials(done);
+    }
+
+    /** Per-worker metric streams, tagged "svc.worker<id>.". */
+    obs::MetricSnapshot
+    workerMetrics() const
+    {
+        obs::MetricSnapshot merged;
+        for (const WorkerSlot &slot : slots) {
+            obs::MetricSnapshot snap =
+                countersSnapshot(slot.counters);
+            if (snap.empty())
+                continue;
+            merged.merge(snap.prefixed(
+                "svc.worker" + std::to_string(slot.id) + "."));
+        }
+        return merged;
+    }
+
+    void
+    maybeStreamUpdate(Campaign &c, bool force = false)
+    {
+        if (c.streamEvery == 0 ||
+            (!force && c.sinceUpdate < c.streamEvery))
+            return;
+        c.sinceUpdate = 0;
+        Session *client = sessionByKey(c.clientKey);
+        if (!client || !client->conn.open())
+            return;
+        client->conn.send(
+            json::Value::object()
+                .set("type", "update")
+                .set("campaign", c.id)
+                .set("completed",
+                     static_cast<std::uint64_t>(
+                         c.sched->completed()))
+                .set("total", static_cast<std::uint64_t>(
+                                  c.sched->trials()))
+                .set("aggregate", partialAggregate(c).toJson())
+                .set("worker_metrics", workerMetrics().toJson()));
+    }
+
+    void
+    finishCompleted()
+    {
+        for (auto it = campaigns.begin(); it != campaigns.end();) {
+            Campaign &c = *it;
+            if (!c.sched->allDone()) {
+                ++it;
+                continue;
+            }
+            exp::CampaignResult result;
+            result.name = c.spec.name;
+            result.trialCount = c.spec.trials;
+            result.masterSeed = c.spec.masterSeed;
+            result.workers = config.workers;
+            result.wallSeconds = secondsSince(c.start);
+            result.resumedTrials = c.resumed;
+            result.workerDeaths = c.workerDeaths;
+            result.aggregate = exp::aggregateTrials(c.results);
+            result.trials = c.results;
+            const std::string fingerprint = exp::fnv1aHex(
+                exp::deterministicFingerprint(result));
+
+            inform("svc: campaign %llu '%s' complete: %zu trials, "
+                   "%zu resumed, %u worker deaths, %zu steals, "
+                   "fingerprint %s",
+                   static_cast<unsigned long long>(c.id),
+                   result.name.c_str(), result.trialCount,
+                   result.resumedTrials, result.workerDeaths,
+                   c.sched->steals(), fingerprint.c_str());
+
+            if (Session *client = sessionByKey(c.clientKey)) {
+                client->conn.send(
+                    json::Value::object()
+                        .set("type", "result")
+                        .set("campaign", c.id)
+                        .set("fingerprint", fingerprint)
+                        .set("worker_deaths", c.workerDeaths)
+                        .set("steals",
+                             static_cast<std::uint64_t>(
+                                 c.sched->steals()))
+                        .set("result",
+                             result.toJson(
+                                 /*include_trials=*/false)));
+            }
+            it = campaigns.erase(it);
+        }
+    }
+
+    void
+    assignIdleWorkers()
+    {
+        for (WorkerSlot &slot : slots) {
+            if (slot.busy || slot.sessionKey == 0)
+                continue;
+            Session *session = sessionByKey(slot.sessionKey);
+            if (!session || !session->conn.open())
+                continue;
+            for (Campaign &c : campaigns) {
+                std::optional<ShardScheduler::Assignment> a =
+                    c.sched->assign(slot.id);
+                if (!a)
+                    continue;
+                if (a->stolenFrom) {
+                    const ShardScheduler::Shard &victim =
+                        c.sched->shard(*a->stolenFrom);
+                    for (WorkerSlot &other : slots) {
+                        if (other.id != victim.owner ||
+                            other.sessionKey == 0)
+                            continue;
+                        if (Session *os =
+                                sessionByKey(other.sessionKey))
+                            os->conn.send(
+                                json::Value::object()
+                                    .set("type", "shrink")
+                                    .set("shard",
+                                         static_cast<std::uint64_t>(
+                                             victim.id))
+                                    .set("hi",
+                                         static_cast<std::uint64_t>(
+                                             victim.hi)));
+                    }
+                }
+                session->conn.send(
+                    json::Value::object()
+                        .set("type", "shard")
+                        .set("campaign", c.id)
+                        .set("shard",
+                             static_cast<std::uint64_t>(a->shard))
+                        .set("lo",
+                             static_cast<std::uint64_t>(a->lo))
+                        .set("hi",
+                             static_cast<std::uint64_t>(a->hi))
+                        .set("checkpoint_dir", c.checkpointDir)
+                        .set("request", c.request.toJson()));
+                slot.busy = true;
+                slot.campaign = c.id;
+                slot.shard = a->shard;
+                slot.lastBeat = Clock::now();
+                break;
+            }
+        }
+    }
+
+    /** No worker can ever run again: fail outstanding campaigns
+     *  instead of hanging their clients forever. */
+    void
+    failCampaignsIfStranded()
+    {
+        if (campaigns.empty())
+            return;
+        for (const WorkerSlot &slot : slots) {
+            if (slot.pid >= 0 || slot.spawns < config.maxRespawns)
+                return;
+        }
+        warn("svc: all workers permanently dead; failing %zu "
+             "campaign(s)", campaigns.size());
+        for (Campaign &c : campaigns) {
+            if (Session *client = sessionByKey(c.clientKey))
+                sendError(*client, c.id,
+                          "all workers permanently dead");
+        }
+        campaigns.clear();
+    }
+
+    // -----------------------------------------------------------------
+    // Message dispatch.
+    // -----------------------------------------------------------------
+
+    void
+    handleWorkerMessage(Session &session, const json::Value &msg,
+                        const std::string &type)
+    {
+        WorkerSlot &slot = slots[static_cast<std::size_t>(
+            session.workerId)];
+        slot.lastBeat = Clock::now();
+        if (const json::Value *counters = msg.get("counters"))
+            slot.counters = *counters;
+
+        if (type == "heartbeat")
+            return;
+        if (type == "trial") {
+            Campaign *c = campaignById(field(msg, "campaign"));
+            if (!c)
+                return; // campaign already finished (overlap race)
+            const std::size_t index = field(msg, "index");
+            const std::size_t shard = field(msg, "shard");
+            std::optional<exp::TrialResult> trial =
+                exp::CampaignCheckpoint::parseTrial(
+                    stringField(msg, "data"));
+            if (!trial || trial->index != index) {
+                warn("svc: worker %d sent an unparseable trial %zu "
+                     "for campaign %llu",
+                     slot.id, index,
+                     static_cast<unsigned long long>(c->id));
+                return;
+            }
+            if (c->sched->onTrial(shard, index)) {
+                c->results[index] = std::move(*trial);
+                ++c->sinceUpdate;
+                maybeStreamUpdate(*c);
+            }
+            return;
+        }
+        if (type == "shard_done") {
+            slot.busy = false;
+            Campaign *c = campaignById(field(msg, "campaign"));
+            if (c)
+                c->sched->onShardDone(field(msg, "shard"));
+            return;
+        }
+        if (type == "error") {
+            const std::uint64_t campaign_id = field(msg, "campaign");
+            warn("svc: worker %d error: %s", slot.id,
+                 stringField(msg, "message").c_str());
+            slot.busy = false;
+            if (Campaign *c = campaignById(campaign_id)) {
+                if (Session *client = sessionByKey(c->clientKey))
+                    sendError(*client, campaign_id,
+                              stringField(msg, "message"));
+                for (auto it = campaigns.begin();
+                     it != campaigns.end(); ++it) {
+                    if (it->id == campaign_id) {
+                        campaigns.erase(it);
+                        break;
+                    }
+                }
+            }
+            return;
+        }
+        warn("svc: worker %d sent unexpected '%s'", slot.id,
+             type.c_str());
+    }
+
+    void
+    handleMessage(Session &session, const json::Value &msg)
+    {
+        const std::string type = stringField(msg, "type");
+
+        if (type == "hello") {
+            const int id = static_cast<int>(field(msg, "id"));
+            if (id < 0 ||
+                id >= static_cast<int>(slots.size())) {
+                warn("svc: hello from unknown worker id %d", id);
+                session.conn.close();
+                return;
+            }
+            session.workerId = id;
+            WorkerSlot &slot = slots[static_cast<std::size_t>(id)];
+            slot.sessionKey = session.key;
+            slot.lastBeat = Clock::now();
+            return;
+        }
+        if (session.workerId >= 0) {
+            handleWorkerMessage(session, msg, type);
+            return;
+        }
+
+        // Client messages.
+        if (type == "submit") {
+            handleSubmit(session, msg);
+        } else if (type == "ping") {
+            session.conn.send(
+                json::Value::object().set("type", "pong"));
+        } else if (type == "list") {
+            json::Value recipes = json::Value::array();
+            for (const auto &[name, description] :
+                 CampaignRegistry::global().list())
+                recipes.push(json::Value::object()
+                                 .set("recipe", name)
+                                 .set("description", description));
+            session.conn.send(json::Value::object()
+                                  .set("type", "recipes")
+                                  .set("recipes",
+                                       std::move(recipes)));
+        } else if (type == "shutdown") {
+            inform("svc: shutdown requested");
+            shuttingDown = true;
+            session.conn.send(
+                json::Value::object().set("type", "ok"));
+        } else {
+            sendError(session, 0,
+                      "unknown message type '" + type + "'");
+        }
+    }
+
+    void
+    dropSession(std::size_t index)
+    {
+        Session &session = *sessions[index];
+        if (session.workerId >= 0) {
+            WorkerSlot &slot = slots[static_cast<std::size_t>(
+                session.workerId)];
+            if (slot.sessionKey == session.key) {
+                slot.sessionKey = 0;
+                if (slot.pid >= 0)
+                    ::kill(slot.pid, SIGKILL);
+                handleWorkerDeath(slot, "connection lost");
+            }
+        } else {
+            // A vanished client orphans its campaigns; they run to
+            // completion (durable state survives) with nowhere to
+            // stream.
+            for (Campaign &c : campaigns)
+                if (c.clientKey == session.key)
+                    c.clientKey = 0;
+        }
+        sessions.erase(sessions.begin() +
+                       static_cast<std::ptrdiff_t>(index));
+    }
+
+    // -----------------------------------------------------------------
+    // The loop.
+    // -----------------------------------------------------------------
+
+    int
+    run()
+    {
+        if (!config.stateDir.empty()) {
+            std::error_code ec;
+            std::filesystem::create_directories(config.stateDir, ec);
+            if (ec)
+                fatal("svc: cannot create state dir '%s': %s",
+                      config.stateDir.c_str(),
+                      ec.message().c_str());
+        }
+        listenFd = listenUnix(config.socketPath);
+        inform("svc: listening on %s (%u workers)",
+               config.socketPath.c_str(), config.workers);
+
+        slots.resize(config.workers);
+        for (unsigned i = 0; i < config.workers; ++i) {
+            slots[i].id = static_cast<int>(i);
+            spawnWorker(slots[i]);
+        }
+
+        while (!shuttingDown) {
+            std::vector<pollfd> fds;
+            fds.push_back(pollfd{listenFd, POLLIN, 0});
+            for (auto &s : sessions)
+                fds.push_back(pollfd{s->conn.fd(), POLLIN, 0});
+            ::poll(fds.data(),
+                   static_cast<nfds_t>(fds.size()), 100);
+
+            if (fds[0].revents & POLLIN) {
+                for (;;) {
+                    if (!waitReadable(listenFd, 0))
+                        break;
+                    const int fd = acceptUnix(listenFd);
+                    if (fd < 0)
+                        break;
+                    auto session = std::make_unique<Session>();
+                    session->key = nextSessionKey++;
+                    session->conn = Conn(fd);
+                    sessions.push_back(std::move(session));
+                }
+            }
+
+            // Pump every session; collect messages, then dispatch.
+            // (Dispatch can add sessions — submits spawn nothing, but
+            // worker deaths respawn — so iterate by index.)
+            for (std::size_t i = 0; i < sessions.size();) {
+                Session &session = *sessions[i];
+                const bool alive = session.conn.pump();
+                while (std::optional<json::Value> msg =
+                           session.conn.next()) {
+                    handleMessage(session, *msg);
+                    if (shuttingDown)
+                        break;
+                }
+                if (!alive || !session.conn.open()) {
+                    dropSession(i);
+                    continue;
+                }
+                ++i;
+            }
+
+            reapChildren();
+            checkHeartbeats();
+            failCampaignsIfStranded();
+            assignIdleWorkers();
+            finishCompleted();
+        }
+
+        shutdownWorkers();
+        ::close(listenFd);
+        ::unlink(config.socketPath.c_str());
+        inform("svc: daemon exiting");
+        return 0;
+    }
+
+    void
+    shutdownWorkers()
+    {
+        for (WorkerSlot &slot : slots) {
+            if (Session *s = sessionByKey(slot.sessionKey))
+                s->conn.send(json::Value::object()
+                                 .set("type", "shutdown"));
+        }
+        // Grace period, then the axe.
+        const Clock::time_point deadline =
+            Clock::now() + std::chrono::seconds(2);
+        for (;;) {
+            bool any = false;
+            for (WorkerSlot &slot : slots) {
+                if (slot.pid < 0)
+                    continue;
+                int status = 0;
+                const pid_t r =
+                    ::waitpid(slot.pid, &status, WNOHANG);
+                if (r == slot.pid)
+                    slot.pid = -1;
+                else
+                    any = true;
+            }
+            if (!any || Clock::now() > deadline)
+                break;
+            ::usleep(20 * 1000);
+        }
+        for (WorkerSlot &slot : slots) {
+            if (slot.pid < 0)
+                continue;
+            ::kill(slot.pid, SIGKILL);
+            ::waitpid(slot.pid, nullptr, 0);
+            slot.pid = -1;
+        }
+    }
+};
+
+Daemon::Daemon(DaemonConfig config)
+    : impl_(std::make_unique<Impl>(std::move(config)))
+{
+}
+
+Daemon::~Daemon() = default;
+
+int
+Daemon::run()
+{
+    return impl_->run();
+}
+
+} // namespace uscope::svc

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * uscope-campaignd: the sharded campaign service daemon
+ * (DESIGN.md §13).
+ *
+ * One single-threaded poll() loop owns everything: the listening
+ * AF_UNIX socket, every worker and client connection, the shard
+ * schedulers, and the in-index-order result tables.  Workers are
+ * *processes* (fork + exec of the daemon's own binary with the
+ * --uscope-worker marker), so a crashing trial — or a kill -9 — costs
+ * one worker, never the daemon; trials execute only in children.
+ *
+ * Lifecycle of a submission:
+ *
+ *   client  --submit{request}-->  daemon
+ *   daemon: buildSpec, (stateDir? attach checkpoint dir, preload
+ *           completed trials), cut trials into shards
+ *   daemon  --shard{lo,hi,request,checkpoint_dir}-->  idle workers
+ *   worker  --trial{index,data}-->  daemon   (deduped, in results[])
+ *   daemon  --update{partial aggregate}-->  client  (every N trials)
+ *   idle worker?  steal: split the fattest live shard; victim gets
+ *           --shrink{hi}-->, thief gets the upper half as a new shard
+ *   worker death (hangup, SIGCHLD, or heartbeat timeout while busy):
+ *           its shards return to the pending pool and a respawned
+ *           worker resumes them — bit-identically, via the checkpoint
+ *           when one is attached, by deterministic re-execution
+ *           otherwise
+ *   all trials done: aggregateTrials in index order, fingerprint via
+ *           exp::deterministicFingerprint,
+ *           --result{fingerprint,result}-->  client
+ *
+ * Durability: with a stateDir, each campaign's checkpoint directory
+ * is keyed by the *request identity* (recipe, params, namespace,
+ * seeds — CampaignRequest::identityKey), so resubmitting the same
+ * request after a daemon restart resumes from persisted trials
+ * instead of starting over.
+ */
+
+#ifndef USCOPE_SVC_DAEMON_HH
+#define USCOPE_SVC_DAEMON_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace uscope::svc
+{
+
+struct DaemonConfig
+{
+    /** AF_UNIX listening path (required; beware sun_path's ~107-byte
+     *  limit). */
+    std::string socketPath;
+    /** Worker process count. */
+    unsigned workers = 2;
+    /** Worker executable; empty = /proc/self/exe (the usual case:
+     *  workers are re-execs of this very binary). */
+    std::string workerExe;
+    /** Durable campaign state root; empty = no checkpointing. */
+    std::string stateDir;
+    /** A *busy* worker silent for this long is declared dead and
+     *  SIGKILLed.  Idle workers are never timed out — silence while
+     *  parked is normal. */
+    double heartbeatTimeoutSec = 30.0;
+    /** Default update cadence (trials between stream frames) when a
+     *  submit does not specify one; 0 = no periodic updates. */
+    std::size_t streamEvery = 0;
+    /** Respawn budget per worker slot. */
+    unsigned maxRespawns = 8;
+    /** Test hook: worker 0's *first* incarnation self-SIGKILLs after
+     *  emitting this many trials (0 = off).  Respawns are normal. */
+    std::size_t worker0DieAfter = 0;
+};
+
+class Daemon
+{
+  public:
+    explicit Daemon(DaemonConfig config);
+    ~Daemon();
+    Daemon(const Daemon &) = delete;
+    Daemon &operator=(const Daemon &) = delete;
+
+    /** Serve until a client sends shutdown.  Returns the exit code. */
+    int run();
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
+
+} // namespace uscope::svc
+
+#endif // USCOPE_SVC_DAEMON_HH

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Campaign recipes and multi-tenant seed namespaces (DESIGN.md §13).
+ *
+ * A CampaignSpec cannot cross a process boundary — its body is a
+ * closure.  What crosses the wire instead is a CampaignRequest: the
+ * *name* of a registered recipe plus the sweep parameters (trial
+ * count, master seed, cycle budget, retry policy, recipe-specific
+ * params).  Both ends — the daemon's workers and any in-process
+ * baseline — rebuild the spec through the same buildSpec() call, so a
+ * service-dispatched campaign and a local CampaignRunner run of the
+ * same request execute literally the same closures and produce
+ * byte-identical fingerprints.  That shared construction path is the
+ * root of every determinism guarantee the service makes.
+ *
+ * Seed namespaces: two tenants submitting the same request under
+ * different namespaces must get decorrelated — yet individually
+ * reproducible — trial streams.  namespaceSeedRoot() derives the
+ * effective master seed as mix64(fnv1a(ns) ^ mix64(master)); the
+ * empty namespace is the identity (effective == master), so an
+ * un-namespaced service run is bit-identical to the in-process runs
+ * every existing bench and test performs.
+ */
+
+#ifndef USCOPE_SVC_REGISTRY_HH
+#define USCOPE_SVC_REGISTRY_HH
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/json.hh"
+#include "exp/campaign.hh"
+
+namespace uscope::svc
+{
+
+/** The wire form of "run this campaign". */
+struct CampaignRequest
+{
+    /** Registered recipe name (required). */
+    std::string recipe;
+    /** Campaign name; empty = the recipe name. */
+    std::string name;
+    /** Tenant seed namespace; empty = the shared default stream. */
+    std::string ns;
+    /** Trial count; 0 = the recipe's default. */
+    std::size_t trials = 0;
+    std::uint64_t masterSeed = 42;
+    Cycles cycleBudget = 0;
+    unsigned maxRetries = 0;
+    /** Recipe-specific knobs (JSON object; recipes read what they
+     *  know and ignore the rest). */
+    json::Value params;
+
+    json::Value toJson() const;
+    static std::optional<CampaignRequest> fromJson(const json::Value &v);
+
+    /** Stable identity of everything that determines results — the
+     *  durable-state key and the reproducibility contract's scope. */
+    std::string identityKey() const;
+};
+
+/** 64-bit FNV-1a (the string-hash sibling of exp::fnv1aHex). */
+std::uint64_t fnv1a64(const std::string &s);
+
+/** Effective master seed for tenant @p ns (see file comment). */
+std::uint64_t namespaceSeedRoot(const std::string &ns,
+                                std::uint64_t master);
+
+/** Builds a runnable spec from a request (params already applied). */
+using RecipeFn =
+    std::function<exp::CampaignSpec(const CampaignRequest &)>;
+
+/**
+ * The process-wide recipe table.  Built-in recipes self-register on
+ * first access; embedders may add() their own before serving.
+ */
+class CampaignRegistry
+{
+  public:
+    static CampaignRegistry &global();
+
+    void add(std::string name, std::string description, RecipeFn fn);
+
+    bool has(const std::string &name) const;
+    std::vector<std::pair<std::string, std::string>> list() const;
+
+    /**
+     * Recipe spec + request overrides + namespace seed derivation.
+     * Throws SimFatal for an unknown recipe or a request the recipe
+     * rejects.  The returned spec carries the recipe's structureKey
+     * (so persistent workers keep warmup snapshots hot across
+     * same-recipe campaigns) and perTrialMetrics = true (the daemon
+     * attaches checkpoint directories, which require it).
+     */
+    exp::CampaignSpec build(const CampaignRequest &request) const;
+
+  private:
+    struct Entry
+    {
+        std::string description;
+        RecipeFn fn;
+    };
+    std::vector<std::pair<std::string, Entry>> recipes_;
+};
+
+/** CampaignRegistry::global().build(request). */
+exp::CampaignSpec buildSpec(const CampaignRequest &request);
+
+} // namespace uscope::svc
+
+#endif // USCOPE_SVC_REGISTRY_HH

@@ -1,0 +1,142 @@
+#include "svc/shard.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace uscope::svc
+{
+
+ShardScheduler::ShardScheduler(std::size_t trials, std::size_t shards)
+    : done_(trials, 0)
+{
+    if (trials == 0)
+        panic("ShardScheduler: zero trials");
+    shards = std::clamp<std::size_t>(shards, 1, trials);
+    const std::size_t base = trials / shards;
+    const std::size_t extra = trials % shards;
+    std::size_t lo = 0;
+    for (std::size_t i = 0; i < shards; ++i) {
+        const std::size_t len = base + (i < extra ? 1 : 0);
+        Shard s;
+        s.id = i;
+        s.lo = lo;
+        s.hi = lo + len;
+        s.next = lo;
+        shards_.push_back(s);
+        lo += len;
+    }
+}
+
+void
+ShardScheduler::advance(Shard &s)
+{
+    while (s.next < s.hi && done_[s.next])
+        ++s.next;
+    if (s.next >= s.hi)
+        s.done = true;
+}
+
+std::optional<ShardScheduler::Assignment>
+ShardScheduler::assign(int worker)
+{
+    // Pending shards first (initial distribution, dead workers'
+    // returns) — they carry resumable low-water marks.
+    for (Shard &s : shards_) {
+        if (s.done || s.owner != -1)
+            continue;
+        advance(s);
+        if (s.done)
+            continue;
+        s.owner = worker;
+        return Assignment{s.id, s.next, s.hi, std::nullopt};
+    }
+
+    // Steal: split the live shard with the most unclaimed work.  A
+    // remainder of one is not worth a split — the owner will finish
+    // it before the shrink message could even arrive.
+    Shard *victim = nullptr;
+    for (Shard &s : shards_) {
+        if (s.done || s.owner == -1 || s.owner == worker)
+            continue;
+        const std::size_t remaining = s.hi - s.next;
+        if (remaining >= 2 &&
+            (!victim || remaining > victim->hi - victim->next))
+            victim = &s;
+    }
+    if (!victim)
+        return std::nullopt;
+
+    const std::size_t mid =
+        victim->next + (victim->hi - victim->next) / 2;
+    Shard stolen;
+    stolen.id = shards_.size();
+    stolen.lo = mid;
+    stolen.hi = victim->hi;
+    stolen.next = mid;
+    stolen.owner = worker;
+    victim->hi = mid;
+    ++steals_;
+    const std::size_t victim_id = victim->id;
+    shards_.push_back(stolen); // may invalidate `victim`
+    return Assignment{stolen.id, mid, stolen.hi, victim_id};
+}
+
+bool
+ShardScheduler::onTrial(std::size_t shard, std::size_t index)
+{
+    if (index >= done_.size())
+        return false;
+    const bool fresh = !done_[index];
+    if (fresh) {
+        done_[index] = 1;
+        ++completed_;
+    }
+    if (shard < shards_.size()) {
+        Shard &s = shards_[shard];
+        // A victim may report trials past its shrunk hi (the shrink
+        // raced the trial) — those land in the thief's shard, where
+        // advance() on the thief's reports will account for them.
+        if (index >= s.lo && index < s.hi)
+            advance(s);
+    }
+    return fresh;
+}
+
+void
+ShardScheduler::onShardDone(std::size_t shard)
+{
+    if (shard >= shards_.size())
+        return;
+    Shard &s = shards_[shard];
+    s.done = true;
+    s.owner = -1;
+}
+
+std::size_t
+ShardScheduler::onWorkerDead(int worker)
+{
+    std::size_t returned = 0;
+    for (Shard &s : shards_) {
+        if (s.owner != worker)
+            continue;
+        s.owner = -1;
+        if (!s.done) {
+            advance(s);
+            if (!s.done)
+                ++returned;
+        }
+    }
+    return returned;
+}
+
+void
+ShardScheduler::seedDone(std::size_t index)
+{
+    if (index >= done_.size() || done_[index])
+        return;
+    done_[index] = 1;
+    ++completed_;
+}
+
+} // namespace uscope::svc

@@ -1,0 +1,251 @@
+#include "svc/wire.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "common/logging.hh"
+
+namespace uscope::svc
+{
+
+std::string
+encodeFrame(const std::string &payload)
+{
+    const std::uint32_t n = static_cast<std::uint32_t>(payload.size());
+    std::string out;
+    out.reserve(4 + payload.size());
+    out.push_back(static_cast<char>((n >> 24) & 0xff));
+    out.push_back(static_cast<char>((n >> 16) & 0xff));
+    out.push_back(static_cast<char>((n >> 8) & 0xff));
+    out.push_back(static_cast<char>(n & 0xff));
+    out += payload;
+    return out;
+}
+
+void
+FrameSplitter::feed(const char *data, std::size_t len)
+{
+    if (corrupt_)
+        return;
+    buf_.append(data, len);
+    for (;;) {
+        if (buf_.size() < 4)
+            return;
+        const auto b = [&](std::size_t i) {
+            return static_cast<std::uint32_t>(
+                static_cast<unsigned char>(buf_[i]));
+        };
+        const std::uint32_t n =
+            (b(0) << 24) | (b(1) << 16) | (b(2) << 8) | b(3);
+        if (n > kMaxFrameBytes) {
+            corrupt_ = true;
+            return;
+        }
+        if (buf_.size() < 4 + static_cast<std::size_t>(n))
+            return;
+        ready_.push_back(buf_.substr(4, n));
+        buf_.erase(0, 4 + static_cast<std::size_t>(n));
+    }
+}
+
+std::optional<std::string>
+FrameSplitter::next()
+{
+    if (ready_.empty())
+        return std::nullopt;
+    std::string frame = std::move(ready_.front());
+    ready_.pop_front();
+    return frame;
+}
+
+Conn::~Conn()
+{
+    close();
+}
+
+Conn::Conn(Conn &&other) noexcept
+    : fd_(other.fd_), failed_(other.failed_),
+      splitter_(std::move(other.splitter_))
+{
+    other.fd_ = -1;
+}
+
+Conn &
+Conn::operator=(Conn &&other) noexcept
+{
+    if (this != &other) {
+        close();
+        fd_ = other.fd_;
+        failed_ = other.failed_;
+        splitter_ = std::move(other.splitter_);
+        other.fd_ = -1;
+    }
+    return *this;
+}
+
+void
+Conn::close()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+    fd_ = -1;
+}
+
+bool
+Conn::send(const json::Value &msg)
+{
+    if (!open())
+        return false;
+    const std::string frame = encodeFrame(msg.dump());
+    std::size_t sent = 0;
+    while (sent < frame.size()) {
+        const ssize_t n = ::send(fd_, frame.data() + sent,
+                                 frame.size() - sent, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            failed_ = true;
+            return false;
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+bool
+Conn::pump()
+{
+    if (!open())
+        return false;
+    char chunk[64 * 1024];
+    for (;;) {
+        const ssize_t n = ::recv(fd_, chunk, sizeof chunk, MSG_DONTWAIT);
+        if (n > 0) {
+            splitter_.feed(chunk, static_cast<std::size_t>(n));
+            if (splitter_.corrupt()) {
+                warn("svc: oversized frame on fd %d; dropping "
+                     "connection", fd_);
+                failed_ = true;
+                return false;
+            }
+            continue;
+        }
+        if (n == 0) { // orderly hangup
+            failed_ = true;
+            return false;
+        }
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+            return true;
+        if (errno == EINTR)
+            continue;
+        failed_ = true;
+        return false;
+    }
+}
+
+std::optional<json::Value>
+Conn::next()
+{
+    for (;;) {
+        std::optional<std::string> frame = splitter_.next();
+        if (!frame)
+            return std::nullopt;
+        std::optional<json::Value> msg = json::Value::parse(*frame);
+        if (msg)
+            return msg;
+        warn("svc: dropping non-JSON frame (%zu bytes) on fd %d",
+             frame->size(), fd_);
+    }
+}
+
+namespace
+{
+
+sockaddr_un
+unixAddress(const std::string &path)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof addr.sun_path)
+        fatal("svc: socket path '%s' exceeds the %zu-byte AF_UNIX "
+              "limit", path.c_str(), sizeof addr.sun_path - 1);
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    return addr;
+}
+
+} // namespace
+
+int
+listenUnix(const std::string &path)
+{
+    const sockaddr_un addr = unixAddress(path);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0)
+        fatal("svc: socket(AF_UNIX): %s", std::strerror(errno));
+    ::unlink(path.c_str()); // a stale socket from a dead daemon
+    if (::bind(fd, reinterpret_cast<const sockaddr *>(&addr),
+               sizeof addr) != 0) {
+        const int err = errno;
+        ::close(fd);
+        fatal("svc: bind('%s'): %s", path.c_str(), std::strerror(err));
+    }
+    if (::listen(fd, 64) != 0) {
+        const int err = errno;
+        ::close(fd);
+        fatal("svc: listen('%s'): %s", path.c_str(),
+              std::strerror(err));
+    }
+    return fd;
+}
+
+int
+connectUnix(const std::string &path)
+{
+    const sockaddr_un addr = unixAddress(path);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0)
+        return -1;
+    if (::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
+                  sizeof addr) != 0) {
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+int
+acceptUnix(int listen_fd)
+{
+    for (;;) {
+        const int fd = ::accept(listen_fd, nullptr, nullptr);
+        if (fd >= 0)
+            return fd;
+        if (errno == EINTR)
+            continue;
+        return -1;
+    }
+}
+
+bool
+waitReadable(int fd, int timeout_ms)
+{
+    pollfd p{};
+    p.fd = fd;
+    p.events = POLLIN;
+    for (;;) {
+        const int n = ::poll(&p, 1, timeout_ms);
+        if (n > 0)
+            return true;
+        if (n == 0)
+            return false;
+        if (errno != EINTR)
+            return false;
+    }
+}
+
+} // namespace uscope::svc

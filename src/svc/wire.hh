@@ -1,0 +1,129 @@
+/**
+ * @file
+ * The campaign service's wire layer (DESIGN.md §13): length-prefixed
+ * JSON frames over local (AF_UNIX) stream sockets.
+ *
+ * Every message — client submissions, shard dispatches, per-trial
+ * results, heartbeats — is one *frame*: a 4-byte big-endian payload
+ * length followed by that many bytes of compact JSON.  The explicit
+ * prefix makes framing independent of JSON syntax (trial payloads may
+ * embed anything), keeps the reader allocation-bounded (oversized
+ * lengths are rejected before any buffering), and lets FrameSplitter
+ * be a pure, unit-testable byte machine with no socket in sight.
+ *
+ * Sockets stay in blocking mode.  Reads always use MSG_DONTWAIT —
+ * Conn::pump() drains whatever the kernel has and never blocks; the
+ * daemon's poll() loop and the worker's poll()-with-timeout decide
+ * when pumping is worthwhile.  Writes block (frames are small; the
+ * kernel buffer absorbs them) and use MSG_NOSIGNAL so a vanished peer
+ * surfaces as a clean `false`, never SIGPIPE.
+ */
+
+#ifndef USCOPE_SVC_WIRE_HH
+#define USCOPE_SVC_WIRE_HH
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+
+#include "common/json.hh"
+
+namespace uscope::svc
+{
+
+/** Frames above this are a protocol violation (or an attack on the
+ *  daemon's memory); the connection is dropped. */
+constexpr std::size_t kMaxFrameBytes = 256u << 20;
+
+/** Prepend the 4-byte big-endian length to @p payload. */
+std::string encodeFrame(const std::string &payload);
+
+/**
+ * Incremental frame decoder: feed() arbitrary byte chunks, next()
+ * pops complete payloads in arrival order.  Pure logic — the unit
+ * tests drive it with pathological fragmentations no real socket
+ * would produce.
+ */
+class FrameSplitter
+{
+  public:
+    void feed(const char *data, std::size_t len);
+
+    /** Pop the next complete frame payload, if any. */
+    std::optional<std::string> next();
+
+    /** Set when a frame declared a length above kMaxFrameBytes; the
+     *  stream is unrecoverable past this point. */
+    bool corrupt() const { return corrupt_; }
+
+  private:
+    std::string buf_;
+    std::deque<std::string> ready_;
+    bool corrupt_ = false;
+};
+
+/**
+ * One framed-JSON connection.  Owns the fd; move-only.  A Conn is
+ * confined to one thread (daemon loop or worker loop) — there is no
+ * internal locking.
+ */
+class Conn
+{
+  public:
+    Conn() = default;
+    explicit Conn(int fd) : fd_(fd) {}
+    ~Conn();
+    Conn(const Conn &) = delete;
+    Conn &operator=(const Conn &) = delete;
+    Conn(Conn &&other) noexcept;
+    Conn &operator=(Conn &&other) noexcept;
+
+    int fd() const { return fd_; }
+    bool open() const { return fd_ >= 0 && !failed_; }
+    void close();
+
+    /** Frame + send @p msg (blocking).  False when the peer is gone;
+     *  the connection is marked failed and further sends no-op. */
+    bool send(const json::Value &msg);
+
+    /**
+     * Drain every byte the kernel currently has (MSG_DONTWAIT) into
+     * the splitter.  Returns false when the peer hung up or the
+     * stream is corrupt — received frames already split remain
+     * poppable via next().
+     */
+    bool pump();
+
+    /** Pop the next complete received message.  Frames that fail
+     *  JSON parsing are dropped with a warning (one bad message must
+     *  not wedge the stream). */
+    std::optional<json::Value> next();
+
+  private:
+    int fd_ = -1;
+    bool failed_ = false;
+    FrameSplitter splitter_;
+};
+
+/**
+ * Bind + listen on @p path (unlinking any stale socket first).
+ * Throws SimFatal on failure — a daemon that cannot listen has
+ * nothing else to do.
+ */
+int listenUnix(const std::string &path);
+
+/** Connect to @p path; -1 on failure (callers retry — the daemon may
+ *  still be binding). */
+int connectUnix(const std::string &path);
+
+/** Accept one pending connection; -1 when none is pending. */
+int acceptUnix(int listen_fd);
+
+/** poll() @p fd for readability; true when readable (or hung up)
+ *  within @p timeout_ms. */
+bool waitReadable(int fd, int timeout_ms);
+
+} // namespace uscope::svc
+
+#endif // USCOPE_SVC_WIRE_HH

@@ -1,0 +1,298 @@
+#include "svc/worker.hh"
+
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
+#include <deque>
+#include <optional>
+#include <string>
+
+#include <unistd.h>
+
+#include "common/logging.hh"
+#include "exp/campaign.hh"
+#include "exp/checkpoint.hh"
+#include "svc/registry.hh"
+#include "svc/wire.hh"
+
+namespace uscope::svc
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t
+field(const json::Value &msg, const char *key,
+      std::uint64_t fallback = 0)
+{
+    const json::Value *v = msg.get(key);
+    return v ? v->asU64(fallback) : fallback;
+}
+
+std::string
+stringField(const json::Value &msg, const char *key)
+{
+    const json::Value *v = msg.get(key);
+    return v ? v->asString() : std::string();
+}
+
+/** Everything one worker process accumulates and reports. */
+struct WorkerLoop
+{
+    const WorkerOptions &opts;
+    Conn conn;
+    std::deque<json::Value> inbox;
+    bool shutdown = false;
+
+    // Lifetime counters, streamed with every heartbeat; the daemon
+    // tags them into per-worker metric streams (obs::MetricSnapshot::
+    // prefixed) so a campaign's update frames show who did what.
+    std::uint64_t trialsRun = 0;
+    std::uint64_t trialsRestored = 0;
+    std::uint64_t shardsDone = 0;
+    std::uint64_t simCycles = 0;
+    /** Trials emitted ever, for --die-after-trials. */
+    std::size_t emitted = 0;
+
+    /** One executor per process: beginCampaign flushes anonymous
+     *  warmup snapshots but keeps structureKey-matched ones — the
+     *  cross-campaign Machine-pool warmth this architecture buys. */
+    exp::TrialExecutor executor;
+
+    Clock::time_point lastBeat = Clock::now();
+
+    explicit WorkerLoop(const WorkerOptions &o, int fd)
+        : opts(o), conn(fd)
+    {
+    }
+
+    json::Value
+    counters() const
+    {
+        return json::Value::object()
+            .set("shards_done", shardsDone)
+            .set("sim_cycles", simCycles)
+            .set("trials_restored", trialsRestored)
+            .set("trials_run", trialsRun);
+    }
+
+    void
+    heartbeat(bool force = false)
+    {
+        const auto now = Clock::now();
+        if (!force &&
+            now - lastBeat <
+                std::chrono::milliseconds(opts.heartbeatMs))
+            return;
+        lastBeat = now;
+        conn.send(json::Value::object()
+                      .set("type", "heartbeat")
+                      .set("id", opts.id)
+                      .set("counters", counters()));
+    }
+
+    /** Drain the socket into the inbox; false once the daemon is
+     *  gone and nothing is left to process. */
+    bool
+    drain()
+    {
+        const bool alive = conn.pump();
+        while (std::optional<json::Value> msg = conn.next())
+            inbox.push_back(std::move(*msg));
+        return alive;
+    }
+
+    void runShard(const json::Value &msg);
+    int run();
+};
+
+void
+WorkerLoop::runShard(const json::Value &msg)
+{
+    const json::Value *request_json = msg.get("request");
+    std::optional<CampaignRequest> request =
+        request_json ? CampaignRequest::fromJson(*request_json)
+                     : std::nullopt;
+    if (!request) {
+        conn.send(json::Value::object()
+                      .set("type", "error")
+                      .set("id", opts.id)
+                      .set("message", "malformed shard request"));
+        return;
+    }
+
+    const std::uint64_t campaign = field(msg, "campaign");
+    const std::uint64_t shard_id = field(msg, "shard");
+    const std::size_t lo = field(msg, "lo");
+    std::size_t hi = field(msg, "hi");
+
+    exp::CampaignSpec spec;
+    try {
+        spec = buildSpec(*request);
+    } catch (const std::exception &e) {
+        conn.send(json::Value::object()
+                      .set("type", "error")
+                      .set("id", opts.id)
+                      .set("campaign", campaign)
+                      .set("message", e.what()));
+        return;
+    }
+    spec.checkpointDir = stringField(msg, "checkpoint_dir");
+
+    executor.beginCampaign(spec);
+
+    std::optional<exp::CampaignCheckpoint> checkpoint;
+    if (!spec.checkpointDir.empty())
+        checkpoint.emplace(spec);
+
+    bool lost = false; // daemon connection died mid-shard
+    const auto current_hi = [&]() -> std::size_t {
+        if (!conn.pump() && !conn.open()) {
+            lost = true;
+            return 0;
+        }
+        while (std::optional<json::Value> m = conn.next()) {
+            const std::string type = stringField(*m, "type");
+            if (type == "shrink" && field(*m, "shard") == shard_id) {
+                const std::size_t new_hi = field(*m, "hi");
+                if (new_hi < hi)
+                    hi = new_hi;
+            } else if (type == "shutdown") {
+                shutdown = true;
+            } else {
+                inbox.push_back(std::move(*m));
+            }
+        }
+        if (shutdown)
+            return 0;
+        heartbeat();
+        return hi;
+    };
+
+    const auto emit = [&](exp::TrialResult &&result, bool restored) {
+        restored ? ++trialsRestored : ++trialsRun;
+        simCycles += result.output.simCycles;
+        conn.send(
+            json::Value::object()
+                .set("type", "trial")
+                .set("id", opts.id)
+                .set("campaign", campaign)
+                .set("shard", shard_id)
+                .set("index",
+                     static_cast<std::uint64_t>(result.index))
+                .set("restored", restored)
+                .set("data",
+                     exp::CampaignCheckpoint::serializeTrial(result)));
+        ++emitted;
+        if (opts.dieAfterTrials && emitted >= opts.dieAfterTrials) {
+            // The deterministic crash hook: die exactly like kill -9
+            // would — mid-shard, no destructors, no goodbyes.
+            ::raise(SIGKILL);
+        }
+    };
+
+    exp::runShardRange(spec, lo, hi, executor,
+                       checkpoint ? &*checkpoint : nullptr, emit,
+                       current_hi);
+    ++shardsDone;
+    if (!lost && !shutdown)
+        conn.send(json::Value::object()
+                      .set("type", "shard_done")
+                      .set("id", opts.id)
+                      .set("campaign", campaign)
+                      .set("shard", shard_id)
+                      .set("counters", counters()));
+}
+
+int
+WorkerLoop::run()
+{
+    conn.send(json::Value::object()
+                  .set("type", "hello")
+                  .set("id", opts.id)
+                  .set("pid", static_cast<std::uint64_t>(::getpid())));
+
+    while (!shutdown) {
+        if (inbox.empty())
+            waitReadable(conn.fd(), opts.heartbeatMs);
+        const bool alive = drain();
+        while (!inbox.empty() && !shutdown) {
+            const json::Value msg = std::move(inbox.front());
+            inbox.pop_front();
+            const std::string type = stringField(msg, "type");
+            if (type == "shard")
+                runShard(msg);
+            else if (type == "shutdown")
+                shutdown = true;
+            else if (type != "shrink") // stale shrinks are expected
+                warn("svc worker %d: unexpected message type '%s'",
+                     opts.id, type.c_str());
+        }
+        if (!alive && inbox.empty())
+            break; // daemon is gone; nothing left to do
+        heartbeat();
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+runWorkerMain(const WorkerOptions &options)
+{
+    // The daemon may still be mid-listen when a worker launches.
+    int fd = -1;
+    for (int attempt = 0; attempt < 100 && fd < 0; ++attempt) {
+        fd = connectUnix(options.socketPath);
+        if (fd < 0)
+            ::usleep(50 * 1000);
+    }
+    if (fd < 0) {
+        warn("svc worker %d: cannot connect to '%s'", options.id,
+             options.socketPath.c_str());
+        return 1;
+    }
+    WorkerLoop loop(options, fd);
+    return loop.run();
+}
+
+bool
+maybeRunWorkerMain(int argc, char **argv, int *exit_code)
+{
+    if (argc < 2 || std::string(argv[1]) != kWorkerArg)
+        return false;
+    WorkerOptions options;
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto valueOf = [&](const char *prefix)
+            -> std::optional<std::string> {
+            const std::size_t n = std::string(prefix).size();
+            if (arg.rfind(prefix, 0) == 0)
+                return arg.substr(n);
+            return std::nullopt;
+        };
+        if (auto v = valueOf("--socket="))
+            options.socketPath = *v;
+        else if (auto v = valueOf("--id="))
+            options.id = std::atoi(v->c_str());
+        else if (auto v = valueOf("--die-after-trials="))
+            options.dieAfterTrials =
+                static_cast<std::size_t>(std::atoll(v->c_str()));
+        else if (auto v = valueOf("--heartbeat-ms="))
+            options.heartbeatMs = std::atoi(v->c_str());
+        else
+            warn("svc worker: ignoring unknown flag '%s'",
+                 arg.c_str());
+    }
+    if (options.socketPath.empty()) {
+        warn("svc worker: no --socket= given");
+        *exit_code = 1;
+        return true;
+    }
+    *exit_code = runWorkerMain(options);
+    return true;
+}
+
+} // namespace uscope::svc

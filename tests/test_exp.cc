@@ -12,6 +12,7 @@
 #include <atomic>
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <limits>
 #include <sstream>
 #include <stdexcept>
@@ -899,4 +900,58 @@ TEST(Checkpoint, MismatchedManifestIsDiscarded)
     again.masterSeed = 4321;
     again.checkpointDir = dir;
     EXPECT_EQ(exp::runCampaign(std::move(again)).resumedTrials, 4u);
+}
+
+TEST(Checkpoint, CorruptTrialFilesAreReRunNotTrusted)
+{
+    // A crash can leave a per-trial file truncated mid-write (the
+    // atomic rename protects against *partial* files only when the
+    // writer lives to rename; a torn filesystem or manual tampering
+    // does not).  A corrupt record must degrade to "re-run that
+    // trial" — never to a crash, and never to trusting the bytes.
+    const std::string dir = freshCheckpointDir("uscope_corrupt_ckpt");
+
+    const exp::CampaignResult baseline =
+        exp::runCampaign(syntheticSpec(8, 1));
+
+    exp::CampaignSpec seeded = syntheticSpec(8, 1);
+    seeded.checkpointDir = dir;
+    exp::runCampaign(std::move(seeded));
+
+    const auto path = [&](std::size_t index) {
+        return dir + "/trial_" + std::to_string(index) + ".ckpt";
+    };
+    const auto clobber = [&](std::size_t index, const std::string &text) {
+        std::ofstream out(path(index),
+                          std::ios::binary | std::ios::trunc);
+        out << text;
+    };
+    // Three distinct failure shapes: truncated mid-record,
+    // non-parseable garbage, zero bytes.
+    std::stringstream intact;
+    intact << std::ifstream(path(2), std::ios::binary).rdbuf();
+    clobber(2, intact.str().substr(0, intact.str().size() / 2));
+    clobber(5, "not a trial record\n");
+    clobber(7, "");
+
+    exp::CampaignSpec resumed = syntheticSpec(8, 1);
+    resumed.checkpointDir = dir;
+    std::atomic<unsigned> invocations{0};
+    auto healthy = resumed.body;
+    resumed.body = [healthy, &invocations](const exp::TrialContext &ctx) {
+        ++invocations;
+        return healthy(ctx);
+    };
+    const exp::CampaignResult second =
+        exp::runCampaign(std::move(resumed));
+
+    // Exactly the three corrupted trials re-ran; the five intact ones
+    // restored — and the final aggregate is bit-identical to the
+    // never-interrupted baseline.
+    EXPECT_EQ(second.resumedTrials, 5u);
+    EXPECT_EQ(invocations.load(), 3u);
+    EXPECT_EQ(second.aggregate.toJson().dump(),
+              baseline.aggregate.toJson().dump());
+    EXPECT_EQ(exp::deterministicFingerprint(second),
+              exp::deterministicFingerprint(baseline));
 }

@@ -31,23 +31,10 @@ using namespace uscope;
 namespace
 {
 
-/**
- * Per-trial payloads + aggregate, minus wall-clock noise — the same
- * shape bench/perf_campaign compares across worker counts.
- */
-std::string
-deterministicFingerprint(const exp::CampaignResult &result)
-{
-    std::string fp = result.aggregate.toJson().dump();
-    for (const exp::TrialResult &trial : result.trials) {
-        fp += '\n';
-        fp += trial.output.payload.dump();
-        fp += trial.output.metrics.toJson().dump();
-        fp += exp::json::Value(trial.output.simCycles).dump();
-        fp += exp::trialStatusName(trial.status);
-    }
-    return fp;
-}
+// The fingerprint shape moved into the library (exp::
+// deterministicFingerprint) so the service daemon, the benches, and
+// these tests all compare the exact same bytes.
+using exp::deterministicFingerprint;
 
 /** Fig.-10-shaped: SMT port-contention sweep, div vs mul arms. */
 exp::CampaignSpec

@@ -1,0 +1,496 @@
+/**
+ * @file
+ * Campaign service suite (DESIGN.md §13).
+ *
+ * Three layers:
+ *
+ *  - Pure units: frame splitting under pathological fragmentation,
+ *    the shard scheduler's steal/death state machine, seed-namespace
+ *    derivation, request round-trips, registry construction.
+ *  - End-to-end determinism: a real daemon (in a thread) with real
+ *    worker *processes* (fork + exec of this very test binary — see
+ *    main() below) must produce fingerprints byte-identical to
+ *    in-process CampaignRunner runs of the same request.
+ *  - The hard cases the service exists for: a worker SIGKILLed
+ *    mid-shard (steal + checkpoint-resume must keep the fingerprint
+ *    byte-identical), and two tenants submitting the same request
+ *    under different namespaces concurrently (disjoint, individually
+ *    reproducible results).
+ *
+ * The e2e tests use the machine-less "selftest" recipe: microseconds
+ * per trial, so kill/steal/respawn round-trips run in test time.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "common/logging.hh"
+#include "exp/campaign.hh"
+#include "svc/client.hh"
+#include "svc/daemon.hh"
+#include "svc/registry.hh"
+#include "svc/shard.hh"
+#include "svc/wire.hh"
+#include "svc/worker.hh"
+
+using namespace uscope;
+
+namespace
+{
+
+// ---------------------------------------------------------------------
+// Wire framing.
+// ---------------------------------------------------------------------
+
+TEST(SvcWire, FrameRoundTripsThroughSplitter)
+{
+    const std::string payload = "{\"type\":\"ping\"}";
+    const std::string frame = svc::encodeFrame(payload);
+    ASSERT_EQ(frame.size(), payload.size() + 4);
+
+    svc::FrameSplitter splitter;
+    splitter.feed(frame.data(), frame.size());
+    const auto got = splitter.next();
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, payload);
+    EXPECT_FALSE(splitter.next().has_value());
+}
+
+TEST(SvcWire, SplitterHandlesPathologicalFragmentation)
+{
+    // Three frames — including an empty payload — delivered one byte
+    // at a time must pop intact and in order.
+    const std::vector<std::string> payloads = {
+        "first", "", std::string(1000, 'x')};
+    std::string stream;
+    for (const std::string &p : payloads)
+        stream += svc::encodeFrame(p);
+
+    svc::FrameSplitter splitter;
+    std::vector<std::string> got;
+    for (char c : stream) {
+        splitter.feed(&c, 1);
+        while (auto frame = splitter.next())
+            got.push_back(*frame);
+    }
+    EXPECT_EQ(got, payloads);
+    EXPECT_FALSE(splitter.corrupt());
+}
+
+TEST(SvcWire, OversizedFrameMarksStreamCorrupt)
+{
+    svc::FrameSplitter splitter;
+    const char huge[4] = {'\x7f', '\x00', '\x00', '\x00'};
+    splitter.feed(huge, 4);
+    EXPECT_TRUE(splitter.corrupt());
+    EXPECT_FALSE(splitter.next().has_value());
+}
+
+// ---------------------------------------------------------------------
+// Shard scheduler.
+// ---------------------------------------------------------------------
+
+TEST(SvcShard, InitialShardsPartitionTheGrid)
+{
+    svc::ShardScheduler sched(10, 3);
+    ASSERT_EQ(sched.shardCount(), 3u);
+    std::size_t covered = 0;
+    std::size_t expected_lo = 0;
+    for (std::size_t i = 0; i < sched.shardCount(); ++i) {
+        const auto &s = sched.shard(i);
+        EXPECT_EQ(s.lo, expected_lo);
+        EXPECT_GT(s.hi, s.lo);
+        covered += s.hi - s.lo;
+        expected_lo = s.hi;
+    }
+    EXPECT_EQ(covered, 10u);
+    EXPECT_EQ(expected_lo, 10u);
+}
+
+TEST(SvcShard, StealSplitsTheFattestLiveShard)
+{
+    svc::ShardScheduler sched(16, 2); // [0,8) and [8,16)
+    const auto a = sched.assign(0);
+    const auto b = sched.assign(1);
+    ASSERT_TRUE(a && b);
+    EXPECT_FALSE(a->stolenFrom || b->stolenFrom);
+
+    // Worker 0 finishes everything; worker 1 reported 2 trials.
+    for (std::size_t i = a->lo; i < a->hi; ++i)
+        sched.onTrial(a->shard, i);
+    sched.onShardDone(a->shard);
+    sched.onTrial(b->shard, 8);
+    sched.onTrial(b->shard, 9);
+
+    // Re-assigning worker 0 must steal the upper half of worker 1's
+    // remainder [10,16) — split at 13.
+    const auto stolen = sched.assign(0);
+    ASSERT_TRUE(stolen.has_value());
+    ASSERT_TRUE(stolen->stolenFrom.has_value());
+    EXPECT_EQ(*stolen->stolenFrom, b->shard);
+    EXPECT_EQ(stolen->lo, 13u);
+    EXPECT_EQ(stolen->hi, 16u);
+    EXPECT_EQ(sched.shard(b->shard).hi, 13u); // victim shrunk
+    EXPECT_EQ(sched.steals(), 1u);
+
+    // Duplicate reports (the shrink raced a trial) are deduped.
+    EXPECT_TRUE(sched.onTrial(b->shard, 13));
+    EXPECT_FALSE(sched.onTrial(stolen->shard, 13));
+    EXPECT_EQ(sched.completed(), 11u);
+}
+
+TEST(SvcShard, WorkerDeathReturnsLiveShardsResumably)
+{
+    svc::ShardScheduler sched(8, 2); // [0,4), [4,8)
+    const auto a = sched.assign(0);
+    const auto b = sched.assign(1);
+    ASSERT_TRUE(a && b);
+    sched.onTrial(a->shard, 0);
+    sched.onTrial(a->shard, 1);
+
+    EXPECT_EQ(sched.onWorkerDead(0), 1u);
+    // The survivor (or a respawn) inherits from the low-water mark:
+    // trials 0 and 1 are not re-dispatched.
+    const auto resumed = sched.assign(1);
+    // Worker 1 still owns shard b; a *pending* shard exists, so no
+    // steal is needed.
+    ASSERT_TRUE(resumed.has_value());
+    EXPECT_FALSE(resumed->stolenFrom.has_value());
+    EXPECT_EQ(resumed->shard, a->shard);
+    EXPECT_EQ(resumed->lo, 2u);
+    EXPECT_EQ(resumed->hi, 4u);
+}
+
+TEST(SvcShard, SeedDoneSkipsRestoredTrialsAtAssignment)
+{
+    svc::ShardScheduler sched(6, 1);
+    sched.seedDone(0);
+    sched.seedDone(1);
+    EXPECT_EQ(sched.completed(), 2u);
+    const auto a = sched.assign(0);
+    ASSERT_TRUE(a.has_value());
+    EXPECT_EQ(a->lo, 2u);
+
+    for (std::size_t i = 2; i < 6; ++i)
+        sched.onTrial(a->shard, i);
+    EXPECT_TRUE(sched.allDone());
+}
+
+TEST(SvcShard, FullyRestoredCampaignAssignsNothing)
+{
+    svc::ShardScheduler sched(4, 2);
+    for (std::size_t i = 0; i < 4; ++i)
+        sched.seedDone(i);
+    EXPECT_TRUE(sched.allDone());
+    EXPECT_FALSE(sched.assign(0).has_value());
+}
+
+// ---------------------------------------------------------------------
+// Seed namespaces + requests + registry.
+// ---------------------------------------------------------------------
+
+TEST(SvcRegistry, EmptyNamespaceIsTheIdentity)
+{
+    // The contract that makes un-namespaced service runs bit-compare
+    // against every existing in-process bench and test.
+    EXPECT_EQ(svc::namespaceSeedRoot("", 42), 42u);
+    EXPECT_EQ(svc::namespaceSeedRoot("", 0xdeadbeef), 0xdeadbeefull);
+}
+
+TEST(SvcRegistry, NamespacesDecorrelateButReproduce)
+{
+    const std::uint64_t alice = svc::namespaceSeedRoot("alice", 42);
+    const std::uint64_t bob = svc::namespaceSeedRoot("bob", 42);
+    EXPECT_NE(alice, bob);
+    EXPECT_NE(alice, 42u);
+    EXPECT_EQ(alice, svc::namespaceSeedRoot("alice", 42));
+    // Distinct masters stay distinct inside one namespace.
+    EXPECT_NE(alice, svc::namespaceSeedRoot("alice", 43));
+}
+
+TEST(SvcRegistry, RequestRoundTripsThroughJson)
+{
+    svc::CampaignRequest request;
+    request.recipe = "selftest";
+    request.name = "my-run";
+    request.ns = "tenant-a";
+    request.trials = 17;
+    request.masterSeed = 0x1234;
+    request.cycleBudget = 1000;
+    request.maxRetries = 2;
+    request.params = json::Value::object().set("work", 512);
+
+    const auto parsed =
+        svc::CampaignRequest::fromJson(request.toJson());
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->recipe, request.recipe);
+    EXPECT_EQ(parsed->name, request.name);
+    EXPECT_EQ(parsed->ns, request.ns);
+    EXPECT_EQ(parsed->trials, request.trials);
+    EXPECT_EQ(parsed->masterSeed, request.masterSeed);
+    EXPECT_EQ(parsed->cycleBudget, request.cycleBudget);
+    EXPECT_EQ(parsed->maxRetries, request.maxRetries);
+    EXPECT_EQ(parsed->identityKey(), request.identityKey());
+}
+
+TEST(SvcRegistry, MalformedRequestsAreRejected)
+{
+    EXPECT_FALSE(
+        svc::CampaignRequest::fromJson(json::Value::object())
+            .has_value());
+    EXPECT_FALSE(
+        svc::CampaignRequest::fromJson(json::Value("not an object"))
+            .has_value());
+}
+
+TEST(SvcRegistry, BuildAppliesOverridesAndNamespace)
+{
+    EXPECT_TRUE(svc::CampaignRegistry::global().has("selftest"));
+    EXPECT_TRUE(svc::CampaignRegistry::global().has(
+        "fig11_aes_replay"));
+
+    svc::CampaignRequest request;
+    request.recipe = "selftest";
+    request.ns = "tenant-a";
+    request.trials = 5;
+    request.masterSeed = 99;
+    const exp::CampaignSpec spec = svc::buildSpec(request);
+    EXPECT_EQ(spec.trials, 5u);
+    EXPECT_EQ(spec.masterSeed,
+              svc::namespaceSeedRoot("tenant-a", 99));
+    EXPECT_EQ(spec.structureKey, "selftest");
+    EXPECT_TRUE(spec.perTrialMetrics); // checkpoint compatibility
+    ASSERT_TRUE(static_cast<bool>(spec.body));
+}
+
+TEST(SvcRegistry, UnknownRecipeThrows)
+{
+    svc::CampaignRequest request;
+    request.recipe = "no-such-recipe";
+    EXPECT_THROW(svc::buildSpec(request), SimFatal);
+}
+
+// ---------------------------------------------------------------------
+// End-to-end: daemon + worker processes vs in-process runner.
+// ---------------------------------------------------------------------
+
+/** Short unique socket paths (sun_path is ~107 bytes). */
+std::string
+uniquePath(const char *tag)
+{
+    static int counter = 0;
+    return "/tmp/uscope_" + std::string(tag) + "_" +
+           std::to_string(::getpid()) + "_" +
+           std::to_string(counter++);
+}
+
+/** A daemon on its own thread, shut down via the client protocol. */
+struct DaemonFixture
+{
+    svc::DaemonConfig config;
+    std::thread thread;
+
+    explicit DaemonFixture(svc::DaemonConfig cfg)
+        : config(std::move(cfg))
+    {
+        thread = std::thread([this] {
+            svc::Daemon daemon(config);
+            daemon.run();
+        });
+    }
+
+    ~DaemonFixture()
+    {
+        svc::Client client(config.socketPath);
+        if (client.connected())
+            client.shutdownDaemon();
+        thread.join();
+        if (!config.stateDir.empty()) {
+            std::error_code ec;
+            std::filesystem::remove_all(config.stateDir, ec);
+        }
+    }
+};
+
+svc::CampaignRequest
+selftestRequest(std::size_t trials, std::uint64_t seed,
+                const std::string &ns = "")
+{
+    svc::CampaignRequest request;
+    request.recipe = "selftest";
+    request.trials = trials;
+    request.masterSeed = seed;
+    request.ns = ns;
+    return request;
+}
+
+std::string
+inProcessFingerprint(const svc::CampaignRequest &request,
+                     unsigned workers = 1)
+{
+    exp::CampaignSpec spec = svc::buildSpec(request);
+    spec.workers = workers;
+    return exp::fnv1aHex(
+        exp::deterministicFingerprint(exp::runCampaign(spec)));
+}
+
+TEST(SvcService, FingerprintMatchesInProcessRun)
+{
+    svc::DaemonConfig config;
+    config.socketPath = uniquePath("e2e");
+    config.workers = 2;
+    DaemonFixture daemon(std::move(config));
+
+    svc::Client client(daemon.config.socketPath);
+    ASSERT_TRUE(client.connected());
+    ASSERT_TRUE(client.ping());
+
+    const svc::CampaignRequest request = selftestRequest(24, 7);
+    std::size_t updates_seen = 0;
+    const svc::SubmitResult result =
+        client.submit(request, /*stream_every=*/8,
+                      [&](const json::Value &update) {
+                          ++updates_seen;
+                          // Partial aggregates stream in montonically.
+                          const json::Value *completed =
+                              update.get("completed");
+                          ASSERT_NE(completed, nullptr);
+                          EXPECT_LE(completed->asU64(), 24u);
+                      });
+    ASSERT_TRUE(result.ok) << result.error;
+    EXPECT_EQ(result.totalTrials, 24u);
+    EXPECT_GE(updates_seen, 1u);
+    EXPECT_EQ(result.updates, updates_seen);
+
+    // The whole point: dispatching over processes and sockets — with
+    // whatever stealing happened to occur — changes nothing.
+    EXPECT_EQ(result.fingerprint, inProcessFingerprint(request));
+    // And the in-process reference is itself worker-count-invariant.
+    EXPECT_EQ(result.fingerprint, inProcessFingerprint(request, 4));
+}
+
+TEST(SvcService, WorkerKilledMidShardResumesBitIdentically)
+{
+    // Worker 0's first incarnation SIGKILLs itself after 3 trials —
+    // mid-shard, checkpoint files on disk, no goodbye.  The daemon
+    // must detect the death, return the shard, respawn, and the
+    // inheriting worker must restore the dead worker's completed
+    // trials from the checkpoint and run the rest — with a final
+    // fingerprint byte-identical to an uninterrupted in-process run.
+    svc::DaemonConfig config;
+    config.socketPath = uniquePath("kill");
+    config.workers = 2;
+    config.stateDir = uniquePath("killstate");
+    config.worker0DieAfter = 3;
+    DaemonFixture daemon(std::move(config));
+
+    svc::Client client(daemon.config.socketPath);
+    ASSERT_TRUE(client.connected());
+
+    const svc::CampaignRequest request = selftestRequest(32, 9);
+    const svc::SubmitResult result = client.submit(request);
+    ASSERT_TRUE(result.ok) << result.error;
+    EXPECT_GE(result.workerDeaths, 1u);
+    EXPECT_EQ(result.fingerprint, inProcessFingerprint(request));
+
+    // Durability: the finished campaign's trials are all persisted,
+    // so resubmitting the identical request is a pure restore — and
+    // still the same bytes.
+    const svc::SubmitResult again = client.submit(request);
+    ASSERT_TRUE(again.ok) << again.error;
+    EXPECT_EQ(again.resumedTrials, 32u);
+    EXPECT_EQ(again.workerDeaths, 0u);
+    EXPECT_EQ(again.fingerprint, result.fingerprint);
+}
+
+TEST(SvcService, TwoTenantsSameSeedAreDisjointAndReproducible)
+{
+    svc::DaemonConfig config;
+    config.socketPath = uniquePath("tenant");
+    config.workers = 2;
+    DaemonFixture daemon(std::move(config));
+
+    // Same request, same master seed, different namespaces,
+    // submitted concurrently on two connections.
+    const svc::CampaignRequest alice =
+        selftestRequest(16, 42, "alice");
+    const svc::CampaignRequest bob = selftestRequest(16, 42, "bob");
+
+    svc::SubmitResult alice_result, bob_result;
+    std::thread alice_thread([&] {
+        svc::Client client(daemon.config.socketPath);
+        ASSERT_TRUE(client.connected());
+        alice_result = client.submit(alice);
+    });
+    std::thread bob_thread([&] {
+        svc::Client client(daemon.config.socketPath);
+        ASSERT_TRUE(client.connected());
+        bob_result = client.submit(bob);
+    });
+    alice_thread.join();
+    bob_thread.join();
+
+    ASSERT_TRUE(alice_result.ok) << alice_result.error;
+    ASSERT_TRUE(bob_result.ok) << bob_result.error;
+
+    // Disjoint: the namespace decorrelates the trial streams.
+    EXPECT_NE(alice_result.fingerprint, bob_result.fingerprint);
+
+    // Individually reproducible: each equals its own in-process twin
+    // (same registry, same namespace derivation), and a resubmission
+    // under contention-free conditions returns the same bytes.
+    EXPECT_EQ(alice_result.fingerprint, inProcessFingerprint(alice));
+    EXPECT_EQ(bob_result.fingerprint, inProcessFingerprint(bob));
+
+    svc::Client client(daemon.config.socketPath);
+    ASSERT_TRUE(client.connected());
+    const svc::SubmitResult alice_again = client.submit(alice);
+    ASSERT_TRUE(alice_again.ok) << alice_again.error;
+    EXPECT_EQ(alice_again.fingerprint, alice_result.fingerprint);
+}
+
+TEST(SvcService, SimulatorRecipeMatchesInProcessRun)
+{
+    // One full-simulator recipe through the service: Fig.-10-shaped
+    // port contention, small enough for test time.
+    svc::DaemonConfig config;
+    config.socketPath = uniquePath("fig10");
+    config.workers = 2;
+    DaemonFixture daemon(std::move(config));
+
+    svc::Client client(daemon.config.socketPath);
+    ASSERT_TRUE(client.connected());
+
+    svc::CampaignRequest request;
+    request.recipe = "fig10_port_contention";
+    request.trials = 4;
+    request.masterSeed = 42;
+    request.params = json::Value::object()
+                         .set("samples", 60)
+                         .set("replays", 4);
+
+    const svc::SubmitResult result = client.submit(request);
+    ASSERT_TRUE(result.ok) << result.error;
+    EXPECT_EQ(result.fingerprint, inProcessFingerprint(request));
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    // The daemon re-execs /proc/self/exe as its worker pool — which,
+    // when a daemon runs inside this test process, is this binary.
+    // The marker check must therefore come before gtest sees argv.
+    int worker_exit = 0;
+    if (uscope::svc::maybeRunWorkerMain(argc, argv, &worker_exit))
+        return worker_exit;
+    ::testing::InitGoogleTest(&argc, argv);
+    return RUN_ALL_TESTS();
+}
