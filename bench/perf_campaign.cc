@@ -38,11 +38,21 @@
  *     overhead at 1 worker is gated (<= 1.5x in-process wall time).
  *     Results land in bench-results/BENCH_svc.json.  `--svc=off`
  *     skips the section (e.g. sandboxes without AF_UNIX sockets).
+ *  5. **Observability A/B** (DESIGN.md §14) — the same
+ *     fig11_aes_replay request at --obs=off/metrics/trace/full.
+ *     Observation must never perturb results: all four deterministic
+ *     fingerprints must be byte-identical (hard failure), and the
+ *     wall-clock overhead of --obs=metrics over --obs=off is gated at
+ *     <= 1.10x.  The trace arms spill per-trial event logs and the
+ *     section merges them (obs::mergeChromeTraces) as a smoke test of
+ *     the cross-process aggregation path.  Results land in
+ *     bench-results/BENCH_obs.json; `--obs=LEVEL` pins one arm.
  */
 
 #include <array>
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <optional>
 #include <string>
@@ -59,6 +69,7 @@
 #include "crypto/aes_codegen.hh"
 #include "exp/campaign.hh"
 #include "exp/result_sink.hh"
+#include "obs/chrome_trace.hh"
 #include "obs/cli.hh"
 #include "svc/client.hh"
 #include "svc/daemon.hh"
@@ -558,6 +569,163 @@ svcSection(std::optional<bool> svc_flag)
     return ok && overhead > 0.0 && overhead <= svcOverheadGate;
 }
 
+// ---------------------------------------------------------------------
+// Section 5: observability A/B (DESIGN.md §14).
+// ---------------------------------------------------------------------
+
+constexpr std::size_t obsTrials = 8;
+/** Phase profiling + metric export must stay effectively free. */
+constexpr double obsOverheadGate = 1.10;
+
+struct ObsArm
+{
+    const char *name = "";
+    double wallSeconds = 0.0;
+    double trialsPerSec = 0.0;
+    std::string fingerprint;
+    bool hasProf = false;
+    bool ok = false;
+};
+
+/** The fig11_aes_replay recipe at one obs level, in-process. */
+ObsArm
+runObsArm(obs::ObsLevel level, const std::string &spill_dir)
+{
+    svc::CampaignRequest request;
+    request.recipe = "fig11_aes_replay";
+    request.name = std::string("perf_campaign_obs_") +
+                   obs::obsLevelName(level);
+    request.trials = obsTrials;
+    request.masterSeed = 42;
+    request.obs = level;
+    exp::CampaignSpec spec = svc::buildSpec(request);
+    spec.workers = 1;
+    spec.traceSpillDir = spill_dir; // runner ignores it below Trace
+    const exp::CampaignResult result = exp::runCampaign(spec);
+
+    ObsArm arm;
+    arm.name = obs::obsLevelName(level);
+    arm.wallSeconds = result.wallSeconds;
+    arm.trialsPerSec = result.trialsPerSecond();
+    arm.fingerprint = deterministicFingerprint(result);
+    arm.hasProf = !result.prof.empty();
+    arm.ok = result.aggregate.ok == obsTrials;
+    return arm;
+}
+
+/** Run section 5; returns false on a hard failure. */
+bool
+obsSection(std::optional<obs::ObsLevel> pinned)
+{
+    std::printf("\n==============================================================\n");
+    std::printf("Observability A/B: fig11_aes_replay at "
+                "--obs=off/metrics/trace/full, %zu trials\n",
+                obsTrials);
+    std::printf("==============================================================\n\n");
+
+    const std::string spillBase =
+        "bench-results/perf_campaign_obs_spills";
+
+    if (pinned) {
+        std::error_code ec;
+        std::filesystem::remove_all(spillBase, ec);
+        const ObsArm arm = runObsArm(
+            *pinned, *pinned >= obs::ObsLevel::Trace ? spillBase
+                                                     : std::string());
+        std::printf("obs=%-8s %6.2fs wall, %5.1f trials/s, "
+                    "fingerprint %s\n",
+                    arm.name, arm.wallSeconds, arm.trialsPerSec,
+                    fnv1aHex(arm.fingerprint).c_str());
+        return arm.ok;
+    }
+
+    std::vector<ObsArm> arms;
+    for (const obs::ObsLevel level :
+         {obs::ObsLevel::Off, obs::ObsLevel::Metrics,
+          obs::ObsLevel::Trace, obs::ObsLevel::Full}) {
+        std::string dir;
+        if (level >= obs::ObsLevel::Trace) {
+            dir = spillBase + "_" +
+                  std::string(obs::obsLevelName(level));
+            std::error_code ec;
+            std::filesystem::remove_all(dir, ec);
+        }
+        arms.push_back(runObsArm(level, dir));
+        const ObsArm &arm = arms.back();
+        std::printf("obs=%-8s %6.2fs wall, %5.1f trials/s, prof %s, "
+                    "fingerprint %s\n",
+                    arm.name, arm.wallSeconds, arm.trialsPerSec,
+                    arm.hasProf ? "yes" : "no",
+                    fnv1aHex(arm.fingerprint).c_str());
+    }
+
+    // The invariance contract: the dial NEVER changes results.
+    bool identical = true, ok = true;
+    for (const ObsArm &arm : arms) {
+        identical = identical && arm.fingerprint == arms[0].fingerprint;
+        ok = ok && arm.ok;
+    }
+    std::printf("\nfingerprints byte-identical across obs levels: "
+                "%s\n", identical ? "yes" : "NO");
+
+    // Prof must be present exactly when the dial says so.
+    const bool profGated = !arms[0].hasProf && arms[1].hasProf &&
+                           arms[2].hasProf && arms[3].hasProf;
+    if (!profGated)
+        std::printf("prof presence does not match the obs dial\n");
+
+    const double overhead = arms[0].wallSeconds > 0.0
+                                ? arms[1].wallSeconds /
+                                      arms[0].wallSeconds
+                                : 0.0;
+    std::printf("metrics overhead vs off: %.3fx (gate: <= %.2fx)\n",
+                overhead, obsOverheadGate);
+
+    // Merge the trace arm's spills — the cross-process aggregation
+    // path exercised in-process (worker 0 only, one pid lane).
+    std::vector<obs::TraceSpill> spills =
+        obs::loadTraceSpills(spillBase + "_trace");
+    const std::size_t spillCount = spills.size();
+    const std::string mergedPath =
+        "bench-results/perf_campaign_obs.trace.json";
+    if (!spills.empty())
+        writeTextFile(mergedPath,
+                      obs::mergeChromeTraces(std::move(spills)));
+    std::printf("trace arm spilled %zu/%zu trials; merged trace: "
+                "%s\n",
+                spillCount, obsTrials,
+                spillCount ? mergedPath.c_str() : "(none)");
+
+    exp::json::Value armsJson = exp::json::Value::array();
+    for (const ObsArm &arm : arms)
+        armsJson.push(exp::json::Value::object()
+                          .set("obs", arm.name)
+                          .set("wall_seconds", arm.wallSeconds)
+                          .set("trials_per_sec", arm.trialsPerSec)
+                          .set("has_prof", arm.hasProf)
+                          .set("fingerprint_match",
+                               arm.fingerprint == arms[0].fingerprint));
+    const exp::json::Value bench =
+        exp::json::Value::object()
+            .set("bench", "perf_campaign_obs")
+            .set("config",
+                 exp::json::Value::object()
+                     .set("recipe", "fig11_aes_replay")
+                     .set("trials", std::uint64_t{obsTrials})
+                     .set("master_seed", std::uint64_t{42}))
+            .set("overhead_metrics_vs_off", overhead)
+            .set("overhead_gate", obsOverheadGate)
+            .set("fingerprints_identical", identical)
+            .set("fingerprint", fnv1aHex(arms[0].fingerprint))
+            .set("trace_spills", std::uint64_t{spillCount})
+            .set("arms", std::move(armsJson));
+    writeTextFile("bench-results/BENCH_obs.json", bench.dump());
+    std::printf("bench JSON: bench-results/BENCH_obs.json\n");
+
+    return ok && identical && profGated && spillCount == obsTrials &&
+           overhead > 0.0 && overhead <= obsOverheadGate;
+}
+
 } // namespace
 
 int
@@ -663,6 +831,7 @@ main(int argc, char **argv)
         ok = ok && pinned.aggregate.ok == fig11Trials;
         ok = prefixSection(prefixCacheFlag, poolFlag, sink) && ok;
         ok = svcSection(svcFlag) && ok;
+        ok = obsSection(opts.obsLevel) && ok;
         return ok ? 0 : 1;
     }
 
@@ -705,5 +874,6 @@ main(int argc, char **argv)
 
     ok = prefixSection(prefixCacheFlag, poolFlag, sink) && ok;
     ok = svcSection(svcFlag) && ok;
+    ok = obsSection(opts.obsLevel) && ok;
     return ok ? 0 : 1;
 }

@@ -16,13 +16,19 @@
  * daemon answers; `--shutdown` asks it to exit.
  */
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <optional>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "exp/campaign.hh"
+#include "obs/chrome_trace.hh"
+#include "obs/log.hh"
+#include "obs/prof.hh"
 #include "svc/client.hh"
 #include "svc/registry.hh"
 #include "svc/worker.hh"
@@ -37,6 +43,8 @@ usage(const char *argv0)
 {
     std::printf(
         "usage: %s --socket=PATH [--recipe=NAME] [options]\n"
+        "       %s stats --socket=PATH [--watch=SECS] [--json]\n"
+        "       %s trace --dir=DIR --out=PATH\n"
         "\n"
         "  --recipe=NAME         registered recipe to run\n"
         "  --name=NAME           campaign name (default: recipe)\n"
@@ -44,6 +52,7 @@ usage(const char *argv0)
         "  --trials=N            trial count (0 = recipe default)\n"
         "  --seed=N              master seed (default 42)\n"
         "  --max-retries=N       retry budget per trial\n"
+        "  --obs=LEVEL           off|metrics|trace|full (default off)\n"
         "  --stream-every=N      update frame every N trials\n"
         "  --out=PATH            NDJSON stream of updates + result\n"
         "  --fingerprint-out=P   write the result fingerprint to P\n"
@@ -51,8 +60,162 @@ usage(const char *argv0)
         "                        the service (reference fingerprint)\n"
         "  --workers=N           worker threads for --inprocess\n"
         "  --wait-ready          ping until the daemon answers, exit\n"
-        "  --shutdown            ask the daemon to exit\n",
-        argv0);
+        "  --shutdown            ask the daemon to exit\n"
+        "  --log-level=LEVEL     error|warn|info|debug\n"
+        "  --log-json            NDJSON log lines on stderr\n"
+        "\n"
+        "stats: one live ops snapshot (table on stdout; --json for\n"
+        "       the raw reply as NDJSON; --watch=SECS to poll).\n"
+        "trace: merge every worker's trace-*.json spill under DIR\n"
+        "       into one Perfetto/chrome://tracing document at PATH\n"
+        "       (one pid lane per worker).\n",
+        argv0, argv0, argv0);
+}
+
+/** Human-readable rendering of one stats reply. */
+void
+printStatsTable(const json::Value &stats)
+{
+    const json::Value *v = stats.get("uptime_seconds");
+    std::printf("daemon: uptime %.1fs, %llu workers%s\n",
+                v ? v->asDouble() : 0.0,
+                static_cast<unsigned long long>(
+                    stats.get("workers") ? stats.get("workers")->asU64()
+                                         : 0),
+                stats.get("shutting_down") &&
+                        stats.get("shutting_down")->asBool()
+                    ? " (shutting down)"
+                    : "");
+
+    if (const json::Value *campaigns = stats.get("campaigns")) {
+        for (const json::Value &c : campaigns->items()) {
+            const auto u64 = [&](const char *key) {
+                const json::Value *f = c.get(key);
+                return f ? f->asU64() : 0;
+            };
+            std::printf(
+                "campaign %llu '%s' (%s): %llu/%llu trials, "
+                "%llu resumed, %llu steals, %llu worker deaths, "
+                "%llu pending shards, obs=%s, age %.1fs\n",
+                static_cast<unsigned long long>(u64("id")),
+                c.get("name") ? c.get("name")->asString().c_str()
+                              : "?",
+                c.get("recipe") ? c.get("recipe")->asString().c_str()
+                                : "?",
+                static_cast<unsigned long long>(u64("completed")),
+                static_cast<unsigned long long>(u64("total")),
+                static_cast<unsigned long long>(u64("resumed")),
+                static_cast<unsigned long long>(u64("steals")),
+                static_cast<unsigned long long>(u64("worker_deaths")),
+                static_cast<unsigned long long>(u64("pending_shards")),
+                c.get("obs") ? c.get("obs")->asString().c_str()
+                             : "off",
+                c.get("age_seconds")
+                    ? c.get("age_seconds")->asDouble()
+                    : 0.0);
+        }
+    }
+
+    if (const json::Value *workers = stats.get("worker_table")) {
+        for (const json::Value &w : workers->items()) {
+            const auto u64 = [&](const char *key) {
+                const json::Value *f = w.get(key);
+                return f ? f->asU64() : 0;
+            };
+            std::printf(
+                "worker %llu: pid %lld, %s, %llu spawns, %llu "
+                "kills, heartbeat %.2fs ago",
+                static_cast<unsigned long long>(u64("id")),
+                static_cast<long long>(
+                    w.get("pid") ? w.get("pid")->asU64() : 0),
+                w.get("busy") && w.get("busy")->asBool() ? "busy"
+                                                         : "idle",
+                static_cast<unsigned long long>(u64("spawns")),
+                static_cast<unsigned long long>(u64("kills")),
+                w.get("heartbeat_age_seconds")
+                    ? w.get("heartbeat_age_seconds")->asDouble()
+                    : 0.0);
+            if (const json::Value *counters = w.get("counters")) {
+                for (const auto &[name, value] : counters->entries())
+                    std::printf(", %s=%llu", name.c_str(),
+                                static_cast<unsigned long long>(
+                                    value.asU64()));
+            }
+            std::printf("\n");
+        }
+    }
+
+    if (const json::Value *prof = stats.get("prof")) {
+        for (const auto &[phase, summary] : prof->entries()) {
+            std::printf(
+                "%s: n=%llu mean=%.6fs max=%.6fs\n", phase.c_str(),
+                static_cast<unsigned long long>(
+                    summary.get("count") ? summary.get("count")->asU64()
+                                         : 0),
+                summary.get("mean_seconds")
+                    ? summary.get("mean_seconds")->asDouble()
+                    : 0.0,
+                summary.get("max_seconds")
+                    ? summary.get("max_seconds")->asDouble()
+                    : 0.0);
+        }
+    }
+}
+
+int
+statsMain(const std::string &socket, int watch_seconds, bool as_json)
+{
+    for (;;) {
+        svc::Client client(socket);
+        if (!client.connected()) {
+            std::fprintf(stderr, "cannot connect to '%s'\n",
+                         socket.c_str());
+            return 1;
+        }
+        const std::optional<json::Value> stats = client.stats();
+        if (!stats) {
+            std::fprintf(stderr, "no stats reply from '%s'\n",
+                         socket.c_str());
+            return 1;
+        }
+        if (as_json)
+            std::printf("%s\n", stats->dump().c_str());
+        else
+            printStatsTable(*stats);
+        std::fflush(stdout);
+        if (watch_seconds <= 0)
+            return 0;
+        std::this_thread::sleep_for(
+            std::chrono::seconds(watch_seconds));
+    }
+}
+
+int
+traceMain(const std::string &dir, const std::string &out_path)
+{
+    if (dir.empty() || out_path.empty()) {
+        std::fprintf(stderr,
+                     "trace needs both --dir=DIR and --out=PATH\n");
+        return 2;
+    }
+    std::vector<obs::TraceSpill> spills = obs::loadTraceSpills(dir);
+    if (spills.empty()) {
+        std::fprintf(stderr, "no trace-*.json spills under '%s'\n",
+                     dir.c_str());
+        return 1;
+    }
+    const std::size_t count = spills.size();
+    const std::string merged =
+        obs::mergeChromeTraces(std::move(spills));
+    std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+        std::fprintf(stderr, "cannot write '%s'\n", out_path.c_str());
+        return 1;
+    }
+    out << merged;
+    std::printf("merged %zu spill(s) from '%s' into %s\n", count,
+                dir.c_str(), out_path.c_str());
+    return 0;
 }
 
 void
@@ -72,14 +235,30 @@ main(int argc, char **argv)
     int worker_exit = 0;
     if (svc::maybeRunWorkerMain(argc, argv, &worker_exit))
         return worker_exit;
+    obs::configureLogFromEnv();
 
-    std::string socket, out_path, fingerprint_path;
+    std::string subcommand;
+    int first_flag = 1;
+    if (argc > 1 && argv[1][0] != '-') {
+        subcommand = argv[1];
+        first_flag = 2;
+        if (subcommand != "stats" && subcommand != "trace") {
+            std::fprintf(stderr, "unknown subcommand '%s'\n",
+                         subcommand.c_str());
+            usage(argv[0]);
+            return 2;
+        }
+    }
+
+    std::string socket, out_path, fingerprint_path, trace_dir;
     svc::CampaignRequest request;
     std::size_t stream_every = 0;
     unsigned inprocess_workers = 1;
+    int watch_seconds = 0;
     bool inprocess = false, wait_ready = false, shutdown = false;
+    bool stats_json = false;
 
-    for (int i = 1; i < argc; ++i) {
+    for (int i = first_flag; i < argc; ++i) {
         const std::string arg = argv[i];
         const auto valueOf = [&](const char *prefix)
             -> std::optional<std::string> {
@@ -104,7 +283,16 @@ main(int argc, char **argv)
         else if (auto v = valueOf("--max-retries="))
             request.maxRetries =
                 static_cast<unsigned>(std::atoi(v->c_str()));
-        else if (auto v = valueOf("--stream-every="))
+        else if (auto v = valueOf("--obs=")) {
+            const std::optional<obs::ObsLevel> level =
+                obs::parseObsLevel(*v);
+            if (!level) {
+                std::fprintf(stderr, "unknown obs level '%s'\n",
+                             v->c_str());
+                return 2;
+            }
+            request.obs = *level;
+        } else if (auto v = valueOf("--stream-every="))
             stream_every =
                 static_cast<std::size_t>(std::atoll(v->c_str()));
         else if (auto v = valueOf("--out="))
@@ -114,6 +302,21 @@ main(int argc, char **argv)
         else if (auto v = valueOf("--workers="))
             inprocess_workers =
                 static_cast<unsigned>(std::atoi(v->c_str()));
+        else if (auto v = valueOf("--watch="))
+            watch_seconds = std::atoi(v->c_str());
+        else if (auto v = valueOf("--dir="))
+            trace_dir = *v;
+        else if (auto v = valueOf("--log-level=")) {
+            obs::LogConfig lc = obs::logConfig();
+            if (auto level = obs::parseLogLevel(*v))
+                lc.level = *level;
+            obs::configureLog(lc);
+        } else if (arg == "--log-json") {
+            obs::LogConfig lc = obs::logConfig();
+            lc.json = true;
+            obs::configureLog(lc);
+        } else if (arg == "--json")
+            stats_json = true;
         else if (arg == "--inprocess")
             inprocess = true;
         else if (arg == "--wait-ready")
@@ -128,6 +331,18 @@ main(int argc, char **argv)
             usage(argv[0]);
             return 2;
         }
+    }
+
+    obs::installSimLogBridge();
+
+    if (subcommand == "trace")
+        return traceMain(trace_dir, out_path);
+    if (subcommand == "stats") {
+        if (socket.empty()) {
+            usage(argv[0]);
+            return 2;
+        }
+        return statsMain(socket, watch_seconds, stats_json);
     }
 
     if (inprocess) {

@@ -9,6 +9,35 @@
 namespace uscope
 {
 
+namespace
+{
+
+/** The installed sink for panic/fatal/warn/inform, or null for the
+ *  default fprintf output.  Relaxed is enough: installation happens
+ *  during process setup, long before concurrent emission. */
+std::atomic<LogHandler> logHandler{nullptr};
+
+/** Route one diagnostic line: the handler if installed, else the
+ *  historical fprintf shape. */
+void
+emit(int severity, const char *prefix, std::FILE *stream,
+     const std::string &msg)
+{
+    if (LogHandler handler = logHandler.load(std::memory_order_relaxed)) {
+        handler(severity, msg.c_str());
+        return;
+    }
+    std::fprintf(stream, "%s: %s\n", prefix, msg.c_str());
+}
+
+} // anonymous namespace
+
+void
+setLogHandler(LogHandler handler)
+{
+    logHandler.store(handler, std::memory_order_relaxed);
+}
+
 std::string
 vformat(const char *fmt, std::va_list ap)
 {
@@ -39,7 +68,7 @@ panic(const char *fmt, ...)
     va_start(ap, fmt);
     std::string msg = vformat(fmt, ap);
     va_end(ap);
-    std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    emit(0, "panic", stderr, msg);
     throw SimPanic(msg);
 }
 
@@ -50,7 +79,7 @@ fatal(const char *fmt, ...)
     va_start(ap, fmt);
     std::string msg = vformat(fmt, ap);
     va_end(ap);
-    std::fprintf(stderr, "fatal: %s\n", msg.c_str());
+    emit(0, "fatal", stderr, msg);
     throw SimFatal(msg);
 }
 
@@ -61,7 +90,7 @@ warn(const char *fmt, ...)
     va_start(ap, fmt);
     std::string msg = vformat(fmt, ap);
     va_end(ap);
-    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+    emit(1, "warn", stderr, msg);
 }
 
 void
@@ -71,7 +100,7 @@ inform(const char *fmt, ...)
     va_start(ap, fmt);
     std::string msg = vformat(fmt, ap);
     va_end(ap);
-    std::fprintf(stdout, "info: %s\n", msg.c_str());
+    emit(2, "info", stdout, msg);
 }
 
 namespace

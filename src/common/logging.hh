@@ -75,6 +75,20 @@ void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 
 /**
+ * Pluggable sink for panic/fatal/warn/inform text.
+ *
+ * `severity` is 0 for panic/fatal (the exception still propagates),
+ * 1 for warn, 2 for inform.  Installing a handler replaces the
+ * default `fprintf(stderr/stdout, ...)` output entirely; passing
+ * nullptr restores it.  The hook exists so higher layers (obs::Logger)
+ * can route simulator diagnostics through a structured sink without
+ * common/ depending on them.  The handler must be callable from any
+ * thread and must not call back into panic()/fatal()/warn()/inform().
+ */
+using LogHandler = void (*)(int severity, const char *msg);
+void setLogHandler(LogHandler handler);
+
+/**
  * Per-category trace gate.  Components construct one with a category
  * name; Trace::enable()/disable() flips categories globally by name
  * ("*" matches all).

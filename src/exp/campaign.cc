@@ -1,5 +1,6 @@
 #include "exp/campaign.hh"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <mutex>
@@ -8,6 +9,8 @@
 #include "common/logging.hh"
 #include "common/random.hh"
 #include "exp/checkpoint.hh"
+#include "obs/chrome_trace.hh"
+#include "obs/log.hh"
 
 namespace uscope::exp
 {
@@ -15,12 +18,34 @@ namespace uscope::exp
 namespace
 {
 
+constexpr obs::Logger log_{"exp.campaign"};
+
 double
 elapsedSeconds(std::chrono::steady_clock::time_point since)
 {
     return std::chrono::duration<double>(
                std::chrono::steady_clock::now() - since)
         .count();
+}
+
+/**
+ * Strip `obs.trace.*` meta-counters from a snapshot copy.  Those
+ * counters exist so campaigns can assert lossless traces (satellite of
+ * DESIGN.md §14), but they only appear when tracing is on — folding
+ * them into the fingerprint would make `--obs=off` and `--obs=trace`
+ * runs disagree about *results* when only observation changed.
+ */
+obs::MetricSnapshot
+withoutObsMeta(const obs::MetricSnapshot &snapshot)
+{
+    obs::MetricSnapshot out = snapshot;
+    out.values.erase(
+        std::remove_if(out.values.begin(), out.values.end(),
+                       [](const obs::MetricValue &v) {
+                           return v.name.rfind("obs.trace.", 0) == 0;
+                       }),
+        out.values.end());
+    return out;
 }
 
 } // namespace
@@ -116,10 +141,10 @@ toJson(const Histogram &histogram, std::size_t max_raw_samples)
         for (std::size_t i = 0; i < raw.size(); i += stride)
             samples.push(raw[i]);
         dropped = raw.size() - (raw.size() + stride - 1) / stride;
-        warn("histogram JSON export: %llu of %zu raw samples dropped "
-             "(cap %zu, stride %zu)",
-             static_cast<unsigned long long>(dropped), raw.size(),
-             max_raw_samples, stride);
+        log_.warn("histogram JSON export: %llu of %zu raw samples "
+                  "dropped (cap %zu, stride %zu)",
+                  static_cast<unsigned long long>(dropped), raw.size(),
+                  max_raw_samples, stride);
     }
     v.set("samples", std::move(samples));
     v.set("samples_total", std::uint64_t{raw.size()});
@@ -201,6 +226,8 @@ CampaignResult::toJson(bool include_trials) const
             .set("trials_per_second", trialsPerSecond())
             .set("sim_cycles_per_second", simCyclesPerSecond())
             .set("aggregate", aggregate.toJson());
+    if (!prof.empty())
+        v.set("prof", prof.toJson());
     if (include_trials && !trials.empty()) {
         json::Value detail = json::Value::array();
         for (const TrialResult &trial : trials)
@@ -259,11 +286,26 @@ struct TrialExecutor::State
      *  campaigns sweep a handful of structures at most, so a linear
      *  scan beats hashing a whole MachineConfig. */
     std::vector<WarmupEntry> warmups;
+
+    /** Accumulated prof.trial.* phase profile (ObsLevel >= Metrics). */
+    obs::ProfData prof;
 };
 
 TrialExecutor::TrialExecutor() : state_(std::make_unique<State>()) {}
 
 TrialExecutor::~TrialExecutor() = default;
+
+const obs::ProfData &
+TrialExecutor::prof() const
+{
+    return state_->prof;
+}
+
+void
+TrialExecutor::clearProf()
+{
+    state_->prof = obs::ProfData{};
+}
 
 void
 TrialExecutor::beginCampaign(const CampaignSpec &spec)
@@ -319,6 +361,17 @@ TrialExecutor::runAttempt(const CampaignSpec &spec, std::size_t index,
         if (!ctx.machine.seed.explicitlySet)
             ctx.machine.seed = ctx.seed;
     }
+    // The observability dial: tracing rides the trial's MachineConfig,
+    // so it reaches self-built machines (bodies construct from
+    // ctx.machine), warm forks (warm_config copies ctx.machine), and
+    // pooled machines (sameStructure includes ObsConfig, so traced and
+    // untraced trials never share a pool slot) alike.
+    const bool tracing = spec.obsLevel >= obs::ObsLevel::Trace;
+    if (tracing)
+        ctx.machine.obs.traceEvents = true;
+    obs::ProfData *prof = spec.obsLevel >= obs::ObsLevel::Metrics
+                              ? &state_->prof
+                              : nullptr;
 
     TrialResult result;
     result.index = index;
@@ -349,6 +402,7 @@ TrialExecutor::runAttempt(const CampaignSpec &spec, std::size_t index,
                         os::sameStructure(e.config, warm_config))
                         entry = &e;
                 if (!entry) {
+                    obs::ProfScope timer(prof, "prof.trial.warmup");
                     os::Machine warm(warm_config);
                     State::WarmupEntry fresh;
                     fresh.config = warm_config;
@@ -359,6 +413,7 @@ TrialExecutor::runAttempt(const CampaignSpec &spec, std::size_t index,
                     ws.warmups.push_back(std::move(fresh));
                     entry = &ws.warmups.back();
                 }
+                obs::ProfScope timer(prof, "prof.trial.fork");
                 os::Machine &machine = acquireMachine(
                     spec, scratch, warm_config, /*reset_state=*/false);
                 machine.restoreFrom(entry->snap);
@@ -368,6 +423,7 @@ TrialExecutor::runAttempt(const CampaignSpec &spec, std::size_t index,
             } else {
                 // Cold path (the A/B baseline): re-run the warmup on a
                 // seed-fresh machine, then reseed at the same point.
+                obs::ProfScope timer(prof, "prof.trial.warmup");
                 os::Machine &machine = acquireMachine(
                     spec, scratch, warm_config, /*reset_state=*/true);
                 hold = spec.warmup(machine);
@@ -382,7 +438,16 @@ TrialExecutor::runAttempt(const CampaignSpec &spec, std::size_t index,
             ctx.forkCycle = ctx.fork->cycle();
         }
 
-        result.output = spec.body(ctx);
+        {
+            obs::ProfScope timer(prof, "prof.trial.run");
+            result.output = spec.body(ctx);
+        }
+        // Runner-provided machines are drained by the executor, so
+        // recipe bodies need no tracing awareness; a body that drained
+        // its own machine (or built one) keeps its log untouched.
+        if (tracing && ctx.fork && result.output.trace.events.empty() &&
+            result.output.trace.total == 0)
+            result.output.trace = ctx.fork->observer().trace.drain();
         result.status = TrialStatus::Ok;
         if (spec.cycleBudget &&
             result.output.simCycles > spec.cycleBudget) {
@@ -402,6 +467,22 @@ TrialExecutor::runAttempt(const CampaignSpec &spec, std::size_t index,
         result.status = TrialStatus::Failed;
         result.error = "unknown exception";
     }
+
+    // Spill the drained trace while the fork cycle is still in scope.
+    // Failed attempts don't spill (a retry will overwrite the slot
+    // anyway); a spill failure is a warning, never a trial failure.
+    if (tracing && !spec.traceSpillDir.empty() &&
+        result.status != TrialStatus::Failed &&
+        !result.output.trace.events.empty()) {
+        obs::ProfScope timer(prof, "prof.trial.export");
+        obs::TraceSpill spill;
+        spill.worker = worker;
+        spill.trial = index;
+        spill.forkCycle = ctx.forkCycle;
+        spill.log = result.output.trace;
+        obs::writeTraceSpill(spec.traceSpillDir, spill);
+    }
+
     result.wallSeconds = elapsedSeconds(start);
     return result;
 }
@@ -453,11 +534,17 @@ aggregateTrials(const std::vector<TrialResult> &results)
 std::string
 deterministicFingerprint(const CampaignResult &result)
 {
-    std::string fp = result.aggregate.toJson().dump();
+    // obs.trace.* counters describe the *observation* (how many events
+    // the ring recorded), not the result, and only exist when tracing
+    // is on — they are filtered so fingerprints are byte-identical
+    // across every ObsLevel (the §14 invariance contract).
+    CampaignAggregate aggregate = result.aggregate;
+    aggregate.metrics = withoutObsMeta(aggregate.metrics);
+    std::string fp = aggregate.toJson().dump();
     for (const TrialResult &trial : result.trials) {
         fp += '\n';
         fp += trial.output.payload.dump();
-        fp += trial.output.metrics.toJson().dump();
+        fp += withoutObsMeta(trial.output.metrics).toJson().dump();
         fp += json::Value(trial.output.simCycles).dump();
         fp += trialStatusName(trial.status);
     }
@@ -479,7 +566,8 @@ std::size_t
 runShardRange(const CampaignSpec &spec, std::size_t lo, std::size_t hi,
               TrialExecutor &exec, CampaignCheckpoint *checkpoint,
               const std::function<void(TrialResult &&, bool)> &emit,
-              const std::function<std::size_t()> &currentHi)
+              const std::function<std::size_t()> &currentHi,
+              unsigned worker)
 {
     std::size_t emitted = 0;
     for (std::size_t index = lo; index < hi; ++index) {
@@ -501,7 +589,7 @@ runShardRange(const CampaignSpec &spec, std::size_t lo, std::size_t hi,
                 continue;
             }
         }
-        TrialResult result = exec.runTrial(spec, index, /*worker=*/0);
+        TrialResult result = exec.runTrial(spec, index, worker);
         if (checkpoint)
             checkpoint->store(result);
         emit(std::move(result), /*restored=*/false);
@@ -539,6 +627,7 @@ CampaignRunner::run()
     std::atomic<std::size_t> next{0};
     std::size_t completed = resumed;
     unsigned deadWorkers = 0;
+    obs::ProfData profTotal;
     std::mutex lock;
 
     const auto start = std::chrono::steady_clock::now();
@@ -557,6 +646,21 @@ CampaignRunner::run()
         // snapshot (plus its COW forks) live and die on this worker.
         TrialExecutor executor;
         executor.beginCampaign(spec_);
+        // Merge this worker's phase profile on every exit path — a
+        // dying worker's measured trials still count.
+        struct ProfReport
+        {
+            TrialExecutor &executor;
+            obs::ProfData &total;
+            std::mutex &lock;
+            ~ProfReport()
+            {
+                if (executor.prof().empty())
+                    return;
+                std::lock_guard<std::mutex> guard(lock);
+                total.merge(executor.prof());
+            }
+        } prof_report{executor, profTotal, lock};
         try {
             for (;;) {
                 const std::size_t index = claimNext();
@@ -578,15 +682,15 @@ CampaignRunner::run()
             // this worker; the grace pass below finishes its trials.
             std::lock_guard<std::mutex> guard(lock);
             ++deadWorkers;
-            warn("campaign '%s': worker %u died (%s); finishing its "
-                 "trials serially",
-                 spec_.name.c_str(), worker, e.what());
+            log_.warn("campaign '%s': worker %u died (%s); finishing "
+                      "its trials serially",
+                      spec_.name.c_str(), worker, e.what());
         } catch (...) {
             std::lock_guard<std::mutex> guard(lock);
             ++deadWorkers;
-            warn("campaign '%s': worker %u died (unknown exception); "
-                 "finishing its trials serially",
-                 spec_.name.c_str(), worker);
+            log_.warn("campaign '%s': worker %u died (unknown "
+                      "exception); finishing its trials serially",
+                      spec_.name.c_str(), worker);
         }
     };
 
@@ -621,6 +725,7 @@ CampaignRunner::run()
         results[index] = std::move(result);
         done[index] = 1;
     }
+    profTotal.merge(grace.prof());
 
     CampaignResult campaign;
     campaign.name = spec_.name;
@@ -629,6 +734,7 @@ CampaignRunner::run()
     campaign.workers = workers;
     campaign.resumedTrials = resumed;
     campaign.workerDeaths = deadWorkers;
+    campaign.prof = std::move(profTotal);
 
     // Aggregation happens here, single-threaded and in index order —
     // *never* in completion order — so N-worker and 1-worker runs of

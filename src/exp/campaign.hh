@@ -40,7 +40,9 @@
 #include "common/types.hh"
 #include "core/microscope.hh"
 #include "exp/json.hh"
+#include "obs/event.hh"
 #include "obs/metrics.hh"
+#include "obs/prof.hh"
 #include "os/machine.hh"
 
 namespace uscope::exp
@@ -160,6 +162,15 @@ struct TrialOutput
     /** Component metrics (Machine::metricsSnapshot() + extras);
      *  merged into the aggregate in trial-index order. */
     obs::MetricSnapshot metrics;
+    /**
+     * This trial's drained event trace, populated when the spec's
+     * obsLevel >= Trace: by the executor (runner-provided machines
+     * are drained automatically after the body) or by the body itself
+     * for self-built machines.  Never fingerprinted — traces describe
+     * the run, they are not results — and never checkpointed; the
+     * durable form is the per-trial spill file (obs::TraceSpill).
+     */
+    obs::EventLog trace;
 };
 
 /**
@@ -328,6 +339,34 @@ struct CampaignSpec
      * runner's lock, in completion (not index) order; keep it cheap.
      */
     std::function<void(std::size_t, std::size_t)> progress;
+
+    /**
+     * The campaign's observability dial (DESIGN.md §14):
+     *
+     *   Off      no profiling, no tracing (the default — hot path
+     *            untouched);
+     *   Metrics  phase-latency profiling (prof.trial.*) on;
+     *   Trace    Metrics + per-trial event tracing: the executor
+     *            forces ctx.machine.obs.traceEvents on, drains
+     *            runner-provided machines into TrialOutput::trace
+     *            after the body, and spills traces to traceSpillDir;
+     *   Full     everything (today identical to Trace).
+     *
+     * Pure observation: campaign fingerprints are byte-identical at
+     * every level (enforced by tests and bench/perf_campaign §5).
+     */
+    obs::ObsLevel obsLevel = obs::ObsLevel::Off;
+
+    /**
+     * When non-empty and obsLevel >= Trace: persist each executed
+     * trial's drained trace as an atomic spill file
+     * `trace-w<worker>-t<index>.json` under this directory, tagged
+     * (worker, trial, fork cycle) for cross-process merging via
+     * obs::mergeChromeTraces.  The service daemon points this at
+     * `<checkpointDir>/traces` so a campaign's spills live with its
+     * durable state.
+     */
+    std::string traceSpillDir;
 };
 
 /** Campaign-level aggregate, merged in trial-index order. */
@@ -363,6 +402,13 @@ struct CampaignResult
     /** Per-trial results, in index order (empty when the spec set
      *  keepTrialResults = false). */
     std::vector<TrialResult> trials;
+    /**
+     * Phase wall-time profile (prof.trial.*), merged across workers;
+     * empty below ObsLevel::Metrics.  A pure side channel: wall times
+     * are nondeterministic, so this never enters the fingerprint —
+     * it rides campaign JSON under "prof" only.
+     */
+    obs::ProfData prof;
 
     double trialsPerSecond() const;
     double simCyclesPerSecond() const;
@@ -401,9 +447,19 @@ class TrialExecutor
     void beginCampaign(const CampaignSpec &spec);
 
     /** Run trial @p index of @p spec, including the spec's retry
-     *  policy.  `worker` is informational (lands in ctx.worker). */
+     *  policy.  `worker` is informational (lands in ctx.worker and
+     *  tags this trial's trace spill file). */
     TrialResult runTrial(const CampaignSpec &spec, std::size_t index,
                          unsigned worker);
+
+    /** Accumulated phase profile (prof.trial.*) of every trial this
+     *  executor ran at ObsLevel >= Metrics; empty otherwise.  The
+     *  owner merges it into CampaignResult::prof (or streams it to
+     *  the daemon) — and may clear() it between reports. */
+    const obs::ProfData &prof() const;
+
+    /** Reset the accumulated profile (after the owner reported it). */
+    void clearProf();
 
   private:
     struct State;
@@ -459,12 +515,17 @@ std::string fnv1aHex(const std::string &s);
  * tightens (never extends) the range — the work-stealing shrink hook:
  * a worker whose shard is being split polls its control socket there.
  * Returns the number of trials emitted.
+ *
+ * @p worker is informational: it lands in TrialContext::worker and
+ * tags trace spill files (results are worker-invariant either way —
+ * the established fingerprint contract).
  */
 std::size_t runShardRange(
     const CampaignSpec &spec, std::size_t lo, std::size_t hi,
     TrialExecutor &exec, CampaignCheckpoint *checkpoint,
     const std::function<void(TrialResult &&, bool restored)> &emit,
-    const std::function<std::size_t()> &currentHi = {});
+    const std::function<std::size_t()> &currentHi = {},
+    unsigned worker = 0);
 
 /**
  * Runs a CampaignSpec over a thread pool.

@@ -12,12 +12,15 @@
 #include <unistd.h>
 
 #include "common/logging.hh"
+#include "obs/log.hh"
 
 namespace uscope::exp
 {
 
 namespace
 {
+
+constexpr obs::Logger log_{"exp.checkpoint"};
 
 constexpr const char *trialMagic = "uscope-trial-v1";
 constexpr const char *manifestMagic = "uscope-campaign-v1";
@@ -161,80 +164,6 @@ statusFromName(const std::string &name)
 }
 
 } // namespace
-
-namespace
-{
-
-/**
- * fsync a directory so a rename inside it survives power loss.  Some
- * filesystems refuse to fsync directories; that degrades durability,
- * not atomicity, so it warns instead of failing the campaign.
- */
-void
-fsyncDirectory(const std::string &dir)
-{
-    const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
-    if (fd < 0) {
-        warn("writeFileAtomic: cannot open directory '%s' to fsync: %s",
-             dir.c_str(), std::strerror(errno));
-        return;
-    }
-    if (::fsync(fd) != 0 && errno != EINVAL && errno != ENOTSUP)
-        warn("writeFileAtomic: fsync of directory '%s' failed: %s",
-             dir.c_str(), std::strerror(errno));
-    ::close(fd);
-}
-
-} // namespace
-
-void
-writeFileAtomic(const std::string &path, const std::string &content)
-{
-    const std::string tmp = path + ".tmp";
-    const int fd = ::open(tmp.c_str(),
-                          O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
-    if (fd < 0)
-        fatal("writeFileAtomic: cannot open '%s' for writing: %s",
-              tmp.c_str(), std::strerror(errno));
-    std::size_t written = 0;
-    while (written < content.size()) {
-        const ssize_t n = ::write(fd, content.data() + written,
-                                  content.size() - written);
-        if (n < 0) {
-            if (errno == EINTR)
-                continue;
-            const int err = errno;
-            ::close(fd);
-            fatal("writeFileAtomic: short write to '%s': %s",
-                  tmp.c_str(), std::strerror(err));
-        }
-        written += static_cast<std::size_t>(n);
-    }
-    // Data must be on disk *before* the rename becomes visible, or a
-    // power cut can leave a fully-renamed, zero-length file — the one
-    // torn state the tmp+rename dance exists to rule out.
-    if (::fsync(fd) != 0 && errno != EINVAL && errno != ENOTSUP) {
-        const int err = errno;
-        ::close(fd);
-        fatal("writeFileAtomic: fsync of '%s' failed: %s", tmp.c_str(),
-              std::strerror(err));
-    }
-    ::close(fd);
-
-    std::error_code ec;
-    std::filesystem::rename(tmp, path, ec);
-    if (ec)
-        fatal("writeFileAtomic: rename '%s' -> '%s' failed: %s",
-              tmp.c_str(), path.c_str(), ec.message().c_str());
-
-    // And the rename itself must reach disk: the directory entry is
-    // what a resuming campaign (or a worker told a manifest exists)
-    // will look up after a crash.
-    const std::filesystem::path parent =
-        std::filesystem::path(path).parent_path();
-    fsyncDirectory(parent.empty() ? std::string(".")
-                                  : parent.string());
-}
 
 std::string
 CampaignCheckpoint::serializeTrial(const TrialResult &result)
@@ -397,9 +326,9 @@ CampaignCheckpoint::CampaignCheckpoint(const CampaignSpec &spec)
         return;
     }
     if (existing)
-        warn("campaign '%s': checkpoint directory '%s' holds a "
-             "different campaign's state; discarding it",
-             name_.c_str(), dir_.c_str());
+        log_.warn("campaign '%s': checkpoint directory '%s' holds a "
+                  "different campaign's state; discarding it",
+                  name_.c_str(), dir_.c_str());
 
     // Fresh start: stale trial files (possibly from a campaign with a
     // different trial count) must not be picked up by load().
@@ -426,9 +355,9 @@ CampaignCheckpoint::loadTrial(std::size_t index) const
         // cut on a filesystem that defeated the fsync dance): the
         // file carries no usable result, so the trial re-runs — a
         // per-trial cost, never a campaign abort.
-        warn("campaign '%s': checkpoint '%s' is truncated or "
-             "non-parseable; re-running trial %zu",
-             name_.c_str(), trialPath(index).c_str(), index);
+        log_.warn("campaign '%s': checkpoint '%s' is truncated or "
+                  "non-parseable; re-running trial %zu",
+                  name_.c_str(), trialPath(index).c_str(), index);
         return std::nullopt;
     }
     // The seed re-derivation is the integrity check: a file that
@@ -442,9 +371,10 @@ CampaignCheckpoint::loadTrial(std::size_t index) const
         trial->seed ==
             deriveRetrySeed(masterSeed_, index, trial->attempts - 1);
     if (!valid) {
-        warn("campaign '%s': checkpoint '%s' is stale or inconsistent "
-             "with this campaign; re-running trial %zu",
-             name_.c_str(), trialPath(index).c_str(), index);
+        log_.warn("campaign '%s': checkpoint '%s' is stale or "
+                  "inconsistent with this campaign; re-running trial "
+                  "%zu",
+                  name_.c_str(), trialPath(index).c_str(), index);
         return std::nullopt;
     }
     return trial;
@@ -466,8 +396,9 @@ CampaignCheckpoint::load(std::vector<TrialResult> &results,
         ++restored;
     }
     if (restored)
-        inform("campaign '%s': resumed %zu of %zu trials from '%s'",
-               name_.c_str(), restored, trials_, dir_.c_str());
+        log_.info("campaign '%s': resumed %zu of %zu trials from "
+                  "'%s'",
+                  name_.c_str(), restored, trials_, dir_.c_str());
     return restored;
 }
 
@@ -482,8 +413,8 @@ CampaignCheckpoint::store(const TrialResult &result) const
     } catch (const std::exception &e) {
         // Best-effort: a full disk must degrade the *checkpoint*, not
         // the campaign; the trial simply re-runs on a future resume.
-        warn("campaign '%s': could not checkpoint trial %zu: %s",
-             name_.c_str(), result.index, e.what());
+        log_.warn("campaign '%s': could not checkpoint trial %zu: %s",
+                  name_.c_str(), result.index, e.what());
     }
 }
 

@@ -45,28 +45,16 @@
 #include <string>
 #include <vector>
 
+#include "common/fsio.hh"
 #include "exp/campaign.hh"
 
 namespace uscope::exp
 {
 
-/**
- * Atomically AND durably replace @p path: write to `<path>.tmp`,
- * fsync the tmp file, rename over the destination, then fsync the
- * parent directory.  On POSIX the rename is atomic within a
- * directory, so concurrent readers — and a campaign resuming after a
- * kill — see either the old content or the new, never a prefix; the
- * two fsyncs extend that guarantee to *power loss*, not just process
- * death: without them the rename can reach disk before the data (the
- * classic ext4 zero-length-file hazard), or the rename itself can be
- * lost with the directory update still in the page cache.  The
- * campaign service's shard-reassignment correctness rides on this —
- * a manifest a worker was told exists must actually be readable after
- * the machine comes back.  Throws SimFatal on any I/O failure;
- * filesystems that cannot fsync a directory (EINVAL/ENOTSUP) degrade
- * to the old atomic-only behavior with a warning.
- */
-void writeFileAtomic(const std::string &path, const std::string &content);
+/** The atomic+durable write primitive now lives in common/fsio.hh
+ *  (obs trace spills need it too); the alias keeps existing
+ *  exp::writeFileAtomic callers working. */
+using uscope::writeFileAtomic;
 
 /** The campaign runner's view of one checkpoint directory. */
 class CampaignCheckpoint

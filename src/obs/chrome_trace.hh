@@ -17,7 +17,10 @@
 #define USCOPE_OBS_CHROME_TRACE_HH
 
 #include <cstddef>
+#include <cstdint>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "obs/event.hh"
 
@@ -42,6 +45,67 @@ std::string toChromeTraceJson(const EventLog &log,
  */
 bool writeChromeTrace(const std::string &path, const EventLog &log,
                       const ChromeTraceOptions &options = {});
+
+// ---------------------------------------------------------------------
+// Cross-process trace aggregation (DESIGN.md §14).
+// ---------------------------------------------------------------------
+
+/**
+ * One trial's trace as drained by a (possibly remote) worker process:
+ * the EventLog plus the coordinates that place it on the merged
+ * timeline.  Serialized as a compact JSON spill file — the durable
+ * per-trial form workers write under the campaign's state dir
+ * (`<dir>/trace-w<worker>-t<index>.json`, via writeFileAtomic), which
+ * the daemon or `svc_client trace` later merges into one Perfetto
+ * document.
+ */
+struct TraceSpill
+{
+    unsigned worker = 0;
+    std::size_t trial = 0;
+    /** Machine cycle at trial hand-off (TrialContext::forkCycle) —
+     *  lets a viewer separate shared-warmup from per-trial spans. */
+    std::uint64_t forkCycle = 0;
+    EventLog log;
+};
+
+/** Compact spill serialization: `{"worker","trial","fork_cycle",
+ *  "dropped","total","events":[[cycle,kind,a,b,addr],...]}`. */
+std::string traceSpillToJson(const TraceSpill &spill);
+
+/** Inverse of traceSpillToJson; nullopt on malformed input. */
+std::optional<TraceSpill> parseTraceSpill(const std::string &text);
+
+/** Canonical spill filename for (worker, trial) under @p dir. */
+std::string traceSpillPath(const std::string &dir, unsigned worker,
+                           std::size_t trial);
+
+/**
+ * Persist @p spill atomically under @p dir (created on demand).
+ * @return true on success; warns and returns false on failure.
+ */
+bool writeTraceSpill(const std::string &dir, const TraceSpill &spill);
+
+/**
+ * Read every `trace-*.json` spill under @p dir, sorted by filename;
+ * unparseable files warn and are skipped.
+ */
+std::vector<TraceSpill> loadTraceSpills(const std::string &dir);
+
+/**
+ * Merge per-trial spills from many worker processes into ONE Chrome
+ * trace-event document: each worker becomes a `pid` lane (with a
+ * process_name metadata record), each trial a group of `tid` tracks
+ * inside its worker's lane (replay/walker/mem/fault/core, named
+ * `t<trial> <track>`), so a 4-worker campaign renders as four
+ * side-by-side process lanes sharing one cycle axis.  Duplicate
+ * spills for one trial (a steal race executed it twice — byte-
+ * identical by the determinism contract) are deduplicated, keeping
+ * the lowest worker id.  Drop/cap accounting is summed across spills
+ * into otherData, never silent.
+ */
+std::string mergeChromeTraces(std::vector<TraceSpill> spills,
+                              const ChromeTraceOptions &options = {});
 
 } // namespace uscope::obs
 

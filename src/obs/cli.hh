@@ -13,9 +13,17 @@
  *                      force event-driven fast-forward on or off
  *                      (default: each bench's own choice — usually
  *                      both, as an A/B measurement).
+ *   --obs=LEVEL        pin the campaign observability dial
+ *                      (off|metrics|trace|full); unset means "bench
+ *                      decides" — perf_campaign's obs section uses it
+ *                      to re-run one arm of its A/B.
+ *   --log-level=LEVEL  structured-log threshold (error|warn|info|
+ *                      debug); applied via obs::configureLog.
+ *   --log-json         NDJSON log lines on stderr.
  *
  * Unknown arguments warn and are ignored so the benches stay ctest-
- * and script-friendly.
+ * and script-friendly.  parseBenchObsOptions() also calls
+ * configureLogFromEnv() first, so USCOPE_LOG works on every bench.
  */
 
 #ifndef USCOPE_OBS_CLI_HH
@@ -26,6 +34,7 @@
 #include <string>
 
 #include "obs/metrics.hh"
+#include "obs/prof.hh"
 
 namespace uscope::obs
 {
@@ -39,6 +48,8 @@ struct BenchObsOptions
     bool metrics = false;
     /** --fast-forward: unset means "bench decides" (typically A/B). */
     std::optional<bool> fastForward;
+    /** --obs: unset means "bench decides". */
+    std::optional<ObsLevel> obsLevel;
 };
 
 /**

@@ -1,0 +1,247 @@
+#include "obs/log.hh"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+#include "common/logging.hh"
+
+namespace uscope::obs
+{
+
+namespace
+{
+
+/** Process-start anchor for the monotonic timestamp column.  A
+ *  function-local static so the first log line from any translation
+ *  unit initializes it without an ordering hazard. */
+std::chrono::steady_clock::time_point
+processStart()
+{
+    static const auto start = std::chrono::steady_clock::now();
+    return start;
+}
+
+double
+secondsSinceStart()
+{
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         processStart())
+        .count();
+}
+
+std::atomic<int> sinkLevel{static_cast<int>(LogLevel::Info)};
+std::atomic<bool> sinkJson{false};
+
+/** Serializes emission so concurrent lines never interleave. */
+std::mutex &
+emitLock()
+{
+    static std::mutex lock;
+    return lock;
+}
+
+/** Minimal JSON string escaping — the message is the only field that
+ *  can contain arbitrary bytes (components and level names are
+ *  compile-time literals). */
+std::string
+jsonEscape(const char *s)
+{
+    std::string out;
+    for (; *s; ++s) {
+        const unsigned char c = static_cast<unsigned char>(*s);
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (c < 0x20)
+                out += format("\\u%04x", c);
+            else
+                out += static_cast<char>(c);
+        }
+    }
+    return out;
+}
+
+void
+emitLine(LogLevel level, const char *component,
+         const std::uint64_t *cycle, const char *msg)
+{
+    const double ts = secondsSinceStart();
+    std::string line;
+    if (sinkJson.load(std::memory_order_relaxed)) {
+        line = format("{\"ts\":%.6f,\"level\":\"%s\",\"component\":"
+                      "\"%s\"",
+                      ts, logLevelName(level), component);
+        if (cycle)
+            line += format(",\"cycle\":%llu",
+                           static_cast<unsigned long long>(*cycle));
+        line += format(",\"msg\":\"%s\"}", jsonEscape(msg).c_str());
+    } else {
+        line = format("[%9.3fs] %-5s %s: ", ts, logLevelName(level),
+                      component);
+        if (cycle)
+            line += format("@%llu ",
+                           static_cast<unsigned long long>(*cycle));
+        line += msg;
+    }
+    std::lock_guard<std::mutex> guard(emitLock());
+    std::fprintf(stderr, "%s\n", line.c_str());
+    // Structured output is often tailed live (svc_client stats
+    // --watch, CI smoke scripts); keep it unbuffered at line
+    // granularity.
+    std::fflush(stderr);
+}
+
+/** The common/logging bridge: severity 0 (panic/fatal) -> error,
+ *  1 (warn) -> warn, 2 (inform) -> info, all under component "sim". */
+void
+simBridge(int severity, const char *msg)
+{
+    const LogLevel level = severity == 0 ? LogLevel::Error
+                           : severity == 1 ? LogLevel::Warn
+                                           : LogLevel::Info;
+    if (!logEnabled(level))
+        return;
+    emitLine(level, "sim", nullptr, msg);
+}
+
+} // anonymous namespace
+
+const char *
+logLevelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Error: return "error";
+      case LogLevel::Warn: return "warn";
+      case LogLevel::Info: return "info";
+      case LogLevel::Debug: return "debug";
+    }
+    return "?";
+}
+
+std::optional<LogLevel>
+parseLogLevel(const std::string &name)
+{
+    for (LogLevel level : {LogLevel::Error, LogLevel::Warn,
+                           LogLevel::Info, LogLevel::Debug}) {
+        if (name == logLevelName(level))
+            return level;
+    }
+    return std::nullopt;
+}
+
+void
+configureLog(const LogConfig &config)
+{
+    sinkLevel.store(static_cast<int>(config.level),
+                    std::memory_order_relaxed);
+    sinkJson.store(config.json, std::memory_order_relaxed);
+}
+
+LogConfig
+logConfig()
+{
+    LogConfig config;
+    config.level = static_cast<LogLevel>(
+        sinkLevel.load(std::memory_order_relaxed));
+    config.json = sinkJson.load(std::memory_order_relaxed);
+    return config;
+}
+
+void
+configureLogFromEnv()
+{
+    const char *value = std::getenv("USCOPE_LOG");
+    if (!value || !*value)
+        return;
+    LogConfig config = logConfig();
+    std::string token;
+    const std::string spec = value;
+    for (std::size_t pos = 0; pos <= spec.size(); ++pos) {
+        if (pos < spec.size() && spec[pos] != ',') {
+            token += spec[pos];
+            continue;
+        }
+        if (token == "json")
+            config.json = true;
+        else if (auto level = parseLogLevel(token))
+            config.level = *level;
+        else if (!token.empty())
+            warn("USCOPE_LOG: unrecognized token '%s' (expected a "
+                 "level error|warn|info|debug, or 'json')",
+                 token.c_str());
+        token.clear();
+    }
+    configureLog(config);
+}
+
+bool
+logEnabled(LogLevel level)
+{
+    return static_cast<int>(level) <=
+           sinkLevel.load(std::memory_order_relaxed);
+}
+
+void
+installSimLogBridge()
+{
+    setLogHandler(&simBridge);
+}
+
+void
+Logger::vlog(LogLevel level, const std::uint64_t *cycle,
+             const char *fmt, std::va_list ap) const
+{
+    if (!logEnabled(level))
+        return;
+    const std::string msg = vformat(fmt, ap);
+    emitLine(level, component_, cycle, msg.c_str());
+}
+
+#define USCOPE_LOG_FRONT(name, level)                                  \
+    void Logger::name(const char *fmt, ...) const                      \
+    {                                                                  \
+        if (!logEnabled(level))                                        \
+            return;                                                    \
+        std::va_list ap;                                               \
+        va_start(ap, fmt);                                             \
+        vlog(level, nullptr, fmt, ap);                                 \
+        va_end(ap);                                                    \
+    }
+
+USCOPE_LOG_FRONT(error, LogLevel::Error)
+USCOPE_LOG_FRONT(warn, LogLevel::Warn)
+USCOPE_LOG_FRONT(info, LogLevel::Info)
+USCOPE_LOG_FRONT(debug, LogLevel::Debug)
+
+#undef USCOPE_LOG_FRONT
+
+void
+Logger::infoAt(std::uint64_t cycle, const char *fmt, ...) const
+{
+    if (!logEnabled(LogLevel::Info))
+        return;
+    std::va_list ap;
+    va_start(ap, fmt);
+    vlog(LogLevel::Info, &cycle, fmt, ap);
+    va_end(ap);
+}
+
+void
+Logger::debugAt(std::uint64_t cycle, const char *fmt, ...) const
+{
+    if (!logEnabled(LogLevel::Debug))
+        return;
+    std::va_list ap;
+    va_start(ap, fmt);
+    vlog(LogLevel::Debug, &cycle, fmt, ap);
+    va_end(ap);
+}
+
+} // namespace uscope::obs

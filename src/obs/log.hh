@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Service-scale structured logging (DESIGN.md §14).
+ *
+ * One process-wide sink, many component-tagged `Logger` fronts:
+ *
+ *     static const obs::Logger log("svc.daemon");
+ *     log.info("worker %d spawned (pid %d)", id, pid);
+ *
+ * Every line carries a monotonic wall timestamp (seconds since
+ * process start — steady_clock, so log deltas are real durations even
+ * if NTP steps the wall clock mid-campaign), a severity, and the
+ * component tag; the `*At` variants add the simulated cycle for
+ * sim-correlated diagnostics.  Two output shapes, chosen per process:
+ *
+ *   pretty (default):  [  12.345s] warn  svc.daemon: message
+ *   NDJSON (--log-json / USCOPE_LOG=json):
+ *       {"ts":12.345,"level":"warn","component":"svc.daemon",
+ *        "msg":"message"}
+ *
+ * Configuration is per-process: `configureLogFromEnv()` reads
+ * `USCOPE_LOG` (comma-separated tokens: a level name `error|warn|
+ * info|debug`, and/or `json`); daemons and workers also accept
+ * `--log-level=L` / `--log-json` and forward them to children so one
+ * flag configures the whole worker tree.
+ *
+ * The observation-must-not-perturb contract: loggers format and emit
+ * only — they never touch simulation state, and campaign fingerprints
+ * are proven (tests/test_log) byte-identical at every level,
+ * error through debug, pretty and NDJSON alike.
+ *
+ * `installSimLogBridge()` reroutes the gem5-style free functions in
+ * common/logging (warn()/inform(), plus panic()/fatal() text) through
+ * this sink under the component "sim", so a daemon's stderr is one
+ * uniform stream; the bridge honors the configured level (a warn()
+ * from deep inside a Machine is dropped at --log-level=error just
+ * like any other warn line).
+ *
+ * Thread safety: the sink config is written during process startup
+ * and read with relaxed atomics; line emission serializes on an
+ * internal mutex so concurrent lines never interleave mid-line.
+ */
+
+#ifndef USCOPE_OBS_LOG_HH
+#define USCOPE_OBS_LOG_HH
+
+#include <cstdarg>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace uscope::obs
+{
+
+/** Severity, most to least severe.  A sink at level L emits lines
+ *  with severity <= L. */
+enum class LogLevel : int
+{
+    Error = 0,
+    Warn = 1,
+    Info = 2,
+    Debug = 3,
+};
+
+/** Printable name ("error", "warn", "info", "debug"). */
+const char *logLevelName(LogLevel level);
+
+/** Inverse of logLevelName; nullopt on anything else. */
+std::optional<LogLevel> parseLogLevel(const std::string &name);
+
+/** The process-wide sink configuration. */
+struct LogConfig
+{
+    LogLevel level = LogLevel::Info;
+    /** NDJSON lines instead of pretty ones. */
+    bool json = false;
+};
+
+/** Install @p config as the process-wide sink. */
+void configureLog(const LogConfig &config);
+
+/** Current sink configuration. */
+LogConfig logConfig();
+
+/**
+ * Configure from `USCOPE_LOG` — comma-separated tokens, each either a
+ * level name or `json` (e.g. `USCOPE_LOG=debug,json`).  Unrecognized
+ * tokens warn and are ignored; an unset/empty variable leaves the
+ * defaults.  Idempotent and cheap; call it at the top of main().
+ */
+void configureLogFromEnv();
+
+/** True when a line at @p level would be emitted (cheap gate for
+ *  callers that want to skip formatting work entirely). */
+bool logEnabled(LogLevel level);
+
+/**
+ * Reroute common/logging's warn()/inform() (and the text of
+ * panic()/fatal(), which still throw) through this sink as component
+ * "sim".  Safe to call more than once.
+ */
+void installSimLogBridge();
+
+/**
+ * One component's front onto the shared sink.  Cheap to construct
+ * (stores a pointer); intended as a namespace-scope or static-local
+ * constant per component.
+ */
+class Logger
+{
+  public:
+    explicit constexpr Logger(const char *component)
+        : component_(component)
+    {
+    }
+
+    const char *component() const { return component_; }
+
+    void error(const char *fmt, ...) const
+        __attribute__((format(printf, 2, 3)));
+    void warn(const char *fmt, ...) const
+        __attribute__((format(printf, 2, 3)));
+    void info(const char *fmt, ...) const
+        __attribute__((format(printf, 2, 3)));
+    void debug(const char *fmt, ...) const
+        __attribute__((format(printf, 2, 3)));
+
+    /** Cycle-correlated variants: the line additionally carries the
+     *  simulated cycle (pretty: `@cycle`, NDJSON: `"cycle":N`). */
+    void infoAt(std::uint64_t cycle, const char *fmt, ...) const
+        __attribute__((format(printf, 3, 4)));
+    void debugAt(std::uint64_t cycle, const char *fmt, ...) const
+        __attribute__((format(printf, 3, 4)));
+
+    /** The core emitter the convenience fronts funnel into. */
+    void vlog(LogLevel level, const std::uint64_t *cycle,
+              const char *fmt, std::va_list ap) const;
+
+  private:
+    const char *component_;
+};
+
+} // namespace uscope::obs
+
+#endif // USCOPE_OBS_LOG_HH

@@ -200,6 +200,16 @@ Machine::exportMetrics(obs::MetricRegistry &registry) const
     core_.exportMetrics(registry);
     kernel_.exportMetrics(registry);
     faults_.exportMetrics(registry);
+    // Trace-loss accounting (DESIGN.md §14): lets a campaign assert
+    // "no events were overwritten" from its MetricSnapshot without
+    // parsing trace files.  Only exported while tracing so untraced
+    // runs' snapshots are unchanged; deterministicFingerprint filters
+    // the obs.trace.* prefix for the same reason.
+    if (obs_.trace.enabled()) {
+        registry.counter("obs.trace.recorded")
+            .set(obs_.trace.totalRecorded());
+        registry.counter("obs.trace.dropped").set(obs_.trace.dropped());
+    }
 }
 
 obs::MetricSnapshot

@@ -12,6 +12,7 @@
 #include <string>
 
 #include "common/logging.hh"
+#include "obs/log.hh"
 #include "svc/daemon.hh"
 #include "svc/worker.hh"
 
@@ -36,7 +37,11 @@ usage(const char *argv0)
         "  --worker-exe=PATH        worker binary (default: this one)\n"
         "  --die-after-trials=N     test hook: worker 0's first "
         "incarnation\n"
-        "                           self-SIGKILLs after N trials\n",
+        "                           self-SIGKILLs after N trials\n"
+        "  --log-level=LEVEL        error|warn|info|debug (default "
+        "info;\n"
+        "                           USCOPE_LOG also understood)\n"
+        "  --log-json               NDJSON log lines on stderr\n",
         argv0);
 }
 
@@ -49,6 +54,7 @@ main(int argc, char **argv)
     if (svc::maybeRunWorkerMain(argc, argv, &worker_exit))
         return worker_exit;
 
+    obs::configureLogFromEnv();
     svc::DaemonConfig config;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -76,7 +82,21 @@ main(int argc, char **argv)
         else if (auto v = valueOf("--die-after-trials="))
             config.worker0DieAfter =
                 static_cast<std::size_t>(std::atoll(v->c_str()));
-        else if (arg == "--help" || arg == "-h") {
+        else if (auto v = valueOf("--log-level=")) {
+            obs::LogConfig lc = obs::logConfig();
+            if (auto level = obs::parseLogLevel(*v)) {
+                lc.level = *level;
+                obs::configureLog(lc);
+            } else {
+                std::fprintf(stderr, "unknown log level '%s'\n",
+                             v->c_str());
+                return 2;
+            }
+        } else if (arg == "--log-json") {
+            obs::LogConfig lc = obs::logConfig();
+            lc.json = true;
+            obs::configureLog(lc);
+        } else if (arg == "--help" || arg == "-h") {
             usage(argv[0]);
             return 0;
         } else {
@@ -89,6 +109,7 @@ main(int argc, char **argv)
         usage(argv[0]);
         return 2;
     }
+    obs::installSimLogBridge();
 
     try {
         svc::Daemon daemon(std::move(config));

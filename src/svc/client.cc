@@ -4,12 +4,15 @@
 #include <thread>
 
 #include "common/logging.hh"
+#include "obs/log.hh"
 
 namespace uscope::svc
 {
 
 namespace
 {
+
+constexpr obs::Logger log_{"svc.client"};
 
 std::string
 stringField(const json::Value &msg, const char *key)
@@ -114,6 +117,8 @@ Client::submit(const CampaignRequest &request,
             out.workerDeaths =
                 static_cast<unsigned>(field(*frame, "worker_deaths"));
             out.steals = field(*frame, "steals");
+            if (const json::Value *credits = frame->get("credits"))
+                out.credits = *credits;
             if (const json::Value *result = frame->get("result"))
                 out.resultJson = result->dump();
             return out;
@@ -121,9 +126,28 @@ Client::submit(const CampaignRequest &request,
             out.error = stringField(*frame, "message");
             return out;
         } else {
-            warn("svc client: unexpected frame type '%s'",
-                 type.c_str());
+            log_.warn("unexpected frame type '%s'", type.c_str());
         }
+    }
+}
+
+std::optional<json::Value>
+Client::stats(int timeout_ms)
+{
+    if (!conn_.send(json::Value::object().set("type", "stats")))
+        return std::nullopt;
+    // Skip any in-flight update frames from a concurrent submit on
+    // this connection; the stats reply is the next "stats" frame.
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::milliseconds(timeout_ms);
+    for (;;) {
+        const std::optional<json::Value> reply =
+            nextMessage(timeout_ms);
+        if (reply && stringField(*reply, "type") == "stats")
+            return reply;
+        if (!reply || std::chrono::steady_clock::now() >= deadline)
+            return std::nullopt;
     }
 }
 

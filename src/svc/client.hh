@@ -38,6 +38,14 @@ struct SubmitResult
     std::size_t resumedTrials = 0;
     /** Update frames received while the campaign ran. */
     std::size_t updates = 0;
+    /** Per-worker campaign-scoped trial credits from the result
+     *  frame: `{"<worker id>": {"run": N, "restored": N}}` — credited
+     *  at the daemon's dedup point, so each worker-executed trial is
+     *  counted exactly once no matter what steal/kill races replayed
+     *  it.  Daemon-side checkpoint preloads bypass the workers and
+     *  land in resumedTrials instead; run + restored + resumedTrials
+     *  always equals totalTrials. */
+    json::Value credits;
     /** The full result frame's "result" member (compact JSON). */
     std::string resultJson;
 };
@@ -64,6 +72,14 @@ class Client
     SubmitResult submit(
         const CampaignRequest &request, std::size_t stream_every = 0,
         const std::function<void(const json::Value &)> &on_update = {});
+
+    /**
+     * One live ops snapshot (DESIGN.md §14): campaigns in flight
+     * with shard tables and per-worker credits, the worker table,
+     * merged svc.* metrics, and prof.* phase latencies.  nullopt on
+     * timeout or a lost daemon.
+     */
+    std::optional<json::Value> stats(int timeout_ms = 5000);
 
     /** Ask the daemon to exit; true when it acknowledged. */
     bool shutdownDaemon(int timeout_ms = 5000);

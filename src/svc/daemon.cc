@@ -18,7 +18,9 @@
 #include "common/logging.hh"
 #include "exp/campaign.hh"
 #include "exp/checkpoint.hh"
+#include "obs/log.hh"
 #include "obs/metrics.hh"
+#include "obs/prof.hh"
 #include "svc/registry.hh"
 #include "svc/shard.hh"
 #include "svc/wire.hh"
@@ -31,6 +33,8 @@ namespace
 {
 
 using Clock = std::chrono::steady_clock;
+
+constexpr obs::Logger log_{"svc.daemon"};
 
 double
 secondsSince(Clock::time_point start)
@@ -124,9 +128,25 @@ struct Daemon::Impl
         std::uint64_t campaign = 0;
         std::size_t shard = 0;
         unsigned spawns = 0;
+        /** Times the daemon itself SIGKILLed this slot (heartbeat
+         *  timeouts, lost connections) — distinct from spawns. */
+        unsigned kills = 0;
         bool dieAfterSpent = false;
         Clock::time_point lastBeat = Clock::now();
         json::Value counters = json::Value::object();
+        /** Latest prof.trial.* profile this worker streamed (its
+         *  lifetime totals; the stats reply merges across slots). */
+        json::Value prof = json::Value::object();
+    };
+
+    /** Per-worker trial credit, campaign-scoped.  Incremented at the
+     *  scheduler's dedup point, so across any steal/kill history the
+     *  credits sum to exactly the completed count — the invariant the
+     *  per-worker counter tests assert. */
+    struct Credit
+    {
+        std::uint64_t run = 0;
+        std::uint64_t restored = 0;
     };
 
     struct Campaign
@@ -142,7 +162,22 @@ struct Daemon::Impl
         std::size_t streamEvery = 0;
         std::size_t sinceUpdate = 0;
         unsigned workerDeaths = 0;
+        std::map<int, Credit> credits;
         Clock::time_point start = Clock::now();
+    };
+
+    /** Daemon-lifetime tallies behind the svc.daemon.* metrics. */
+    struct Tally
+    {
+        std::uint64_t campaignsAccepted = 0;
+        std::uint64_t campaignsCompleted = 0;
+        std::uint64_t campaignsFailed = 0;
+        std::uint64_t trialsCompleted = 0;
+        std::uint64_t trialsRestored = 0;
+        std::uint64_t stealsTotal = 0;
+        std::uint64_t workerDeaths = 0;
+        std::uint64_t badFrames = 0;
+        std::uint64_t statsRequests = 0;
     };
 
     DaemonConfig config;
@@ -153,6 +188,12 @@ struct Daemon::Impl
     std::vector<WorkerSlot> slots;
     std::deque<Campaign> campaigns;
     bool shuttingDown = false;
+    Clock::time_point started = Clock::now();
+    Tally tally;
+    /** prof.svc.* phases (dispatch/merge/checkpoint).  Always on —
+     *  a handful of scopes per campaign event, nowhere near the
+     *  per-trial hot path the ObsLevel dial guards. */
+    obs::ProfData prof;
 
     explicit Impl(DaemonConfig cfg) : config(std::move(cfg))
     {
@@ -194,6 +235,13 @@ struct Daemon::Impl
         args.push_back(kWorkerArg);
         args.push_back("--socket=" + config.socketPath);
         args.push_back("--id=" + std::to_string(slot.id));
+        // Forward the daemon's sink config so one --log-level flag
+        // (or USCOPE_LOG) configures the whole worker tree uniformly.
+        const obs::LogConfig log_config = obs::logConfig();
+        args.push_back(std::string("--log-level=") +
+                       obs::logLevelName(log_config.level));
+        if (log_config.json)
+            args.push_back("--log-json");
         if (slot.id == 0 && config.worker0DieAfter &&
             !slot.dieAfterSpent) {
             args.push_back("--die-after-trials=" +
@@ -207,8 +255,8 @@ struct Daemon::Impl
 
         const pid_t pid = ::fork();
         if (pid < 0) {
-            warn("svc: fork failed for worker %d: %s", slot.id,
-                 std::strerror(errno));
+            log_.warn("fork failed for worker %d: %s", slot.id,
+                      std::strerror(errno));
             return;
         }
         if (pid == 0) {
@@ -220,15 +268,16 @@ struct Daemon::Impl
         ++slot.spawns;
         slot.busy = false;
         slot.lastBeat = Clock::now();
-        inform("svc: spawned worker %d (pid %d, attempt %u)", slot.id,
-               static_cast<int>(pid), slot.spawns);
+        log_.info("spawned worker %d (pid %d, attempt %u)", slot.id,
+                  static_cast<int>(pid), slot.spawns);
     }
 
     void
     handleWorkerDeath(WorkerSlot &slot, const char *why)
     {
-        warn("svc: worker %d (pid %d) died: %s", slot.id,
-             static_cast<int>(slot.pid), why);
+        log_.warn("worker %d (pid %d) died: %s", slot.id,
+                  static_cast<int>(slot.pid), why);
+        ++tally.workerDeaths;
         if (Session *s = sessionByKey(slot.sessionKey))
             s->conn.close();
         slot.sessionKey = 0;
@@ -243,8 +292,8 @@ struct Daemon::Impl
             if (slot.spawns < config.maxRespawns)
                 spawnWorker(slot);
             else
-                warn("svc: worker %d exhausted its %u respawns",
-                     slot.id, config.maxRespawns);
+                log_.warn("worker %d exhausted its %u respawns",
+                          slot.id, config.maxRespawns);
         }
     }
 
@@ -274,6 +323,7 @@ struct Daemon::Impl
                 continue;
             // Busy and silent past the deadline: presumed wedged.
             ::kill(slot.pid, SIGKILL);
+            ++slot.kills;
             handleWorkerDeath(slot, "heartbeat timeout");
         }
     }
@@ -325,9 +375,12 @@ struct Daemon::Impl
                                                    config.workers);
 
         if (!config.stateDir.empty()) {
+            obs::ProfScope timer(&prof, "prof.svc.checkpoint");
             // The durable identity covers everything that determines
             // results; same request => same directory => a daemon
-            // restart resumes instead of restarting.
+            // restart resumes instead of restarting.  (identityKey
+            // excludes the obs level, so resubmitting at --obs=trace
+            // resumes the same durable state.)
             c.checkpointDir =
                 config.stateDir + "/" + sanitizeName(c.spec.name) +
                 "-" +
@@ -355,11 +408,13 @@ struct Daemon::Impl
                      static_cast<std::uint64_t>(c.spec.trials))
                 .set("resumed",
                      static_cast<std::uint64_t>(c.resumed)));
-        inform("svc: campaign %llu '%s' accepted (%zu trials, %zu "
-               "resumed, ns='%s')",
-               static_cast<unsigned long long>(c.id),
-               c.spec.name.c_str(), c.spec.trials, c.resumed,
-               c.request.ns.c_str());
+        ++tally.campaignsAccepted;
+        log_.info("campaign %llu '%s' accepted (%zu trials, %zu "
+                  "resumed, ns='%s', obs=%s)",
+                  static_cast<unsigned long long>(c.id),
+                  c.spec.name.c_str(), c.spec.trials, c.resumed,
+                  c.request.ns.c_str(),
+                  obs::obsLevelName(c.request.obs));
         campaigns.push_back(std::move(c));
         assignIdleWorkers();
         finishCompleted(); // a fully-resumed campaign is already done
@@ -368,13 +423,28 @@ struct Daemon::Impl
     /** Partial aggregate over completed trials, in index order —
      *  the same fold the final result uses. */
     exp::CampaignAggregate
-    partialAggregate(const Campaign &c) const
+    partialAggregate(const Campaign &c)
     {
+        obs::ProfScope timer(&prof, "prof.svc.merge");
         std::vector<exp::TrialResult> done;
         for (std::size_t i = 0; i < c.results.size(); ++i)
             if (c.sched->isDone(i))
                 done.push_back(c.results[i]);
         return exp::aggregateTrials(done);
+    }
+
+    /** Campaign-scoped per-worker credits as `{"<id>": {run,
+     *  restored}}` — the telemetry behind the counter-sum tests. */
+    static json::Value
+    creditsJson(const Campaign &c)
+    {
+        json::Value out = json::Value::object();
+        for (const auto &[worker, credit] : c.credits)
+            out.set(std::to_string(worker),
+                    json::Value::object()
+                        .set("run", credit.run)
+                        .set("restored", credit.restored));
+        return out;
     }
 
     /** Per-worker metric streams, tagged "svc.worker<id>.". */
@@ -391,6 +461,122 @@ struct Daemon::Impl
                 "svc.worker" + std::to_string(slot.id) + "."));
         }
         return merged;
+    }
+
+    /** Daemon-lifetime counters, tagged "svc.daemon.". */
+    obs::MetricSnapshot
+    daemonMetrics() const
+    {
+        const json::Value counters =
+            json::Value::object()
+                .set("bad_frames", tally.badFrames)
+                .set("campaigns_accepted", tally.campaignsAccepted)
+                .set("campaigns_completed",
+                     tally.campaignsCompleted)
+                .set("campaigns_failed", tally.campaignsFailed)
+                .set("stats_requests", tally.statsRequests)
+                .set("steals_total", tally.stealsTotal)
+                .set("trials_completed", tally.trialsCompleted)
+                .set("trials_restored", tally.trialsRestored)
+                .set("worker_deaths", tally.workerDeaths);
+        return countersSnapshot(counters).prefixed("svc.daemon.");
+    }
+
+    /**
+     * The live ops snapshot (DESIGN.md §14): every campaign's shard
+     * table and per-worker credits, every worker slot's process
+     * state, the merged svc.daemon.* + svc.worker<id>.* metrics, and
+     * the daemon's prof.svc.* phases folded with each worker's
+     * streamed prof.trial.* lifetime totals.
+     */
+    void
+    handleStats(Session &client)
+    {
+        ++tally.statsRequests;
+
+        json::Value campaign_list = json::Value::array();
+        for (Campaign &c : campaigns) {
+            json::Value shard_list = json::Value::array();
+            std::uint64_t pending = 0;
+            for (std::size_t s = 0; s < c.sched->shardCount();
+                 ++s) {
+                const ShardScheduler::Shard &sh = c.sched->shard(s);
+                if (!sh.done)
+                    ++pending;
+                shard_list.push(
+                    json::Value::object()
+                        .set("id",
+                             static_cast<std::uint64_t>(sh.id))
+                        .set("lo",
+                             static_cast<std::uint64_t>(sh.lo))
+                        .set("hi",
+                             static_cast<std::uint64_t>(sh.hi))
+                        .set("next",
+                             static_cast<std::uint64_t>(sh.next))
+                        .set("owner", sh.owner)
+                        .set("done", sh.done));
+            }
+            campaign_list.push(
+                json::Value::object()
+                    .set("id", c.id)
+                    .set("name", c.spec.name)
+                    .set("recipe", c.request.recipe)
+                    .set("ns", c.request.ns)
+                    .set("obs", obs::obsLevelName(c.request.obs))
+                    .set("total", static_cast<std::uint64_t>(
+                                      c.sched->trials()))
+                    .set("completed",
+                         static_cast<std::uint64_t>(
+                             c.sched->completed()))
+                    .set("resumed",
+                         static_cast<std::uint64_t>(c.resumed))
+                    .set("steals", static_cast<std::uint64_t>(
+                                       c.sched->steals()))
+                    .set("worker_deaths", c.workerDeaths)
+                    .set("age_seconds", secondsSince(c.start))
+                    .set("stream_every",
+                         static_cast<std::uint64_t>(c.streamEvery))
+                    .set("pending_shards", pending)
+                    .set("credits", creditsJson(c))
+                    .set("shards", std::move(shard_list)));
+        }
+
+        json::Value worker_list = json::Value::array();
+        obs::ProfData prof_merged = prof;
+        for (const WorkerSlot &slot : slots) {
+            worker_list.push(
+                json::Value::object()
+                    .set("id", slot.id)
+                    .set("pid", static_cast<int>(slot.pid))
+                    .set("busy", slot.busy)
+                    .set("spawns", slot.spawns)
+                    .set("kills", slot.kills)
+                    .set("heartbeat_age_seconds",
+                         secondsSince(slot.lastBeat))
+                    .set("campaign",
+                         slot.busy ? slot.campaign
+                                   : std::uint64_t(0))
+                    .set("shard",
+                         static_cast<std::uint64_t>(
+                             slot.busy ? slot.shard : 0))
+                    .set("counters", slot.counters));
+            prof_merged.merge(obs::ProfData::fromJson(slot.prof));
+        }
+
+        obs::MetricSnapshot metrics = daemonMetrics();
+        metrics.merge(workerMetrics());
+
+        client.conn.send(
+            json::Value::object()
+                .set("type", "stats")
+                .set("uptime_seconds", secondsSince(started))
+                .set("shutting_down", shuttingDown)
+                .set("workers",
+                     static_cast<std::uint64_t>(slots.size()))
+                .set("campaigns", std::move(campaign_list))
+                .set("worker_table", std::move(worker_list))
+                .set("metrics", metrics.toJson())
+                .set("prof", prof_merged.toJson()));
     }
 
     void
@@ -413,6 +599,7 @@ struct Daemon::Impl
                 .set("total", static_cast<std::uint64_t>(
                                   c.sched->trials()))
                 .set("aggregate", partialAggregate(c).toJson())
+                .set("credits", creditsJson(c))
                 .set("worker_metrics", workerMetrics().toJson()));
     }
 
@@ -433,18 +620,22 @@ struct Daemon::Impl
             result.wallSeconds = secondsSince(c.start);
             result.resumedTrials = c.resumed;
             result.workerDeaths = c.workerDeaths;
-            result.aggregate = exp::aggregateTrials(c.results);
+            {
+                obs::ProfScope timer(&prof, "prof.svc.merge");
+                result.aggregate = exp::aggregateTrials(c.results);
+            }
             result.trials = c.results;
             const std::string fingerprint = exp::fnv1aHex(
                 exp::deterministicFingerprint(result));
 
-            inform("svc: campaign %llu '%s' complete: %zu trials, "
-                   "%zu resumed, %u worker deaths, %zu steals, "
-                   "fingerprint %s",
-                   static_cast<unsigned long long>(c.id),
-                   result.name.c_str(), result.trialCount,
-                   result.resumedTrials, result.workerDeaths,
-                   c.sched->steals(), fingerprint.c_str());
+            ++tally.campaignsCompleted;
+            log_.info("campaign %llu '%s' complete: %zu trials, "
+                      "%zu resumed, %u worker deaths, %zu steals, "
+                      "fingerprint %s",
+                      static_cast<unsigned long long>(c.id),
+                      result.name.c_str(), result.trialCount,
+                      result.resumedTrials, result.workerDeaths,
+                      c.sched->steals(), fingerprint.c_str());
 
             if (Session *client = sessionByKey(c.clientKey)) {
                 client->conn.send(
@@ -456,6 +647,7 @@ struct Daemon::Impl
                         .set("steals",
                              static_cast<std::uint64_t>(
                                  c.sched->steals()))
+                        .set("credits", creditsJson(c))
                         .set("result",
                              result.toJson(
                                  /*include_trials=*/false)));
@@ -467,6 +659,9 @@ struct Daemon::Impl
     void
     assignIdleWorkers()
     {
+        if (campaigns.empty())
+            return; // keep the idle poll loop out of the profile
+        obs::ProfScope timer(&prof, "prof.svc.dispatch");
         for (WorkerSlot &slot : slots) {
             if (slot.busy || slot.sessionKey == 0)
                 continue;
@@ -479,6 +674,7 @@ struct Daemon::Impl
                 if (!a)
                     continue;
                 if (a->stolenFrom) {
+                    ++tally.stealsTotal;
                     const ShardScheduler::Shard &victim =
                         c.sched->shard(*a->stolenFrom);
                     for (WorkerSlot &other : slots) {
@@ -530,12 +726,13 @@ struct Daemon::Impl
             if (slot.pid >= 0 || slot.spawns < config.maxRespawns)
                 return;
         }
-        warn("svc: all workers permanently dead; failing %zu "
-             "campaign(s)", campaigns.size());
+        log_.warn("all workers permanently dead; failing %zu "
+                  "campaign(s)", campaigns.size());
         for (Campaign &c : campaigns) {
             if (Session *client = sessionByKey(c.clientKey))
                 sendError(*client, c.id,
                           "all workers permanently dead");
+            ++tally.campaignsFailed;
         }
         campaigns.clear();
     }
@@ -553,6 +750,8 @@ struct Daemon::Impl
         slot.lastBeat = Clock::now();
         if (const json::Value *counters = msg.get("counters"))
             slot.counters = *counters;
+        if (const json::Value *worker_prof = msg.get("prof"))
+            slot.prof = *worker_prof;
 
         if (type == "heartbeat")
             return;
@@ -566,13 +765,26 @@ struct Daemon::Impl
                 exp::CampaignCheckpoint::parseTrial(
                     stringField(msg, "data"));
             if (!trial || trial->index != index) {
-                warn("svc: worker %d sent an unparseable trial %zu "
-                     "for campaign %llu",
-                     slot.id, index,
-                     static_cast<unsigned long long>(c->id));
+                log_.warn("worker %d sent an unparseable trial %zu "
+                          "for campaign %llu",
+                          slot.id, index,
+                          static_cast<unsigned long long>(c->id));
                 return;
             }
             if (c->sched->onTrial(shard, index)) {
+                // Credit exactly at the dedup point: whatever steal
+                // or kill races replayed this trial, precisely one
+                // worker gets it — so per-worker credits always sum
+                // to the completed count.
+                const json::Value *restored_v = msg.get("restored");
+                Credit &credit = c->credits[slot.id];
+                if (restored_v && restored_v->asBool()) {
+                    ++credit.restored;
+                    ++tally.trialsRestored;
+                } else {
+                    ++credit.run;
+                }
+                ++tally.trialsCompleted;
                 c->results[index] = std::move(*trial);
                 ++c->sinceUpdate;
                 maybeStreamUpdate(*c);
@@ -588,13 +800,14 @@ struct Daemon::Impl
         }
         if (type == "error") {
             const std::uint64_t campaign_id = field(msg, "campaign");
-            warn("svc: worker %d error: %s", slot.id,
-                 stringField(msg, "message").c_str());
+            log_.warn("worker %d error: %s", slot.id,
+                      stringField(msg, "message").c_str());
             slot.busy = false;
             if (Campaign *c = campaignById(campaign_id)) {
                 if (Session *client = sessionByKey(c->clientKey))
                     sendError(*client, campaign_id,
                               stringField(msg, "message"));
+                ++tally.campaignsFailed;
                 for (auto it = campaigns.begin();
                      it != campaigns.end(); ++it) {
                     if (it->id == campaign_id) {
@@ -605,8 +818,8 @@ struct Daemon::Impl
             }
             return;
         }
-        warn("svc: worker %d sent unexpected '%s'", slot.id,
-             type.c_str());
+        log_.warn("worker %d sent unexpected '%s'", slot.id,
+                  type.c_str());
     }
 
     void
@@ -618,7 +831,7 @@ struct Daemon::Impl
             const int id = static_cast<int>(field(msg, "id"));
             if (id < 0 ||
                 id >= static_cast<int>(slots.size())) {
-                warn("svc: hello from unknown worker id %d", id);
+                log_.warn("hello from unknown worker id %d", id);
                 session.conn.close();
                 return;
             }
@@ -650,8 +863,10 @@ struct Daemon::Impl
                                   .set("type", "recipes")
                                   .set("recipes",
                                        std::move(recipes)));
+        } else if (type == "stats") {
+            handleStats(session);
         } else if (type == "shutdown") {
-            inform("svc: shutdown requested");
+            log_.info("shutdown requested");
             shuttingDown = true;
             session.conn.send(
                 json::Value::object().set("type", "ok"));
@@ -670,8 +885,10 @@ struct Daemon::Impl
                 session.workerId)];
             if (slot.sessionKey == session.key) {
                 slot.sessionKey = 0;
-                if (slot.pid >= 0)
+                if (slot.pid >= 0) {
                     ::kill(slot.pid, SIGKILL);
+                    ++slot.kills;
+                }
                 handleWorkerDeath(slot, "connection lost");
             }
         } else {
@@ -702,8 +919,8 @@ struct Daemon::Impl
                       ec.message().c_str());
         }
         listenFd = listenUnix(config.socketPath);
-        inform("svc: listening on %s (%u workers)",
-               config.socketPath.c_str(), config.workers);
+        log_.info("listening on %s (%u workers)",
+                  config.socketPath.c_str(), config.workers);
 
         slots.resize(config.workers);
         for (unsigned i = 0; i < config.workers; ++i) {
@@ -745,7 +962,41 @@ struct Daemon::Impl
                     if (shuttingDown)
                         break;
                 }
+                // A malformed frame is the sender's bug, not ours:
+                // answer each one with a structured error instead of
+                // swallowing it silently (DESIGN.md §14).
+                if (const std::size_t bad =
+                        session.conn.takeBadFrames()) {
+                    tally.badFrames += bad;
+                    log_.warn("session %llu sent %zu malformed "
+                              "frame(s)",
+                              static_cast<unsigned long long>(
+                                  session.key),
+                              bad);
+                    for (std::size_t b = 0; b < bad; ++b)
+                        session.conn.send(
+                            json::Value::object()
+                                .set("type", "error")
+                                .set("campaign", std::uint64_t(0))
+                                .set("message",
+                                     "malformed frame (not valid "
+                                     "JSON)"));
+                }
                 if (!alive || !session.conn.open()) {
+                    if (session.conn.corruptStream()) {
+                        ++tally.badFrames;
+                        log_.warn("session %llu sent an oversized "
+                                  "frame; dropping connection",
+                                  static_cast<unsigned long long>(
+                                      session.key));
+                        session.conn.sendFinal(
+                            json::Value::object()
+                                .set("type", "error")
+                                .set("campaign", std::uint64_t(0))
+                                .set("message",
+                                     "oversized frame exceeds the "
+                                     "256 MiB limit"));
+                    }
                     dropSession(i);
                     continue;
                 }
@@ -762,7 +1013,7 @@ struct Daemon::Impl
         shutdownWorkers();
         ::close(listenFd);
         ::unlink(config.socketPath.c_str());
-        inform("svc: daemon exiting");
+        log_.info("daemon exiting");
         return 0;
     }
 

@@ -21,15 +21,20 @@ namespace uscope::svc
 json::Value
 CampaignRequest::toJson() const
 {
-    return json::Value::object()
-        .set("recipe", recipe)
-        .set("name", name)
-        .set("ns", ns)
-        .set("trials", static_cast<std::uint64_t>(trials))
-        .set("master_seed", masterSeed)
-        .set("cycle_budget", cycleBudget)
-        .set("max_retries", static_cast<std::uint64_t>(maxRetries))
-        .set("params", params);
+    json::Value v =
+        json::Value::object()
+            .set("recipe", recipe)
+            .set("name", name)
+            .set("ns", ns)
+            .set("trials", static_cast<std::uint64_t>(trials))
+            .set("master_seed", masterSeed)
+            .set("cycle_budget", cycleBudget)
+            .set("max_retries", static_cast<std::uint64_t>(maxRetries))
+            .set("params", params);
+    // Omitted at Off so pre-§14 request JSON round-trips unchanged.
+    if (obs != obs::ObsLevel::Off)
+        v.set("obs", obs::obsLevelName(obs));
+    return v;
 }
 
 std::optional<CampaignRequest>
@@ -56,6 +61,13 @@ CampaignRequest::fromJson(const json::Value &v)
         out.maxRetries = static_cast<unsigned>(f->asU64());
     if (const json::Value *f = v.get("params"))
         out.params = *f;
+    if (const json::Value *f = v.get("obs")) {
+        if (std::optional<obs::ObsLevel> level =
+                obs::parseObsLevel(f->asString()))
+            out.obs = *level;
+        else
+            return std::nullopt;
+    }
     return out;
 }
 
@@ -63,10 +75,13 @@ std::string
 CampaignRequest::identityKey() const
 {
     // Everything result-determining, nothing else (no stream cadence,
-    // no client identity).  params.dump() is deterministic — objects
+    // no client identity, no observability level — observation never
+    // changes results).  params.dump() is deterministic — objects
     // preserve insertion order — and requests round-trip through
     // toJson/fromJson on the wire, so both ends agree on the key.
-    return toJson().dump();
+    CampaignRequest identity = *this;
+    identity.obs = obs::ObsLevel::Off;
+    return identity.toJson().dump();
 }
 
 std::uint64_t
@@ -162,10 +177,14 @@ fig10Recipe(const CampaignRequest &req)
         config.replays = replays;
         config.threshold = threshold;
         config.seed = ctx.seed;
-        const attack::PortContentionResult result =
+        // Self-built machine: the executor cannot drain it, so the
+        // body adopts the obs dial and hands the drained log back.
+        config.machine.obs = ctx.machine.obs;
+        attack::PortContentionResult result =
             attack::runPortContentionAttack(config);
 
         exp::TrialOutput out;
+        out.trace = std::move(result.events);
         for (Cycles sample : result.samples)
             out.metric.add(static_cast<double>(sample));
         out.metrics = result.metrics;
@@ -199,9 +218,11 @@ fig11Recipe(const CampaignRequest &)
                 static_cast<std::uint8_t>(rng.below(256));
         }
         config.seed = ctx.seed;
-        const attack::Fig11Result fig11 = attack::runFig11(config);
+        config.machine.obs = ctx.machine.obs;
+        attack::Fig11Result fig11 = attack::runFig11(config);
 
         exp::TrialOutput out;
+        out.trace = std::move(fig11.events);
         out.metric.add(fig11.matchesGroundTruth ? 1.0 : 0.0);
         out.metrics = fig11.metrics;
         exp::json::Value probes = exp::json::Value::array();
@@ -463,6 +484,7 @@ CampaignRegistry::build(const CampaignRequest &request) const
     // The daemon attaches checkpoint directories to durable
     // campaigns, and checkpoints require per-trial metrics.
     spec.perTrialMetrics = true;
+    spec.obsLevel = request.obs;
     if (!spec.body)
         panic("svc: recipe '%s' produced a spec without a body",
               request.recipe.c_str());

@@ -54,6 +54,14 @@ struct CampaignRequest
     /** Recipe-specific knobs (JSON object; recipes read what they
      *  know and ignore the rest). */
     json::Value params;
+    /**
+     * Observability dial for the dispatched campaign (DESIGN.md §14).
+     * Deliberately EXCLUDED from identityKey(): observation never
+     * changes results (the fingerprint-invariance contract), so
+     * resubmitting a campaign at a different obs level must resume
+     * the same durable state, not fork a parallel checkpoint dir.
+     */
+    obs::ObsLevel obs = obs::ObsLevel::Off;
 
     json::Value toJson() const;
     static std::optional<CampaignRequest> fromJson(const json::Value &v);

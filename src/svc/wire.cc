@@ -9,9 +9,15 @@
 #include <unistd.h>
 
 #include "common/logging.hh"
+#include "obs/log.hh"
 
 namespace uscope::svc
 {
+
+namespace
+{
+constexpr obs::Logger log_{"svc.wire"};
+} // namespace
 
 std::string
 encodeFrame(const std::string &payload)
@@ -70,6 +76,7 @@ Conn::~Conn()
 
 Conn::Conn(Conn &&other) noexcept
     : fd_(other.fd_), failed_(other.failed_),
+      badFrames_(other.badFrames_),
       splitter_(std::move(other.splitter_))
 {
     other.fd_ = -1;
@@ -82,6 +89,7 @@ Conn::operator=(Conn &&other) noexcept
         close();
         fd_ = other.fd_;
         failed_ = other.failed_;
+        badFrames_ = other.badFrames_;
         splitter_ = std::move(other.splitter_);
         other.fd_ = -1;
     }
@@ -97,11 +105,8 @@ Conn::close()
 }
 
 bool
-Conn::send(const json::Value &msg)
+Conn::writeFrame(const std::string &frame)
 {
-    if (!open())
-        return false;
-    const std::string frame = encodeFrame(msg.dump());
     std::size_t sent = 0;
     while (sent < frame.size()) {
         const ssize_t n = ::send(fd_, frame.data() + sent,
@@ -118,6 +123,22 @@ Conn::send(const json::Value &msg)
 }
 
 bool
+Conn::send(const json::Value &msg)
+{
+    if (!open())
+        return false;
+    return writeFrame(encodeFrame(msg.dump()));
+}
+
+void
+Conn::sendFinal(const json::Value &msg)
+{
+    if (fd_ < 0)
+        return;
+    writeFrame(encodeFrame(msg.dump()));
+}
+
+bool
 Conn::pump()
 {
     if (!open())
@@ -128,8 +149,8 @@ Conn::pump()
         if (n > 0) {
             splitter_.feed(chunk, static_cast<std::size_t>(n));
             if (splitter_.corrupt()) {
-                warn("svc: oversized frame on fd %d; dropping "
-                     "connection", fd_);
+                log_.warn("oversized frame on fd %d; dropping "
+                          "connection", fd_);
                 failed_ = true;
                 return false;
             }
@@ -158,9 +179,18 @@ Conn::next()
         std::optional<json::Value> msg = json::Value::parse(*frame);
         if (msg)
             return msg;
-        warn("svc: dropping non-JSON frame (%zu bytes) on fd %d",
-             frame->size(), fd_);
+        ++badFrames_;
+        log_.warn("dropping non-JSON frame (%zu bytes) on fd %d",
+                  frame->size(), fd_);
     }
+}
+
+std::size_t
+Conn::takeBadFrames()
+{
+    const std::size_t n = badFrames_;
+    badFrames_ = 0;
+    return n;
 }
 
 namespace

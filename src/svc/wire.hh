@@ -97,12 +97,33 @@ class Conn
 
     /** Pop the next complete received message.  Frames that fail
      *  JSON parsing are dropped with a warning (one bad message must
-     *  not wedge the stream). */
+     *  not wedge the stream) and counted — takeBadFrames() lets the
+     *  daemon answer each with a structured error frame instead of
+     *  swallowing the problem silently. */
     std::optional<json::Value> next();
 
+    /** Number of non-JSON frames next() dropped since the last call
+     *  (the counter resets on read). */
+    std::size_t takeBadFrames();
+
+    /** True when the peer declared an oversized frame; the stream is
+     *  unrecoverable (pump() already marked the connection failed). */
+    bool corruptStream() const { return splitter_.corrupt(); }
+
+    /**
+     * Best-effort send that ignores the failed flag: the last-gasp
+     * structured error reply on an already-doomed connection (e.g.
+     * telling an oversized-frame sender *why* it is being dropped).
+     * The fd must still be open; errors are ignored.
+     */
+    void sendFinal(const json::Value &msg);
+
   private:
+    bool writeFrame(const std::string &frame);
+
     int fd_ = -1;
     bool failed_ = false;
+    std::size_t badFrames_ = 0;
     FrameSplitter splitter_;
 };
 

@@ -12,6 +12,8 @@
 #include "common/logging.hh"
 #include "exp/campaign.hh"
 #include "exp/checkpoint.hh"
+#include "obs/log.hh"
+#include "obs/prof.hh"
 #include "svc/registry.hh"
 #include "svc/wire.hh"
 
@@ -22,6 +24,8 @@ namespace
 {
 
 using Clock = std::chrono::steady_clock;
+
+constexpr obs::Logger log_{"svc.worker"};
 
 std::uint64_t
 field(const json::Value &msg, const char *key,
@@ -87,10 +91,13 @@ struct WorkerLoop
                 std::chrono::milliseconds(opts.heartbeatMs))
             return;
         lastBeat = now;
-        conn.send(json::Value::object()
-                      .set("type", "heartbeat")
-                      .set("id", opts.id)
-                      .set("counters", counters()));
+        json::Value beat = json::Value::object()
+                               .set("type", "heartbeat")
+                               .set("id", opts.id)
+                               .set("counters", counters());
+        if (!executor.prof().empty())
+            beat.set("prof", executor.prof().toJson());
+        conn.send(std::move(beat));
     }
 
     /** Drain the socket into the inbox; false once the daemon is
@@ -140,6 +147,13 @@ WorkerLoop::runShard(const json::Value &msg)
         return;
     }
     spec.checkpointDir = stringField(msg, "checkpoint_dir");
+    // Trace spills land under the campaign's durable state dir so
+    // `svc_client trace` (and the daemon) can find every worker's
+    // files in one place; without durable state there is nowhere
+    // cross-process to spill, so tracing stays in-process only.
+    if (spec.obsLevel >= obs::ObsLevel::Trace &&
+        !spec.checkpointDir.empty())
+        spec.traceSpillDir = spec.checkpointDir + "/traces";
 
     executor.beginCampaign(spec);
 
@@ -195,15 +209,20 @@ WorkerLoop::runShard(const json::Value &msg)
 
     exp::runShardRange(spec, lo, hi, executor,
                        checkpoint ? &*checkpoint : nullptr, emit,
-                       current_hi);
+                       current_hi,
+                       static_cast<unsigned>(opts.id));
     ++shardsDone;
-    if (!lost && !shutdown)
-        conn.send(json::Value::object()
-                      .set("type", "shard_done")
-                      .set("id", opts.id)
-                      .set("campaign", campaign)
-                      .set("shard", shard_id)
-                      .set("counters", counters()));
+    if (!lost && !shutdown) {
+        json::Value done = json::Value::object()
+                               .set("type", "shard_done")
+                               .set("id", opts.id)
+                               .set("campaign", campaign)
+                               .set("shard", shard_id)
+                               .set("counters", counters());
+        if (!executor.prof().empty())
+            done.set("prof", executor.prof().toJson());
+        conn.send(std::move(done));
+    }
 }
 
 int
@@ -227,8 +246,8 @@ WorkerLoop::run()
             else if (type == "shutdown")
                 shutdown = true;
             else if (type != "shrink") // stale shrinks are expected
-                warn("svc worker %d: unexpected message type '%s'",
-                     opts.id, type.c_str());
+                log_.warn("worker %d: unexpected message type '%s'",
+                          opts.id, type.c_str());
         }
         if (!alive && inbox.empty())
             break; // daemon is gone; nothing left to do
@@ -250,8 +269,8 @@ runWorkerMain(const WorkerOptions &options)
             ::usleep(50 * 1000);
     }
     if (fd < 0) {
-        warn("svc worker %d: cannot connect to '%s'", options.id,
-             options.socketPath.c_str());
+        log_.warn("worker %d: cannot connect to '%s'", options.id,
+                  options.socketPath.c_str());
         return 1;
     }
     WorkerLoop loop(options, fd);
@@ -263,6 +282,7 @@ maybeRunWorkerMain(int argc, char **argv, int *exit_code)
 {
     if (argc < 2 || std::string(argv[1]) != kWorkerArg)
         return false;
+    obs::configureLogFromEnv();
     WorkerOptions options;
     for (int i = 2; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -282,12 +302,21 @@ maybeRunWorkerMain(int argc, char **argv, int *exit_code)
                 static_cast<std::size_t>(std::atoll(v->c_str()));
         else if (auto v = valueOf("--heartbeat-ms="))
             options.heartbeatMs = std::atoi(v->c_str());
-        else
-            warn("svc worker: ignoring unknown flag '%s'",
-                 arg.c_str());
+        else if (auto v = valueOf("--log-level=")) {
+            obs::LogConfig lc = obs::logConfig();
+            if (auto level = obs::parseLogLevel(*v))
+                lc.level = *level;
+            obs::configureLog(lc);
+        } else if (arg == "--log-json") {
+            obs::LogConfig lc = obs::logConfig();
+            lc.json = true;
+            obs::configureLog(lc);
+        } else
+            log_.warn("ignoring unknown flag '%s'", arg.c_str());
     }
+    obs::installSimLogBridge();
     if (options.socketPath.empty()) {
-        warn("svc worker: no --socket= given");
+        log_.warn("no --socket= given");
         *exit_code = 1;
         return true;
     }

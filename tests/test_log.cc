@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Tests for src/obs/log: level parsing, severity filtering, the
+ * pretty and NDJSON line shapes, USCOPE_LOG environment config, the
+ * common/logging bridge, and the observation-must-not-perturb
+ * contract — campaign fingerprints are byte-identical at every log
+ * level and output shape, even when trial bodies log on every trial.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "exp/campaign.hh"
+#include "obs/log.hh"
+#include "obs/metrics.hh"
+
+using namespace uscope;
+
+namespace
+{
+
+constexpr obs::Logger testLog{"test.log"};
+
+/** Save/restore the process-wide sink config around a test. */
+struct ScopedLogConfig
+{
+    obs::LogConfig saved = obs::logConfig();
+    ~ScopedLogConfig() { obs::configureLog(saved); }
+};
+
+std::string
+captureLine(obs::LogConfig config, void (*emit)())
+{
+    obs::configureLog(config);
+    testing::internal::CaptureStderr();
+    emit();
+    return testing::internal::GetCapturedStderr();
+}
+
+} // namespace
+
+TEST(Log, LevelNamesRoundTrip)
+{
+    for (obs::LogLevel level :
+         {obs::LogLevel::Error, obs::LogLevel::Warn,
+          obs::LogLevel::Info, obs::LogLevel::Debug}) {
+        const std::optional<obs::LogLevel> back =
+            obs::parseLogLevel(obs::logLevelName(level));
+        ASSERT_TRUE(back.has_value());
+        EXPECT_EQ(*back, level);
+    }
+    EXPECT_FALSE(obs::parseLogLevel("loud").has_value());
+    EXPECT_FALSE(obs::parseLogLevel("").has_value());
+}
+
+TEST(Log, SinkFiltersBySeverity)
+{
+    ScopedLogConfig scoped;
+
+    const std::string dropped =
+        captureLine({obs::LogLevel::Error, false},
+                    [] { testLog.warn("should not appear"); });
+    EXPECT_TRUE(dropped.empty());
+    EXPECT_FALSE(obs::logEnabled(obs::LogLevel::Warn));
+    EXPECT_TRUE(obs::logEnabled(obs::LogLevel::Error));
+
+    const std::string kept =
+        captureLine({obs::LogLevel::Warn, false},
+                    [] { testLog.warn("emitted %d", 42); });
+    EXPECT_NE(kept.find("warn"), std::string::npos);
+    EXPECT_NE(kept.find("test.log"), std::string::npos);
+    EXPECT_NE(kept.find("emitted 42"), std::string::npos);
+
+    const std::string debugDropped =
+        captureLine({obs::LogLevel::Info, false},
+                    [] { testLog.debug("too fine"); });
+    EXPECT_TRUE(debugDropped.empty());
+}
+
+TEST(Log, PrettyAndJsonLineShapes)
+{
+    ScopedLogConfig scoped;
+
+    const std::string pretty =
+        captureLine({obs::LogLevel::Debug, false},
+                    [] { testLog.info("hello \"world\""); });
+    EXPECT_EQ(pretty.front(), '[');
+    EXPECT_NE(pretty.find("info"), std::string::npos);
+    EXPECT_NE(pretty.find("test.log:"), std::string::npos);
+
+    const std::string json =
+        captureLine({obs::LogLevel::Debug, true},
+                    [] { testLog.info("hello \"world\""); });
+    EXPECT_EQ(json.front(), '{');
+    EXPECT_NE(json.find("\"level\":\"info\""), std::string::npos);
+    EXPECT_NE(json.find("\"component\":\"test.log\""),
+              std::string::npos);
+    // The quote inside the message must be escaped for NDJSON.
+    EXPECT_NE(json.find("hello \\\"world\\\""), std::string::npos);
+    EXPECT_EQ(json.find("hello \"world\""), std::string::npos);
+
+    const std::string cycled =
+        captureLine({obs::LogLevel::Debug, true},
+                    [] { testLog.infoAt(1234, "at a cycle"); });
+    EXPECT_NE(cycled.find("\"cycle\":1234"), std::string::npos);
+}
+
+TEST(Log, ConfiguresFromEnvironment)
+{
+    ScopedLogConfig scoped;
+
+    ::setenv("USCOPE_LOG", "debug,json", 1);
+    obs::configureLogFromEnv();
+    EXPECT_EQ(obs::logConfig().level, obs::LogLevel::Debug);
+    EXPECT_TRUE(obs::logConfig().json);
+
+    // Unrecognized tokens are ignored; recognized ones still apply.
+    ::setenv("USCOPE_LOG", "bogus,error", 1);
+    testing::internal::CaptureStderr();
+    obs::configureLogFromEnv();
+    testing::internal::GetCapturedStderr();
+    EXPECT_EQ(obs::logConfig().level, obs::LogLevel::Error);
+
+    ::unsetenv("USCOPE_LOG");
+}
+
+namespace
+{
+
+/** A campaign whose trials log on every trial and export
+ *  seed-dependent metrics — the fingerprint invariance probe. */
+exp::CampaignSpec
+loggingSpec()
+{
+    exp::CampaignSpec spec;
+    spec.name = "log-invariance";
+    spec.trials = 16;
+    spec.masterSeed = 11;
+    spec.workers = 2;
+    spec.body = [](const exp::TrialContext &ctx) {
+        static constexpr obs::Logger bodyLog{"test.trial"};
+        bodyLog.debug("trial %zu starting", ctx.index);
+        Rng rng(ctx.seed);
+        obs::MetricRegistry registry;
+        registry.counter("t.count").set(rng.below(1000));
+        registry.gauge("t.gauge").set(rng.uniform());
+        warn("trial %zu bridged warn", ctx.index);
+
+        exp::TrialOutput out;
+        out.metrics = registry.snapshot();
+        out.metric.add(rng.uniform());
+        return out;
+    };
+    return spec;
+}
+
+std::string
+fingerprintUnder(obs::LogConfig config)
+{
+    obs::configureLog(config);
+    testing::internal::CaptureStderr();
+    const exp::CampaignResult result =
+        exp::runCampaign(loggingSpec());
+    testing::internal::GetCapturedStderr();
+    return exp::deterministicFingerprint(result);
+}
+
+} // namespace
+
+TEST(Log, CampaignFingerprintInvariantAcrossLevelsAndShapes)
+{
+    ScopedLogConfig scoped;
+
+    const std::string silent =
+        fingerprintUnder({obs::LogLevel::Error, false});
+    ASSERT_FALSE(silent.empty());
+    EXPECT_EQ(fingerprintUnder({obs::LogLevel::Warn, false}), silent);
+    EXPECT_EQ(fingerprintUnder({obs::LogLevel::Debug, false}), silent);
+    EXPECT_EQ(fingerprintUnder({obs::LogLevel::Debug, true}), silent);
+}
+
+TEST(Log, SimBridgeReroutesAndHonorsLevel)
+{
+    ScopedLogConfig scoped;
+    obs::installSimLogBridge();
+
+    const std::string dropped =
+        captureLine({obs::LogLevel::Error, false},
+                    [] { warn("bridged noise %d", 7); });
+    EXPECT_TRUE(dropped.empty());
+
+    const std::string kept =
+        captureLine({obs::LogLevel::Warn, false},
+                    [] { warn("bridged noise %d", 7); });
+    EXPECT_NE(kept.find("sim"), std::string::npos);
+    EXPECT_NE(kept.find("bridged noise 7"), std::string::npos);
+
+    const std::string informed =
+        captureLine({obs::LogLevel::Info, false},
+                    [] { inform("bridged inform"); });
+    EXPECT_NE(informed.find("bridged inform"), std::string::npos);
+}

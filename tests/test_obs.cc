@@ -11,11 +11,16 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdint>
 #include <filesystem>
+#include <fstream>
+#include <optional>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/json.hh"
 #include "common/logging.hh"
 #include "common/random.hh"
 #include "cpu/program.hh"
@@ -23,8 +28,10 @@
 #include "obs/chrome_trace.hh"
 #include "obs/cli.hh"
 #include "obs/event_trace.hh"
+#include "obs/log.hh"
 #include "obs/metrics.hh"
 #include "obs/observer.hh"
+#include "obs/prof.hh"
 #include "os/machine.hh"
 
 using namespace uscope;
@@ -530,4 +537,250 @@ TEST(TraceCategories, ConcurrentTogglesAndReadsAreSafe)
     threads[3].join();
     Trace::disableAll();
     EXPECT_FALSE(traced.enabled());
+}
+
+// ---------------------------------------------------------------------
+// Trace spills and cross-process aggregation (DESIGN.md §14).
+// ---------------------------------------------------------------------
+
+TEST(TraceSpill, JsonRoundTrip)
+{
+    obs::TraceSpill spill;
+    spill.worker = 3;
+    spill.trial = 17;
+    spill.forkCycle = 123456;
+    spill.log = sampleLog();
+
+    const std::string text = obs::traceSpillToJson(spill);
+    EXPECT_TRUE(jsonWellFormed(text));
+
+    const std::optional<obs::TraceSpill> back =
+        obs::parseTraceSpill(text);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->worker, 3u);
+    EXPECT_EQ(back->trial, 17u);
+    EXPECT_EQ(back->forkCycle, 123456u);
+    EXPECT_EQ(back->log.dropped, spill.log.dropped);
+    ASSERT_EQ(back->log.events.size(), spill.log.events.size());
+    for (std::size_t i = 0; i < spill.log.events.size(); ++i) {
+        EXPECT_EQ(back->log.events[i].cycle, spill.log.events[i].cycle);
+        EXPECT_EQ(back->log.events[i].kind, spill.log.events[i].kind);
+        EXPECT_EQ(back->log.events[i].addr, spill.log.events[i].addr);
+    }
+
+    EXPECT_FALSE(obs::parseTraceSpill("not json").has_value());
+    EXPECT_FALSE(obs::parseTraceSpill("{\"worker\":1}").has_value());
+}
+
+TEST(TraceSpill, WriteLoadSortsAndSkipsGarbage)
+{
+    const std::string dir =
+        (std::filesystem::path(testing::TempDir()) / "obs-spills")
+            .string();
+    std::filesystem::remove_all(dir);
+
+    obs::TraceSpill a;
+    a.worker = 1;
+    a.trial = 2;
+    a.log = sampleLog();
+    obs::TraceSpill b;
+    b.worker = 0;
+    b.trial = 5;
+    b.log = sampleLog();
+    ASSERT_TRUE(obs::writeTraceSpill(dir, a));
+    ASSERT_TRUE(obs::writeTraceSpill(dir, b));
+
+    // Garbage spill files are skipped with a warning, not fatal; other
+    // files in the dir are ignored entirely.
+    {
+        std::ofstream garbage(std::filesystem::path(dir) /
+                              "trace-w009-t000009.json");
+        garbage << "{truncated";
+    }
+    {
+        std::ofstream other(std::filesystem::path(dir) / "notes.txt");
+        other << "not a spill";
+    }
+
+    const std::vector<obs::TraceSpill> spills =
+        obs::loadTraceSpills(dir);
+    ASSERT_EQ(spills.size(), 2u);
+    // Sorted by filename: trace-w000-t000005 before trace-w001-t000002.
+    EXPECT_EQ(spills[0].worker, 0u);
+    EXPECT_EQ(spills[0].trial, 5u);
+    EXPECT_EQ(spills[1].worker, 1u);
+    EXPECT_EQ(spills[1].trial, 2u);
+
+    std::filesystem::remove_all(dir);
+}
+
+TEST(TraceSpill, MergeProducesPerWorkerPidLanesAndDedupes)
+{
+    obs::TraceSpill w0t0;
+    w0t0.worker = 0;
+    w0t0.trial = 0;
+    w0t0.log = sampleLog();
+    // The same trial executed twice (a steal race): byte-identical by
+    // the determinism contract, deduplicated keeping the lowest worker.
+    obs::TraceSpill w1t0 = w0t0;
+    w1t0.worker = 1;
+    obs::TraceSpill w1t1;
+    w1t1.worker = 1;
+    w1t1.trial = 1;
+    w1t1.log = sampleLog();
+
+    const std::string merged =
+        obs::mergeChromeTraces({w0t0, w1t0, w1t1});
+    EXPECT_TRUE(jsonWellFormed(merged));
+
+    const std::optional<json::Value> doc = json::Value::parse(merged);
+    ASSERT_TRUE(doc.has_value());
+    const json::Value *events = doc->get("traceEvents");
+    ASSERT_NE(events, nullptr);
+
+    bool sawWorker0Name = false;
+    bool sawWorker1Name = false;
+    std::set<std::uint64_t> pids;
+    bool trial0OnWorker1 = false;
+    for (const json::Value &event : events->items()) {
+        const json::Value *ph = event.get("ph");
+        const json::Value *pid = event.get("pid");
+        const json::Value *tid = event.get("tid");
+        ASSERT_NE(ph, nullptr);
+        ASSERT_NE(pid, nullptr);
+        if (ph->asString() == "M") {
+            const json::Value *args = event.get("args");
+            if (args && args->get("name")) {
+                const std::string &name = args->get("name")->asString();
+                sawWorker0Name |= name == "worker 0";
+                sawWorker1Name |= name == "worker 1";
+            }
+            continue;
+        }
+        pids.insert(pid->asU64());
+        // Trial tracks live at tid = trial*32 + track; the duplicate
+        // trial 0 must render only on worker 0's lane.
+        if (pid->asU64() == 1 && tid && tid->asU64() < 32)
+            trial0OnWorker1 = true;
+    }
+    EXPECT_TRUE(sawWorker0Name);
+    EXPECT_TRUE(sawWorker1Name);
+    EXPECT_EQ(pids.size(), 2u) << "expected two pid lanes";
+    EXPECT_TRUE(pids.count(0));
+    EXPECT_TRUE(pids.count(1));
+    EXPECT_FALSE(trial0OnWorker1)
+        << "duplicate trial not deduplicated to the lowest worker";
+}
+
+// ---------------------------------------------------------------------
+// Phase profiling.
+// ---------------------------------------------------------------------
+
+TEST(Prof, ObsLevelNamesRoundTrip)
+{
+    for (obs::ObsLevel level :
+         {obs::ObsLevel::Off, obs::ObsLevel::Metrics,
+          obs::ObsLevel::Trace, obs::ObsLevel::Full}) {
+        const std::optional<obs::ObsLevel> back =
+            obs::parseObsLevel(obs::obsLevelName(level));
+        ASSERT_TRUE(back.has_value());
+        EXPECT_EQ(*back, level);
+    }
+    EXPECT_FALSE(obs::parseObsLevel("verbose").has_value());
+    EXPECT_FALSE(obs::parseObsLevel("").has_value());
+}
+
+TEST(Prof, ScopeIsNoOpOnNullAndRecordsOtherwise)
+{
+    obs::ProfData data;
+    {
+        obs::ProfScope off(nullptr, "prof.trial.run");
+    }
+    EXPECT_TRUE(data.empty());
+
+    {
+        obs::ProfScope on(&data, "prof.trial.run");
+    }
+    {
+        obs::ProfScope again(&data, "prof.trial.run");
+    }
+    ASSERT_FALSE(data.empty());
+    const auto it = data.phases().find("prof.trial.run");
+    ASSERT_NE(it, data.phases().end());
+    EXPECT_EQ(it->second.count(), 2u);
+}
+
+TEST(Prof, DataJsonRoundTripAndMerge)
+{
+    obs::ProfData data;
+    data.add("prof.trial.run", 0.5);
+    data.add("prof.trial.run", 1.5);
+    data.add("prof.svc.merge", 0.25);
+
+    const obs::ProfData back = obs::ProfData::fromJson(data.toJson());
+    ASSERT_FALSE(back.empty());
+    const auto &run = back.phases().at("prof.trial.run");
+    EXPECT_EQ(run.count(), 2u);
+    EXPECT_DOUBLE_EQ(run.mean(), 1.0);
+    EXPECT_DOUBLE_EQ(run.max(), 1.5);
+    const auto &merge = back.phases().at("prof.svc.merge");
+    EXPECT_EQ(merge.count(), 1u);
+
+    obs::ProfData other;
+    other.add("prof.trial.run", 2.0);
+    obs::ProfData combined = back;
+    combined.merge(other);
+    EXPECT_EQ(combined.phases().at("prof.trial.run").count(), 3u);
+
+    // An empty/absent wire field decodes to an empty profile.
+    EXPECT_TRUE(obs::ProfData::fromJson(json::Value()).empty());
+}
+
+// ---------------------------------------------------------------------
+// The observation-must-not-perturb contract, in process.
+// ---------------------------------------------------------------------
+
+TEST(Obs, CampaignFingerprintInvariantAcrossObsLevels)
+{
+    std::string baseline;
+    bool first = true;
+    for (obs::ObsLevel level :
+         {obs::ObsLevel::Off, obs::ObsLevel::Metrics,
+          obs::ObsLevel::Trace, obs::ObsLevel::Full}) {
+        exp::CampaignSpec spec = metricSpec(2);
+        spec.obsLevel = level;
+        const exp::CampaignResult result = exp::runCampaign(spec);
+        const std::string print = exp::deterministicFingerprint(result);
+        if (first) {
+            baseline = print;
+            first = false;
+        } else {
+            EXPECT_EQ(print, baseline)
+                << "fingerprint diverged at --obs="
+                << obs::obsLevelName(level);
+        }
+        // Profiling is a side channel gated at >= Metrics; it never
+        // feeds the fingerprint.
+        EXPECT_EQ(result.prof.empty(), level == obs::ObsLevel::Off)
+            << obs::obsLevelName(level);
+    }
+}
+
+TEST(BenchCli, ParsesObsAndLogFlags)
+{
+    const obs::LogConfig saved = obs::logConfig();
+
+    const char *argv[] = {"bench", "--obs=trace", "--log-level=debug"};
+    const obs::BenchObsOptions opts = obs::parseBenchObsOptions(
+        3, const_cast<char **>(argv), "default.json");
+    ASSERT_TRUE(opts.obsLevel.has_value());
+    EXPECT_EQ(*opts.obsLevel, obs::ObsLevel::Trace);
+    EXPECT_EQ(obs::logConfig().level, obs::LogLevel::Debug);
+
+    const char *bad[] = {"bench", "--obs=everything"};
+    EXPECT_THROW(obs::parseBenchObsOptions(
+                     2, const_cast<char **>(bad), "d.json"),
+                 SimPanic);
+
+    obs::configureLog(saved);
 }

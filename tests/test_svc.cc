@@ -16,6 +16,12 @@
  *    byte-identical), and two tenants submitting the same request
  *    under different namespaces concurrently (disjoint, individually
  *    reproducible results).
+ *  - Observability (DESIGN.md §14): the stats request/reply frames,
+ *    per-worker trial credits summing to campaign totals across any
+ *    steal/kill history, structured error replies to malformed
+ *    frames, obs-level fingerprint invariance through the service,
+ *    and per-trial trace spills merging into one per-worker-lane
+ *    Chrome trace.
  *
  * The e2e tests use the machine-less "selftest" recipe: microseconds
  * per trial, so kill/steal/respawn round-trips run in test time.
@@ -23,15 +29,23 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <cstdint>
 #include <filesystem>
+#include <optional>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include "common/logging.hh"
 #include "exp/campaign.hh"
+#include "obs/chrome_trace.hh"
+#include "obs/prof.hh"
 #include "svc/client.hh"
 #include "svc/daemon.hh"
 #include "svc/registry.hh"
@@ -340,6 +354,21 @@ inProcessFingerprint(const svc::CampaignRequest &request,
         exp::deterministicFingerprint(exp::runCampaign(spec)));
 }
 
+/** Sum the per-worker {"run","restored"} credit map. */
+std::pair<std::uint64_t, std::uint64_t>
+creditTotals(const json::Value &credits)
+{
+    std::uint64_t run = 0;
+    std::uint64_t restored = 0;
+    for (const auto &[worker, credit] : credits.entries()) {
+        const json::Value *r = credit.get("run");
+        const json::Value *s = credit.get("restored");
+        run += r ? r->asU64() : 0;
+        restored += s ? s->asU64() : 0;
+    }
+    return {run, restored};
+}
+
 TEST(SvcService, FingerprintMatchesInProcessRun)
 {
     svc::DaemonConfig config;
@@ -373,6 +402,11 @@ TEST(SvcService, FingerprintMatchesInProcessRun)
     EXPECT_EQ(result.fingerprint, inProcessFingerprint(request));
     // And the in-process reference is itself worker-count-invariant.
     EXPECT_EQ(result.fingerprint, inProcessFingerprint(request, 4));
+
+    // Every trial is credited to exactly one worker, none restored.
+    const auto [run, restored] = creditTotals(result.credits);
+    EXPECT_EQ(run, 24u);
+    EXPECT_EQ(restored, 0u);
 }
 
 TEST(SvcService, WorkerKilledMidShardResumesBitIdentically)
@@ -399,6 +433,14 @@ TEST(SvcService, WorkerKilledMidShardResumesBitIdentically)
     EXPECT_GE(result.workerDeaths, 1u);
     EXPECT_EQ(result.fingerprint, inProcessFingerprint(request));
 
+    // Credits survive the kill: the dead worker's checkpointed
+    // trials are either restored by the inheritor or re-run, but
+    // every trial is credited exactly once.
+    {
+        const auto [run, restored] = creditTotals(result.credits);
+        EXPECT_EQ(run + restored, 32u);
+    }
+
     // Durability: the finished campaign's trials are all persisted,
     // so resubmitting the identical request is a pure restore — and
     // still the same bytes.
@@ -407,6 +449,15 @@ TEST(SvcService, WorkerKilledMidShardResumesBitIdentically)
     EXPECT_EQ(again.resumedTrials, 32u);
     EXPECT_EQ(again.workerDeaths, 0u);
     EXPECT_EQ(again.fingerprint, result.fingerprint);
+
+    // A pure daemon-side restore dispatches nothing to workers, so
+    // no worker earns a credit: run + restored + resumedTrials still
+    // covers every trial exactly once.
+    {
+        const auto [run, restored] = creditTotals(again.credits);
+        EXPECT_EQ(run + restored + again.resumedTrials, 32u);
+        EXPECT_EQ(run, 0u);
+    }
 }
 
 TEST(SvcService, TwoTenantsSameSeedAreDisjointAndReproducible)
@@ -478,6 +529,268 @@ TEST(SvcService, SimulatorRecipeMatchesInProcessRun)
     const svc::SubmitResult result = client.submit(request);
     ASSERT_TRUE(result.ok) << result.error;
     EXPECT_EQ(result.fingerprint, inProcessFingerprint(request));
+}
+
+// ---------------------------------------------------------------------
+// Observability: stats frames, structured errors, trace spills.
+// ---------------------------------------------------------------------
+
+TEST(SvcService, StatsExposeLiveAndLifetimeDaemonState)
+{
+    svc::DaemonConfig config;
+    config.socketPath = uniquePath("stats");
+    config.workers = 2;
+    DaemonFixture daemon(std::move(config));
+
+    // Baseline: a quiet daemon still answers with its worker table.
+    {
+        svc::Client client(daemon.config.socketPath);
+        ASSERT_TRUE(client.connected());
+        const auto stats = client.stats();
+        ASSERT_TRUE(stats.has_value());
+        ASSERT_NE(stats->get("workers"), nullptr);
+        EXPECT_EQ(stats->get("workers")->asU64(), 2u);
+        ASSERT_NE(stats->get("uptime_seconds"), nullptr);
+        EXPECT_GE(stats->get("uptime_seconds")->asDouble(-1.0), 0.0);
+        ASSERT_NE(stats->get("campaigns"), nullptr);
+        EXPECT_TRUE(stats->get("campaigns")->items().empty());
+        const json::Value *table = stats->get("worker_table");
+        ASSERT_NE(table, nullptr);
+        ASSERT_EQ(table->items().size(), 2u);
+        for (const json::Value &worker : table->items()) {
+            EXPECT_GT(worker.get("pid")->asU64(), 0u);
+            EXPECT_GE(
+                worker.get("heartbeat_age_seconds")->asDouble(-1.0),
+                0.0);
+        }
+    }
+
+    // A campaign slow enough to be observed mid-flight from a second
+    // connection.
+    svc::CampaignRequest request = selftestRequest(48, 5);
+    request.params = json::Value::object().set("work", 1000000);
+
+    std::atomic<bool> done{false};
+    svc::SubmitResult result;
+    std::thread submitter([&] {
+        svc::Client client(daemon.config.socketPath);
+        EXPECT_TRUE(client.connected());
+        result = client.submit(request);
+        done.store(true);
+    });
+
+    bool caught_live = false;
+    while (!done.load() && !caught_live) {
+        svc::Client client(daemon.config.socketPath);
+        if (!client.connected())
+            continue;
+        const auto stats = client.stats();
+        if (!stats.has_value())
+            continue;
+        const json::Value *campaigns = stats->get("campaigns");
+        if (!campaigns || campaigns->items().empty())
+            continue;
+
+        const json::Value &campaign = campaigns->items().front();
+        EXPECT_EQ(campaign.get("recipe")->asString(), "selftest");
+        EXPECT_EQ(campaign.get("total")->asU64(), 48u);
+        EXPECT_LE(campaign.get("completed")->asU64(), 48u);
+        EXPECT_GE(campaign.get("age_seconds")->asDouble(-1.0), 0.0);
+        const json::Value *shards = campaign.get("shards");
+        ASSERT_NE(shards, nullptr);
+        ASSERT_FALSE(shards->items().empty());
+        const json::Value &shard = shards->items().front();
+        EXPECT_NE(shard.get("lo"), nullptr);
+        EXPECT_NE(shard.get("hi"), nullptr);
+        EXPECT_NE(shard.get("owner"), nullptr);
+        caught_live = true;
+    }
+    submitter.join();
+    ASSERT_TRUE(result.ok) << result.error;
+    EXPECT_TRUE(caught_live)
+        << "campaign finished before stats could observe it";
+
+    // Lifetime counters survive the campaign's completion.
+    svc::Client client(daemon.config.socketPath);
+    ASSERT_TRUE(client.connected());
+    const auto stats = client.stats();
+    ASSERT_TRUE(stats.has_value());
+    const json::Value *metrics = stats->get("metrics");
+    ASSERT_NE(metrics, nullptr);
+    const json::Value *completed =
+        metrics->get("svc.daemon.campaigns_completed");
+    ASSERT_NE(completed, nullptr);
+    EXPECT_GE(completed->asU64(), 1u);
+    const json::Value *trials =
+        metrics->get("svc.daemon.trials_completed");
+    ASSERT_NE(trials, nullptr);
+    EXPECT_GE(trials->asU64(), 48u);
+    const json::Value *requests =
+        metrics->get("svc.daemon.stats_requests");
+    ASSERT_NE(requests, nullptr);
+    EXPECT_GE(requests->asU64(), 2u);
+    // The daemon profiles its own phases unconditionally.
+    const json::Value *prof = stats->get("prof");
+    ASSERT_NE(prof, nullptr);
+    EXPECT_NE(prof->get("prof.svc.dispatch"), nullptr);
+}
+
+namespace
+{
+
+/** Read one length-prefixed frame off a raw socket (5s timeout). */
+std::optional<std::string>
+recvFrame(int fd)
+{
+    svc::FrameSplitter splitter;
+    char buf[4096];
+    for (int spins = 0; spins < 5000; ++spins) {
+        if (auto frame = splitter.next())
+            return frame;
+        const ssize_t n = ::recv(fd, buf, sizeof(buf), MSG_DONTWAIT);
+        if (n > 0) {
+            splitter.feed(buf, static_cast<std::size_t>(n));
+        } else if (n == 0) {
+            return std::nullopt;
+        } else {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(1));
+        }
+    }
+    return std::nullopt;
+}
+
+} // namespace
+
+TEST(SvcService, MalformedFrameGetsStructuredErrorReply)
+{
+    svc::DaemonConfig config;
+    config.socketPath = uniquePath("badframe");
+    config.workers = 1;
+    DaemonFixture daemon(std::move(config));
+
+    // Wait for the socket to exist via the normal client, then talk
+    // raw bytes on a second connection.
+    {
+        svc::Client probe(daemon.config.socketPath);
+        ASSERT_TRUE(probe.connected());
+        ASSERT_TRUE(probe.ping());
+    }
+    const int fd = svc::connectUnix(daemon.config.socketPath);
+    ASSERT_GE(fd, 0);
+
+    const std::string bad = svc::encodeFrame("this is not json");
+    ASSERT_EQ(::send(fd, bad.data(), bad.size(), 0),
+              static_cast<ssize_t>(bad.size()));
+
+    const std::optional<std::string> reply = recvFrame(fd);
+    ASSERT_TRUE(reply.has_value()) << "no error reply";
+    const std::optional<json::Value> parsed =
+        json::Value::parse(*reply);
+    ASSERT_TRUE(parsed.has_value());
+    ASSERT_NE(parsed->get("type"), nullptr);
+    EXPECT_EQ(parsed->get("type")->asString(), "error");
+    ASSERT_NE(parsed->get("message"), nullptr);
+    EXPECT_NE(parsed->get("message")->asString().find("malformed"),
+              std::string::npos);
+
+    // The session survives the bad frame: a valid ping still pongs.
+    const std::string ping = svc::encodeFrame("{\"type\":\"ping\"}");
+    ASSERT_EQ(::send(fd, ping.data(), ping.size(), 0),
+              static_cast<ssize_t>(ping.size()));
+    const std::optional<std::string> pong = recvFrame(fd);
+    ASSERT_TRUE(pong.has_value());
+    EXPECT_NE(pong->find("pong"), std::string::npos);
+    ::close(fd);
+
+    // And the daemon tallied it.
+    svc::Client client(daemon.config.socketPath);
+    ASSERT_TRUE(client.connected());
+    const auto stats = client.stats();
+    ASSERT_TRUE(stats.has_value());
+    const json::Value *metrics = stats->get("metrics");
+    ASSERT_NE(metrics, nullptr);
+    const json::Value *badFrames =
+        metrics->get("svc.daemon.bad_frames");
+    ASSERT_NE(badFrames, nullptr);
+    EXPECT_GE(badFrames->asU64(), 1u);
+}
+
+TEST(SvcService, ObsLevelsDoNotPerturbServiceFingerprints)
+{
+    // No state dir: the second submission re-executes rather than
+    // restoring, so the comparison is between two real runs.
+    svc::DaemonConfig config;
+    config.socketPath = uniquePath("obsinv");
+    config.workers = 2;
+    DaemonFixture daemon(std::move(config));
+
+    svc::Client client(daemon.config.socketPath);
+    ASSERT_TRUE(client.connected());
+
+    svc::CampaignRequest request = selftestRequest(24, 13);
+    request.obs = obs::ObsLevel::Off;
+    const svc::SubmitResult dark = client.submit(request);
+    ASSERT_TRUE(dark.ok) << dark.error;
+
+    request.obs = obs::ObsLevel::Full;
+    const svc::SubmitResult lit = client.submit(request);
+    ASSERT_TRUE(lit.ok) << lit.error;
+
+    EXPECT_EQ(dark.fingerprint, lit.fingerprint);
+    EXPECT_EQ(dark.fingerprint, inProcessFingerprint(request));
+}
+
+TEST(SvcService, TraceSpillsLandInStateDirAndMergeAcrossWorkers)
+{
+    svc::DaemonConfig config;
+    config.socketPath = uniquePath("spill");
+    config.workers = 2;
+    config.stateDir = uniquePath("spillstate");
+    DaemonFixture daemon(std::move(config));
+
+    svc::Client client(daemon.config.socketPath);
+    ASSERT_TRUE(client.connected());
+
+    // A real-simulator recipe, so the spills carry actual events.
+    svc::CampaignRequest request;
+    request.recipe = "fig10_port_contention";
+    request.trials = 4;
+    request.masterSeed = 21;
+    request.obs = obs::ObsLevel::Full;
+    request.params = json::Value::object()
+                         .set("samples", 40)
+                         .set("replays", 2);
+
+    const svc::SubmitResult result = client.submit(request);
+    ASSERT_TRUE(result.ok) << result.error;
+
+    // Workers spill per-trial traces under <campaign state>/traces.
+    std::string spill_dir;
+    for (const auto &entry :
+         std::filesystem::recursive_directory_iterator(
+             daemon.config.stateDir)) {
+        if (entry.is_directory() &&
+            entry.path().filename() == "traces")
+            spill_dir = entry.path().string();
+    }
+    ASSERT_FALSE(spill_dir.empty())
+        << "no traces/ dir under " << daemon.config.stateDir;
+
+    const std::vector<obs::TraceSpill> spills =
+        obs::loadTraceSpills(spill_dir);
+    ASSERT_GE(spills.size(), 4u);
+    for (const obs::TraceSpill &spill : spills)
+        EXPECT_FALSE(spill.log.empty())
+            << "empty spill from worker " << spill.worker;
+
+    // The svc_client trace path: merge into one multi-lane document.
+    const std::string merged = obs::mergeChromeTraces(spills);
+    EXPECT_NE(merged.find("traceEvents"), std::string::npos);
+    EXPECT_NE(merged.find("worker "), std::string::npos);
+    const std::optional<json::Value> doc = json::Value::parse(merged);
+    ASSERT_TRUE(doc.has_value());
+    EXPECT_FALSE(doc->get("traceEvents")->items().empty());
 }
 
 } // namespace
