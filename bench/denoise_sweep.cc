@@ -42,6 +42,7 @@
 #include "exp/checkpoint.hh"
 #include "exp/result_sink.hh"
 #include "fault/plan.hh"
+#include "obs/cli.hh"
 
 using namespace uscope;
 
@@ -277,9 +278,9 @@ main(int argc, char **argv)
         else if (const char *v = value("--fingerprint="))
             opt.fingerprintPath = v;
         else if (const char *v = value("--trials="))
-            opt.trials = std::strtoull(v, nullptr, 10);
+            opt.trials = obs::requireUnsignedFlag("--trials", v);
         else if (const char *v = value("--die-after="))
-            opt.dieAfter = std::strtoull(v, nullptr, 10);
+            opt.dieAfter = obs::requireUnsignedFlag("--die-after", v);
         else {
             std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
             return 2;

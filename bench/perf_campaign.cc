@@ -47,6 +47,20 @@
  *     section merges them (obs::mergeChromeTraces) as a smoke test of
  *     the cross-process aggregation path.  Results land in
  *     bench-results/BENCH_obs.json; `--obs=LEVEL` pins one arm.
+ *  6. **Differential-replay A/B** (DESIGN.md §15) — a denoise-shaped
+ *     arm: each trial re-enters one confidence-2 episode several
+ *     times (fresh noise seed per iteration, majority vote across
+ *     them, §4.3 of the paper).  The baseline restores the pre-arm
+ *     snapshot and re-simulates the whole prefix (per-trial warm
+ *     decryption + arming run + the replay-1 calibration work) before
+ *     every iteration; the fast arm COW-forks the machine at the
+ *     replay handle once (Recipe::differentialReplay +
+ *     Microscope::restoreEpisode) and restores that per iteration.
+ *     The determinism fingerprints must be byte-identical across arms
+ *     — a hard failure otherwise — and the measured speedup lands in
+ *     bench-results/BENCH_diffreplay.json (CI fails if the fast arm
+ *     is not at least break-even; the paper-repro target is >= 1.5x).
+ *     `--diffreplay={on,off}` pins one arm.
  */
 
 #include <array>
@@ -55,6 +69,7 @@
 #include <filesystem>
 #include <fstream>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
@@ -221,6 +236,35 @@ struct PrefixRig
     }
 };
 
+/** The shared §12 warmup: build the AES enclave rig and warm-decrypt
+ *  (used by the prefix-snapshot and differential-replay sections). */
+std::shared_ptr<const void>
+aesRigWarmup(os::Machine &m)
+{
+    auto rig = std::make_shared<PrefixRig>();
+    os::Kernel &kernel = m.kernel();
+    rig->pid = kernel.createProcess("aes-enclave");
+    rig->layout = crypto::setupAesVictim(kernel, rig->pid, rig->decKey);
+    for (unsigned t = 0; t < 5; ++t)
+        rig->tablePa[t] =
+            *kernel.translate(rig->pid, rig->layout.tableVa(t));
+    rig->program = std::make_shared<const cpu::Program>(
+        crypto::buildAesDecryptProgram(rig->layout));
+
+    // The expensive part: full warm decryptions of a fixed block,
+    // leaving the TLB/PWC/predictor/caches trained the way a
+    // long-running victim's machine would be.
+    std::uint8_t ct[16];
+    const std::uint8_t warm_plain[16] = {};
+    crypto::encryptBlock(rig->encKey, warm_plain, ct);
+    crypto::loadCiphertext(kernel, rig->pid, rig->layout, ct);
+    for (unsigned run = 0; run < prefixWarmRuns; ++run) {
+        kernel.startOnContext(rig->pid, 0, rig->program);
+        m.runUntilHalted(0, 50'000'000);
+    }
+    return rig;
+}
+
 exp::CampaignSpec
 prefixSpec(const char *name, bool prefix_cache, bool pool)
 {
@@ -235,31 +279,7 @@ prefixSpec(const char *name, bool prefix_cache, bool pool)
     // per-trial component-metric blocks are pure serialization weight.
     spec.perTrialMetrics = false;
 
-    spec.warmup = [](os::Machine &m) -> std::shared_ptr<const void> {
-        auto rig = std::make_shared<PrefixRig>();
-        os::Kernel &kernel = m.kernel();
-        rig->pid = kernel.createProcess("aes-enclave");
-        rig->layout = crypto::setupAesVictim(kernel, rig->pid,
-                                             rig->decKey);
-        for (unsigned t = 0; t < 5; ++t)
-            rig->tablePa[t] =
-                *kernel.translate(rig->pid, rig->layout.tableVa(t));
-        rig->program = std::make_shared<const cpu::Program>(
-            crypto::buildAesDecryptProgram(rig->layout));
-
-        // The expensive part: full warm decryptions of a fixed block,
-        // leaving the TLB/PWC/predictor/caches trained the way a
-        // long-running victim's machine would be.
-        std::uint8_t ct[16];
-        const std::uint8_t warm_plain[16] = {};
-        crypto::encryptBlock(rig->encKey, warm_plain, ct);
-        crypto::loadCiphertext(kernel, rig->pid, rig->layout, ct);
-        for (unsigned run = 0; run < prefixWarmRuns; ++run) {
-            kernel.startOnContext(rig->pid, 0, rig->program);
-            m.runUntilHalted(0, 50'000'000);
-        }
-        return rig;
-    };
+    spec.warmup = aesRigWarmup;
 
     spec.body = [](const exp::TrialContext &ctx) {
         os::Machine &m = *ctx.fork;
@@ -726,6 +746,259 @@ obsSection(std::optional<obs::ObsLevel> pinned)
            overhead > 0.0 && overhead <= obsOverheadGate;
 }
 
+// ---------------------------------------------------------------------
+// Section 6: differential-replay A/B (DESIGN.md §15).
+// ---------------------------------------------------------------------
+
+constexpr std::size_t diffTrials = 8;
+/** Episode re-entries per trial — the §4.3 denoise vote width. */
+constexpr std::uint64_t diffIterations = 5;
+constexpr Cycles diffRunBudget = 50'000'000;
+
+/**
+ * Denoise-shaped trial: one confidence-2 episode (replay 1 is the
+ * calibration prefix, replay 2 the measured window), re-entered
+ * diffIterations times with a fresh noise seed each, line hits decided
+ * by majority vote.  With @p differential the re-entry restores the
+ * engine's episode snapshot; without it, the pre-arm snapshot is
+ * restored and the prefix — per-trial warm decryption, priming, the
+ * arming run up to the replay-1 re-arm — re-simulated from scratch.
+ * The two must produce bit-identical results.
+ */
+exp::CampaignSpec
+diffReplaySpec(const char *name, bool differential)
+{
+    exp::CampaignSpec spec;
+    spec.name = name;
+    spec.trials = diffTrials;
+    spec.masterSeed = 42;
+    spec.workers = 1;
+    spec.prefixCache = true;
+    spec.machinePool = true;
+    spec.perTrialMetrics = false;
+    spec.warmup = aesRigWarmup;
+
+    spec.body = [differential](const exp::TrialContext &ctx) {
+        os::Machine &m = *ctx.fork;
+        const auto *rig =
+            static_cast<const PrefixRig *>(ctx.warmupData);
+
+        // Per-trial secret input, drawn from the trial stream; loaded
+        // once, before the pre-arm snapshot, so both arms see it.
+        Rng rng(ctx.seed);
+        std::uint8_t plaintext[16], ct[16];
+        for (unsigned i = 0; i < 16; ++i)
+            plaintext[i] = static_cast<std::uint8_t>(rng.below(256));
+        crypto::encryptBlock(rig->encKey, plaintext, ct);
+        crypto::loadCiphertext(m.kernel(), rig->pid, rig->layout, ct);
+
+        const auto probeTable = [&](unsigned table) {
+            attack::LineProbe probe;
+            for (unsigned line = 0; line < 16; ++line) {
+                const os::ProbeResult r = m.kernel().timedProbePhys(
+                    rig->tablePa[table] + line * lineSize);
+                probe.latency[line] = r.latency;
+                probe.level[line] = r.level;
+            }
+            return probe;
+        };
+        const auto primeTables = [&] {
+            for (unsigned t = 0; t < 4; ++t)
+                m.kernel().primeRange(rig->tablePa[t], 1024);
+        };
+
+        std::vector<attack::LineProbe> windows;
+        ms::Microscope scope(m);
+        ms::AttackRecipe recipe;
+        recipe.victim = rig->pid;
+        recipe.replayHandle = rig->layout.td0;
+        recipe.confidence = 2;
+        recipe.maxEpisodes = 1;
+        recipe.walkPlan = ms::PageWalkPlan::longest();
+        recipe.differentialReplay = differential;
+        recipe.onReplay = [&](const ms::ReplayEvent &event) {
+            if (event.replayIndex == 1) {
+                // Heavy calibration pass, prefix-only: survey every
+                // table, then re-prime — the work the fast arm's
+                // snapshot captures instead of re-executing.
+                for (unsigned t = 0; t < 4; ++t)
+                    probeTable(t);
+            } else {
+                windows.push_back(probeTable(1));
+            }
+            return true;
+        };
+        recipe.beforeResume = [&](const ms::ReplayEvent &) {
+            primeTables();
+        };
+        scope.setRecipe(std::move(recipe));
+
+        // Pre-arm snapshot: the resimulating arm rewinds here before
+        // every iteration.
+        const os::Snapshot pre = m.snapshot();
+        const ms::EpisodeState preState{scope.armed(),
+                                        scope.replaysThisEpisode(),
+                                        scope.stats()};
+        const auto runPrefix = [&]() {
+            // Per-trial warm decryption of this trial's ciphertext —
+            // the calibration run a denoise campaign performs before
+            // opening the episode, and the bulk of the prefix cost.
+            m.kernel().startOnContext(rig->pid, 0, rig->program);
+            if (!m.runUntilHalted(0, diffRunBudget))
+                throw std::runtime_error("warm run never halted");
+            primeTables();
+            scope.arm();
+            m.kernel().startOnContext(rig->pid, 0, rig->program);
+            const bool reached = m.runUntil(
+                [&]() {
+                    return differential
+                               ? scope.episodeSnapshotPending()
+                               : scope.replaysThisEpisode() >= 1;
+                },
+                diffRunBudget);
+            if (!reached)
+                throw std::runtime_error(
+                    "prefix never reached the re-arm");
+        };
+        runPrefix();
+        if (differential)
+            scope.takeEpisodeSnapshot();
+
+        for (std::uint64_t i = 0; i < diffIterations; ++i) {
+            const std::uint64_t seed =
+                exp::deriveReplaySeed(ctx.seed, i);
+            if (differential) {
+                scope.restoreEpisode(seed);
+            } else {
+                m.restoreFrom(pre);
+                scope.adoptEpisodeState(preState);
+                runPrefix();
+                m.reseed(seed);
+            }
+            // The window: replay 2 measures and closes the episode
+            // (no pivot, maxEpisodes 1 => the engine disarms inline).
+            if (!m.runUntil([&]() { return !scope.armed(); },
+                            diffRunBudget))
+                throw std::runtime_error("window never closed");
+        }
+
+        // Majority vote over the measured windows vs ground truth.
+        std::set<unsigned> expected;
+        const crypto::DecAccessTrace trace =
+            crypto::traceDecryption(rig->decKey, ct);
+        for (std::uint8_t index : trace.indices[0][1])
+            expected.insert(crypto::tableLineOf(index));
+        std::array<unsigned, 16> votes{};
+        for (const attack::LineProbe &probe : windows)
+            for (unsigned line : probe.hitLines(prefixHitThreshold))
+                ++votes[line];
+        std::set<unsigned> majority;
+        for (unsigned line = 0; line < 16; ++line)
+            if (votes[line] * 2 > windows.size())
+                majority.insert(line);
+        const bool matches = !windows.empty() && majority == expected;
+
+        exp::TrialOutput out;
+        out.metric.add(matches ? 1.0 : 0.0);
+        out.simCycles = m.cycle() - ctx.forkCycle;
+        out.scope = scope.stats();
+        obs::MetricRegistry registry;
+        m.exportMetrics(registry);
+        scope.exportMetrics(registry);
+        out.metrics = registry.snapshot();
+
+        exp::json::Value probes = exp::json::Value::array();
+        for (const attack::LineProbe &probe : windows) {
+            exp::json::Value row = exp::json::Value::array();
+            for (Cycles latency : probe.latency)
+                row.push(latency);
+            probes.push(std::move(row));
+        }
+        out.payload = exp::json::Value::object()
+                          .set("matches_ground_truth", matches)
+                          .set("final_cycle", m.cycle())
+                          .set("probe_latencies", std::move(probes));
+        return out;
+    };
+    return spec;
+}
+
+/** Run section 6; returns false on a hard failure. */
+bool
+diffReplaySection(std::optional<bool> pinned, exp::JsonFileSink &sink)
+{
+    std::printf("\n==============================================================\n");
+    std::printf("Differential-replay A/B: denoise-shaped episodes, %zu "
+                "trials x %llu re-entries\n",
+                diffTrials,
+                static_cast<unsigned long long>(diffIterations));
+    std::printf("==============================================================\n\n");
+
+    if (pinned) {
+        const bool on = *pinned;
+        exp::CampaignResult result = exp::runCampaign(diffReplaySpec(
+            "perf_campaign_diffreplay_pinned", on));
+        std::printf("diffreplay=%s:\n", on ? "on" : "off");
+        report("pinned", result);
+        sink.consume(result);
+        writeTextFile(on
+                          ? "bench-results/BENCH_diffreplay_fp_on.txt"
+                          : "bench-results/BENCH_diffreplay_fp_off.txt",
+                      deterministicFingerprint(result));
+        return result.aggregate.ok == diffTrials;
+    }
+
+    exp::CampaignResult off = exp::runCampaign(
+        diffReplaySpec("perf_campaign_diffreplay_off", false));
+    report("resim", off);
+    exp::CampaignResult on = exp::runCampaign(
+        diffReplaySpec("perf_campaign_diffreplay_on", true));
+    report("cowfork", on);
+
+    const double speedup =
+        on.wallSeconds > 0.0 ? off.wallSeconds / on.wallSeconds : 0.0;
+    std::printf("\ndifferential-replay speedup (1 worker): %.2fx "
+                "(paper-repro target: >= 1.5x)\n", speedup);
+
+    // The replay contract: restoring the episode snapshot is byte-
+    // identical to re-simulating the prefix.  Hard failure if violated.
+    const std::string fpOff = deterministicFingerprint(off);
+    const std::string fpOn = deterministicFingerprint(on);
+    const bool identical = fpOff == fpOn;
+    std::printf("fingerprints byte-identical across arms: %s\n",
+                identical ? "yes" : "NO");
+
+    sink.consume(off);
+    sink.consume(on);
+    writeTextFile("bench-results/BENCH_diffreplay_fp_off.txt", fpOff);
+    writeTextFile("bench-results/BENCH_diffreplay_fp_on.txt", fpOn);
+
+    const exp::json::Value bench =
+        exp::json::Value::object()
+            .set("bench", "perf_campaign_diffreplay")
+            .set("config",
+                 exp::json::Value::object()
+                     .set("trials", std::uint64_t{diffTrials})
+                     .set("replays_per_trial",
+                          std::uint64_t{diffIterations})
+                     .set("workers", std::uint64_t{1})
+                     .set("master_seed", std::uint64_t{42}))
+            .set("trials_per_sec", on.trialsPerSecond())
+            .set("trials_per_sec_off", off.trialsPerSecond())
+            .set("speedup_vs_off", speedup)
+            .set("fingerprints_identical", identical)
+            .set("fingerprint", fnv1aHex(fpOn));
+    writeTextFile("bench-results/BENCH_diffreplay.json", bench.dump());
+    std::printf("bench JSON: bench-results/BENCH_diffreplay.json "
+                "(+ fingerprint files)\n");
+
+    // CI gate: determinism is absolute; the speedup must never regress
+    // below break-even (>= 1.5x is tracked via the JSON).
+    return identical && speedup >= 1.0 &&
+           off.aggregate.ok == diffTrials &&
+           on.aggregate.ok == diffTrials;
+}
+
 } // namespace
 
 int
@@ -742,6 +1015,7 @@ main(int argc, char **argv)
     std::optional<bool> prefixCacheFlag;
     std::optional<bool> poolFlag;
     std::optional<bool> svcFlag;
+    std::optional<bool> diffReplayFlag;
     std::vector<char *> rest;
     rest.push_back(argv[0]);
     for (int i = 1; i < argc; ++i) {
@@ -758,6 +1032,10 @@ main(int argc, char **argv)
             svcFlag = true;
         else if (arg == "--svc=off")
             svcFlag = false;
+        else if (arg == "--diffreplay=on")
+            diffReplayFlag = true;
+        else if (arg == "--diffreplay=off")
+            diffReplayFlag = false;
         else
             rest.push_back(argv[i]);
     }
@@ -830,6 +1108,7 @@ main(int argc, char **argv)
         std::printf("campaign JSON: %s\n", sink.lastPath().c_str());
         ok = ok && pinned.aggregate.ok == fig11Trials;
         ok = prefixSection(prefixCacheFlag, poolFlag, sink) && ok;
+        ok = diffReplaySection(diffReplayFlag, sink) && ok;
         ok = svcSection(svcFlag) && ok;
         ok = obsSection(opts.obsLevel) && ok;
         return ok ? 0 : 1;
@@ -873,6 +1152,7 @@ main(int argc, char **argv)
          ffOn4.aggregate.ok == fig11Trials;
 
     ok = prefixSection(prefixCacheFlag, poolFlag, sink) && ok;
+    ok = diffReplaySection(diffReplayFlag, sink) && ok;
     ok = svcSection(svcFlag) && ok;
     ok = obsSection(opts.obsLevel) && ok;
     return ok ? 0 : 1;

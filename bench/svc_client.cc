@@ -27,6 +27,7 @@
 
 #include "exp/campaign.hh"
 #include "obs/chrome_trace.hh"
+#include "obs/cli.hh"
 #include "obs/log.hh"
 #include "obs/prof.hh"
 #include "svc/client.hh"
@@ -267,6 +268,21 @@ main(int argc, char **argv)
                 return arg.substr(n);
             return std::nullopt;
         };
+        // Checked numeric parse: a typo'd --trials=1e6 or --workers=-1
+        // is a usage error (exit 2), not a silent 0 or a wrapped
+        // 4-billion-worker request.
+        const auto numberOf =
+            [&](const std::string &text,
+                const char *flag) -> std::optional<std::uint64_t> {
+            const std::optional<std::uint64_t> n =
+                obs::parseUnsignedValue(text.c_str());
+            if (!n)
+                std::fprintf(stderr,
+                             "%s: bad numeric value '%s' (expected an "
+                             "unsigned number)\n",
+                             flag, text.c_str());
+            return n;
+        };
         if (auto v = valueOf("--socket="))
             socket = *v;
         else if (auto v = valueOf("--recipe="))
@@ -275,15 +291,22 @@ main(int argc, char **argv)
             request.name = *v;
         else if (auto v = valueOf("--namespace="))
             request.ns = *v;
-        else if (auto v = valueOf("--trials="))
-            request.trials =
-                static_cast<std::size_t>(std::atoll(v->c_str()));
-        else if (auto v = valueOf("--seed="))
-            request.masterSeed = std::strtoull(v->c_str(), nullptr, 0);
-        else if (auto v = valueOf("--max-retries="))
-            request.maxRetries =
-                static_cast<unsigned>(std::atoi(v->c_str()));
-        else if (auto v = valueOf("--obs=")) {
+        else if (auto v = valueOf("--trials=")) {
+            const auto n = numberOf(*v, "--trials");
+            if (!n)
+                return 2;
+            request.trials = static_cast<std::size_t>(*n);
+        } else if (auto v = valueOf("--seed=")) {
+            const auto n = numberOf(*v, "--seed");
+            if (!n)
+                return 2;
+            request.masterSeed = *n;
+        } else if (auto v = valueOf("--max-retries=")) {
+            const auto n = numberOf(*v, "--max-retries");
+            if (!n)
+                return 2;
+            request.maxRetries = static_cast<unsigned>(*n);
+        } else if (auto v = valueOf("--obs=")) {
             const std::optional<obs::ObsLevel> level =
                 obs::parseObsLevel(*v);
             if (!level) {
@@ -292,19 +315,26 @@ main(int argc, char **argv)
                 return 2;
             }
             request.obs = *level;
-        } else if (auto v = valueOf("--stream-every="))
-            stream_every =
-                static_cast<std::size_t>(std::atoll(v->c_str()));
-        else if (auto v = valueOf("--out="))
+        } else if (auto v = valueOf("--stream-every=")) {
+            const auto n = numberOf(*v, "--stream-every");
+            if (!n)
+                return 2;
+            stream_every = static_cast<std::size_t>(*n);
+        } else if (auto v = valueOf("--out="))
             out_path = *v;
         else if (auto v = valueOf("--fingerprint-out="))
             fingerprint_path = *v;
-        else if (auto v = valueOf("--workers="))
-            inprocess_workers =
-                static_cast<unsigned>(std::atoi(v->c_str()));
-        else if (auto v = valueOf("--watch="))
-            watch_seconds = std::atoi(v->c_str());
-        else if (auto v = valueOf("--dir="))
+        else if (auto v = valueOf("--workers=")) {
+            const auto n = numberOf(*v, "--workers");
+            if (!n)
+                return 2;
+            inprocess_workers = static_cast<unsigned>(*n);
+        } else if (auto v = valueOf("--watch=")) {
+            const auto n = numberOf(*v, "--watch");
+            if (!n)
+                return 2;
+            watch_seconds = static_cast<int>(*n);
+        } else if (auto v = valueOf("--dir="))
             trace_dir = *v;
         else if (auto v = valueOf("--log-level=")) {
             obs::LogConfig lc = obs::logConfig();

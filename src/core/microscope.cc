@@ -100,6 +100,19 @@ Microscope::setRecipe(AttackRecipe recipe)
         pageBase(*recipe_.pivot) == pageBase(recipe_.replayHandle)) {
         fatal("setRecipe: pivot and replay handle share a page");
     }
+    snapPending_ = false;
+    episodeSnap_ = os::Snapshot{};
+}
+
+std::uint16_t
+Microscope::traceReplayCount() const
+{
+    // The trace event's b field is 16 bits; clamp instead of wrapping
+    // (a denoise campaign's replay 65 537 must not masquerade as
+    // replay 1).  Saturations are counted where the counter advances,
+    // not here, so stats stay identical with tracing on or off.
+    return replays_ > 0xffff ? std::uint16_t{0xffff}
+                             : static_cast<std::uint16_t>(replays_);
 }
 
 void
@@ -168,6 +181,10 @@ Microscope::arm()
     armHandle();
     armed_ = true;
     replays_ = 0;
+    // A fresh attack invalidates any episode snapshot still held from
+    // the previous one.
+    snapPending_ = false;
+    episodeSnap_ = os::Snapshot{};
 }
 
 void
@@ -196,10 +213,12 @@ Microscope::onPageFault(const os::PageFaultEvent &event)
         ++stats_.handleFaults;
         ++stats_.totalReplays;
         ++replays_;
+        if (replays_ > 0xffff)
+            ++stats_.replayCounterSaturations;
         if (obs::tracing(&machine_.observer()))
             machine_.observer().trace.record(
                 obs::EventKind::ReplayBoundary, /*handle=*/1,
-                static_cast<std::uint16_t>(replays_), stats_.episodes);
+                traceReplayCount(), stats_.episodes);
         const ReplayEvent replay{*this, event, replays_,
                                  stats_.episodes};
 
@@ -216,6 +235,14 @@ Microscope::onPageFault(const os::PageFaultEvent &event)
             stageHandleWalk();
             if (recipe_.beforeResume)
                 recipe_.beforeResume(replay);
+            // Differential replay: the machine now sits exactly at
+            // the replay handle (victim stalled in the handler, handle
+            // re-armed) — a snapshot taken here re-enters the window
+            // without the prefix.  The snapshot itself must wait for a
+            // tick boundary (we are mid-retire); flag it for the
+            // harness.
+            if (recipe_.differentialReplay)
+                snapPending_ = true;
             return true;
         }
 
@@ -226,10 +253,11 @@ Microscope::onPageFault(const os::PageFaultEvent &event)
         // released page's fast-walk staging.
         if (obs::tracing(&machine_.observer()))
             machine_.observer().trace.record(
-                obs::EventKind::EpisodeEnd, 0,
-                static_cast<std::uint16_t>(replays_), stats_.episodes);
+                obs::EventKind::EpisodeEnd, 0, traceReplayCount(),
+                stats_.episodes);
         ++stats_.episodes;
         replays_ = 0;
+        snapPending_ = false;  // The window this flag pointed at is over.
         if (recipe_.pivot &&
             (recipe_.maxEpisodes == 0 ||
              stats_.episodes < recipe_.maxEpisodes)) {
@@ -294,6 +322,71 @@ Microscope::primeMonitorAddrs()
 }
 
 void
+Microscope::takeEpisodeSnapshot()
+{
+    if (!snapPending_)
+        fatal("takeEpisodeSnapshot: no snapshot point pending (set "
+              "Recipe::differentialReplay and run to the first re-arm)");
+    episodeSnap_ = machine_.snapshot();
+    episodeSt_.armed = armed_;
+    episodeSt_.replays = replays_;
+    episodeSt_.stats = stats_;
+    snapPending_ = false;
+}
+
+const os::Snapshot &
+Microscope::episodeSnapshot() const
+{
+    if (!episodeSnap_.valid())
+        fatal("episodeSnapshot: no episode snapshot captured");
+    return episodeSnap_;
+}
+
+void
+Microscope::dropEpisodeSnapshot()
+{
+    episodeSnap_ = os::Snapshot{};
+    snapPending_ = false;
+}
+
+void
+Microscope::adoptEpisodeState(const EpisodeState &state)
+{
+    // Machine restores wipe the kernel's fault-module registration
+    // (modules are per-machine externals, not snapshot state, so
+    // Kernel::copyStateFrom cannot know about this instance).  Re-
+    // register here so the resumed episode's faults keep routing
+    // through this engine instead of the kernel's default path.
+    kernel_.registerModule(this);
+    armed_ = state.armed;
+    replays_ = state.replays;
+    stats_ = state.stats;
+    snapPending_ = false;
+}
+
+void
+Microscope::restoreEpisode(std::uint64_t seed)
+{
+    restoreEpisodeFrom(episodeSnapshot(), episodeSt_, seed);
+}
+
+void
+Microscope::restoreEpisodeFrom(const os::Snapshot &snap,
+                               const EpisodeState &state,
+                               std::uint64_t seed)
+{
+    // Order matters: restoreFrom rewinds every stream to snapshot-era
+    // positions, then reseed() re-derives them (and re-anchors the
+    // fault schedules) at the restored cycle — the same restore +
+    // reseed pair the campaign executor uses per trial, one level
+    // deeper.  The adopted EpisodeState makes this instance continue
+    // the §4.1.4 loop exactly where the snapshotted one stood.
+    machine_.restoreFrom(snap);
+    machine_.reseed(seed);
+    adoptEpisodeState(state);
+}
+
+void
 Microscope::exportMetrics(obs::MetricRegistry &registry) const
 {
     registry.counter("os.faults.replayed").set(stats_.totalReplays);
@@ -302,6 +395,8 @@ Microscope::exportMetrics(obs::MetricRegistry &registry) const
     registry.counter("os.replay.pivot_faults").set(stats_.pivotFaults);
     registry.counter("os.replay.foreign_faults")
         .set(stats_.foreignFaults);
+    registry.counter("os.replay.counter_saturations")
+        .set(stats_.replayCounterSaturations);
 }
 
 } // namespace uscope::ms

@@ -46,6 +46,13 @@ struct MicroscopeStats
     std::uint64_t foreignFaults = 0;
     std::uint64_t episodes = 0;
     std::uint64_t totalReplays = 0;
+    /**
+     * Trace events carry the replay counter in a 16-bit field; counts
+     * past 0xffff are clamped there (never in these stats) and each
+     * clamped emission is tallied here so long denoise campaigns can
+     * tell saturation from a genuinely short episode.
+     */
+    std::uint64_t replayCounterSaturations = 0;
 
     /** Fold @p other in (campaign aggregation across machines). */
     void
@@ -56,7 +63,21 @@ struct MicroscopeStats
         foreignFaults += other.foreignFaults;
         episodes += other.episodes;
         totalReplays += other.totalReplays;
+        replayCounterSaturations += other.replayCounterSaturations;
     }
+};
+
+/**
+ * The engine's episode-loop position, exported alongside an episode
+ * snapshot so a differential-replay fork — possibly driven through a
+ * *different* Microscope instance on the restored machine — resumes
+ * the §4.1.4 loop exactly where the snapshotted instance stood.
+ */
+struct EpisodeState
+{
+    bool armed = false;
+    std::uint64_t replays = 0;
+    MicroscopeStats stats;
 };
 
 /** The MicroScope module. */
@@ -118,6 +139,65 @@ class Microscope : public os::FaultModule
     bool onPageFault(const os::PageFaultEvent &event) override;
 
     // ------------------------------------------------------------------
+    // Differential replay (DESIGN.md §15): COW-fork the episode at
+    // the replay handle instead of re-simulating the prefix.
+    // ------------------------------------------------------------------
+
+    /**
+     * True after the engine passed this episode's snapshot point (the
+     * first re-arm) with recipe().differentialReplay set.  The flag is
+     * raised *inside* the fault tick, where a snapshot cannot be taken
+     * (the core is mid-retire); the harness observes it between ticks
+     * — e.g. machine().runUntil([&]{ return
+     * scope.episodeSnapshotPending(); }) — and then calls
+     * takeEpisodeSnapshot().
+     */
+    bool episodeSnapshotPending() const { return snapPending_; }
+
+    /**
+     * Capture the episode snapshot: a COW Machine::snapshot() plus the
+     * engine's own loop position.  Must be called between ticks while
+     * episodeSnapshotPending(); the victim is stalled in the fault
+     * handler with the handle re-armed, so every restoreEpisode()
+     * resumes exactly at the replay handle.
+     */
+    void takeEpisodeSnapshot();
+
+    bool hasEpisodeSnapshot() const { return episodeSnap_.valid(); }
+
+    /** The captured snapshot (fatal if none); movable into an
+     *  artifact for cross-instance reuse via restoreEpisodeFrom(). */
+    const os::Snapshot &episodeSnapshot() const;
+
+    /** Engine loop position as of takeEpisodeSnapshot(). */
+    const EpisodeState &episodeState() const { return episodeSt_; }
+
+    /** Drop the captured snapshot (frees its COW pages). */
+    void dropEpisodeSnapshot();
+
+    /**
+     * One differential replay iteration: restore the machine from the
+     * captured episode snapshot, reseed every stream with @p seed (a
+     * fresh noise realization), and re-adopt the snapshotted engine
+     * state.  The caller then simply runs the machine; the victim
+     * resumes from the handler stall into the speculative window.
+     */
+    void restoreEpisode(std::uint64_t seed);
+
+    /**
+     * Cross-instance variant: restore from an externally held episode
+     * snapshot + state (e.g. minted by a campaign warmup's Microscope
+     * and carried in the warmup artifact).  This instance must be
+     * registered on the same machine and carry an equivalent recipe.
+     */
+    void restoreEpisodeFrom(const os::Snapshot &snap,
+                            const EpisodeState &state,
+                            std::uint64_t seed);
+
+    /** Adopt @p state verbatim (loop position of a forked episode). */
+    void adoptEpisodeState(const EpisodeState &state);
+
+    // ------------------------------------------------------------------
     // Measurement utilities for recipe callbacks (Replayer-as-Monitor).
     // ------------------------------------------------------------------
 
@@ -149,12 +229,21 @@ class Microscope : public os::FaultModule
     void armPivot();
     void releasePivot();
 
+    /** Clamp the replay counter into a 16-bit trace field (long
+     *  denoise campaigns overflow 65 535). */
+    std::uint16_t traceReplayCount() const;
+
     os::Machine &machine_;
     os::Kernel &kernel_;
     AttackRecipe recipe_;
     bool armed_ = false;
     std::uint64_t replays_ = 0;
     MicroscopeStats stats_;
+
+    /** Differential replay: snapshot-point flag and captured state. */
+    bool snapPending_ = false;
+    os::Snapshot episodeSnap_;
+    EpisodeState episodeSt_;
 };
 
 } // namespace uscope::ms

@@ -108,6 +108,19 @@ struct AttackRecipe
     PageWalkPlan releasePlan = PageWalkPlan::shortest();
 
     /**
+     * Differential replay (DESIGN.md §15): when set, the engine flags
+     * the first re-arm of each episode as a snapshot point.  A harness
+     * that runs the machine until Microscope::episodeSnapshotPending()
+     * and then calls takeEpisodeSnapshot() can afterwards re-enter the
+     * episode any number of times via restoreEpisode(seed) — a COW
+     * fork at the replay handle — instead of re-simulating the prefix
+     * up to the faulting load.  Off by default: the flag changes no
+     * machine-visible behaviour, only whether the engine offers the
+     * snapshot point.
+     */
+    bool differentialReplay = false;
+
+    /**
      * Measurement hook, called on every handle fault (the Replayer-
      * as-Monitor configuration).  Return false to end the episode
      * before the confidence threshold.

@@ -78,6 +78,17 @@ deriveWarmupSeed(std::uint64_t master)
     return mix64(mix64(master) ^ 0x9E3779B97F4A7C15ull);
 }
 
+std::uint64_t
+deriveReplaySeed(std::uint64_t trial_seed, std::uint64_t iteration)
+{
+    // Differential replay (DESIGN.md §15): one decorrelated noise
+    // stream per replay iteration of a trial.  The double-negation of
+    // the iteration keeps iteration 0 distinct from the trial seed
+    // itself (mix64(x ^ mix64(~0)) != x in general, and the shape
+    // mirrors deriveRetrySeed's attempt mixing).
+    return mix64(mix64(trial_seed) ^ mix64(~iteration));
+}
+
 void
 TrialContext::checkBudget(Cycles used_cycles) const
 {

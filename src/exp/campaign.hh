@@ -75,6 +75,16 @@ std::uint64_t deriveRetrySeed(std::uint64_t master, std::uint64_t index,
 std::uint64_t deriveWarmupSeed(std::uint64_t master);
 
 /**
+ * Deterministic seed for differential-replay iteration @p iteration
+ * of a trial seeded @p trial_seed (DESIGN.md §15).  Each COW re-entry
+ * of an episode reseeds the fork with one of these, so every replay
+ * iteration draws an independent noise realization while the whole
+ * set stays a pure function of (masterSeed, trial index, iteration).
+ */
+std::uint64_t deriveReplaySeed(std::uint64_t trial_seed,
+                               std::uint64_t iteration);
+
+/**
  * Thrown by a trial body (or by TrialContext::checkBudget) when the
  * per-trial cycle budget is exhausted.  The runner records the trial
  * as TimedOut and moves on.

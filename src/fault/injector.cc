@@ -72,6 +72,18 @@ FaultInjector::reseedAt(std::uint64_t seed, Cycles now)
 }
 
 void
+FaultInjector::reanchorAt(Cycles now)
+{
+    if (!active_)
+        return;
+    if (nextInterrupt_ != kNoEventCycle && nextInterrupt_ < now)
+        nextInterrupt_ =
+            now + gapDraw(rngInterrupt_, plan_.interruptMeanGap);
+    if (nextPreempt_ != kNoEventCycle && nextPreempt_ < now)
+        nextPreempt_ = now + gapDraw(rngPreempt_, plan_.preemptMeanGap);
+}
+
+void
 FaultInjector::wire(mem::Hierarchy *hierarchy, vm::Mmu *mmu,
                     cpu::Core *core, obs::Observer *observer)
 {

@@ -150,6 +150,18 @@ class FaultInjector
      */
     void reseedAt(std::uint64_t seed, Cycles now);
 
+    /**
+     * Guard against pending firing cycles stranded in the past after
+     * a state restore: any schedule whose next firing lies before
+     * @p now is re-drawn relative to @p now (from the current stream,
+     * like reseedAt's anchoring but without reseeding).  A consistent
+     * restore — snapshot cycle and pending cycles copied together —
+     * satisfies pending >= now already, so this is a deterministic
+     * no-op there; without it, a stale pending cycle would make the
+     * next poll() deliver the whole catch-up burst at once.
+     */
+    void reanchorAt(Cycles now);
+
     /** Return to the just-constructed state with a fresh @p seed. */
     void reset(std::uint64_t seed)
     {

@@ -137,8 +137,22 @@ class PhysMem
      * every materialized page, and let first-writers (on either side)
      * copy privately.  Own pages are released first.  Both instances
      * must belong to the same thread from here on.
+     *
+     * Differential-replay fast path (DESIGN.md §15): re-sharing from
+     * the *same, unmutated* @p src this instance last shared from
+     * re-shares only the pages written since (tracked per write), so
+     * a per-replay restore costs O(pages dirtied in the window), not
+     * O(pages mapped) — the slab index is reused, not rebuilt.  Any
+     * deviation (different source, source mutated, fresh pages
+     * materialized, index grown) falls back to the full share.
      */
     void shareStateFrom(const PhysMem &src);
+
+    /** Full-share count since construction (observability/tests). */
+    std::uint64_t sharesFull() const { return sharesFull_; }
+
+    /** Dirty-page fast-path share count (observability/tests). */
+    std::uint64_t sharesFast() const { return sharesFast_; }
 
     /**
      * Drop every materialized page.  Slabs stay reserved in the arena
@@ -176,11 +190,35 @@ class PhysMem
     void releaseAll();
     void checkBounds(PAddr addr, std::uint64_t len) const;
 
+    /** Note @p ppn as diverged from the last share source. */
+    void markDirty(Ppn ppn);
+
     std::uint64_t size_;
     std::shared_ptr<PageArena> arena_;
     std::vector<Slot> slots_; // open-addressed, power-of-two size
     std::size_t mask_;
     std::size_t used_ = 0;
+
+    // --- in-place re-share bookkeeping (DESIGN.md §15) -------------
+    /** Process-unique instance id; guards against a stale-pointer
+     *  (ABA) match on shareOrigin_. */
+    std::uint64_t id_;
+    /** Bumped on every own-side mutation; a share source whose epoch
+     *  moved invalidates cached dirty tracking in its targets. */
+    std::uint64_t mutationEpoch_ = 0;
+    /** Last share source (+ its id and epoch at share time). */
+    const PhysMem *shareOrigin_ = nullptr;
+    std::uint64_t shareOriginId_ = 0;
+    std::uint64_t shareOriginEpoch_ = 0;
+    /** PPNs whose slot diverged from the source since the share;
+     *  duplicates are harmless (re-pointing a slot is idempotent). */
+    std::vector<Ppn> dirtyPpns_;
+    /** Set when the slot table itself diverged (growth or fresh
+     *  materialization) — forces the full-share path. */
+    bool tableDiverged_ = false;
+
+    std::uint64_t sharesFull_ = 0;
+    std::uint64_t sharesFast_ = 0;
 };
 
 } // namespace uscope::mem

@@ -1,5 +1,7 @@
 #include "obs/cli.hh"
 
+#include <cctype>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -33,6 +35,37 @@ matchFlag(const char *arg, const char *flag, const char **value)
 
 } // anonymous namespace
 
+std::optional<std::uint64_t>
+parseUnsignedValue(const char *text)
+{
+    if (!text || !*text)
+        return std::nullopt;
+    // strtoull accepts a leading minus sign and wraps it; reject it
+    // (and stray whitespace) up front so "-1" never becomes 2^64-1.
+    if (!std::isdigit(static_cast<unsigned char>(text[0])))
+        return std::nullopt;
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long n = std::strtoull(text, &end, 0);
+    if (errno == ERANGE || !end || *end != '\0')
+        return std::nullopt;
+    return static_cast<std::uint64_t>(n);
+}
+
+std::uint64_t
+requireUnsignedFlag(const char *flag, const char *text, std::uint64_t max)
+{
+    const std::optional<std::uint64_t> n = parseUnsignedValue(text);
+    if (!n)
+        panic("%s: bad value '%s' (expected an unsigned number)", flag,
+              text ? text : "");
+    if (*n > max)
+        panic("%s: value %llu out of range (max %llu)", flag,
+              static_cast<unsigned long long>(*n),
+              static_cast<unsigned long long>(max));
+    return *n;
+}
+
 BenchObsOptions
 parseBenchObsOptions(int argc, char **argv,
                      const std::string &default_trace_path)
@@ -50,9 +83,9 @@ parseBenchObsOptions(int argc, char **argv,
         } else if (matchFlag(arg, "--trace-capacity", &value)) {
             if (!value || !*value)
                 panic("--trace-capacity requires a value");
-            char *end = nullptr;
-            const unsigned long long n = std::strtoull(value, &end, 0);
-            if (!end || *end != '\0' || n == 0)
+            const std::uint64_t n =
+                requireUnsignedFlag("--trace-capacity", value);
+            if (n == 0)
                 panic("--trace-capacity: bad value '%s'", value);
             opts.traceCapacity = static_cast<std::size_t>(n);
         } else if (matchFlag(arg, "--metrics", &value)) {

@@ -30,6 +30,7 @@
 #define USCOPE_OBS_CLI_HH
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <string>
 
@@ -38,6 +39,22 @@
 
 namespace uscope::obs
 {
+
+/**
+ * Strict parse of an unsigned numeric flag value (base 10, or 0x/0
+ * prefixed).  Unlike bare atoi/strtoull, garbage never silently
+ * becomes 0 and negatives never wrap: empty strings, trailing junk,
+ * minus signs, and out-of-range values all yield nullopt.
+ */
+std::optional<std::uint64_t> parseUnsignedValue(const char *text);
+
+/**
+ * parseUnsignedValue plus enforcement: panics with a message naming
+ * @p flag when @p text does not parse or exceeds @p max.  For benches
+ * and tools whose flag errors are fatal (the common case).
+ */
+std::uint64_t requireUnsignedFlag(const char *flag, const char *text,
+                                  std::uint64_t max = ~std::uint64_t{0});
 
 /** Parsed bench observability options. */
 struct BenchObsOptions

@@ -82,6 +82,11 @@ Machine::copyStateFrom(const Machine &other)
     kernel_.copyStateFrom(other.kernel_);
     entropy_ = other.entropy_;
     faults_.copyStateFrom(other.faults_);
+    // A consistent source keeps its pending firing cycles at or after
+    // its own cycle, so this is a no-op; it exists so no restore path
+    // can ever strand a schedule in the past (one poll() would then
+    // deliver the whole catch-up burst at the restored cycle).
+    faults_.reanchorAt(core_.cycle());
     obs_.trace.copyStateFrom(other.obs_.trace);
 }
 

@@ -207,6 +207,14 @@ class Machine
      * when an instance is pooled: buffers are reused, and pages this
      * machine privatized since the last restore return to the shared
      * arena's free list.
+     *
+     * Repeated restores from the *same* snapshot — the differential-
+     * replay pattern, one restore per replay iteration (DESIGN.md
+     * §15) — take PhysMem's in-place fast path: only pages written
+     * since the previous restore are re-shared; the slab index is not
+     * rebuilt.  Fault schedules are defensively re-anchored at the
+     * restored cycle (FaultInjector::reanchorAt), a no-op for any
+     * consistent snapshot.
      */
     void restoreFrom(const Snapshot &snap);
 

@@ -128,6 +128,41 @@ TEST(FaultInjectorTest, PollCatchesUpWhenDrivenPastFirings)
     EXPECT_GT(injector.nextEventCycle(), 10'000u);
 }
 
+TEST(FaultInjectorTest, ReanchorRedrawsStalePendingFirings)
+{
+    // A pending firing cycle stranded behind a restored clock would be
+    // delivered as one catch-up burst on the next poll (the scenario
+    // Machine::copyStateFrom guards against).  reanchorAt re-draws the
+    // stale firing relative to the new clock instead.
+    const fault::FaultPlan plan = interruptOnlyPlan(1000);
+    fault::FaultInjector stale(plan, 11);
+    fault::FaultInjector reanchored(plan, 11);
+
+    stale.poll(10'000);
+    EXPECT_GE(stale.stats().interrupts, 5u) << "burst without reanchor";
+
+    reanchored.reanchorAt(10'000);
+    EXPECT_GE(reanchored.nextEventCycle(), 10'000u);
+    reanchored.poll(10'000);
+    EXPECT_LE(reanchored.stats().interrupts, 1u)
+        << "reanchorAt must prevent the catch-up burst";
+}
+
+TEST(FaultInjectorTest, ReanchorIsNoOpForConsistentSchedules)
+{
+    // After a poll, every pending firing lies at or after the clock —
+    // the invariant a consistent snapshot restore preserves — so re-
+    // anchoring there must not change the schedule at all.
+    const fault::FaultPlan plan = interruptOnlyPlan(1000);
+    fault::FaultInjector a(plan, 23);
+    fault::FaultInjector b(plan, 23);
+    firingCycles(a, 10);
+    const auto fired = firingCycles(b, 10);
+
+    b.reanchorAt(fired.back());
+    EXPECT_EQ(firingCycles(a, 20), firingCycles(b, 20));
+}
+
 TEST(FaultInjectorTest, EventCoupledNoiseIsSeedDeterministic)
 {
     fault::FaultPlan plan;
