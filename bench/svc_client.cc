@@ -16,6 +16,7 @@
  * daemon answers; `--shutdown` asks it to exit.
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -44,6 +45,10 @@ usage(const char *argv0)
 {
     std::printf(
         "usage: %s --socket=PATH [--recipe=NAME] [options]\n"
+        "       %s attach --socket=PATH --recipe=NAME [options]\n"
+        "       %s cancel --socket=PATH (--campaign=ID | request "
+        "flags)\n"
+        "       %s drain --socket=PATH\n"
         "       %s stats --socket=PATH [--watch=SECS] [--json]\n"
         "       %s trace --dir=DIR --out=PATH\n"
         "\n"
@@ -53,6 +58,9 @@ usage(const char *argv0)
         "  --trials=N            trial count (0 = recipe default)\n"
         "  --seed=N              master seed (default 42)\n"
         "  --max-retries=N       retry budget per trial\n"
+        "  --deadline=SEC        wall-clock deadline; past it the\n"
+        "                        daemon auto-cancels (checkpoint "
+        "kept)\n"
         "  --obs=LEVEL           off|metrics|trace|full (default off)\n"
         "  --stream-every=N      update frame every N trials\n"
         "  --out=PATH            NDJSON stream of updates + result\n"
@@ -65,12 +73,24 @@ usage(const char *argv0)
         "  --log-level=LEVEL     error|warn|info|debug\n"
         "  --log-json            NDJSON log lines on stderr\n"
         "\n"
+        "attach: re-bind a campaign already running in the daemon\n"
+        "        (matched by request identity) and stream it to its\n"
+        "        result, exactly like the submit that started it;\n"
+        "        falls back to submit when nothing matches — with a\n"
+        "        state dir that resumes from durable checkpoints.\n"
+        "cancel: stop a campaign; the daemon replies with the partial\n"
+        "        aggregate and keeps the checkpoint for later resume.\n"
+        "drain:  ask the daemon to stop accepting work, cut in-flight\n"
+        "        shards at a trial boundary, persist resumable\n"
+        "        manifests, and exit.\n"
         "stats: one live ops snapshot (table on stdout; --json for\n"
-        "       the raw reply as NDJSON; --watch=SECS to poll).\n"
+        "       the raw reply as NDJSON; --watch=SECS to poll —\n"
+        "       watch survives daemon restarts, reconnecting with\n"
+        "       capped exponential backoff).\n"
         "trace: merge every worker's trace-*.json spill under DIR\n"
         "       into one Perfetto/chrome://tracing document at PATH\n"
         "       (one pid lane per worker).\n",
-        argv0, argv0, argv0);
+        argv0, argv0, argv0, argv0, argv0, argv0);
 }
 
 /** Human-readable rendering of one stats reply. */
@@ -166,19 +186,36 @@ printStatsTable(const json::Value &stats)
 int
 statsMain(const std::string &socket, int watch_seconds, bool as_json)
 {
+    // Watch mode survives daemon restarts: a one-shot query fails
+    // fast, but --watch reconnects with capped exponential backoff
+    // (500 ms doubling to 8 s) so a dashboard loop rides out a drain
+    // + restart without operator intervention.
+    int backoff_ms = 500;
+    constexpr int kBackoffCapMs = 8000;
     for (;;) {
-        svc::Client client(socket);
-        if (!client.connected()) {
-            std::fprintf(stderr, "cannot connect to '%s'\n",
-                         socket.c_str());
-            return 1;
-        }
-        const std::optional<json::Value> stats = client.stats();
+        svc::Client client(socket, /*connect_timeout_ms=*/1000);
+        std::optional<json::Value> stats;
+        if (client.connected())
+            stats = client.stats();
         if (!stats) {
-            std::fprintf(stderr, "no stats reply from '%s'\n",
-                         socket.c_str());
-            return 1;
+            if (watch_seconds <= 0) {
+                std::fprintf(stderr,
+                             client.connected()
+                                 ? "no stats reply from '%s'\n"
+                                 : "cannot connect to '%s'\n",
+                             socket.c_str());
+                return 1;
+            }
+            std::fprintf(stderr,
+                         "daemon at '%s' unreachable; retrying in "
+                         "%d ms\n",
+                         socket.c_str(), backoff_ms);
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(backoff_ms));
+            backoff_ms = std::min(backoff_ms * 2, kBackoffCapMs);
+            continue;
         }
+        backoff_ms = 500; // healthy again; reset the ladder
         if (as_json)
             std::printf("%s\n", stats->dump().c_str());
         else
@@ -243,7 +280,9 @@ main(int argc, char **argv)
     if (argc > 1 && argv[1][0] != '-') {
         subcommand = argv[1];
         first_flag = 2;
-        if (subcommand != "stats" && subcommand != "trace") {
+        if (subcommand != "stats" && subcommand != "trace" &&
+            subcommand != "attach" && subcommand != "cancel" &&
+            subcommand != "drain") {
             std::fprintf(stderr, "unknown subcommand '%s'\n",
                          subcommand.c_str());
             usage(argv[0]);
@@ -256,6 +295,7 @@ main(int argc, char **argv)
     std::size_t stream_every = 0;
     unsigned inprocess_workers = 1;
     int watch_seconds = 0;
+    std::uint64_t cancel_id = 0;
     bool inprocess = false, wait_ready = false, shutdown = false;
     bool stats_json = false;
 
@@ -306,6 +346,22 @@ main(int argc, char **argv)
             if (!n)
                 return 2;
             request.maxRetries = static_cast<unsigned>(*n);
+        } else if (auto v = valueOf("--deadline=")) {
+            char *end = nullptr;
+            const double sec = std::strtod(v->c_str(), &end);
+            if (!end || *end != '\0' || sec < 0.0) {
+                std::fprintf(stderr,
+                             "--deadline: bad value '%s' (expected "
+                             "seconds)\n",
+                             v->c_str());
+                return 2;
+            }
+            request.deadlineSeconds = sec;
+        } else if (auto v = valueOf("--campaign=")) {
+            const auto n = numberOf(*v, "--campaign");
+            if (!n)
+                return 2;
+            cancel_id = *n;
         } else if (auto v = valueOf("--obs=")) {
             const std::optional<obs::ObsLevel> level =
                 obs::parseObsLevel(*v);
@@ -416,6 +472,38 @@ main(int argc, char **argv)
     }
     if (shutdown)
         return client.shutdownDaemon() ? 0 : 1;
+    if (subcommand == "drain") {
+        if (!client.drainDaemon()) {
+            std::fprintf(stderr, "no drain acknowledgement from "
+                                 "'%s'\n",
+                         socket.c_str());
+            return 1;
+        }
+        std::printf("daemon draining\n");
+        return 0;
+    }
+    if (subcommand == "cancel") {
+        if (cancel_id == 0 && request.recipe.empty()) {
+            std::fprintf(stderr, "cancel needs --campaign=ID or "
+                                 "request flags\n");
+            return 2;
+        }
+        const svc::SubmitResult result =
+            cancel_id ? client.cancel(cancel_id)
+                      : client.cancel(request);
+        if (!result.cancelled) {
+            std::fprintf(stderr, "cancel failed: %s\n",
+                         result.error.c_str());
+            return result.notFound ? 3 : 1;
+        }
+        std::printf("campaign %llu cancelled (%s)\n",
+                    static_cast<unsigned long long>(
+                        result.campaignId),
+                    result.error.c_str());
+        if (!result.partialJson.empty())
+            std::printf("partial: %s\n", result.partialJson.c_str());
+        return 0;
+    }
     if (request.recipe.empty()) {
         usage(argv[0]);
         return 2;
@@ -424,13 +512,42 @@ main(int argc, char **argv)
     std::ofstream stream;
     if (!out_path.empty())
         stream.open(out_path, std::ios::binary | std::ios::trunc);
-    const svc::SubmitResult result = client.submit(
-        request, stream_every, [&](const json::Value &update) {
-            if (stream.is_open()) {
-                stream << update.dump() << '\n';
-                stream.flush(); // the smoke test tails this file live
-            }
-        });
+    const auto on_update = [&](const json::Value &update) {
+        if (stream.is_open()) {
+            stream << update.dump() << '\n';
+            stream.flush(); // the smoke test tails this file live
+        }
+    };
+    svc::SubmitResult result;
+    if (subcommand == "attach") {
+        result = client.attach(request, stream_every, on_update);
+        if (result.notFound) {
+            // Nothing running matches: either the campaign finished,
+            // or a restarted daemon has not resumed it (no state
+            // dir).  Submitting is the race-proof fallback — with
+            // durable state it resumes, bit-identically.
+            std::fprintf(stderr,
+                         "no running campaign matches; submitting "
+                         "instead\n");
+            result = client.submit(request, stream_every, on_update);
+        }
+    } else {
+        result = client.submit(request, stream_every, on_update);
+    }
+    if (result.cancelled) {
+        std::fprintf(stderr, "campaign %llu cancelled (%s)\n",
+                     static_cast<unsigned long long>(
+                         result.campaignId),
+                     result.error.c_str());
+        if (!result.partialJson.empty() && stream.is_open())
+            stream << result.partialJson << '\n';
+        return 3;
+    }
+    if (result.busy) {
+        std::fprintf(stderr, "daemon busy: %s\n",
+                     result.error.c_str());
+        return 4;
+    }
     if (!result.ok) {
         std::fprintf(stderr, "campaign failed: %s\n",
                      result.error.c_str());

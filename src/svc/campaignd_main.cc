@@ -32,6 +32,16 @@ usage(const char *argv0)
         "  --state-dir=DIR          durable campaign state (default off)\n"
         "  --heartbeat-timeout=SEC  busy-worker liveness deadline "
         "(default 30)\n"
+        "  --queue-limit=N          campaigns in flight before "
+        "submits are\n"
+        "                           shed with {\"type\":\"busy\"} "
+        "(default 32)\n"
+        "\n"
+        "  Every failure-handling knob (heartbeats, backoff, trial\n"
+        "  escalation, drain grace) also reads USCOPE_SVC_* env\n"
+        "  overrides; see src/svc/tunables.hh.  SIGTERM drains:\n"
+        "  in-flight shards stop at a trial boundary, resumable\n"
+        "  manifests persist, the next start resumes them.\n"
         "  --stream-every=N         default update cadence in trials "
         "(default 0 = off)\n"
         "  --worker-exe=PATH        worker binary (default: this one)\n"
@@ -73,7 +83,10 @@ main(int argc, char **argv)
         else if (auto v = valueOf("--state-dir="))
             config.stateDir = *v;
         else if (auto v = valueOf("--heartbeat-timeout="))
-            config.heartbeatTimeoutSec = std::atof(v->c_str());
+            config.tun.heartbeatTimeoutSec = std::atof(v->c_str());
+        else if (auto v = valueOf("--queue-limit="))
+            config.tun.queueLimit =
+                static_cast<std::size_t>(std::atoll(v->c_str()));
         else if (auto v = valueOf("--stream-every="))
             config.streamEvery =
                 static_cast<std::size_t>(std::atoll(v->c_str()));

@@ -28,6 +28,21 @@ struct SubmitResult
     bool ok = false;
     /** Error text when !ok. */
     std::string error;
+    /** The daemon-assigned campaign id (from the accepted/attached
+     *  frame) — what cancel-by-id takes. */
+    std::uint64_t campaignId = 0;
+    /** The campaign was cancelled (explicitly or by its deadline);
+     *  `error` carries the reason and `partialJson` the partial
+     *  aggregate the daemon computed at cancellation. */
+    bool cancelled = false;
+    /** The daemon shed this submission with {"type":"busy"} (queue
+     *  full or draining); retry later with backoff. */
+    bool busy = false;
+    /** attach() only: no running campaign matched the request —
+     *  submit() instead (durable state makes that a resume). */
+    bool notFound = false;
+    /** Partial aggregate JSON from a cancelled frame (compact). */
+    std::string partialJson;
     /** exp::fnv1aHex of the campaign's deterministic fingerprint —
      *  the value every service-vs-in-process comparison checks. */
     std::string fingerprint;
@@ -74,6 +89,40 @@ class Client
         const std::function<void(const json::Value &)> &on_update = {});
 
     /**
+     * Attach to a campaign already running in the daemon — matched by
+     * the request's identityKey(), the same stable id the checkpoint
+     * dir is keyed by — and stream it to completion exactly like
+     * submit() would.  The daemon re-binds the campaign's update
+     * stream to this connection and replays the current partial
+     * immediately, so a client that crashed mid-submit reconnects,
+     * attaches, and ends with a fingerprint byte-identical to an
+     * uninterrupted run.  When nothing matches, `notFound` is set —
+     * callers typically fall back to submit(), which resumes from
+     * durable state when there is any.
+     */
+    SubmitResult attach(
+        const CampaignRequest &request, std::size_t stream_every = 0,
+        const std::function<void(const json::Value &)> &on_update = {});
+
+    /**
+     * Cancel a running campaign by id (or, with @p request, by
+     * identity).  On success the returned SubmitResult has
+     * cancelled = true and carries the partial aggregate; the
+     * campaign's checkpoint dir is preserved, so resubmitting later
+     * resumes where the cancel cut.
+     */
+    SubmitResult cancel(std::uint64_t campaign_id,
+                        int timeout_ms = 10000);
+    SubmitResult cancel(const CampaignRequest &request,
+                        int timeout_ms = 10000);
+
+    /** Ask the daemon to drain: stop accepting work, stop in-flight
+     *  shards at the next trial boundary (checkpointing as they go),
+     *  persist resumable manifests, and exit.  True when the daemon
+     *  acknowledged. */
+    bool drainDaemon(int timeout_ms = 5000);
+
+    /**
      * One live ops snapshot (DESIGN.md §14): campaigns in flight
      * with shard tables and per-worker credits, the worker table,
      * merged svc.* metrics, and prof.* phase latencies.  nullopt on
@@ -86,6 +135,10 @@ class Client
 
   private:
     std::optional<json::Value> nextMessage(int timeout_ms);
+    SubmitResult waitOutcome(
+        const std::function<void(const json::Value &)> &on_update);
+    SubmitResult roundTripCancel(const json::Value &msg,
+                                 int timeout_ms);
 
     Conn conn_;
 };

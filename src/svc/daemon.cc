@@ -7,6 +7,7 @@
 #include <cstring>
 #include <deque>
 #include <filesystem>
+#include <fstream>
 #include <map>
 #include <optional>
 #include <vector>
@@ -16,11 +17,13 @@
 #include <unistd.h>
 
 #include "common/logging.hh"
+#include "common/random.hh"
 #include "exp/campaign.hh"
 #include "exp/checkpoint.hh"
 #include "obs/log.hh"
 #include "obs/metrics.hh"
 #include "obs/prof.hh"
+#include "svc/chaos.hh"
 #include "svc/registry.hh"
 #include "svc/shard.hh"
 #include "svc/wire.hh"
@@ -35,6 +38,18 @@ namespace
 using Clock = std::chrono::steady_clock;
 
 constexpr obs::Logger log_{"svc.daemon"};
+
+/** SIGTERM => drain: finish or checkpoint in-flight shards, persist
+ *  resumable manifests, exit cleanly.  The handler only flips a flag;
+ *  the poll loop does the work.  Reset at every Daemon::run() so
+ *  thread-hosted test daemons are unaffected by a previous run. */
+volatile std::sig_atomic_t g_drainRequested = 0;
+
+void
+onSigterm(int)
+{
+    g_drainRequested = 1;
+}
 
 double
 secondsSince(Clock::time_point start)
@@ -131,6 +146,15 @@ struct Daemon::Impl
         /** Times the daemon itself SIGKILLed this slot (heartbeat
          *  timeouts, lost connections) — distinct from spawns. */
         unsigned kills = 0;
+        /** Deaths since the slot last looked healthy; drives the
+         *  exponential respawn backoff. */
+        unsigned consecutiveFailures = 0;
+        /** Earliest time maintainWorkers() may respawn this slot. */
+        Clock::time_point respawnAt = Clock::now();
+        Clock::time_point spawnedAt = Clock::now();
+        /** The slow-trial warning fired for the current silence
+         *  (reset on every heartbeat). */
+        bool warned = false;
         bool dieAfterSpent = false;
         Clock::time_point lastBeat = Clock::now();
         json::Value counters = json::Value::object();
@@ -164,6 +188,18 @@ struct Daemon::Impl
         unsigned workerDeaths = 0;
         std::map<int, Credit> credits;
         Clock::time_point start = Clock::now();
+        /** Wall-clock deadline from the request; 0 = none.  Expiry
+         *  is an automatic cancel (checkpoint kept). */
+        double deadlineSeconds = 0.0;
+        /** Heartbeat-timeout SIGKILLs charged per suspect trial
+         *  index; at Tunables::trialKillLimit the trial is recorded
+         *  TimedOut instead of retried forever. */
+        std::map<std::size_t, unsigned> stuckKills;
+        /** Trials this campaign gave up on (synthesized TimedOut). */
+        std::uint64_t trialTimeouts = 0;
+        /** The resumable manifest under <stateDir>/pending/, removed
+         *  at completion or cancellation; empty without a stateDir. */
+        std::string pendingFile;
     };
 
     /** Daemon-lifetime tallies behind the svc.daemon.* metrics. */
@@ -178,6 +214,14 @@ struct Daemon::Impl
         std::uint64_t workerDeaths = 0;
         std::uint64_t badFrames = 0;
         std::uint64_t statsRequests = 0;
+        std::uint64_t campaignsCancelled = 0;
+        std::uint64_t deadlineExpired = 0;
+        std::uint64_t reattached = 0;
+        std::uint64_t shed = 0;
+        /** Milliseconds of respawn backoff scheduled, total. */
+        std::uint64_t backoffMsTotal = 0;
+        std::uint64_t trialWarns = 0;
+        std::uint64_t trialTimeouts = 0;
     };
 
     DaemonConfig config;
@@ -188,8 +232,14 @@ struct Daemon::Impl
     std::vector<WorkerSlot> slots;
     std::deque<Campaign> campaigns;
     bool shuttingDown = false;
+    /** Drain mode: no new work, in-flight shards shrunk to their next
+     *  trial boundary, exit once idle (or past the grace window). */
+    bool draining = false;
+    Clock::time_point drainDeadline{};
     Clock::time_point started = Clock::now();
     Tally tally;
+    /** Deterministic jitter stream for respawn backoff. */
+    Rng jitterRng{0x6a77e12dull};
     /** prof.svc.* phases (dispatch/merge/checkpoint).  Always on —
      *  a handful of scopes per campaign event, nowhere near the
      *  per-trial hot path the ObsLevel dial guards. */
@@ -235,6 +285,8 @@ struct Daemon::Impl
         args.push_back(kWorkerArg);
         args.push_back("--socket=" + config.socketPath);
         args.push_back("--id=" + std::to_string(slot.id));
+        args.push_back("--heartbeat-ms=" +
+                       std::to_string(config.tun.heartbeatMs));
         // Forward the daemon's sink config so one --log-level flag
         // (or USCOPE_LOG) configures the whole worker tree uniformly.
         const obs::LogConfig log_config = obs::logConfig();
@@ -267,7 +319,9 @@ struct Daemon::Impl
         slot.pid = pid;
         ++slot.spawns;
         slot.busy = false;
+        slot.warned = false;
         slot.lastBeat = Clock::now();
+        slot.spawnedAt = slot.lastBeat;
         log_.info("spawned worker %d (pid %d, attempt %u)", slot.id,
                   static_cast<int>(pid), slot.spawns);
     }
@@ -280,6 +334,13 @@ struct Daemon::Impl
         ++tally.workerDeaths;
         if (Session *s = sessionByKey(slot.sessionKey))
             s->conn.close();
+        // A worker that stayed up well past the backoff cap was
+        // healthy; its death starts a fresh streak instead of
+        // compounding an old one.
+        if (secondsSince(slot.spawnedAt) >
+            2.0 * config.tun.backoffMaxSec)
+            slot.consecutiveFailures = 0;
+        ++slot.consecutiveFailures;
         slot.sessionKey = 0;
         slot.pid = -1;
         slot.busy = false;
@@ -288,12 +349,51 @@ struct Daemon::Impl
             if (c.sched->onWorkerDead(slot.id) > 0)
                 ++c.workerDeaths;
         }
-        if (!shuttingDown) {
-            if (slot.spawns < config.maxRespawns)
-                spawnWorker(slot);
-            else
-                log_.warn("worker %d exhausted its %u respawns",
-                          slot.id, config.maxRespawns);
+        if (shuttingDown || draining)
+            return;
+        if (config.tun.maxRespawns &&
+            slot.spawns >= config.tun.maxRespawns) {
+            log_.warn("worker %d exhausted its %u respawns", slot.id,
+                      config.tun.maxRespawns);
+            return;
+        }
+        // Exponential backoff with deterministic jitter: delay =
+        // min(cap, initial * 2^(failures-1)) * U[1-j, 1+j].  The
+        // first death in a streak respawns after initialSec; a
+        // crash-looping slot settles at the cap instead of forking
+        // at poll-loop frequency.
+        double delay = config.tun.backoffInitialSec;
+        for (unsigned i = 1; i < slot.consecutiveFailures &&
+                             delay < config.tun.backoffMaxSec;
+             ++i)
+            delay *= 2.0;
+        if (delay > config.tun.backoffMaxSec)
+            delay = config.tun.backoffMaxSec;
+        delay *= 1.0 + config.tun.backoffJitter *
+                           (2.0 * jitterRng.uniform() - 1.0);
+        slot.respawnAt =
+            Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                               std::chrono::duration<double>(delay));
+        tally.backoffMsTotal +=
+            static_cast<std::uint64_t>(delay * 1000.0);
+        log_.info("worker %d respawns in %.0f ms (failure streak %u)",
+                  slot.id, delay * 1000.0, slot.consecutiveFailures);
+    }
+
+    /** Respawn every dead slot whose backoff delay has elapsed. */
+    void
+    maintainWorkers()
+    {
+        if (shuttingDown || draining)
+            return;
+        const Clock::time_point now = Clock::now();
+        for (WorkerSlot &slot : slots) {
+            if (slot.pid >= 0 || now < slot.respawnAt)
+                continue;
+            if (config.tun.maxRespawns &&
+                slot.spawns >= config.tun.maxRespawns)
+                continue;
+            spawnWorker(slot);
         }
     }
 
@@ -312,16 +412,93 @@ struct Daemon::Impl
         }
     }
 
+    /** The trial a silent busy worker is presumably stuck on: its
+     *  shard's low-water mark (everything below already streamed). */
+    std::optional<std::size_t>
+    suspectTrial(const WorkerSlot &slot)
+    {
+        Campaign *c = campaignById(slot.campaign);
+        if (!c || slot.shard >= c->sched->shardCount())
+            return std::nullopt;
+        const ShardScheduler::Shard &sh = c->sched->shard(slot.shard);
+        if (sh.done || sh.next >= sh.hi)
+            return std::nullopt;
+        return sh.next;
+    }
+
+    /**
+     * Give up on a trial that keeps killing workers: record it
+     * TimedOut — a measurement ("this input wedges its worker"),
+     * mirroring the cycle-budget semantics — so the campaign can
+     * complete instead of crash-looping forever.  Deliberately not
+     * checkpointed: a later resume retries it with a fresh budget.
+     */
+    void
+    synthesizeTimedOut(Campaign &c, std::size_t index)
+    {
+        if (c.sched->isDone(index))
+            return;
+        exp::TrialResult result;
+        result.index = index;
+        result.seed = exp::deriveTrialSeed(c.spec.masterSeed, index);
+        result.status = exp::TrialStatus::TimedOut;
+        result.error = "gave up after " +
+                       std::to_string(config.tun.trialKillLimit) +
+                       " worker kills while stuck on this trial";
+        c.results[index] = std::move(result);
+        c.sched->seedDone(index);
+        ++c.trialTimeouts;
+        ++tally.trialTimeouts;
+        ++c.sinceUpdate;
+        log_.warn("campaign %llu trial %zu marked TimedOut after %u "
+                  "worker kills",
+                  static_cast<unsigned long long>(c.id), index,
+                  config.tun.trialKillLimit);
+    }
+
+    /**
+     * The slow-trial escalation ladder (DESIGN.md §16): a busy
+     * worker silent past trialWarnSec earns one warning; past
+     * heartbeatTimeoutSec it is SIGKILLed (its shard is reassigned —
+     * the retry rung); a trial whose retries keep killing workers is
+     * recorded TimedOut at the trialKillLimit.
+     */
     void
     checkHeartbeats()
     {
         for (WorkerSlot &slot : slots) {
             if (!slot.busy || slot.pid < 0)
                 continue;
-            if (secondsSince(slot.lastBeat) <=
-                config.heartbeatTimeoutSec)
+            const double silent = secondsSince(slot.lastBeat);
+            if (config.tun.trialWarnSec > 0.0 &&
+                silent > config.tun.trialWarnSec && !slot.warned) {
+                slot.warned = true;
+                ++tally.trialWarns;
+                const std::optional<std::size_t> suspect =
+                    suspectTrial(slot);
+                log_.warn("worker %d busy and silent for %.1fs "
+                          "(campaign %llu, shard %zu, trial %lld); "
+                          "SIGKILL at %.1fs",
+                          slot.id, silent,
+                          static_cast<unsigned long long>(
+                              slot.campaign),
+                          slot.shard,
+                          suspect ? static_cast<long long>(*suspect)
+                                  : -1ll,
+                          config.tun.heartbeatTimeoutSec);
+            }
+            if (silent <= config.tun.heartbeatTimeoutSec)
                 continue;
             // Busy and silent past the deadline: presumed wedged.
+            // Charge the kill to the trial the worker was stuck on;
+            // at the limit, stop retrying and record it TimedOut.
+            if (const std::optional<std::size_t> suspect =
+                    suspectTrial(slot)) {
+                Campaign *c = campaignById(slot.campaign);
+                if (c && ++c->stuckKills[*suspect] >=
+                             config.tun.trialKillLimit)
+                    synthesizeTimedOut(*c, *suspect);
+            }
             ::kill(slot.pid, SIGKILL);
             ++slot.kills;
             handleWorkerDeath(slot, "heartbeat timeout");
@@ -342,34 +519,81 @@ struct Daemon::Impl
                          .set("message", message));
     }
 
-    void
-    handleSubmit(Session &client, const json::Value &msg)
+    /** <stateDir>/<sanitized name>-<identity hash>: the stable,
+     *  request-derived key both the checkpoint dir and the pending
+     *  manifest use. */
+    std::string
+    durableKey(const CampaignRequest &request,
+               const exp::CampaignSpec &spec) const
     {
-        const json::Value *request_json = msg.get("request");
-        std::optional<CampaignRequest> request =
-            request_json ? CampaignRequest::fromJson(*request_json)
-                         : std::nullopt;
-        if (!request) {
-            sendError(client, 0, "malformed campaign request");
+        return sanitizeName(spec.name) + "-" +
+               exp::fnv1aHex(request.identityKey()).substr(2);
+    }
+
+    std::string
+    pendingDir() const
+    {
+        return config.stateDir + "/pending";
+    }
+
+    /**
+     * Persist the resumable manifest: enough to resubmit this
+     * campaign verbatim after a daemon restart (clean drain or
+     * kill -9 alike).  Removed when the campaign completes or is
+     * cancelled; scanned by resumePendingCampaigns() at startup.
+     */
+    void
+    writePendingManifest(Campaign &c)
+    {
+        if (config.stateDir.empty())
             return;
-        }
+        std::error_code ec;
+        std::filesystem::create_directories(pendingDir(), ec);
+        if (ec)
+            return;
+        c.pendingFile =
+            pendingDir() + "/" + durableKey(c.request, c.spec) +
+            ".json";
+        const json::Value manifest =
+            json::Value::object()
+                .set("request", c.request.toJson())
+                .set("stream_every",
+                     static_cast<std::uint64_t>(c.streamEvery));
+        exp::writeFileAtomic(c.pendingFile, manifest.dump());
+    }
+
+    void
+    removePendingManifest(Campaign &c)
+    {
+        if (c.pendingFile.empty())
+            return;
+        ::unlink(c.pendingFile.c_str());
+        c.pendingFile.clear();
+    }
+
+    /**
+     * Common accept path for client submits and startup resumes:
+     * build the spec, attach durable state (checkpoint preload +
+     * pending manifest), shard, announce.  Returns the error text
+     * instead of sending it so each caller can frame it properly.
+     */
+    std::optional<std::string>
+    acceptCampaign(const CampaignRequest &request,
+                   std::size_t stream_every, Session *client)
+    {
         Campaign c;
         c.id = nextCampaignId++;
-        c.request = *request;
+        c.request = request;
         try {
             c.spec = buildSpec(c.request);
         } catch (const std::exception &e) {
-            sendError(client, c.id, e.what());
-            return;
+            return std::string(e.what());
         }
-        if (c.spec.trials == 0) {
-            sendError(client, c.id, "campaign has zero trials");
-            return;
-        }
-        c.clientKey = client.key;
-        c.streamEvery = msg.get("stream_every")
-                            ? field(msg, "stream_every")
-                            : config.streamEvery;
+        if (c.spec.trials == 0)
+            return std::string("campaign has zero trials");
+        c.clientKey = client ? client->key : 0;
+        c.streamEvery = stream_every;
+        c.deadlineSeconds = request.deadlineSeconds;
         c.results.resize(c.spec.trials);
         c.sched = std::make_unique<ShardScheduler>(c.spec.trials,
                                                    config.workers);
@@ -381,10 +605,8 @@ struct Daemon::Impl
             // restart resumes instead of restarting.  (identityKey
             // excludes the obs level, so resubmitting at --obs=trace
             // resumes the same durable state.)
-            c.checkpointDir =
-                config.stateDir + "/" + sanitizeName(c.spec.name) +
-                "-" +
-                exp::fnv1aHex(c.request.identityKey()).substr(2);
+            c.checkpointDir = config.stateDir + "/" +
+                              durableKey(c.request, c.spec);
             c.spec.checkpointDir = c.checkpointDir;
             const exp::CampaignCheckpoint checkpoint(c.spec);
             if (checkpoint.resuming()) {
@@ -398,26 +620,378 @@ struct Daemon::Impl
                     ++c.resumed;
                 }
             }
+            writePendingManifest(c);
         }
 
-        client.conn.send(
-            json::Value::object()
-                .set("type", "accepted")
-                .set("campaign", c.id)
-                .set("total",
-                     static_cast<std::uint64_t>(c.spec.trials))
-                .set("resumed",
-                     static_cast<std::uint64_t>(c.resumed)));
+        if (client)
+            client->conn.send(
+                json::Value::object()
+                    .set("type", "accepted")
+                    .set("campaign", c.id)
+                    .set("total",
+                         static_cast<std::uint64_t>(c.spec.trials))
+                    .set("resumed",
+                         static_cast<std::uint64_t>(c.resumed)));
         ++tally.campaignsAccepted;
         log_.info("campaign %llu '%s' accepted (%zu trials, %zu "
-                  "resumed, ns='%s', obs=%s)",
+                  "resumed, ns='%s', obs=%s, deadline=%.1fs%s)",
                   static_cast<unsigned long long>(c.id),
                   c.spec.name.c_str(), c.spec.trials, c.resumed,
                   c.request.ns.c_str(),
-                  obs::obsLevelName(c.request.obs));
+                  obs::obsLevelName(c.request.obs),
+                  c.deadlineSeconds,
+                  client ? "" : ", orphan resume");
         campaigns.push_back(std::move(c));
         assignIdleWorkers();
         finishCompleted(); // a fully-resumed campaign is already done
+        return std::nullopt;
+    }
+
+    void
+    handleSubmit(Session &client, const json::Value &msg)
+    {
+        const json::Value *request_json = msg.get("request");
+        std::optional<CampaignRequest> request =
+            request_json ? CampaignRequest::fromJson(*request_json)
+                         : std::nullopt;
+        if (!request) {
+            sendError(client, 0, "malformed campaign request");
+            return;
+        }
+        // Load shedding (graceful degradation, DESIGN.md §16): a
+        // draining daemon accepts nothing, and past the queue limit
+        // new work is refused with a structured busy frame instead
+        // of an ever-growing queue of campaigns nobody is serving.
+        if (draining || campaigns.size() >= config.tun.queueLimit) {
+            ++tally.shed;
+            client.conn.send(
+                json::Value::object()
+                    .set("type", "busy")
+                    .set("queue_depth", static_cast<std::uint64_t>(
+                                            campaigns.size()))
+                    .set("limit", static_cast<std::uint64_t>(
+                                      config.tun.queueLimit))
+                    .set("message",
+                         draining
+                             ? "daemon is draining; resubmit after "
+                               "restart (durable state resumes)"
+                             : "campaign queue is full; retry with "
+                               "backoff"));
+            return;
+        }
+        const std::size_t stream_every =
+            msg.get("stream_every") ? field(msg, "stream_every")
+                                    : config.streamEvery;
+        if (std::optional<std::string> error =
+                acceptCampaign(*request, stream_every, &client))
+            sendError(client, 0, *error);
+    }
+
+    /**
+     * {"type":"attach"}: re-bind a running campaign — matched by
+     * CampaignRequest::identityKey(), its stable id — to this
+     * session and replay the current partial immediately, so a
+     * reconnecting client resumes streaming from the last acked
+     * state.  The final fingerprint is byte-identical to a never-
+     * disconnected run by construction: attach changes who is
+     * listening, never what executes.
+     */
+    void
+    handleAttach(Session &client, const json::Value &msg)
+    {
+        const json::Value *request_json = msg.get("request");
+        std::optional<CampaignRequest> request =
+            request_json ? CampaignRequest::fromJson(*request_json)
+                         : std::nullopt;
+        if (!request) {
+            sendError(client, 0, "malformed campaign request");
+            return;
+        }
+        const std::string key = request->identityKey();
+        for (Campaign &c : campaigns) {
+            if (c.request.identityKey() != key)
+                continue;
+            c.clientKey = client.key;
+            if (msg.get("stream_every"))
+                c.streamEvery = field(msg, "stream_every");
+            ++tally.reattached;
+            log_.info("campaign %llu re-attached by session %llu",
+                      static_cast<unsigned long long>(c.id),
+                      static_cast<unsigned long long>(client.key));
+            client.conn.send(
+                json::Value::object()
+                    .set("type", "attached")
+                    .set("campaign", c.id)
+                    .set("total", static_cast<std::uint64_t>(
+                                      c.sched->trials()))
+                    .set("resumed",
+                         static_cast<std::uint64_t>(c.resumed)));
+            // Catch the new listener up to the last acked partial
+            // right away rather than waiting out streamEvery.
+            maybeStreamUpdate(c, /*force=*/true);
+            return;
+        }
+        client.conn.send(
+            json::Value::object()
+                .set("type", "error")
+                .set("campaign", std::uint64_t(0))
+                .set("code", "not_found")
+                .set("message",
+                     "no running campaign matches this request; "
+                     "submit instead (durable state resumes)"));
+    }
+
+    /** The terminal frame both cancel paths send: partial aggregate,
+     *  credits, and where the durable state lives. */
+    json::Value
+    cancelledFrame(Campaign &c, const std::string &reason)
+    {
+        return json::Value::object()
+            .set("type", "cancelled")
+            .set("campaign", c.id)
+            .set("reason", reason)
+            .set("completed",
+                 static_cast<std::uint64_t>(c.sched->completed()))
+            .set("total",
+                 static_cast<std::uint64_t>(c.sched->trials()))
+            .set("aggregate", partialAggregate(c).toJson())
+            .set("credits", creditsJson(c))
+            .set("checkpoint_dir", c.checkpointDir);
+    }
+
+    /**
+     * Stop a campaign: dispatch ceases now (the campaign leaves the
+     * queue), in-flight shards are reaped at the next trial boundary
+     * (a shrink-to-zero rides the same channel steals use; the
+     * worker's current_hi hook honours it at its next heartbeat),
+     * the checkpoint dir survives for a later resume, and both the
+     * owner and the canceller get the partial aggregate.  The
+     * pending manifest goes away — an explicit cancel (or an expired
+     * deadline) must not resurrect at the next daemon restart.
+     */
+    void
+    cancelCampaign(std::uint64_t id, const std::string &reason,
+                   bool deadline, Session *canceller)
+    {
+        for (auto it = campaigns.begin(); it != campaigns.end();
+             ++it) {
+            if (it->id != id)
+                continue;
+            Campaign &c = *it;
+            for (WorkerSlot &slot : slots) {
+                if (!slot.busy || slot.campaign != c.id)
+                    continue;
+                if (Session *ws = sessionByKey(slot.sessionKey))
+                    ws->conn.send(
+                        json::Value::object()
+                            .set("type", "shrink")
+                            .set("shard",
+                                 static_cast<std::uint64_t>(
+                                     slot.shard))
+                            .set("hi", std::uint64_t(0)));
+            }
+            const json::Value frame = cancelledFrame(c, reason);
+            Session *owner = sessionByKey(c.clientKey);
+            if (owner)
+                owner->conn.send(frame);
+            if (canceller && canceller != owner)
+                canceller->conn.send(frame);
+            removePendingManifest(c);
+            if (deadline)
+                ++tally.deadlineExpired;
+            else
+                ++tally.campaignsCancelled;
+            log_.info("campaign %llu '%s' cancelled (%s): %zu/%zu "
+                      "trials done, checkpoint %s",
+                      static_cast<unsigned long long>(c.id),
+                      c.spec.name.c_str(), reason.c_str(),
+                      c.sched->completed(), c.sched->trials(),
+                      c.checkpointDir.empty()
+                          ? "none"
+                          : c.checkpointDir.c_str());
+            campaigns.erase(it);
+            return;
+        }
+        if (canceller)
+            canceller->conn.send(
+                json::Value::object()
+                    .set("type", "error")
+                    .set("campaign", id)
+                    .set("code", "not_found")
+                    .set("message", "no such campaign"));
+    }
+
+    /** {"type":"cancel"}: by numeric id, or by request identity
+     *  (the same match attach uses). */
+    void
+    handleCancel(Session &client, const json::Value &msg)
+    {
+        if (msg.get("campaign")) {
+            cancelCampaign(field(msg, "campaign"),
+                           "cancelled by client",
+                           /*deadline=*/false, &client);
+            return;
+        }
+        if (const json::Value *request_json = msg.get("request")) {
+            if (std::optional<CampaignRequest> request =
+                    CampaignRequest::fromJson(*request_json)) {
+                const std::string key = request->identityKey();
+                for (Campaign &c : campaigns) {
+                    if (c.request.identityKey() == key) {
+                        cancelCampaign(c.id, "cancelled by client",
+                                       /*deadline=*/false, &client);
+                        return;
+                    }
+                }
+                client.conn.send(
+                    json::Value::object()
+                        .set("type", "error")
+                        .set("campaign", std::uint64_t(0))
+                        .set("code", "not_found")
+                        .set("message", "no such campaign"));
+                return;
+            }
+        }
+        sendError(client, 0,
+                  "cancel needs a \"campaign\" id or a \"request\"");
+    }
+
+    /** Expire campaigns past their wall-clock deadline — an
+     *  automatic cancel, checkpoint preserved. */
+    void
+    checkDeadlines()
+    {
+        std::vector<std::uint64_t> expired;
+        for (Campaign &c : campaigns)
+            if (c.deadlineSeconds > 0.0 &&
+                secondsSince(c.start) > c.deadlineSeconds)
+                expired.push_back(c.id);
+        for (std::uint64_t id : expired)
+            cancelCampaign(id, "deadline exceeded",
+                           /*deadline=*/true, nullptr);
+    }
+
+    /**
+     * Startup scan of <stateDir>/pending/: every manifest is a
+     * campaign a previous daemon accepted but never finished (drain,
+     * crash, kill -9).  Resume each as an orphan — clientKey 0, which
+     * no session ever has (keys start at 1) — so the work completes
+     * whether or not its client ever returns; a returning client
+     * finds it by identity via {"type":"attach"}.
+     */
+    void
+    resumePendingCampaigns()
+    {
+        if (config.stateDir.empty())
+            return;
+        std::error_code ec;
+        std::filesystem::directory_iterator it(pendingDir(), ec);
+        if (ec)
+            return;
+        // Deterministic resume order (directory order is not).
+        std::vector<std::filesystem::path> manifests;
+        for (const auto &entry : it)
+            if (entry.path().extension() == ".json")
+                manifests.push_back(entry.path());
+        std::sort(manifests.begin(), manifests.end());
+        for (const std::filesystem::path &path : manifests) {
+            std::ifstream in(path, std::ios::binary);
+            std::string text(
+                (std::istreambuf_iterator<char>(in)),
+                std::istreambuf_iterator<char>());
+            const std::optional<json::Value> manifest =
+                json::Value::parse(text);
+            const json::Value *request_json =
+                manifest ? manifest->get("request") : nullptr;
+            std::optional<CampaignRequest> request =
+                request_json
+                    ? CampaignRequest::fromJson(*request_json)
+                    : std::nullopt;
+            if (!request) {
+                log_.warn("dropping unreadable pending manifest %s",
+                          path.c_str());
+                ::unlink(path.c_str());
+                continue;
+            }
+            log_.info("resuming pending campaign from %s",
+                      path.c_str());
+            if (std::optional<std::string> error = acceptCampaign(
+                    *request,
+                    manifest->get("stream_every")
+                        ? field(*manifest, "stream_every")
+                        : config.streamEvery,
+                    nullptr)) {
+                log_.warn("pending campaign %s no longer builds "
+                          "(%s); dropping its manifest",
+                          path.c_str(), error->c_str());
+                ::unlink(path.c_str());
+            }
+        }
+    }
+
+    /**
+     * Drain (SIGTERM or {"type":"drain"}): stop accepting work, stop
+     * every in-flight shard at its next trial boundary (shrink-to-
+     * zero; completed trials are already checkpointed by the workers
+     * as they go), keep every pending manifest so the next daemon
+     * resumes the cut campaigns, and exit once all workers are idle
+     * or the grace window runs out.
+     */
+    void
+    beginDrain()
+    {
+        if (draining || shuttingDown)
+            return;
+        draining = true;
+        drainDeadline =
+            Clock::now() +
+            std::chrono::duration_cast<Clock::duration>(
+                std::chrono::duration<double>(
+                    config.tun.drainGraceSec));
+        log_.info("draining: %zu campaign(s) in flight, grace %.1fs",
+                  campaigns.size(), config.tun.drainGraceSec);
+        for (WorkerSlot &slot : slots) {
+            if (!slot.busy)
+                continue;
+            if (Session *ws = sessionByKey(slot.sessionKey))
+                ws->conn.send(json::Value::object()
+                                  .set("type", "shrink")
+                                  .set("shard",
+                                       static_cast<std::uint64_t>(
+                                           slot.shard))
+                                  .set("hi", std::uint64_t(0)));
+        }
+        // Informational only — the durable state is the contract; a
+        // client that misses this learns from the dropped connection.
+        for (Campaign &c : campaigns)
+            if (Session *owner = sessionByKey(c.clientKey))
+                owner->conn.send(json::Value::object()
+                                     .set("type", "draining")
+                                     .set("campaign", c.id));
+    }
+
+    void
+    drainProgress()
+    {
+        if (g_drainRequested) {
+            g_drainRequested = 0;
+            log_.info("SIGTERM received; draining");
+            beginDrain();
+        }
+        if (!draining || shuttingDown)
+            return;
+        for (const WorkerSlot &slot : slots) {
+            if (!slot.busy || slot.pid < 0)
+                continue;
+            if (Clock::now() <= drainDeadline)
+                return; // still waiting on a trial boundary
+            log_.warn("drain grace expired with busy workers; "
+                      "exiting anyway (checkpoints cover the cut)");
+            break;
+        }
+        log_.info("drain complete; %zu campaign(s) left resumable",
+                  campaigns.size());
+        shuttingDown = true;
     }
 
     /** Partial aggregate over completed trials, in index order —
@@ -469,13 +1043,21 @@ struct Daemon::Impl
     {
         const json::Value counters =
             json::Value::object()
+                .set("backoff_ms", tally.backoffMsTotal)
                 .set("bad_frames", tally.badFrames)
                 .set("campaigns_accepted", tally.campaignsAccepted)
+                .set("campaigns_cancelled",
+                     tally.campaignsCancelled)
                 .set("campaigns_completed",
                      tally.campaignsCompleted)
                 .set("campaigns_failed", tally.campaignsFailed)
+                .set("deadline_expired", tally.deadlineExpired)
+                .set("reattached", tally.reattached)
+                .set("shed", tally.shed)
                 .set("stats_requests", tally.statsRequests)
                 .set("steals_total", tally.stealsTotal)
+                .set("trial_timeouts", tally.trialTimeouts)
+                .set("trial_warns", tally.trialWarns)
                 .set("trials_completed", tally.trialsCompleted)
                 .set("trials_restored", tally.trialsRestored)
                 .set("worker_deaths", tally.workerDeaths);
@@ -533,6 +1115,8 @@ struct Daemon::Impl
                     .set("steals", static_cast<std::uint64_t>(
                                        c.sched->steals()))
                     .set("worker_deaths", c.workerDeaths)
+                    .set("trial_timeouts", c.trialTimeouts)
+                    .set("deadline_seconds", c.deadlineSeconds)
                     .set("age_seconds", secondsSince(c.start))
                     .set("stream_every",
                          static_cast<std::uint64_t>(c.streamEvery))
@@ -571,6 +1155,10 @@ struct Daemon::Impl
                 .set("type", "stats")
                 .set("uptime_seconds", secondsSince(started))
                 .set("shutting_down", shuttingDown)
+                .set("draining", draining)
+                .set("queue_limit",
+                     static_cast<std::uint64_t>(
+                         config.tun.queueLimit))
                 .set("workers",
                      static_cast<std::uint64_t>(slots.size()))
                 .set("campaigns", std::move(campaign_list))
@@ -582,8 +1170,10 @@ struct Daemon::Impl
     void
     maybeStreamUpdate(Campaign &c, bool force = false)
     {
-        if (c.streamEvery == 0 ||
-            (!force && c.sinceUpdate < c.streamEvery))
+        // force (attach catch-up) streams even when the campaign
+        // asked for no periodic updates.
+        if (!force && (c.streamEvery == 0 ||
+                       c.sinceUpdate < c.streamEvery))
             return;
         c.sinceUpdate = 0;
         Session *client = sessionByKey(c.clientKey);
@@ -628,6 +1218,19 @@ struct Daemon::Impl
             const std::string fingerprint = exp::fnv1aHex(
                 exp::deterministicFingerprint(result));
 
+            // Chaos site: die between the merge and the result send —
+            // the worst possible moment.  Trials are checkpointed and
+            // the pending manifest still exists, so a restarted
+            // daemon must resume, re-merge, and produce the same
+            // fingerprint.
+            if (chaosAbortMerge()) {
+                log_.warn("chaos: aborting mid-merge of campaign "
+                          "%llu",
+                          static_cast<unsigned long long>(c.id));
+                ::_exit(42);
+            }
+
+            removePendingManifest(c);
             ++tally.campaignsCompleted;
             log_.info("campaign %llu '%s' complete: %zu trials, "
                       "%zu resumed, %u worker deaths, %zu steals, "
@@ -659,7 +1262,7 @@ struct Daemon::Impl
     void
     assignIdleWorkers()
     {
-        if (campaigns.empty())
+        if (campaigns.empty() || draining)
             return; // keep the idle poll loop out of the profile
         obs::ProfScope timer(&prof, "prof.svc.dispatch");
         for (WorkerSlot &slot : slots) {
@@ -715,15 +1318,20 @@ struct Daemon::Impl
         }
     }
 
-    /** No worker can ever run again: fail outstanding campaigns
-     *  instead of hanging their clients forever. */
+    /** With a finite respawn budget (tun.maxRespawns > 0) and every
+     *  worker past it, no worker can ever run again: fail the
+     *  outstanding campaigns instead of hanging their clients
+     *  forever.  The default budget (0 = retry forever with backoff)
+     *  never strands — losing ALL workers just queues work until a
+     *  respawn sticks. */
     void
     failCampaignsIfStranded()
     {
-        if (campaigns.empty())
+        if (campaigns.empty() || config.tun.maxRespawns == 0)
             return;
         for (const WorkerSlot &slot : slots) {
-            if (slot.pid >= 0 || slot.spawns < config.maxRespawns)
+            if (slot.pid >= 0 ||
+                slot.spawns < config.tun.maxRespawns)
                 return;
         }
         log_.warn("all workers permanently dead; failing %zu "
@@ -732,6 +1340,7 @@ struct Daemon::Impl
             if (Session *client = sessionByKey(c.clientKey))
                 sendError(*client, c.id,
                           "all workers permanently dead");
+            removePendingManifest(c);
             ++tally.campaignsFailed;
         }
         campaigns.clear();
@@ -748,6 +1357,7 @@ struct Daemon::Impl
         WorkerSlot &slot = slots[static_cast<std::size_t>(
             session.workerId)];
         slot.lastBeat = Clock::now();
+        slot.warned = false; // it spoke; the silence is over
         if (const json::Value *counters = msg.get("counters"))
             slot.counters = *counters;
         if (const json::Value *worker_prof = msg.get("prof"))
@@ -807,6 +1417,9 @@ struct Daemon::Impl
                 if (Session *client = sessionByKey(c->clientKey))
                     sendError(*client, campaign_id,
                               stringField(msg, "message"));
+                // A deterministic build/recipe failure must not
+                // resurrect at every daemon restart.
+                removePendingManifest(*c);
                 ++tally.campaignsFailed;
                 for (auto it = campaigns.begin();
                      it != campaigns.end(); ++it) {
@@ -849,6 +1462,16 @@ struct Daemon::Impl
         // Client messages.
         if (type == "submit") {
             handleSubmit(session, msg);
+        } else if (type == "attach") {
+            handleAttach(session, msg);
+        } else if (type == "cancel") {
+            handleCancel(session, msg);
+        } else if (type == "drain") {
+            log_.info("drain requested by session %llu",
+                      static_cast<unsigned long long>(session.key));
+            beginDrain();
+            session.conn.send(
+                json::Value::object().set("type", "draining"));
         } else if (type == "ping") {
             session.conn.send(
                 json::Value::object().set("type", "pong"));
@@ -922,17 +1545,37 @@ struct Daemon::Impl
         log_.info("listening on %s (%u workers)",
                   config.socketPath.c_str(), config.workers);
 
+        // SIGTERM = drain.  Restore on exit so thread-hosted test
+        // daemons do not leave the handler behind.
+        g_drainRequested = 0;
+        struct sigaction drain_action = {};
+        drain_action.sa_handler = onSigterm;
+        struct sigaction prev_action = {};
+        ::sigaction(SIGTERM, &drain_action, &prev_action);
+
+        seedChaosRole(1); // decorrelate from workers' streams
+
         slots.resize(config.workers);
         for (unsigned i = 0; i < config.workers; ++i) {
             slots[i].id = static_cast<int>(i);
             spawnWorker(slots[i]);
         }
 
+        // Campaigns a previous daemon left behind resume before the
+        // first client connects.
+        resumePendingCampaigns();
+
         while (!shuttingDown) {
             std::vector<pollfd> fds;
             fds.push_back(pollfd{listenFd, POLLIN, 0});
-            for (auto &s : sessions)
-                fds.push_back(pollfd{s->conn.fd(), POLLIN, 0});
+            for (auto &s : sessions) {
+                short events = POLLIN;
+                // A session with buffered outbound bytes (a slow
+                // client) needs a POLLOUT wakeup to drain.
+                if (s->conn.wantWrite())
+                    events |= POLLOUT;
+                fds.push_back(pollfd{s->conn.fd(), events, 0});
+            }
             ::poll(fds.data(),
                    static_cast<nfds_t>(fds.size()), 100);
 
@@ -946,6 +1589,9 @@ struct Daemon::Impl
                     auto session = std::make_unique<Session>();
                     session->key = nextSessionKey++;
                     session->conn = Conn(fd);
+                    // Never let one stalled peer block the loop: all
+                    // daemon-side sends buffer and drain on POLLOUT.
+                    session->conn.setBuffered(true);
                     sessions.push_back(std::move(session));
                 }
             }
@@ -955,6 +1601,7 @@ struct Daemon::Impl
             // worker deaths respawn — so iterate by index.)
             for (std::size_t i = 0; i < sessions.size();) {
                 Session &session = *sessions[i];
+                session.conn.flushOut();
                 const bool alive = session.conn.pump();
                 while (std::optional<json::Value> msg =
                            session.conn.next()) {
@@ -1005,15 +1652,23 @@ struct Daemon::Impl
 
             reapChildren();
             checkHeartbeats();
+            maintainWorkers();
+            checkDeadlines();
             failCampaignsIfStranded();
             assignIdleWorkers();
             finishCompleted();
+            drainProgress();
         }
 
+        // Give buffered terminal frames (draining/cancelled) one
+        // last blocking push before the sockets close.
+        for (auto &s : sessions)
+            s->conn.flushOut();
         shutdownWorkers();
         ::close(listenFd);
         ::unlink(config.socketPath.c_str());
         log_.info("daemon exiting");
+        ::sigaction(SIGTERM, &prev_action, nullptr);
         return 0;
     }
 

@@ -33,7 +33,22 @@
  * is keyed by the *request identity* (recipe, params, namespace,
  * seeds — CampaignRequest::identityKey), so resubmitting the same
  * request after a daemon restart resumes from persisted trials
- * instead of starting over.
+ * instead of starting over.  Accepted campaigns additionally persist
+ * a pending manifest under <stateDir>/pending/; a restarted daemon
+ * scans it and resumes every interrupted campaign on its own, so a
+ * SIGKILLed daemon loses no work and a reconnecting client can
+ * {"type":"attach"} to the auto-resumed campaign by request identity.
+ *
+ * Failure handling (DESIGN.md §16): campaigns can be cancelled
+ * ({"type":"cancel"}, partial aggregate returned, checkpoint kept)
+ * or bounded by per-request wall-clock deadlines; worker respawns
+ * back off exponentially with jitter instead of burning a fixed
+ * budget; a busy worker silent past Tunables::trialWarnSec warns,
+ * past heartbeatTimeoutSec is SIGKILLed, and a trial that keeps
+ * killing workers is recorded TimedOut; submissions past
+ * Tunables::queueLimit are shed with {"type":"busy"}; SIGTERM (or a
+ * {"type":"drain"} message) drains in-flight shards to a trial
+ * boundary, persists manifests and exits cleanly.
  */
 
 #ifndef USCOPE_SVC_DAEMON_HH
@@ -42,6 +57,8 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+
+#include "svc/tunables.hh"
 
 namespace uscope::svc
 {
@@ -58,15 +75,14 @@ struct DaemonConfig
     std::string workerExe;
     /** Durable campaign state root; empty = no checkpointing. */
     std::string stateDir;
-    /** A *busy* worker silent for this long is declared dead and
-     *  SIGKILLed.  Idle workers are never timed out — silence while
-     *  parked is normal. */
-    double heartbeatTimeoutSec = 30.0;
+    /** Every timing/capacity knob of the failure-handling machinery
+     *  (heartbeats, deadlines, backoff, shedding) in one place —
+     *  defaults come from USCOPE_SVC_* env overrides; tests assign
+     *  fields directly. */
+    Tunables tun = Tunables::environmentDefault();
     /** Default update cadence (trials between stream frames) when a
      *  submit does not specify one; 0 = no periodic updates. */
     std::size_t streamEvery = 0;
-    /** Respawn budget per worker slot. */
-    unsigned maxRespawns = 8;
     /** Test hook: worker 0's *first* incarnation self-SIGKILLs after
      *  emitting this many trials (0 = off).  Respawns are normal. */
     std::size_t worker0DieAfter = 0;

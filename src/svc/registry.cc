@@ -1,9 +1,11 @@
 #include "svc/registry.hh"
 
 #include <array>
+#include <chrono>
 #include <memory>
 #include <mutex>
 #include <set>
+#include <thread>
 #include <utility>
 
 #include "attack/aes_attack.hh"
@@ -34,6 +36,9 @@ CampaignRequest::toJson() const
     // Omitted at Off so pre-§14 request JSON round-trips unchanged.
     if (obs != obs::ObsLevel::Off)
         v.set("obs", obs::obsLevelName(obs));
+    // Likewise omitted when unset, and excluded from identityKey().
+    if (deadlineSeconds > 0.0)
+        v.set("deadline_seconds", deadlineSeconds);
     return v;
 }
 
@@ -68,6 +73,8 @@ CampaignRequest::fromJson(const json::Value &v)
         else
             return std::nullopt;
     }
+    if (const json::Value *f = v.get("deadline_seconds"))
+        out.deadlineSeconds = f->asDouble();
     return out;
 }
 
@@ -75,12 +82,15 @@ std::string
 CampaignRequest::identityKey() const
 {
     // Everything result-determining, nothing else (no stream cadence,
-    // no client identity, no observability level — observation never
-    // changes results).  params.dump() is deterministic — objects
-    // preserve insertion order — and requests round-trip through
-    // toJson/fromJson on the wire, so both ends agree on the key.
+    // no client identity, no observability level or deadline —
+    // neither changes results).  params.dump() is deterministic —
+    // objects preserve insertion order — and requests round-trip
+    // through toJson/fromJson on the wire, so both ends agree on the
+    // key.  Reconnecting clients match a running campaign by this
+    // same key, so a resubmit-with-deadline attaches to the original.
     CampaignRequest identity = *this;
     identity.obs = obs::ObsLevel::Off;
+    identity.deadlineSeconds = 0.0;
     return identity.toJson().dump();
 }
 
@@ -129,10 +139,22 @@ exp::CampaignSpec
 selftestRecipe(const CampaignRequest &req)
 {
     const std::uint64_t work = u64Param(req, "work", 2000);
+    // Failure-mode hooks for the service's escalation suites: trial
+    // `hang_index` sleeps `hang_ms` before computing — long enough
+    // (with aggressive Tunables) to trip the daemon's warn -> kill ->
+    // TimedOut ladder, yet producing byte-identical output whenever
+    // it *is* allowed to finish (a sleep changes no results).
+    const std::uint64_t hang_index =
+        u64Param(req, "hang_index", ~std::uint64_t{0});
+    const std::uint64_t hang_ms = u64Param(req, "hang_ms", 60000);
     exp::CampaignSpec spec;
     spec.trials = 32;
     spec.structureKey = "selftest";
-    spec.body = [work](const exp::TrialContext &ctx) {
+    spec.body = [work, hang_index,
+                 hang_ms](const exp::TrialContext &ctx) {
+        if (ctx.index == hang_index)
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(hang_ms));
         Rng rng(ctx.seed);
         std::uint64_t acc = ctx.seed;
         exp::TrialOutput out;

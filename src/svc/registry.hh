@@ -62,6 +62,15 @@ struct CampaignRequest
      * the same durable state, not fork a parallel checkpoint dir.
      */
     obs::ObsLevel obs = obs::ObsLevel::Off;
+    /**
+     * Wall-clock deadline in seconds; 0 = none.  Past it the daemon
+     * cancels the campaign (checkpoint preserved, partial aggregate
+     * returned) — see DESIGN.md §16.  EXCLUDED from identityKey()
+     * like obs: a deadline bounds *this submission's* patience, not
+     * the results, so resubmitting with a longer deadline resumes
+     * the same durable state.
+     */
+    double deadlineSeconds = 0.0;
 
     json::Value toJson() const;
     static std::optional<CampaignRequest> fromJson(const json::Value &v);

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Every timing/capacity knob the campaign service's failure handling
+ * runs on, in one documented struct (DESIGN.md §16).
+ *
+ * The daemon and its workers used to scatter these as literals
+ * (200 ms heartbeats in worker.cc, a 30 s timeout and a fixed respawn
+ * budget in daemon.cc), which meant any test of the deadline/backoff
+ * machinery had to wait out real-time constants it could not reach.
+ * Tunables makes them data: tests assign fields directly on their
+ * DaemonConfig, operators override via USCOPE_SVC_* environment
+ * variables, and the defaults stay production-shaped.
+ *
+ * Environment overrides (read once by environmentDefault(), applied
+ * on top of the defaults; fromEnv() re-reads for tests):
+ *
+ *   USCOPE_SVC_HEARTBEAT_MS           worker heartbeat cadence
+ *   USCOPE_SVC_HEARTBEAT_TIMEOUT_SEC  busy-and-silent => SIGKILL
+ *   USCOPE_SVC_TRIAL_WARN_SEC         busy-and-silent => warn once
+ *   USCOPE_SVC_TRIAL_KILL_LIMIT       kills at one trial => TimedOut
+ *   USCOPE_SVC_BACKOFF_INITIAL_SEC    first respawn delay
+ *   USCOPE_SVC_BACKOFF_MAX_SEC        respawn delay cap
+ *   USCOPE_SVC_BACKOFF_JITTER         +/- fraction of the delay
+ *   USCOPE_SVC_MAX_RESPAWNS           0 = retry forever (backoff)
+ *   USCOPE_SVC_QUEUE_LIMIT            campaigns before busy-shedding
+ *   USCOPE_SVC_DRAIN_GRACE_SEC        SIGTERM drain patience
+ */
+
+#ifndef USCOPE_SVC_TUNABLES_HH
+#define USCOPE_SVC_TUNABLES_HH
+
+#include <cstddef>
+
+namespace uscope::svc
+{
+
+struct Tunables
+{
+    /** Worker heartbeat cadence in milliseconds (the daemon forwards
+     *  this to every worker it spawns via --heartbeat-ms=). */
+    int heartbeatMs = 200;
+
+    /** A *busy* worker silent for this long is declared wedged and
+     *  SIGKILLed.  Idle workers are never timed out — silence while
+     *  parked is normal. */
+    double heartbeatTimeoutSec = 30.0;
+
+    /** A busy worker silent this long earns one structured warning —
+     *  the first rung of the warn -> kill/retry -> TimedOut ladder.
+     *  Also forwarded into CampaignSpec::trialWallWarnSec so the
+     *  executor logs slow trials from the inside. */
+    double trialWarnSec = 10.0;
+
+    /**
+     * When the daemon has SIGKILLed workers this many times while
+     * they were stuck on the *same* trial, it stops retrying and
+     * records that trial as TimedOut — a measurement ("this input
+     * hangs"), not an error, mirroring the cycle-budget semantics of
+     * exp::TrialStatus::TimedOut.
+     */
+    unsigned trialKillLimit = 3;
+
+    /** First respawn delay after a worker death.  Doubles per
+     *  consecutive failure (a worker that survived long enough to
+     *  look healthy resets the streak) up to backoffMaxSec. */
+    double backoffInitialSec = 0.05;
+    double backoffMaxSec = 5.0;
+    /** Deterministic jitter: each delay is scaled by a pseudo-random
+     *  factor in [1 - jitter, 1 + jitter] so a mass worker death does
+     *  not respawn in lockstep. */
+    double backoffJitter = 0.25;
+
+    /**
+     * Hard cap on spawns per worker slot; 0 (the default) means
+     * retry forever under backoff — the graceful-degradation posture:
+     * a daemon with zero live workers queues work and keeps trying.
+     * Non-zero restores the old fixed-budget behavior (after the
+     * budget, campaigns with no possible worker are failed).
+     */
+    unsigned maxRespawns = 0;
+
+    /** Campaigns in flight (running + queued) before new submissions
+     *  are shed with a structured {"type":"busy"} reply. */
+    std::size_t queueLimit = 32;
+
+    /** How long a SIGTERM drain waits for in-flight shards to reach
+     *  a trial boundary before giving up and exiting anyway. */
+    double drainGraceSec = 10.0;
+
+    /** Defaults + USCOPE_SVC_* overrides, re-read on every call (for
+     *  tests that toggle the environment). */
+    static Tunables fromEnv();
+
+    /** fromEnv(), cached on first use — the daemon-default path. */
+    static Tunables environmentDefault();
+};
+
+} // namespace uscope::svc
+
+#endif // USCOPE_SVC_TUNABLES_HH

@@ -10,6 +10,7 @@
 
 #include "common/logging.hh"
 #include "obs/log.hh"
+#include "svc/chaos.hh"
 
 namespace uscope::svc
 {
@@ -76,8 +77,9 @@ Conn::~Conn()
 
 Conn::Conn(Conn &&other) noexcept
     : fd_(other.fd_), failed_(other.failed_),
-      badFrames_(other.badFrames_),
-      splitter_(std::move(other.splitter_))
+      buffered_(other.buffered_), badFrames_(other.badFrames_),
+      splitter_(std::move(other.splitter_)),
+      out_(std::move(other.out_)), outOff_(other.outOff_)
 {
     other.fd_ = -1;
 }
@@ -89,8 +91,11 @@ Conn::operator=(Conn &&other) noexcept
         close();
         fd_ = other.fd_;
         failed_ = other.failed_;
+        buffered_ = other.buffered_;
         badFrames_ = other.badFrames_;
         splitter_ = std::move(other.splitter_);
+        out_ = std::move(other.out_);
+        outOff_ = other.outOff_;
         other.fd_ = -1;
     }
     return *this;
@@ -108,9 +113,16 @@ bool
 Conn::writeFrame(const std::string &frame)
 {
     std::size_t sent = 0;
+    // Chaos site: tear the frame into two kernel writes with a pause
+    // between them, exercising the receiver's FrameSplitter exactly
+    // the way a congested socket would.
+    std::size_t tear = frame.size();
+    if (std::optional<std::size_t> cut = chaosTearPoint(frame.size()))
+        tear = *cut;
     while (sent < frame.size()) {
+        const std::size_t limit = sent < tear ? tear : frame.size();
         const ssize_t n = ::send(fd_, frame.data() + sent,
-                                 frame.size() - sent, MSG_NOSIGNAL);
+                                 limit - sent, MSG_NOSIGNAL);
         if (n < 0) {
             if (errno == EINTR)
                 continue;
@@ -118,6 +130,37 @@ Conn::writeFrame(const std::string &frame)
             return false;
         }
         sent += static_cast<std::size_t>(n);
+        if (sent == tear && tear < frame.size())
+            ::usleep(static_cast<useconds_t>(chaosTearDelayUs()));
+    }
+    return true;
+}
+
+bool
+Conn::flushOut()
+{
+    if (fd_ < 0)
+        return false;
+    while (outOff_ < out_.size()) {
+        const ssize_t n =
+            ::send(fd_, out_.data() + outOff_, out_.size() - outOff_,
+                   MSG_NOSIGNAL | MSG_DONTWAIT);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            if (errno == EAGAIN || errno == EWOULDBLOCK)
+                break; // the kernel is full; POLLOUT will call again
+            failed_ = true;
+            return false;
+        }
+        outOff_ += static_cast<std::size_t>(n);
+    }
+    if (outOff_ == out_.size()) {
+        out_.clear();
+        outOff_ = 0;
+    } else if (outOff_ > (1u << 20)) {
+        out_.erase(0, outOff_);
+        outOff_ = 0;
     }
     return true;
 }
@@ -127,7 +170,17 @@ Conn::send(const json::Value &msg)
 {
     if (!open())
         return false;
-    return writeFrame(encodeFrame(msg.dump()));
+    if (!buffered_)
+        return writeFrame(encodeFrame(msg.dump()));
+    if (pendingOut() > kMaxOutboundBytes) {
+        log_.warn("outbound buffer for fd %d exceeds %zu bytes; peer "
+                  "stopped reading — dropping connection", fd_,
+                  kMaxOutboundBytes);
+        failed_ = true;
+        return false;
+    }
+    out_ += encodeFrame(msg.dump());
+    return flushOut();
 }
 
 void
@@ -135,6 +188,7 @@ Conn::sendFinal(const json::Value &msg)
 {
     if (fd_ < 0)
         return;
+    flushOut(); // whatever buffered bytes still fit, first
     writeFrame(encodeFrame(msg.dump()));
 }
 

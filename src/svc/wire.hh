@@ -14,9 +14,16 @@
  * Sockets stay in blocking mode.  Reads always use MSG_DONTWAIT —
  * Conn::pump() drains whatever the kernel has and never blocks; the
  * daemon's poll() loop and the worker's poll()-with-timeout decide
- * when pumping is worthwhile.  Writes block (frames are small; the
- * kernel buffer absorbs them) and use MSG_NOSIGNAL so a vanished peer
- * surfaces as a clean `false`, never SIGPIPE.
+ * when pumping is worthwhile.  Writes come in two flavours: workers
+ * and clients block (frames are small; the kernel buffer absorbs
+ * them), while the daemon's sessions run in *buffered* mode —
+ * setBuffered() turns send() into append-to-outbound-queue plus an
+ * opportunistic MSG_DONTWAIT flush, and the poll() loop drains the
+ * rest on POLLOUT.  A stalled `svc_client stream` therefore slows
+ * only its own stream: the daemon never blocks in send() and a
+ * partially-written frame can never interleave with the next one.
+ * All writes use MSG_NOSIGNAL so a vanished peer surfaces as a clean
+ * `false`, never SIGPIPE.
  */
 
 #ifndef USCOPE_SVC_WIRE_HH
@@ -35,6 +42,11 @@ namespace uscope::svc
 /** Frames above this are a protocol violation (or an attack on the
  *  daemon's memory); the connection is dropped. */
 constexpr std::size_t kMaxFrameBytes = 256u << 20;
+
+/** A buffered connection whose unsent backlog exceeds this is a peer
+ *  that stopped reading long ago; it is marked failed and dropped
+ *  rather than allowed to grow the daemon without bound. */
+constexpr std::size_t kMaxOutboundBytes = 256u << 20;
 
 /** Prepend the 4-byte big-endian length to @p payload. */
 std::string encodeFrame(const std::string &payload);
@@ -83,9 +95,33 @@ class Conn
     bool open() const { return fd_ >= 0 && !failed_; }
     void close();
 
-    /** Frame + send @p msg (blocking).  False when the peer is gone;
-     *  the connection is marked failed and further sends no-op. */
+    /** Frame + send @p msg.  Blocking by default; with setBuffered()
+     *  the frame is queued and drained by flushOut() instead.  False
+     *  when the peer is gone (or the outbound cap is blown); the
+     *  connection is marked failed and further sends no-op. */
     bool send(const json::Value &msg);
+
+    /**
+     * Switch send() to non-blocking buffered mode: frames append to
+     * an outbound queue, each send() opportunistically flushes with
+     * MSG_DONTWAIT, and the owner drains the remainder via flushOut()
+     * when poll() reports POLLOUT.  The daemon runs every session
+     * this way so one stalled client cannot wedge the loop.
+     */
+    void setBuffered(bool on) { buffered_ = on; }
+
+    /** True when buffered bytes await a POLLOUT-driven flush. */
+    bool wantWrite() const { return outOff_ < out_.size(); }
+
+    /** Unsent buffered bytes. */
+    std::size_t pendingOut() const { return out_.size() - outOff_; }
+
+    /**
+     * Push buffered bytes until the kernel refuses (EAGAIN) or the
+     * queue empties.  False when the peer is gone — the connection is
+     * marked failed, same as a blocking-send failure.
+     */
+    bool flushOut();
 
     /**
      * Drain every byte the kernel currently has (MSG_DONTWAIT) into
@@ -123,8 +159,13 @@ class Conn
 
     int fd_ = -1;
     bool failed_ = false;
+    bool buffered_ = false;
     std::size_t badFrames_ = 0;
     FrameSplitter splitter_;
+    /** Buffered-mode outbound queue: bytes [outOff_, out_.size()) are
+     *  still unsent.  Compacted as the flusher advances. */
+    std::string out_;
+    std::size_t outOff_ = 0;
 };
 
 /**

@@ -6,6 +6,7 @@
 #include <deque>
 #include <optional>
 #include <string>
+#include <thread>
 
 #include <unistd.h>
 
@@ -14,7 +15,9 @@
 #include "exp/checkpoint.hh"
 #include "obs/log.hh"
 #include "obs/prof.hh"
+#include "svc/chaos.hh"
 #include "svc/registry.hh"
+#include "svc/tunables.hh"
 #include "svc/wire.hh"
 
 namespace uscope::svc
@@ -91,6 +94,14 @@ struct WorkerLoop
                 std::chrono::milliseconds(opts.heartbeatMs))
             return;
         lastBeat = now;
+        // Chaos sites: a skipped or late beat is indistinguishable
+        // (to the daemon) from a congested or wedged worker — the
+        // heartbeat-timeout machinery must absorb both.
+        if (chaosDropHeartbeat())
+            return;
+        if (const int delay_ms = chaosHeartbeatDelayMs())
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(delay_ms));
         json::Value beat = json::Value::object()
                                .set("type", "heartbeat")
                                .set("id", opts.id)
@@ -147,6 +158,9 @@ WorkerLoop::runShard(const json::Value &msg)
         return;
     }
     spec.checkpointDir = stringField(msg, "checkpoint_dir");
+    // Slow-trial logging from the inside — the executor rung of the
+    // daemon's warn -> kill -> TimedOut ladder (DESIGN.md §16).
+    spec.trialWallWarnSec = Tunables::environmentDefault().trialWarnSec;
     // Trace spills land under the campaign's durable state dir so
     // `svc_client trace` (and the daemon) can find every worker's
     // files in one place; without durable state there is nowhere
@@ -205,6 +219,11 @@ WorkerLoop::runShard(const json::Value &msg)
             // would — mid-shard, no destructors, no goodbyes.
             ::raise(SIGKILL);
         }
+        // Chaos site: freeze mid-shard.  The daemon's heartbeat
+        // timeout must notice the silence, SIGKILL this process and
+        // reassign the shard — exactly the wedged-worker story.
+        if (chaosSigstop())
+            ::raise(SIGSTOP);
     };
 
     exp::runShardRange(spec, lo, hi, executor,
@@ -315,6 +334,9 @@ maybeRunWorkerMain(int argc, char **argv, int *exit_code)
             log_.warn("ignoring unknown flag '%s'", arg.c_str());
     }
     obs::installSimLogBridge();
+    // Decorrelate this worker's chaos streams from its siblings'
+    // (they all inherit the same USCOPE_SVC_CHAOS).
+    seedChaosRole(0x40000000ull + static_cast<std::uint64_t>(options.id));
     if (options.socketPath.empty()) {
         log_.warn("no --socket= given");
         *exit_code = 1;
