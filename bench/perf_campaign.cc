@@ -61,11 +61,29 @@
  *     bench-results/BENCH_diffreplay.json (CI fails if the fast arm
  *     is not at least break-even; the paper-repro target is >= 1.5x).
  *     `--diffreplay={on,off}` pins one arm.
+ *  7. **Batched-replay A/B** (DESIGN.md §17) — the section-6 arm
+ *     widened to N=12 re-entries per episode, run three ways: cold
+ *     resimulation, per-sibling diffreplay restores, and one
+ *     ms::runReplayBatch lockstep batch (single full restore + journal
+ *     rewinds).  All three fingerprints must be byte-identical (hard
+ *     failure), the batch must beat per-sibling break-even (CI gate;
+ *     paper-repro target >= 1.5x), and a quiet/chaos x ff x workers
+ *     1/2/4 identity matrix revalidates the contract in every
+ *     configuration.  Results land in
+ *     bench-results/BENCH_batchreplay.json; `--batch-replay={on,off}`
+ *     pins one pinned arm (batched vs per-sibling) whose fingerprint
+ *     files CI `cmp`s.
+ *
+ * `--section=N` runs exactly one numbered section (1 sharding, 2
+ * fast-forward, 3 prefix, 4 service, 5 obs, 6 diffreplay, 7
+ * batchreplay) — what the CI smoke jobs use to parallelize and to
+ * scope failures.
  */
 
 #include <array>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <optional>
@@ -80,6 +98,8 @@
 #include "attack/port_contention.hh"
 #include "common/random.hh"
 #include "core/microscope.hh"
+#include "core/replay_batch.hh"
+#include "fault/plan.hh"
 #include "crypto/aes.hh"
 #include "crypto/aes_codegen.hh"
 #include "exp/campaign.hh"
@@ -755,30 +775,63 @@ constexpr std::size_t diffTrials = 8;
 constexpr std::uint64_t diffIterations = 5;
 constexpr Cycles diffRunBudget = 50'000'000;
 
+/** One arm of the differential/batched-replay benches (sections 6/7). */
+struct DiffArm
+{
+    const char *name = "perf_campaign_diffreplay";
+    /** Episode-snapshot re-entry (§15) vs cold prefix re-simulation. */
+    bool differential = true;
+    /** CampaignSpec::batchReplays: non-zero drives the sibling
+     *  windows through ms::runReplayBatch (§17). */
+    std::uint64_t batch = 0;
+    unsigned workers = 1;
+    /** Explicit machine knobs; both unset = the default MachineConfig
+     *  (no machineFactory), which is what section 6 always measured. */
+    std::optional<bool> fastForward;
+    std::optional<bool> chaos;
+    std::size_t trials = diffTrials;
+    std::uint64_t iterations = diffIterations;
+};
+
 /**
  * Denoise-shaped trial: one confidence-2 episode (replay 1 is the
  * calibration prefix, replay 2 the measured window), re-entered
- * diffIterations times with a fresh noise seed each, line hits decided
- * by majority vote.  With @p differential the re-entry restores the
- * engine's episode snapshot; without it, the pre-arm snapshot is
- * restored and the prefix — per-trial warm decryption, priming, the
- * arming run up to the replay-1 re-arm — re-simulated from scratch.
- * The two must produce bit-identical results.
+ * arm.iterations times with a fresh noise seed each, line hits decided
+ * by majority vote.  With arm.differential the re-entry restores the
+ * engine's episode snapshot — per-sibling restoreEpisode calls, or one
+ * ms::runReplayBatch when arm.batch is set; without it, the pre-arm
+ * snapshot is restored and the prefix — per-trial warm decryption,
+ * priming, the arming run up to the replay-1 re-arm — re-simulated
+ * from scratch.  All three must produce bit-identical results.
  */
 exp::CampaignSpec
-diffReplaySpec(const char *name, bool differential)
+diffReplaySpec(const DiffArm &arm)
 {
     exp::CampaignSpec spec;
-    spec.name = name;
-    spec.trials = diffTrials;
+    spec.name = arm.name;
+    spec.trials = arm.trials;
     spec.masterSeed = 42;
-    spec.workers = 1;
+    spec.workers = arm.workers;
     spec.prefixCache = true;
     spec.machinePool = true;
     spec.perTrialMetrics = false;
+    spec.batchReplays = arm.batch;
     spec.warmup = aesRigWarmup;
+    if (arm.fastForward || arm.chaos) {
+        const bool ff = arm.fastForward.value_or(true);
+        const bool noisy = arm.chaos.value_or(false);
+        spec.machineFactory = [ff, noisy](const exp::TrialContext &) {
+            os::MachineConfig config;
+            config.fastForward = ff;
+            config.fault = noisy ? fault::FaultPlan::chaos()
+                                 : fault::FaultPlan{};
+            return config;
+        };
+    }
 
-    spec.body = [differential](const exp::TrialContext &ctx) {
+    const bool differential = arm.differential;
+    const std::uint64_t iterations = arm.iterations;
+    spec.body = [differential, iterations](const exp::TrialContext &ctx) {
         os::Machine &m = *ctx.fork;
         const auto *rig =
             static_cast<const PrefixRig *>(ctx.warmupData);
@@ -834,11 +887,17 @@ diffReplaySpec(const char *name, bool differential)
         scope.setRecipe(std::move(recipe));
 
         // Pre-arm snapshot: the resimulating arm rewinds here before
-        // every iteration.
-        const os::Snapshot pre = m.snapshot();
-        const ms::EpisodeState preState{scope.armed(),
+        // every iteration.  The differential arms never read it, and
+        // a snapshot has no semantic effect (PhysMem share counters
+        // are stripped from fingerprints), so they skip its cost.
+        os::Snapshot pre;
+        ms::EpisodeState preState;
+        if (!differential) {
+            pre = m.snapshot();
+            preState = ms::EpisodeState{scope.armed(),
                                         scope.replaysThisEpisode(),
                                         scope.stats()};
+        }
         const auto runPrefix = [&]() {
             // Per-trial warm decryption of this trial's ciphertext —
             // the calibration run a denoise campaign performs before
@@ -864,22 +923,37 @@ diffReplaySpec(const char *name, bool differential)
         if (differential)
             scope.takeEpisodeSnapshot();
 
-        for (std::uint64_t i = 0; i < diffIterations; ++i) {
-            const std::uint64_t seed =
-                exp::deriveReplaySeed(ctx.seed, i);
-            if (differential) {
-                scope.restoreEpisode(seed);
-            } else {
-                m.restoreFrom(pre);
-                scope.adoptEpisodeState(preState);
-                runPrefix();
-                m.reseed(seed);
+        if (differential && ctx.batchReplays != 0) {
+            // Batched lockstep path (§17): one full restore + journal
+            // rewinds, same window stop predicate as the loop below so
+            // every sibling ends at the same cycle.
+            ms::ReplayBatchConfig batch;
+            batch.trialSeed = ctx.seed;
+            batch.iterations = iterations;
+            batch.runBudget = diffRunBudget;
+            batch.windowDone = [&]() { return !scope.armed(); };
+            batch.prof = ctx.prof;
+            ms::runReplayBatch(scope, scope.episodeSnapshot(),
+                               scope.episodeState(), batch);
+        } else {
+            for (std::uint64_t i = 0; i < iterations; ++i) {
+                const std::uint64_t seed =
+                    exp::deriveReplaySeed(ctx.seed, i);
+                if (differential) {
+                    scope.restoreEpisode(seed);
+                } else {
+                    m.restoreFrom(pre);
+                    scope.adoptEpisodeState(preState);
+                    runPrefix();
+                    m.reseed(seed);
+                }
+                // The window: replay 2 measures and closes the episode
+                // (no pivot, maxEpisodes 1 => the engine disarms
+                // inline).
+                if (!m.runUntil([&]() { return !scope.armed(); },
+                                diffRunBudget))
+                    throw std::runtime_error("window never closed");
             }
-            // The window: replay 2 measures and closes the episode
-            // (no pivot, maxEpisodes 1 => the engine disarms inline).
-            if (!m.runUntil([&]() { return !scope.armed(); },
-                            diffRunBudget))
-                throw std::runtime_error("window never closed");
         }
 
         // Majority vote over the measured windows vs ground truth.
@@ -936,8 +1010,11 @@ diffReplaySection(std::optional<bool> pinned, exp::JsonFileSink &sink)
 
     if (pinned) {
         const bool on = *pinned;
-        exp::CampaignResult result = exp::runCampaign(diffReplaySpec(
-            "perf_campaign_diffreplay_pinned", on));
+        DiffArm arm;
+        arm.name = "perf_campaign_diffreplay_pinned";
+        arm.differential = on;
+        exp::CampaignResult result =
+            exp::runCampaign(diffReplaySpec(arm));
         std::printf("diffreplay=%s:\n", on ? "on" : "off");
         report("pinned", result);
         sink.consume(result);
@@ -948,11 +1025,16 @@ diffReplaySection(std::optional<bool> pinned, exp::JsonFileSink &sink)
         return result.aggregate.ok == diffTrials;
     }
 
-    exp::CampaignResult off = exp::runCampaign(
-        diffReplaySpec("perf_campaign_diffreplay_off", false));
+    DiffArm offArm;
+    offArm.name = "perf_campaign_diffreplay_off";
+    offArm.differential = false;
+    exp::CampaignResult off = exp::runCampaign(diffReplaySpec(offArm));
     report("resim", off);
-    exp::CampaignResult on = exp::runCampaign(
-        diffReplaySpec("perf_campaign_diffreplay_on", true));
+
+    DiffArm onArm = offArm;
+    onArm.name = "perf_campaign_diffreplay_on";
+    onArm.differential = true;
+    exp::CampaignResult on = exp::runCampaign(diffReplaySpec(onArm));
     report("cowfork", on);
 
     const double speedup =
@@ -999,66 +1081,203 @@ diffReplaySection(std::optional<bool> pinned, exp::JsonFileSink &sink)
            on.aggregate.ok == diffTrials;
 }
 
-} // namespace
+// ---------------------------------------------------------------------
+// Section 7: batched lockstep replay A/B (DESIGN.md §17).
+// ---------------------------------------------------------------------
 
-int
-main(int argc, char **argv)
+/** Wide episodes: the batch pays one full restore for this many
+ *  sibling windows.  Denoising campaigns in the paper's regime vote
+ *  across tens of replays per handle, so the A/B measures N well past
+ *  the ISSUE's N >= 4 floor. */
+constexpr std::size_t batchTrials = 8;
+constexpr std::uint64_t batchIterations = 24;
+/** Identity-matrix arms stay small: the matrix checks fingerprints,
+ *  not wall clock. */
+constexpr std::size_t batchMatrixTrials = 2;
+constexpr std::uint64_t batchMatrixIterations = 3;
+
+/** Run section 7; returns false on a hard failure. */
+bool
+batchReplaySection(std::optional<bool> pinned, exp::JsonFileSink &sink)
 {
-    // Section 4's daemon re-execs this very binary as its worker
-    // pool; the marker check must precede all flag parsing.
-    int worker_exit = 0;
-    if (svc::maybeRunWorkerMain(argc, argv, &worker_exit))
-        return worker_exit;
+    std::printf("\n==============================================================\n");
+    std::printf("Batched-replay A/B: lockstep sibling windows, %zu "
+                "trials x %llu re-entries\n",
+                batchTrials,
+                static_cast<unsigned long long>(batchIterations));
+    std::printf("==============================================================\n\n");
 
-    // Peel off this bench's own A/B flags before the shared obs
-    // parser sees (and warns about) them.
-    std::optional<bool> prefixCacheFlag;
-    std::optional<bool> poolFlag;
-    std::optional<bool> svcFlag;
-    std::optional<bool> diffReplayFlag;
-    std::vector<char *> rest;
-    rest.push_back(argv[0]);
-    for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
-        if (arg == "--prefix-cache=on")
-            prefixCacheFlag = true;
-        else if (arg == "--prefix-cache=off")
-            prefixCacheFlag = false;
-        else if (arg == "--pool=on")
-            poolFlag = true;
-        else if (arg == "--pool=off")
-            poolFlag = false;
-        else if (arg == "--svc=on")
-            svcFlag = true;
-        else if (arg == "--svc=off")
-            svcFlag = false;
-        else if (arg == "--diffreplay=on")
-            diffReplayFlag = true;
-        else if (arg == "--diffreplay=off")
-            diffReplayFlag = false;
-        else
-            rest.push_back(argv[i]);
+    if (pinned) {
+        // Pinned mode: one arm of the speedup shape, fingerprint to a
+        // file so CI can `cmp` the two pinned invocations.
+        const bool on = *pinned;
+        DiffArm arm;
+        arm.name = "perf_campaign_batchreplay_pinned";
+        arm.differential = true;
+        arm.batch = on ? batchIterations : 0;
+        arm.trials = batchTrials;
+        arm.iterations = batchIterations;
+        exp::CampaignResult result =
+            exp::runCampaign(diffReplaySpec(arm));
+        std::printf("batch-replay=%s:\n", on ? "on" : "off");
+        report("pinned", result);
+        sink.consume(result);
+        writeTextFile(
+            on ? "bench-results/BENCH_batchreplay_fp_on.txt"
+               : "bench-results/BENCH_batchreplay_fp_off.txt",
+            deterministicFingerprint(result));
+        return result.aggregate.ok == batchTrials;
     }
-    const obs::BenchObsOptions opts = obs::parseBenchObsOptions(
-        static_cast<int>(rest.size()), rest.data(),
-        "bench-results/perf_campaign.trace.json");
-    const unsigned hw = std::thread::hardware_concurrency();
-    // Sharding section: fast-forward on unless pinned off, so the
-    // throughput numbers reflect the production configuration.
-    const bool fig10Ff = opts.fastForward.value_or(true);
 
+    // Speedup A/B: cold resim, per-sibling diffreplay, batch — all
+    // three must fingerprint identically; batch must beat per-sibling.
+    DiffArm coldArm;
+    coldArm.name = "perf_campaign_batchreplay_cold";
+    coldArm.differential = false;
+    coldArm.trials = batchTrials;
+    coldArm.iterations = batchIterations;
+    exp::CampaignResult cold =
+        exp::runCampaign(diffReplaySpec(coldArm));
+    report("resim", cold);
+
+    DiffArm onArm = coldArm;
+    onArm.name = "perf_campaign_batchreplay_diffon";
+    onArm.differential = true;
+    exp::CampaignResult diffOn =
+        exp::runCampaign(diffReplaySpec(onArm));
+    report("cowfork", diffOn);
+
+    DiffArm batchArm = onArm;
+    batchArm.name = "perf_campaign_batchreplay_batch";
+    batchArm.batch = batchIterations;
+    exp::CampaignResult batch =
+        exp::runCampaign(diffReplaySpec(batchArm));
+    report("batch", batch);
+
+    const double speedup = batch.wallSeconds > 0.0
+                               ? diffOn.wallSeconds / batch.wallSeconds
+                               : 0.0;
+    std::printf("\nbatched-replay speedup vs diffreplay-on (1 worker, "
+                "N=%llu): %.2fx (paper-repro target: >= 1.5x)\n",
+                static_cast<unsigned long long>(batchIterations),
+                speedup);
+
+    const std::string fpCold = deterministicFingerprint(cold);
+    const std::string fpOn = deterministicFingerprint(diffOn);
+    const std::string fpBatch = deterministicFingerprint(batch);
+    bool identical = fpBatch == fpOn && fpBatch == fpCold;
+    std::printf("fingerprints byte-identical across arms: %s\n",
+                identical ? "yes" : "NO");
+
+    sink.consume(diffOn);
+    sink.consume(batch);
+    writeTextFile("bench-results/BENCH_batchreplay_fp_off.txt", fpOn);
+    writeTextFile("bench-results/BENCH_batchreplay_fp_on.txt", fpBatch);
+
+    // Identity matrix: the batch contract must hold in every
+    // configuration the diffreplay contract holds in — ff on/off,
+    // quiet/chaos plans, worker counts 1/2/4 — against a cold-resim
+    // reference per (ff, plan) cell.  Small arms: this checks
+    // fingerprints, not throughput.
+    std::size_t matrixCells = 0, matrixMismatches = 0;
+    for (const bool chaos : {false, true}) {
+        for (const bool ff : {true, false}) {
+            DiffArm refArm;
+            refArm.name = "perf_campaign_batchreplay_matrix";
+            refArm.differential = false;
+            refArm.fastForward = ff;
+            refArm.chaos = chaos;
+            refArm.trials = batchMatrixTrials;
+            refArm.iterations = batchMatrixIterations;
+            const exp::CampaignResult ref =
+                exp::runCampaign(diffReplaySpec(refArm));
+            const std::string want = deterministicFingerprint(ref);
+            const bool refOk =
+                ref.aggregate.ok == batchMatrixTrials;
+            for (const bool batched : {false, true}) {
+                for (const unsigned workers : {1u, 2u, 4u}) {
+                    DiffArm cell = refArm;
+                    cell.differential = true;
+                    cell.batch =
+                        batched ? batchMatrixIterations : 0;
+                    cell.workers = workers;
+                    const exp::CampaignResult got =
+                        exp::runCampaign(diffReplaySpec(cell));
+                    ++matrixCells;
+                    const bool match =
+                        refOk &&
+                        deterministicFingerprint(got) == want;
+                    if (!match) {
+                        ++matrixMismatches;
+                        std::printf(
+                            "matrix MISMATCH: chaos=%d ff=%d "
+                            "batch=%d workers=%u\n",
+                            chaos, ff, batched, workers);
+                    }
+                }
+            }
+        }
+    }
+    std::printf("identity matrix: %zu cells, %zu mismatches "
+                "(batch x diff x workers x ff x plan)\n",
+                matrixCells, matrixMismatches);
+    identical = identical && matrixMismatches == 0;
+
+    const exp::json::Value bench =
+        exp::json::Value::object()
+            .set("bench", "perf_campaign_batchreplay")
+            .set("config",
+                 exp::json::Value::object()
+                     .set("trials", std::uint64_t{batchTrials})
+                     .set("replays_per_trial",
+                          std::uint64_t{batchIterations})
+                     .set("workers", std::uint64_t{1})
+                     .set("master_seed", std::uint64_t{42}))
+            .set("trials_per_sec", batch.trialsPerSecond())
+            .set("trials_per_sec_diffreplay",
+                 diffOn.trialsPerSecond())
+            .set("trials_per_sec_cold", cold.trialsPerSecond())
+            .set("speedup_vs_diffreplay_on", speedup)
+            .set("speedup_target", 1.5)
+            .set("fingerprints_identical", identical)
+            .set("matrix_cells", std::uint64_t{matrixCells})
+            .set("matrix_mismatches", std::uint64_t{matrixMismatches})
+            .set("fingerprint", fnv1aHex(fpBatch));
+    writeTextFile("bench-results/BENCH_batchreplay.json",
+                  bench.dump());
+    std::printf("bench JSON: bench-results/BENCH_batchreplay.json "
+                "(+ fingerprint files)\n");
+
+    // CI gate: determinism is absolute (speedup A/B arms + the full
+    // matrix); the speedup must never regress below break-even
+    // (>= 1.5x is tracked via the JSON).
+    return identical && speedup >= 1.0 &&
+           cold.aggregate.ok == batchTrials &&
+           diffOn.aggregate.ok == batchTrials &&
+           batch.aggregate.ok == batchTrials;
+}
+
+// ---------------------------------------------------------------------
+// Sections 1 and 2: sharding and fast-forward A/B.
+// ---------------------------------------------------------------------
+
+/** Run section 1 (Fig.-10 sharding); returns false on hard failure. */
+bool
+shardingSection(bool fast_forward, exp::JsonFileSink &sink)
+{
+    const unsigned hw = std::thread::hardware_concurrency();
     std::printf("==============================================================\n");
     std::printf("Campaign-runner throughput: Fig.-10-style sweep, %zu "
                 "trials\n", trials);
     std::printf("hardware_concurrency: %u, fast-forward: %s\n", hw,
-                fig10Ff ? "on" : "off");
+                fast_forward ? "on" : "off");
     std::printf("==============================================================\n\n");
 
     exp::CampaignResult serial =
-        exp::runCampaign(fig10StyleSpec(1, fig10Ff));
+        exp::runCampaign(fig10StyleSpec(1, fast_forward));
     report("serial", serial);
     exp::CampaignResult parallel =
-        exp::runCampaign(fig10StyleSpec(4, fig10Ff));
+        exp::runCampaign(fig10StyleSpec(4, fast_forward));
     report("parallel", parallel);
 
     const double speedup =
@@ -1072,7 +1291,6 @@ main(int argc, char **argv)
     std::printf("aggregates bit-identical across worker counts: %s\n",
                 identical ? "yes" : "NO");
 
-    exp::JsonFileSink sink("bench-results", /*include_trials=*/false);
     sink.consume(serial);
     sink.consume(parallel);
     std::printf("campaign JSON: %s (+ serial twin)\n",
@@ -1090,28 +1308,29 @@ main(int argc, char **argv)
                     "enforced check here\n",
                     hw, hw ? hw : 1);
     }
+    return ok;
+}
 
+/** Run section 2 (fast-forward A/B); returns false on hard failure. */
+bool
+fastForwardSection(std::optional<bool> pinned, exp::JsonFileSink &sink)
+{
     std::printf("\n==============================================================\n");
     std::printf("Fast-forward A/B: Fig.-11-shaped AES replay trials, "
                 "%zu trials\n", fig11Trials);
     std::printf("==============================================================\n\n");
 
-    if (opts.fastForward) {
+    if (pinned) {
         // Pinned mode: measure it alone, no A/B comparison possible.
-        const bool ff = *opts.fastForward;
-        exp::CampaignResult pinned = exp::runCampaign(fig11StyleSpec(
+        const bool ff = *pinned;
+        exp::CampaignResult result = exp::runCampaign(fig11StyleSpec(
             ff ? "perf_campaign_fig11_ff_on"
                : "perf_campaign_fig11_ff_off",
             1, ff));
-        report(ff ? "ff=on" : "ff=off", pinned);
-        sink.consume(pinned);
+        report(ff ? "ff=on" : "ff=off", result);
+        sink.consume(result);
         std::printf("campaign JSON: %s\n", sink.lastPath().c_str());
-        ok = ok && pinned.aggregate.ok == fig11Trials;
-        ok = prefixSection(prefixCacheFlag, poolFlag, sink) && ok;
-        ok = diffReplaySection(diffReplayFlag, sink) && ok;
-        ok = svcSection(svcFlag) && ok;
-        ok = obsSection(opts.obsLevel) && ok;
-        return ok ? 0 : 1;
+        return result.aggregate.ok == fig11Trials;
     }
 
     exp::CampaignResult ffOff = exp::runCampaign(
@@ -1147,13 +1366,89 @@ main(int argc, char **argv)
     std::printf("campaign JSON: %s (+ off/on twins)\n",
                 sink.lastPath().c_str());
 
-    ok = ok && ffIdentical && ffOff.aggregate.ok == fig11Trials &&
-         ffOn.aggregate.ok == fig11Trials &&
-         ffOn4.aggregate.ok == fig11Trials;
+    return ffIdentical && ffOff.aggregate.ok == fig11Trials &&
+           ffOn.aggregate.ok == fig11Trials &&
+           ffOn4.aggregate.ok == fig11Trials;
+}
 
-    ok = prefixSection(prefixCacheFlag, poolFlag, sink) && ok;
-    ok = diffReplaySection(diffReplayFlag, sink) && ok;
-    ok = svcSection(svcFlag) && ok;
-    ok = obsSection(opts.obsLevel) && ok;
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    // Section 4's daemon re-execs this very binary as its worker
+    // pool; the marker check must precede all flag parsing.
+    int worker_exit = 0;
+    if (svc::maybeRunWorkerMain(argc, argv, &worker_exit))
+        return worker_exit;
+
+    // Peel off this bench's own A/B flags before the shared obs
+    // parser sees (and warns about) them.
+    std::optional<bool> prefixCacheFlag;
+    std::optional<bool> poolFlag;
+    std::optional<bool> svcFlag;
+    std::optional<bool> diffReplayFlag;
+    std::optional<bool> batchReplayFlag;
+    std::optional<unsigned> sectionFlag;
+    std::vector<char *> rest;
+    rest.push_back(argv[0]);
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--prefix-cache=on")
+            prefixCacheFlag = true;
+        else if (arg == "--prefix-cache=off")
+            prefixCacheFlag = false;
+        else if (arg == "--pool=on")
+            poolFlag = true;
+        else if (arg == "--pool=off")
+            poolFlag = false;
+        else if (arg == "--svc=on")
+            svcFlag = true;
+        else if (arg == "--svc=off")
+            svcFlag = false;
+        else if (arg == "--diffreplay=on")
+            diffReplayFlag = true;
+        else if (arg == "--diffreplay=off")
+            diffReplayFlag = false;
+        else if (arg == "--batch-replay=on")
+            batchReplayFlag = true;
+        else if (arg == "--batch-replay=off")
+            batchReplayFlag = false;
+        else if (arg.rfind("--section=", 0) == 0)
+            sectionFlag = static_cast<unsigned>(
+                std::strtoul(arg.c_str() + 10, nullptr, 10));
+        else
+            rest.push_back(argv[i]);
+    }
+    const obs::BenchObsOptions opts = obs::parseBenchObsOptions(
+        static_cast<int>(rest.size()), rest.data(),
+        "bench-results/perf_campaign.trace.json");
+    // Sharding section: fast-forward on unless pinned off, so the
+    // throughput numbers reflect the production configuration.
+    const bool fig10Ff = opts.fastForward.value_or(true);
+
+    exp::JsonFileSink sink("bench-results", /*include_trials=*/false);
+
+    // --section=N runs exactly one numbered section; without it, all
+    // of them run (the full bench).
+    const auto want = [&](unsigned section) {
+        return !sectionFlag || *sectionFlag == section;
+    };
+
+    bool ok = true;
+    if (want(1))
+        ok = shardingSection(fig10Ff, sink) && ok;
+    if (want(2))
+        ok = fastForwardSection(opts.fastForward, sink) && ok;
+    if (want(3))
+        ok = prefixSection(prefixCacheFlag, poolFlag, sink) && ok;
+    if (want(4))
+        ok = svcSection(svcFlag) && ok;
+    if (want(5))
+        ok = obsSection(opts.obsLevel) && ok;
+    if (want(6))
+        ok = diffReplaySection(diffReplayFlag, sink) && ok;
+    if (want(7))
+        ok = batchReplaySection(batchReplayFlag, sink) && ok;
     return ok ? 0 : 1;
 }

@@ -48,11 +48,13 @@ Rng::seed(std::uint64_t seed_value)
     // All-zero state is the one degenerate case for xoshiro.
     if (s_[0] == 0 && s_[1] == 0 && s_[2] == 0 && s_[3] == 0)
         s_[0] = 1;
+    draws_ = 0;
 }
 
 std::uint64_t
 Rng::next()
 {
+    ++draws_;
     const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
     const std::uint64_t t = s_[1] << 17;
     s_[2] ^= s_[0];
@@ -75,6 +77,37 @@ Rng::below(std::uint64_t bound)
         if (draw >= threshold)
             return draw % bound;
     }
+}
+
+void
+Rng::discardBelow(std::uint64_t bound, std::uint64_t count)
+{
+    assert(bound != 0);
+    const std::uint64_t threshold = (0 - bound) % bound;
+    // Keep the generator state in registers across the whole span;
+    // below()'s per-call loads/stores dominate its cost.
+    std::uint64_t s0 = s_[0], s1 = s_[1], s2 = s_[2], s3 = s_[3];
+    std::uint64_t consumed = 0;
+    for (std::uint64_t i = 0; i < count; ++i) {
+        for (;;) {
+            const std::uint64_t draw = rotl(s1 * 5, 7) * 9;
+            const std::uint64_t t = s1 << 17;
+            s2 ^= s0;
+            s3 ^= s1;
+            s1 ^= s2;
+            s0 ^= s3;
+            s2 ^= t;
+            s3 = rotl(s3, 45);
+            ++consumed;
+            if (draw >= threshold)
+                break;
+        }
+    }
+    s_[0] = s0;
+    s_[1] = s1;
+    s_[2] = s2;
+    s_[3] = s3;
+    draws_ += consumed;
 }
 
 std::uint64_t

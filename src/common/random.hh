@@ -45,6 +45,15 @@ class Rng
     /** Uniform draw in [0, bound); bound must be non-zero. */
     std::uint64_t below(std::uint64_t bound);
 
+    /**
+     * Consume exactly what @p count below(@p bound) calls would —
+     * rejection retries included — without materializing the values.
+     * Positions a reconstructed stream (fork reseed mid-run) at the
+     * point a live one reached; the tight loop is an order of
+     * magnitude faster than repeated below() calls.
+     */
+    void discardBelow(std::uint64_t bound, std::uint64_t count);
+
     /** Uniform draw in [lo, hi] inclusive. */
     std::uint64_t range(std::uint64_t lo, std::uint64_t hi);
 
@@ -54,8 +63,19 @@ class Rng
     /** Uniform double in [0, 1). */
     double uniform();
 
+    /**
+     * Raw draws consumed since construction or the last seed().
+     * Copyable stream position: lets a caller certify "this stream was
+     * never touched over an interval" by comparing counts, without
+     * inspecting generator internals.  below()/range() count every
+     * rejection-sampling retry, so equal counts mean bit-equal
+     * positions.
+     */
+    std::uint64_t draws() const { return draws_; }
+
   private:
     std::uint64_t s_[4];
+    std::uint64_t draws_ = 0;
 };
 
 } // namespace uscope

@@ -1,6 +1,7 @@
 #include "core/microscope.hh"
 
 #include "common/logging.hh"
+#include "core/replay_batch.hh"
 #include "obs/metrics.hh"
 
 namespace uscope::ms
@@ -386,6 +387,42 @@ Microscope::restoreEpisodeFrom(const os::Snapshot &snap,
     adoptEpisodeState(state);
 }
 
+bool
+Microscope::restoreEpisodeJournaled(const os::Snapshot &snap,
+                                    const EpisodeState &state,
+                                    std::uint64_t seed)
+{
+    // Same restore + reseed + adopt sequence as restoreEpisodeFrom,
+    // with the hierarchy rewound through the armed undo journal when
+    // viable.  Either path leaves the machine bit-identical, so the
+    // return value is telemetry, not a semantic difference.
+    const bool journaled = machine_.journaledRestoreFrom(snap);
+    machine_.reseed(seed);
+    adoptEpisodeState(state);
+    return journaled;
+}
+
+bool
+Microscope::restoreEpisodeForked(const os::Snapshot &snap,
+                                 const EpisodeState &state,
+                                 std::uint64_t seed, Cycles origin)
+{
+    const bool journaled = machine_.journaledRestoreFrom(snap);
+    machine_.reseedForkedAt(seed, origin);
+    adoptEpisodeState(state);
+    return journaled;
+}
+
+void
+Microscope::noteBatchStats(const ReplayBatchStats &stats)
+{
+    batchRan_ = true;
+    batchSharedCycles_ = stats.sharedCycles;
+    batchDivergenceCycle_ = stats.divergenceCycle;
+    batchJournaledRestores_ = stats.journaledRestores;
+    batchFullRestores_ = stats.fullRestores;
+}
+
 void
 Microscope::exportMetrics(obs::MetricRegistry &registry) const
 {
@@ -397,6 +434,19 @@ Microscope::exportMetrics(obs::MetricRegistry &registry) const
         .set(stats_.foreignFaults);
     registry.counter("os.replay.counter_saturations")
         .set(stats_.replayCounterSaturations);
+    // Batch telemetry appears only after a batch ran, so per-sibling
+    // and batched campaigns export identical metric *sets* once the
+    // mechanics prefixes (stripped like obs.trace.*) are removed.
+    if (batchRan_) {
+        registry.counter("os.replay.batch.shared_cycles")
+            .set(batchSharedCycles_);
+        registry.counter("os.replay.batch.divergence_cycle")
+            .set(batchDivergenceCycle_);
+        registry.counter("os.replay.batch.journaled_restores")
+            .set(batchJournaledRestores_);
+        registry.counter("os.replay.batch.full_restores")
+            .set(batchFullRestores_);
+    }
 }
 
 } // namespace uscope::ms

@@ -37,6 +37,8 @@
 namespace uscope::ms
 {
 
+struct ReplayBatchStats;
+
 /** Module-level statistics. */
 struct MicroscopeStats
 {
@@ -197,6 +199,42 @@ class Microscope : public os::FaultModule
     /** Adopt @p state verbatim (loop position of a forked episode). */
     void adoptEpisodeState(const EpisodeState &state);
 
+    /**
+     * restoreEpisodeFrom, but the machine restore goes through the
+     * armed cache-hierarchy undo journal (batched lockstep replay,
+     * DESIGN.md §17) — bit-identical to the full restore, O(ways the
+     * previous sibling touched) instead of O(cache size).
+     *
+     * @return true when the journal path ran; false when it fell back
+     *         to the full copy (journal unarmed or poisoned).
+     */
+    bool restoreEpisodeJournaled(const os::Snapshot &snap,
+                                 const EpisodeState &state,
+                                 std::uint64_t seed);
+
+    /**
+     * restoreEpisodeJournaled from a *mid-window* snapshot: @p snap
+     * freezes a sibling's state at the lockstep divergence point D,
+     * and the reseed anchors at the episode origin @p origin (= the
+     * episode snapshot's cycle) via Machine::reseedForkedAt, so the
+     * result is bit-identical to restoreEpisodeJournaled at the
+     * origin followed by running origin -> D.  Only sound when the
+     * span [origin, D) is a certified shared prefix (runReplayBatch's
+     * divergence sentinels); @p state is the same episode state — the
+     * engine's loop position cannot have moved in a fault-free span.
+     */
+    bool restoreEpisodeForked(const os::Snapshot &snap,
+                              const EpisodeState &state,
+                              std::uint64_t seed, Cycles origin);
+
+    /**
+     * Record the last batch's telemetry (runReplayBatch calls this);
+     * exportMetrics then emits os.replay.batch.*.  Like obs.trace.*,
+     * those counters describe the mechanics, not the result, and are
+     * stripped from result fingerprints.
+     */
+    void noteBatchStats(const ReplayBatchStats &stats);
+
     // ------------------------------------------------------------------
     // Measurement utilities for recipe callbacks (Replayer-as-Monitor).
     // ------------------------------------------------------------------
@@ -244,6 +282,13 @@ class Microscope : public os::FaultModule
     bool snapPending_ = false;
     os::Snapshot episodeSnap_;
     EpisodeState episodeSt_;
+
+    /** Last batch's telemetry (exported only after a batch ran). */
+    bool batchRan_ = false;
+    Cycles batchSharedCycles_ = 0;
+    Cycles batchDivergenceCycle_ = 0;
+    std::uint64_t batchJournaledRestores_ = 0;
+    std::uint64_t batchFullRestores_ = 0;
 };
 
 } // namespace uscope::ms

@@ -31,14 +31,6 @@ isSubnormal(double value)
     return std::fpclassify(value) == FP_SUBNORMAL;
 }
 
-/** Ops that block younger issue until they retire. */
-bool
-isBarrier(Op op, bool rdrand_serializing)
-{
-    return op == Op::Fence ||
-           (op == Op::Rdrand && rdrand_serializing);
-}
-
 } // anonymous namespace
 
 Core::Core(mem::PhysMem &mem, mem::Hierarchy &hierarchy, vm::Mmu &mmu,
@@ -159,6 +151,7 @@ Core::startContext(unsigned ctx_id,
 {
     Context &ctx = ctxAt(ctx_id);
     ctx.program = std::move(program);
+    ctx.stream = ctx.program ? &ctx.program->decoded() : nullptr;
     ctx.fetchPc = entry;
     ctx.fetchStopped = false;
     ctx.pcid = pcid;
@@ -181,6 +174,7 @@ Core::stopContext(unsigned ctx_id)
     Context &ctx = ctxAt(ctx_id);
     squashAll(ctx_id);
     ctx.program.reset();
+    ctx.stream = nullptr;
     ctx.state = CtxState::Idle;
 }
 
@@ -343,10 +337,10 @@ Core::rebuildWriterTables(Context &ctx)
     ctx.lastIntWriter.fill(-1);
     ctx.lastFpWriter.fill(-1);
     for (const RobEntry &entry : ctx.rob) {
-        if (writesInt(entry.inst.op))
+        if (entry.dec->writesInt())
             ctx.lastIntWriter[entry.inst.rd] =
                 static_cast<std::int64_t>(entry.seq);
-        if (writesFp(entry.inst.op))
+        if (entry.dec->writesFp())
             ctx.lastFpWriter[entry.inst.rd] =
                 static_cast<std::int64_t>(entry.seq);
     }
@@ -512,7 +506,7 @@ Core::nextEventCycle() const
                 issueReady(ctx, entry)) {
                 if (trace_on)
                     return cycle_;
-                const PortChoices choices = portsFor(entry.inst.op);
+                const PortChoices choices = entry.dec->ports;
                 Cycles port_free = kNoEventCycle;
                 if (choices.first != 0xFF)
                     port_free = std::min(
@@ -522,7 +516,7 @@ Core::nextEventCycle() const
                         port_free, ports_.busyUntil(choices.second));
                 next = std::min(next, std::max(port_free, cycle_));
             }
-            if (isBarrier(entry.inst.op, config_.rdrandSerializing) ||
+            if (entry.dec->isBarrier(config_.rdrandSerializing) ||
                 entry.flushBarrier) {
                 break;
             }
@@ -548,6 +542,17 @@ Core::fastForwardTo(Cycles target)
 }
 
 void
+Core::reseedAdvanced(std::uint64_t seed, Cycles ticks)
+{
+    rng_.seed(seed);
+    // Same consumption as ticks-many doIssue/fastForwardTo below(n)
+    // draws — rejection retries and all — so the position is
+    // bit-equal to a seeded core that ticked.
+    rng_.discardBelow(static_cast<std::uint64_t>(contexts_.size()),
+                      ticks);
+}
+
+void
 Core::doCompletions()
 {
     for (unsigned ctx_id = 0; ctx_id < contexts_.size(); ++ctx_id) {
@@ -560,7 +565,7 @@ Core::doCompletions()
             }
             entry.state = RobEntry::State::Done;
 
-            if (isCondBranch(entry.inst.op) && !entry.mispredictHandled) {
+            if (entry.dec->isCondBranch() && !entry.mispredictHandled) {
                 entry.mispredictHandled = true;
                 predictor_.update(biasedPc(ctx, entry.pc),
                                   entry.actualTaken);
@@ -600,6 +605,7 @@ Core::retireOne(unsigned ctx_id)
     }
 
     const Instruction &inst = head.inst;
+    const DecodedInst &dec = *head.dec;
 
     if (obs::tracing(obs_))
         obs_->trace.record(obs::EventKind::Retire,
@@ -607,17 +613,17 @@ Core::retireOne(unsigned ctx_id)
                            static_cast<std::uint16_t>(inst.op),
                            head.pc);
 
-    if (writesInt(inst.op))
+    if (dec.writesInt())
         ctx.intRegs[inst.rd] = head.result;
-    if (writesFp(inst.op))
+    if (dec.writesFp())
         ctx.fpRegs[inst.rd] = head.result;
 
-    if (isStore(inst.op) && head.storeResolved) {
+    if (dec.isStore() && head.storeResolved) {
         if (!head.storeDataResolved) {
             // STD at retirement: the producer is older, hence already
             // retired, so the register file holds the value.
             std::uint64_t value = 0;
-            resolveSource(ctx, -1, inst.rs2, readsFp2(inst.op), value);
+            resolveSource(ctx, -1, inst.rs2, dec.readsFp2(), value);
             head.storeValue = (head.storeLen == 4)
                 ? (value & 0xFFFFFFFFull)
                 : value;
@@ -687,7 +693,7 @@ Core::handleFaultAtHead(unsigned ctx_id, const RobEntry &head)
                            head.faultVa);
 
     const FaultInfo info{ctx_id, head.faultVa, head.pc,
-                         isStore(head.inst.op)};
+                         head.dec->isStore()};
 
     if (ctx.inTx) {
         // A fault inside a transaction aborts it instead of trapping
@@ -714,6 +720,7 @@ Core::executeMemOp(unsigned ctx_id, RobEntry &entry, Cycles &latency)
 {
     Context &ctx = contexts_[ctx_id];
     const Instruction &inst = entry.inst;
+    const DecodedInst &dec = *entry.dec;
 
     std::uint64_t base = 0;
     resolveSource(ctx, entry.dep1, inst.rs1, false, base);
@@ -727,7 +734,7 @@ Core::executeMemOp(unsigned ctx_id, RobEntry &entry, Cycles &latency)
 
     if (memProbe_)
         memProbe_(ctx_id, va, xlate.fault ? 0 : xlate.paddr,
-                  isStore(inst.op), xlate.fault);
+                  dec.isStore(), xlate.fault);
 
     if (xlate.fault) {
         entry.faulted = true;
@@ -738,14 +745,14 @@ Core::executeMemOp(unsigned ctx_id, RobEntry &entry, Cycles &latency)
     const unsigned len = (inst.op == Op::Ld32 || inst.op == Op::St32)
         ? 4 : 8;
 
-    if (isStore(inst.op)) {
+    if (dec.isStore()) {
         entry.storeResolved = true;
         entry.storeVa = va;
         entry.storePa = xlate.paddr;
         entry.storeLen = len;
         std::uint64_t value = 0;
         if (resolveSource(ctx, entry.dep2, inst.rs2,
-                          readsFp2(inst.op), value)) {
+                          dec.readsFp2(), value)) {
             entry.storeDataResolved = true;
             entry.storeValue =
                 (len == 4) ? (value & 0xFFFFFFFFull) : value;
@@ -762,7 +769,7 @@ Core::executeMemOp(unsigned ctx_id, RobEntry &entry, Cycles &latency)
     for (auto it = ctx.rob.rbegin(); it != ctx.rob.rend(); ++it) {
         if (it->seq >= entry.seq)
             continue;
-        if (!isStore(it->inst.op) || !it->storeDataResolved)
+        if (!it->dec->isStore() || !it->storeDataResolved)
             continue;
         if (it->storeVa == va && it->storeLen == len) {
             entry.result = it->storeValue;
@@ -800,7 +807,7 @@ Core::executeMemOp(unsigned ctx_id, RobEntry &entry, Cycles &latency)
     for (const RobEntry &other : ctx.rob) {
         if (other.seq >= entry.seq)
             break;
-        if (!isStore(other.inst.op) || !other.storeDataResolved)
+        if (!other.dec->isStore() || !other.storeDataResolved)
             continue;
         forwarded |= merge_bytes(other.storeVa, other.storeValue,
                                  other.storeLen, va);
@@ -815,13 +822,14 @@ Core::executeEntry(unsigned ctx_id, RobEntry &entry, Cycles &latency)
 {
     Context &ctx = contexts_[ctx_id];
     const Instruction &inst = entry.inst;
+    const DecodedInst &dec = *entry.dec;
 
     std::uint64_t s1 = 0;
     std::uint64_t s2 = 0;
-    if (readsSrc1(inst.op))
-        resolveSource(ctx, entry.dep1, inst.rs1, readsFp1(inst.op), s1);
-    if (readsSrc2(inst.op))
-        resolveSource(ctx, entry.dep2, inst.rs2, readsFp2(inst.op), s2);
+    if (dec.readsSrc1())
+        resolveSource(ctx, entry.dep1, inst.rs1, dec.readsFp1(), s1);
+    if (dec.readsSrc2())
+        resolveSource(ctx, entry.dep2, inst.rs2, dec.readsFp2(), s2);
 
     latency = config_.aluLatency;
 
@@ -941,18 +949,19 @@ bool
 Core::issueReady(const Context &ctx, const RobEntry &entry) const
 {
     const Instruction &inst = entry.inst;
+    const DecodedInst &dec = *entry.dec;
 
     // Operand readiness.  Stores are two-phase: the address (rs1)
     // must be ready at issue, but the data (rs2) may arrive as late
     // as retirement — mirroring separate STA/STD micro-ops.
     std::uint64_t scratch = 0;
-    if (readsSrc1(inst.op) &&
-        !resolveSource(ctx, entry.dep1, inst.rs1, readsFp1(inst.op),
+    if (dec.readsSrc1() &&
+        !resolveSource(ctx, entry.dep1, inst.rs1, dec.readsFp1(),
                        scratch)) {
         return false;
     }
-    if (readsSrc2(inst.op) && !isStore(inst.op) &&
-        !resolveSource(ctx, entry.dep2, inst.rs2, readsFp2(inst.op),
+    if (dec.readsSrc2() && !dec.isStore() &&
+        !resolveSource(ctx, entry.dep2, inst.rs2, dec.readsFp2(),
                        scratch)) {
         return false;
     }
@@ -960,7 +969,7 @@ Core::issueReady(const Context &ctx, const RobEntry &entry) const
     // Load ordering hazards: wait while any older store's address is
     // still unknown (addresses resolve within a few cycles), or while
     // an older overlapping store's *data* has not been produced yet.
-    if (isLoad(inst.op)) {
+    if (dec.isLoad()) {
         std::uint64_t base = 0;
         resolveSource(ctx, entry.dep1, inst.rs1, false, base);
         const VAddr load_va =
@@ -969,7 +978,7 @@ Core::issueReady(const Context &ctx, const RobEntry &entry) const
         for (const RobEntry &other : ctx.rob) {
             if (other.seq >= entry.seq)
                 break;
-            if (!isStore(other.inst.op) || other.faulted)
+            if (!other.dec->isStore() || other.faulted)
                 continue;
             if (!other.storeResolved)
                 return false;
@@ -988,13 +997,14 @@ Core::tryIssue(unsigned ctx_id, RobEntry &entry)
 {
     Context &ctx = contexts_[ctx_id];
     const Instruction &inst = entry.inst;
+    const DecodedInst &dec = *entry.dec;
 
     if (!issueReady(ctx, entry))
         return false;
 
     // Port availability (shared across SMT contexts — the contention
     // channel).
-    const PortChoices choices = portsFor(inst.op);
+    const PortChoices choices = dec.ports;
     unsigned port = numPorts;
     if (choices.first != 0xFF && ports_.canIssue(choices.first, cycle_))
         port = choices.first;
@@ -1017,11 +1027,8 @@ Core::tryIssue(unsigned ctx_id, RobEntry &entry)
     // contention channel) picks up deterministic extra cycles.  The
     // hook draws from the injector's stream, never from rng_ (which
     // fastForwardTo replays per cycle).
-    if (issueJitter_ &&
-        (inst.op == Op::Mul || inst.op == Op::Div ||
-         inst.op == Op::Fmul || inst.op == Op::Fdiv)) {
+    if (issueJitter_ && dec.jitterable())
         latency += issueJitter_(ctx_id);
-    }
 
     if (obs::tracing(obs_))
         obs_->trace.record(obs::EventKind::SpecIssue,
@@ -1029,7 +1036,7 @@ Core::tryIssue(unsigned ctx_id, RobEntry &entry)
                            static_cast<std::uint16_t>(inst.op),
                            entry.pc);
 
-    ports_.occupy(port, cycle_, latency, unpipelined(inst.op));
+    ports_.occupy(port, cycle_, latency, dec.unpipelined());
     entry.state = RobEntry::State::Executing;
     entry.finishCycle = cycle_ + latency;
     ++issuedThisCycle_;
@@ -1059,7 +1066,7 @@ Core::doIssue()
                 tryIssue(ctx_id, entry);
             // Barriers block younger issue until they retire (i.e.,
             // leave the ROB).
-            if (isBarrier(entry.inst.op, config_.rdrandSerializing) ||
+            if (entry.dec->isBarrier(config_.rdrandSerializing) ||
                 entry.flushBarrier) {
                 break;
             }
@@ -1072,9 +1079,15 @@ Core::dispatchOne(unsigned ctx_id)
 {
     Context &ctx = contexts_[ctx_id];
     const Instruction &inst = ctx.program->at(ctx.fetchPc);
+    // One memoized decode lookup replaces the predicate switches the
+    // pipeline stages used to re-run per entry; the pointer stays
+    // valid for the entry's whole ROB lifetime (the stream is owned
+    // by ctx.program, which outlives the ROB).
+    const DecodedInst &dec = ctx.stream->at(ctx.fetchPc);
 
     RobEntry entry;
     entry.inst = inst;
+    entry.dec = &dec;
     entry.seq = ctx.nextSeq++;
     entry.pc = ctx.fetchPc;
     if (ctx.serializeNext) {
@@ -1082,33 +1095,33 @@ Core::dispatchOne(unsigned ctx_id)
         ctx.serializeNext = false;
     }
 
-    if (readsSrc1(inst.op)) {
-        entry.dep1 = readsFp1(inst.op) ? ctx.lastFpWriter[inst.rs1]
-                                       : ctx.lastIntWriter[inst.rs1];
+    if (dec.readsSrc1()) {
+        entry.dep1 = dec.readsFp1() ? ctx.lastFpWriter[inst.rs1]
+                                    : ctx.lastIntWriter[inst.rs1];
     }
-    if (readsSrc2(inst.op)) {
-        entry.dep2 = readsFp2(inst.op) ? ctx.lastFpWriter[inst.rs2]
-                                       : ctx.lastIntWriter[inst.rs2];
+    if (dec.readsSrc2()) {
+        entry.dep2 = dec.readsFp2() ? ctx.lastFpWriter[inst.rs2]
+                                    : ctx.lastIntWriter[inst.rs2];
     }
 
     // Next-fetch PC: branches predicted at fetch; Halt stops fetch.
-    if (isCondBranch(inst.op)) {
+    if (dec.isCondBranch()) {
         entry.predictedTaken =
             predictor_.predict(biasedPc(ctx, ctx.fetchPc));
         ctx.fetchPc = entry.predictedTaken ? inst.target
                                            : ctx.fetchPc + 1;
-    } else if (inst.op == Op::Jmp) {
+    } else if (dec.isJmp()) {
         entry.actualTaken = true;
         ctx.fetchPc = inst.target;
-    } else if (inst.op == Op::Halt) {
+    } else if (dec.isHalt()) {
         ctx.fetchStopped = true;
     } else {
         ++ctx.fetchPc;
     }
 
-    if (writesInt(inst.op))
+    if (dec.writesInt())
         ctx.lastIntWriter[inst.rd] = static_cast<std::int64_t>(entry.seq);
-    if (writesFp(inst.op))
+    if (dec.writesFp())
         ctx.lastFpWriter[inst.rd] = static_cast<std::int64_t>(entry.seq);
 
     ctx.rob.push_back(std::move(entry));

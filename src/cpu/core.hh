@@ -177,6 +177,12 @@ class Core
     /** Stop and clear a context. */
     void stopContext(unsigned ctx);
 
+    /** Program loaded on @p ctx (null while idle). */
+    const std::shared_ptr<const Program> &contextProgram(unsigned ctx) const
+    {
+        return ctxAt(ctx).program;
+    }
+
     CtxState contextState(unsigned ctx) const;
     bool halted(unsigned ctx) const;
 
@@ -287,6 +293,23 @@ class Core
      *  reseed; leaves all architectural state and stats alone). */
     void reseed(std::uint64_t seed) { rng_.seed(seed); }
 
+    /**
+     * reseed(@p seed), then advance the stream by @p ticks issue
+     * draws — the position a core seeded at some cycle c reaches
+     * after running @p ticks cycles (doIssue draws exactly once per
+     * tick; fastForwardTo burns the same).  The reseed-at-fork
+     * primitive for a machine adopted mid-run: state copied from a
+     * sibling at cycle c + ticks, stream equal to "seeded at c, ran
+     * forward" (DESIGN.md §17).
+     */
+    void reseedAdvanced(std::uint64_t seed, Cycles ticks);
+
+    /** Raw draws consumed from the issue-arbitration stream since the
+     *  last (re)seed — one below(numContexts) per simulated tick, so
+     *  equal counts certify bit-equal stream positions (the
+     *  reseedAdvanced contract tests hold the core to). */
+    std::uint64_t rngDraws() const { return rng_.draws(); }
+
     /** Wire the owning Machine's observability hub (may be null);
      *  binds the hub's event clock to this core's cycle counter. */
     void setObserver(obs::Observer *observer);
@@ -300,6 +323,9 @@ class Core
     struct RobEntry
     {
         Instruction inst;
+        /** Memoized decode for inst (points into the context's shared
+         *  DecodedStream; kept alive by Context::program). */
+        const DecodedInst *dec = nullptr;
         std::uint64_t seq = 0;
         std::uint64_t pc = 0;
 
@@ -347,6 +373,9 @@ class Core
     {
         CtxState state = CtxState::Idle;
         std::shared_ptr<const Program> program;
+        /** The program's shared decode table (null iff no program).
+         *  Owned by `program`; copying a Context shares the stream. */
+        const DecodedStream *stream = nullptr;
         std::uint64_t fetchPc = 0;
         bool fetchStopped = false;  ///< Past a Halt or unresolved edge.
         Pcid pcid = 0;

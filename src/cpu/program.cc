@@ -9,9 +9,15 @@ namespace uscope::cpu
 
 const Instruction Program::haltInst_{Op::Halt, 0, 0, 0, 0, 0};
 
+Program::Program()
+    : decoded_(std::make_shared<const DecodedStream>(insts_))
+{
+}
+
 Program::Program(std::vector<Instruction> insts,
                  std::unordered_map<std::string, std::uint32_t> labels)
-    : insts_(std::move(insts)), labels_(std::move(labels))
+    : insts_(std::move(insts)), labels_(std::move(labels)),
+      decoded_(std::make_shared<const DecodedStream>(insts_))
 {
 }
 

@@ -13,10 +13,12 @@
 #define USCOPE_CPU_PROGRAM_HH
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "cpu/decode.hh"
 #include "cpu/isa.hh"
 
 namespace uscope::cpu
@@ -26,7 +28,7 @@ namespace uscope::cpu
 class Program
 {
   public:
-    Program() = default;
+    Program();
     Program(std::vector<Instruction> insts,
             std::unordered_map<std::string, std::uint32_t> labels);
 
@@ -35,6 +37,20 @@ class Program
 
     /** Instruction at @p pc; Halt beyond the end. */
     const Instruction &at(std::uint64_t pc) const;
+
+    /**
+     * The memoized decode table (DESIGN.md §17).  Built eagerly in
+     * every constructor and shared by copies of the Program, so all
+     * contexts, forks, and replay siblings running this program index
+     * one immutable stream.  Never null.
+     */
+    const DecodedStream &decoded() const { return *decoded_; }
+
+    /** The refcounted stream itself (for lifetime-extending callers). */
+    const std::shared_ptr<const DecodedStream> &decodedStream() const
+    {
+        return decoded_;
+    }
 
     /** Index of a named label; fatal if unknown. */
     std::uint32_t label(const std::string &name) const;
@@ -45,6 +61,7 @@ class Program
   private:
     std::vector<Instruction> insts_;
     std::unordered_map<std::string, std::uint32_t> labels_;
+    std::shared_ptr<const DecodedStream> decoded_;
     static const Instruction haltInst_;
 };
 

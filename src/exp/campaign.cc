@@ -8,6 +8,7 @@
 
 #include "common/logging.hh"
 #include "common/random.hh"
+#include "core/replay_batch.hh"
 #include "exp/checkpoint.hh"
 #include "obs/chrome_trace.hh"
 #include "obs/log.hh"
@@ -29,11 +30,15 @@ elapsedSeconds(std::chrono::steady_clock::time_point since)
 }
 
 /**
- * Strip `obs.trace.*` meta-counters from a snapshot copy.  Those
- * counters exist so campaigns can assert lossless traces (satellite of
- * DESIGN.md §14), but they only appear when tracing is on — folding
- * them into the fingerprint would make `--obs=off` and `--obs=trace`
- * runs disagree about *results* when only observation changed.
+ * Strip host-mechanics meta-counters from a snapshot copy.  Three
+ * prefixes describe *how a result was produced*, not the result:
+ * `obs.trace.*` only appears when tracing is on (folding it in would
+ * make `--obs=off` and `--obs=trace` disagree about identical
+ * results); `mem.physmem.*` counts COW fast-reshares, which differ
+ * between pooled/forked/cold machines reaching the same state; and
+ * `os.replay.batch.*` records lockstep-batching telemetry, which the
+ * batched and per-sibling replay paths by contract must not let leak
+ * into results (DESIGN.md §17).
  */
 obs::MetricSnapshot
 withoutObsMeta(const obs::MetricSnapshot &snapshot)
@@ -42,7 +47,10 @@ withoutObsMeta(const obs::MetricSnapshot &snapshot)
     out.values.erase(
         std::remove_if(out.values.begin(), out.values.end(),
                        [](const obs::MetricValue &v) {
-                           return v.name.rfind("obs.trace.", 0) == 0;
+                           return v.name.rfind("obs.trace.", 0) == 0 ||
+                                  v.name.rfind("mem.physmem.", 0) == 0 ||
+                                  v.name.rfind("os.replay.batch.",
+                                               0) == 0;
                        }),
         out.values.end());
     return out;
@@ -81,12 +89,12 @@ deriveWarmupSeed(std::uint64_t master)
 std::uint64_t
 deriveReplaySeed(std::uint64_t trial_seed, std::uint64_t iteration)
 {
-    // Differential replay (DESIGN.md §15): one decorrelated noise
-    // stream per replay iteration of a trial.  The double-negation of
-    // the iteration keeps iteration 0 distinct from the trial seed
-    // itself (mix64(x ^ mix64(~0)) != x in general, and the shape
-    // mirrors deriveRetrySeed's attempt mixing).
-    return mix64(mix64(trial_seed) ^ mix64(~iteration));
+    // The definition moved to ms::deriveReplaySeed (DESIGN.md §17):
+    // the batched-replay driver below src/exp must derive the exact
+    // same sibling seeds, so the library owns the formula and the
+    // campaign layer forwards.  Values are unchanged — campaign
+    // fingerprints are preserved.
+    return ms::deriveReplaySeed(trial_seed, iteration);
 }
 
 void
@@ -383,6 +391,8 @@ TrialExecutor::runAttempt(const CampaignSpec &spec, std::size_t index,
     obs::ProfData *prof = spec.obsLevel >= obs::ObsLevel::Metrics
                               ? &state_->prof
                               : nullptr;
+    ctx.batchReplays = spec.batchReplays;
+    ctx.prof = prof;
 
     TrialResult result;
     result.index = index;

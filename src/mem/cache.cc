@@ -60,6 +60,7 @@ Cache::access(PAddr addr)
 {
     Way *way = findWay(addr);
     if (way) {
+        journalWay(*way);
         way->lruStamp = ++clock_;
         ++stats_.hits;
         return true;
@@ -74,6 +75,7 @@ Cache::insert(PAddr addr)
     if (Way *way = findWay(addr)) {
         // Already resident (races between walker and core fills);
         // treat as a touch.
+        journalWay(*way);
         way->lruStamp = ++clock_;
         return std::nullopt;
     }
@@ -96,6 +98,7 @@ Cache::insert(PAddr addr)
         ++stats_.evictions;
         evicted = (victim->tag * numSets_ + set) << lineShift;
     }
+    journalWay(*victim);
     victim->valid = true;
     victim->tag = tagOf(addr);
     victim->lruStamp = ++clock_;
@@ -106,6 +109,7 @@ bool
 Cache::invalidate(PAddr addr)
 {
     if (Way *way = findWay(addr)) {
+        journalWay(*way);
         way->valid = false;
         ++stats_.invalidations;
         return true;
@@ -116,6 +120,11 @@ Cache::invalidate(PAddr addr)
 void
 Cache::invalidateAll()
 {
+    // A bulk wipe touches every way; undoing it entry-by-entry would
+    // cost as much as the full copy the journal exists to avoid, so it
+    // poisons the journal instead (rewind falls back to copyStateFrom).
+    if (journal_.armed)
+        journal_.poisoned = true;
     for (Way &way : ways_) {
         if (way.valid) {
             way.valid = false;
@@ -141,6 +150,82 @@ Cache::occupancy() const
         if (way.valid)
             ++n;
     return n;
+}
+
+namespace
+{
+
+/**
+ * Entry cap: bounds journal memory on pathological windows.  A window
+ * touching more distinct way-mutations than this is in full-copy
+ * territory anyway, so overflow poisons rather than grows.
+ */
+constexpr std::size_t kJournalCap = 1u << 16;
+
+} // anonymous namespace
+
+void
+Cache::beginJournal()
+{
+    journal_.armed = true;
+    journal_.poisoned = false;
+    journal_.entries.clear();
+    journal_.clock0 = clock_;
+    journal_.stats0 = stats_;
+}
+
+void
+Cache::recordUndo(const Way &way)
+{
+    if (journal_.poisoned)
+        return;
+    if (journal_.entries.size() >= kJournalCap) {
+        journal_.poisoned = true;
+        return;
+    }
+    const auto index =
+        static_cast<std::uint32_t>(&way - ways_.data());
+    journal_.entries.push_back({index, way});
+}
+
+bool
+Cache::rewindJournal()
+{
+    if (!journalViable())
+        return false;
+    // Reverse order makes duplicate records of one way harmless: the
+    // last applied (= first recorded) image is the armed-time state.
+    for (auto it = journal_.entries.rbegin();
+         it != journal_.entries.rend(); ++it) {
+        ways_[it->index] = it->pre;
+    }
+    clock_ = journal_.clock0;
+    stats_ = journal_.stats0;
+    journal_.entries.clear();
+    return true;
+}
+
+std::uint64_t
+Cache::stateDigest() const
+{
+    std::uint64_t h = 14695981039346656037ull;
+    auto mix = [&h](std::uint64_t v) {
+        for (unsigned i = 0; i < 8; ++i) {
+            h ^= (v >> (8 * i)) & 0xFF;
+            h *= 1099511628211ull;
+        }
+    };
+    for (const Way &way : ways_) {
+        mix(way.valid ? 1 : 0);
+        mix(way.tag);
+        mix(way.lruStamp);
+    }
+    mix(clock_);
+    mix(stats_.hits);
+    mix(stats_.misses);
+    mix(stats_.evictions);
+    mix(stats_.invalidations);
+    return h;
 }
 
 } // namespace uscope::mem

@@ -159,6 +159,50 @@ Hierarchy::reset(std::uint64_t seed)
     rng_.seed(seed);
 }
 
+void
+Hierarchy::beginJournal()
+{
+    l1_.beginJournal();
+    l2_.beginJournal();
+    l3_.beginJournal();
+}
+
+void
+Hierarchy::endJournal()
+{
+    l1_.endJournal();
+    l2_.endJournal();
+    l3_.endJournal();
+}
+
+bool
+Hierarchy::rewindJournalTo(const Hierarchy &snap)
+{
+    // All-or-nothing: check viability first so a poisoned level never
+    // leaves the hierarchy half-rewound.
+    if (!journalViable())
+        return false;
+    l1_.rewindJournal();
+    l2_.rewindJournal();
+    l3_.rewindJournal();
+    rng_ = snap.rng_;
+    return true;
+}
+
+std::uint64_t
+Hierarchy::stateDigest() const
+{
+    std::uint64_t h = 14695981039346656037ull;
+    for (std::uint64_t d : {l1_.stateDigest(), l2_.stateDigest(),
+                            l3_.stateDigest()}) {
+        for (unsigned i = 0; i < 8; ++i) {
+            h ^= (d >> (8 * i)) & 0xFF;
+            h *= 1099511628211ull;
+        }
+    }
+    return h;
+}
+
 namespace
 {
 

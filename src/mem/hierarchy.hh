@@ -142,6 +142,45 @@ class Hierarchy
     /** Wire the owning Machine's observability hub (may be null). */
     void setObserver(obs::Observer *observer) { obs_ = observer; }
 
+    // ------------------------------------------------------------------
+    // Undo journal (batched lockstep replay, DESIGN.md §17).
+    // ------------------------------------------------------------------
+
+    /** Arm all three caches' undo journals at the current state. */
+    void beginJournal();
+
+    /** Disarm without rewinding (keeps the mutated state). */
+    void endJournal();
+
+    /**
+     * Restore the state captured by the last beginJournal() by
+     * rewinding every cache's undo journal (O(ways touched)), and
+     * adopt @p snap's DRAM-jitter RNG so the net effect is exactly
+     * copyStateFrom(@p snap) — @p snap must be the state the journal
+     * was armed at.  Leaves the journals armed-and-empty.
+     *
+     * @return false when any cache's journal is not viable (poisoned
+     *         by invalidateAll or entry-cap overflow); no state is
+     *         touched and the caller must fall back to copyStateFrom
+     *         (+ beginJournal to re-arm).
+     */
+    bool rewindJournalTo(const Hierarchy &snap);
+
+    /** All three journals armed and unpoisoned. */
+    bool journalViable() const
+    {
+        return l1_.journalViable() && l2_.journalViable() &&
+               l3_.journalViable();
+    }
+
+    /** Combined FNV digest of all cache state (tests). */
+    std::uint64_t stateDigest() const;
+
+    /** DRAM-jitter RNG draws consumed since the last (re)seed.  Zero
+     *  across an interval certifies no seed-dependent latency was
+     *  sampled in it (lockstep-replay divergence sentinel). */
+    std::uint64_t rngDraws() const { return rng_.draws(); }
+
     /**
      * Earliest cycle at which ticking can change this component's
      * state (fast-forward contract, DESIGN.md §10).  The hierarchy is

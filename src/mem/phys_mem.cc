@@ -81,6 +81,7 @@ PhysMem::markDirty(Ppn ppn)
     if (dirtyPpns_.size() >= kMaxDirtyTracked) {
         tableDiverged_ = true;
         dirtyPpns_.clear();
+        ++rebuildPoisons_;
         return;
     }
     dirtyPpns_.push_back(ppn);

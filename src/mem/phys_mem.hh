@@ -154,6 +154,10 @@ class PhysMem
     /** Dirty-page fast-path share count (observability/tests). */
     std::uint64_t sharesFast() const { return sharesFast_; }
 
+    /** Times dirty tracking overflowed kMaxDirtyTracked and poisoned
+     *  the fast path back to a full rebuild (observability/tests). */
+    std::uint64_t rebuildPoisons() const { return rebuildPoisons_; }
+
     /**
      * Drop every materialized page.  Slabs stay reserved in the arena
      * for reuse, so a pooled Machine's reset() performs no page-sized
@@ -219,6 +223,7 @@ class PhysMem
 
     std::uint64_t sharesFull_ = 0;
     std::uint64_t sharesFast_ = 0;
+    std::uint64_t rebuildPoisons_ = 0;
 };
 
 } // namespace uscope::mem

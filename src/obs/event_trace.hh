@@ -20,6 +20,7 @@
 #ifndef USCOPE_OBS_EVENT_TRACE_HH
 #define USCOPE_OBS_EVENT_TRACE_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -103,13 +104,25 @@ class EventTrace
      * (snapshot forking, DESIGN.md §12).  The clock binding is NOT
      * copied: it points into the owning Machine's core and would
      * dangle across machines — each trace keeps its own.
+     *
+     * Only the live slots are copied: no reader (drain(), record()'s
+     * overwrite cursor) ever touches a slot past min(total_, size),
+     * so the garbage beyond them need not travel.  Restore-heavy
+     * paths (differential replay) copy near-empty traces constantly;
+     * hauling the full preallocated ring dominated their cost.
      */
     void copyStateFrom(const EventTrace &other)
     {
         enabled_ = other.enabled_;
         total_ = other.total_;
         mask_ = other.mask_;
-        ring_ = other.ring_;
+        if (ring_.size() != other.ring_.size()) {
+            ring_ = other.ring_;
+            return;
+        }
+        const std::size_t live = static_cast<std::size_t>(
+            std::min<std::uint64_t>(total_, other.ring_.size()));
+        std::copy_n(other.ring_.begin(), live, ring_.begin());
     }
 
   private:

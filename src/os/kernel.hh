@@ -234,6 +234,11 @@ class Kernel
      *  (fork reseed; leaves processes, frames, and stats alone). */
     void reseed(std::uint64_t seed) { rng_.seed(seed); }
 
+    /** Probe-jitter RNG draws consumed since the last (re)seed.  Zero
+     *  across an interval certifies no timed probe sampled jitter in
+     *  it (lockstep-replay divergence sentinel). */
+    std::uint64_t rngDraws() const { return rng_.draws(); }
+
     /** Wire the owning Machine's observability hub (may be null). */
     void setObserver(obs::Observer *observer) { obs_ = observer; }
 

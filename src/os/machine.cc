@@ -93,8 +93,21 @@ Machine::copyStateFrom(const Machine &other)
 Snapshot
 Machine::snapshot() const
 {
-    auto frozen = std::make_unique<Machine>(config_);
+    // Reuse a pooled frozen machine when its last Snapshot is gone:
+    // the construction cost (slab arena, cache arrays, ROB) dwarfs
+    // the state copy.  Either path runs the same copyStateFrom, so
+    // the snapshot's content is identical.
+    for (auto &slot : scratchSnaps_) {
+        if (slot && slot.use_count() == 1 &&
+            sameStructure(slot->config_, config_)) {
+            slot->copyStateFrom(*this);
+            return Snapshot(slot);
+        }
+    }
+    auto frozen = std::make_shared<Machine>(config_);
     frozen->copyStateFrom(*this);
+    scratchSnaps_[scratchNext_] = frozen;
+    scratchNext_ = (scratchNext_ + 1) % scratchSnaps_.size();
     return Snapshot(std::move(frozen));
 }
 
@@ -104,6 +117,34 @@ Machine::restoreFrom(const Snapshot &snap)
     if (!snap.valid())
         panic("Machine::restoreFrom: invalid Snapshot");
     copyStateFrom(*snap.frozen_);
+}
+
+bool
+Machine::journaledRestoreFrom(const Snapshot &snap)
+{
+    if (!snap.valid())
+        panic("Machine::journaledRestoreFrom: invalid Snapshot");
+    const Machine &other = *snap.frozen_;
+    if (!sameStructure(config_, other.config_))
+        panic("Machine::journaledRestoreFrom: structural config "
+              "mismatch");
+    config_.seed = other.config_.seed;
+    mem_.shareStateFrom(other.mem_);
+    const bool journaled = hierarchy_.rewindJournalTo(other.hierarchy_);
+    if (!journaled) {
+        // Poisoned (invalidateAll / overflow) or never armed: pay the
+        // full copy once and re-arm for the next sibling.
+        hierarchy_.copyStateFrom(other.hierarchy_);
+        hierarchy_.beginJournal();
+    }
+    mmu_.copyStateFrom(other.mmu_);
+    core_.copyStateFrom(other.core_);
+    kernel_.copyStateFrom(other.kernel_);
+    entropy_ = other.entropy_;
+    faults_.copyStateFrom(other.faults_);
+    faults_.reanchorAt(core_.cycle());
+    obs_.trace.copyStateFrom(other.obs_.trace);
+    return journaled;
 }
 
 void
@@ -132,6 +173,27 @@ Machine::reseed(std::uint64_t seed)
     kernel_.reseed(config_.seed * 7 + 3);
     entropy_.seed(config_.seed * 11 + 4);
     faults_.reseedAt(config_.seed * 13 + 5, core_.cycle());
+}
+
+void
+Machine::reseedForkedAt(std::uint64_t seed, Cycles origin)
+{
+    if (origin > core_.cycle())
+        panic("Machine::reseedForkedAt: origin %llu ahead of cycle "
+              "%llu",
+              static_cast<unsigned long long>(origin),
+              static_cast<unsigned long long>(core_.cycle()));
+    config_.seed = seed;
+    // Streams whose draws the caller certified unconsumed over
+    // [origin, now) restart fresh; the core's per-tick stream
+    // advances to its natural position; the fault schedule anchors
+    // where the sibling's own reseed would have (the episode
+    // origin), so scheduled firings land on the same cycles.
+    hierarchy_.reseed(seed * 3 + 1);
+    core_.reseedAdvanced(seed * 5 + 2, core_.cycle() - origin);
+    kernel_.reseed(seed * 7 + 3);
+    entropy_.seed(seed * 11 + 4);
+    faults_.reseedAt(seed * 13 + 5, origin);
 }
 
 Cycles
@@ -205,6 +267,14 @@ Machine::exportMetrics(obs::MetricRegistry &registry) const
     core_.exportMetrics(registry);
     kernel_.exportMetrics(registry);
     faults_.exportMetrics(registry);
+    // COW page-sharing telemetry (DESIGN.md §15).  Like obs.trace.*,
+    // these count host-side mechanics (how a state was reached, not
+    // what it is), so deterministicFingerprint strips the
+    // mem.physmem.* prefix.
+    registry.counter("mem.physmem.shares_full").set(mem_.sharesFull());
+    registry.counter("mem.physmem.shares_fast").set(mem_.sharesFast());
+    registry.counter("mem.physmem.rebuild_poisons")
+        .set(mem_.rebuildPoisons());
     // Trace-loss accounting (DESIGN.md §14): lets a campaign assert
     // "no events were overwritten" from its MetricSnapshot without
     // parsing trace files.  Only exported while tracing so untraced

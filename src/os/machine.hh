@@ -12,6 +12,7 @@
 #ifndef USCOPE_OS_MACHINE_HH
 #define USCOPE_OS_MACHINE_HH
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -219,6 +220,31 @@ class Machine
     void restoreFrom(const Snapshot &snap);
 
     /**
+     * Arm the cache hierarchy's undo journal at the current state —
+     * the batched-replay primitive (DESIGN.md §17).  Between arming
+     * and endReplayJournal(), journaledRestoreFrom() can rewind the
+     * hierarchy to this state in O(ways touched) instead of the
+     * O(cache size) copy restoreFrom pays.  The state journalled must
+     * be the state of the snapshot later passed to
+     * journaledRestoreFrom.
+     */
+    void beginReplayJournal() { hierarchy_.beginJournal(); }
+
+    /** Disarm the journal (keeps the current state). */
+    void endReplayJournal() { hierarchy_.endJournal(); }
+
+    /**
+     * restoreFrom(@p snap), but the cache hierarchy — the dominant
+     * cost of a full restore — is rewound through the armed undo
+     * journal when viable.  The result is bit-identical to
+     * restoreFrom either way; the return value only reports which
+     * path ran (false = journal poisoned or unarmed, full copy used,
+     * journal re-armed at the restored state).  @p snap must be the
+     * state beginReplayJournal() was called at.
+     */
+    bool journaledRestoreFrom(const Snapshot &snap);
+
+    /**
      * Return a pooled instance to the seed-fresh state a newly
      * constructed Machine(config()) would have — bit-identically so,
      * including every RNG stream and stat — without freeing the page
@@ -243,6 +269,38 @@ class Machine
      */
     void reseed(std::uint64_t seed);
 
+    /**
+     * reseed(@p seed) as if it had happened at cycle @p origin in the
+     * past: fault schedules anchor at @p origin (not the current
+     * cycle), and the core's per-tick SMT stream advances by
+     * (cycle() - origin) draws.  The fork-mid-window primitive for
+     * batched lockstep replay (DESIGN.md §17): a machine restored
+     * from a sibling's state at cycle D becomes bit-equal to one
+     * that reseeded at the episode origin c0 and ran c0 -> D itself,
+     * PROVIDED that span consumed no seed-sensitive draws
+     * (seedSensitiveDraws() unchanged), delivered no faults, and
+     * never had two contexts running (the SMT draw values were
+     * inert).  Callers certify that with the divergence sentinels;
+     * this only rebuilds the stream positions.
+     */
+    void reseedForkedAt(std::uint64_t seed, Cycles origin);
+
+    /**
+     * Draws consumed so far by the RNG streams whose *values* feed
+     * machine state: DRAM jitter (hierarchy), probe jitter (kernel),
+     * and RDRAND entropy.  An unchanged count over a run certifies
+     * the span was seed-independent.  The core's SMT stream is
+     * deliberately excluded: it draws every tick regardless, and its
+     * values are inert with fewer than two running contexts —
+     * reseedForkedAt() reproduces its position instead.
+     */
+    std::uint64_t
+    seedSensitiveDraws() const
+    {
+        return hierarchy_.rngDraws() + kernel_.rngDraws() +
+               entropy_.draws();
+    }
+
   private:
     /** Overwrite all mutable state with @p other's (same structure). */
     void copyStateFrom(const Machine &other);
@@ -253,6 +311,17 @@ class Machine
     mem::Hierarchy hierarchy_;
     vm::Mmu mmu_;
     cpu::Core core_;
+    /**
+     * Frozen-machine pool for snapshot(): constructing a Machine
+     * (slab arena, cache arrays, ROB) dwarfs copying one, so dead
+     * Snapshots' clones are kept for reuse.  A slot is reusable only
+     * while no Snapshot references it (use_count()==1).  Two slots
+     * cover the take-new-then-drop-old pattern of an engine that
+     * holds one episode snapshot across trials.  Mutable: a pool
+     * hand-off never changes this machine's observable state.
+     */
+    mutable std::array<std::shared_ptr<Machine>, 2> scratchSnaps_;
+    mutable std::size_t scratchNext_ = 0;
     Kernel kernel_;
     Rng entropy_;   ///< Hardware RDRAND source.
     fault::FaultInjector faults_;
@@ -286,12 +355,18 @@ class Snapshot
 
   private:
     friend class Machine;
-    explicit Snapshot(std::unique_ptr<Machine> frozen)
+    explicit Snapshot(std::shared_ptr<Machine> frozen)
         : frozen_(std::move(frozen))
     {
     }
 
-    std::unique_ptr<Machine> frozen_;
+    /**
+     * Shared only with the taking machine's scratch pool (snapshot
+     * reuse); a Snapshot is still the sole *owner* in the API sense —
+     * the pool never reads or writes a frozen machine while any
+     * Snapshot references it (use_count guard in Machine::snapshot).
+     */
+    std::shared_ptr<Machine> frozen_;
 };
 
 } // namespace uscope::os

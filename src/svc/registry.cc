@@ -39,6 +39,8 @@ CampaignRequest::toJson() const
     // Likewise omitted when unset, and excluded from identityKey().
     if (deadlineSeconds > 0.0)
         v.set("deadline_seconds", deadlineSeconds);
+    if (batchReplays != 0)
+        v.set("batch_replays", batchReplays);
     return v;
 }
 
@@ -75,6 +77,8 @@ CampaignRequest::fromJson(const json::Value &v)
     }
     if (const json::Value *f = v.get("deadline_seconds"))
         out.deadlineSeconds = f->asDouble();
+    if (const json::Value *f = v.get("batch_replays"))
+        out.batchReplays = f->asU64();
     return out;
 }
 
@@ -91,6 +95,7 @@ CampaignRequest::identityKey() const
     CampaignRequest identity = *this;
     identity.obs = obs::ObsLevel::Off;
     identity.deadlineSeconds = 0.0;
+    identity.batchReplays = 0;
     return identity.toJson().dump();
 }
 
@@ -507,6 +512,7 @@ CampaignRegistry::build(const CampaignRequest &request) const
     // campaigns, and checkpoints require per-trial metrics.
     spec.perTrialMetrics = true;
     spec.obsLevel = request.obs;
+    spec.batchReplays = request.batchReplays;
     if (!spec.body)
         panic("svc: recipe '%s' produced a spec without a body",
               request.recipe.c_str());

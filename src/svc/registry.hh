@@ -71,6 +71,15 @@ struct CampaignRequest
      * the same durable state.
      */
     double deadlineSeconds = 0.0;
+    /**
+     * CampaignSpec::batchReplays for the dispatched campaign: run
+     * differential-replay siblings as one lockstep batch (DESIGN.md
+     * §17).  0 = per-sibling restores.  EXCLUDED from identityKey()
+     * like obs: batching is a wall-clock knob with byte-identical
+     * fingerprints, so resubmitting a campaign batched must resume
+     * the same durable state its per-sibling run produced.
+     */
+    std::uint64_t batchReplays = 0;
 
     json::Value toJson() const;
     static std::optional<CampaignRequest> fromJson(const json::Value &v);

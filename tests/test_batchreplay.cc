@@ -1,0 +1,454 @@
+/**
+ * @file
+ * Batched lockstep sibling replay (DESIGN.md §17) tests.
+ *
+ * The contract under test: ms::runReplayBatch drives N sibling replay
+ * windows — one fetch/decode stream, journal-rewind restores, and a
+ * shared certified prefix forked mid-window — and produces results
+ * byte-identical to the per-sibling loop it replaces
+ * (restoreEpisodeFrom(seed_i) + run, N times).  The identity must
+ * hold across fault plans, fast-forward modes, and worker counts.
+ *
+ * Three layers are pinned separately so a regression names its layer:
+ *  - Rng::discardBelow and Core::reseedAdvanced reconstruct stream
+ *    positions exactly (the fork reseed's foundation);
+ *  - Microscope::restoreEpisodeForked from a mid-window snapshot
+ *    equals rewinding to the origin and re-running the prefix;
+ *  - the batch driver end-to-end equals the per-sibling loop, with
+ *    the fork path demonstrably engaged.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <vector>
+
+#include "common/random.hh"
+#include "core/microscope.hh"
+#include "core/replay_batch.hh"
+#include "cpu/decode.hh"
+#include "cpu/program.hh"
+#include "exp/campaign.hh"
+#include "fault/plan.hh"
+#include "os/machine.hh"
+
+using namespace uscope;
+
+namespace
+{
+
+constexpr Cycles kRunBudget = 5'000'000;
+
+std::shared_ptr<const cpu::Program>
+share(cpu::Program program)
+{
+    return std::make_shared<const cpu::Program>(std::move(program));
+}
+
+/** Victim with a handle page and a transmit page (cf. test_diffreplay). */
+struct PfVictim
+{
+    os::Pid pid;
+    VAddr handle;
+    VAddr transmit;
+    std::shared_ptr<const cpu::Program> program;
+};
+
+PfVictim
+makePfVictim(os::Kernel &kernel)
+{
+    PfVictim victim;
+    victim.pid = kernel.createProcess("victim");
+    victim.handle = kernel.allocVirtual(victim.pid, pageSize);
+    victim.transmit = kernel.allocVirtual(victim.pid, pageSize);
+
+    cpu::ProgramBuilder b;
+    b.movi(1, static_cast<std::int64_t>(victim.handle))
+        .movi(2, static_cast<std::int64_t>(victim.transmit))
+        .ld(3, 1, 0)    // replay handle
+        .ld(4, 2, 0)    // transmit
+        .halt();
+    victim.program = share(b.build());
+    return victim;
+}
+
+/** Arm a differential episode on @p scope and run to the snapshot
+ *  point; the caller takes it from there. */
+void
+armEpisode(os::Machine &m, ms::Microscope &scope, const PfVictim &victim)
+{
+    ms::AttackRecipe recipe;
+    recipe.victim = victim.pid;
+    recipe.replayHandle = victim.handle;
+    recipe.confidence = 2;
+    recipe.maxEpisodes = 1;
+    recipe.differentialReplay = true;
+    scope.setRecipe(std::move(recipe));
+
+    scope.arm();
+    m.kernel().startOnContext(victim.pid, 0, victim.program);
+    if (!m.runUntil([&]() { return scope.episodeSnapshotPending(); },
+                    kRunBudget))
+        throw std::runtime_error("prefix never reached the snapshot");
+    scope.takeEpisodeSnapshot();
+}
+
+/** Simulated-state fingerprint: clock, per-context stats, and every
+ *  exported metric minus the host-mechanics prefixes (mem.physmem.*
+ *  counts COW re-shares, os.replay.batch.* is batching telemetry —
+ *  both record how a state was reached, which is exactly what the
+ *  arms here vary). */
+std::string
+stateFingerprint(const os::Machine &m, const ms::Microscope &scope)
+{
+    obs::MetricRegistry registry;
+    m.exportMetrics(registry);
+    scope.exportMetrics(registry);
+    obs::MetricSnapshot snap = registry.snapshot();
+    snap.values.erase(
+        std::remove_if(
+            snap.values.begin(), snap.values.end(),
+            [](const obs::MetricValue &v) {
+                return v.name.rfind("mem.physmem.", 0) == 0 ||
+                       v.name.rfind("os.replay.batch.", 0) == 0 ||
+                       v.name.rfind("obs.trace.", 0) == 0;
+            }),
+        snap.values.end());
+    return snap.toJson().dump() + "@" + std::to_string(m.cycle());
+}
+
+} // namespace
+
+// --------------------------------------------------------------------
+// Stream-position reconstruction primitives.
+// --------------------------------------------------------------------
+
+TEST(RngDiscard, MatchesSequentialBelow)
+{
+    // Bounds chosen to exercise rejection sampling: powers of two
+    // never reject, (1<<63)+1 rejects ~half its raw draws.
+    const std::uint64_t bounds[] = {2, 3, 6, 1000,
+                                    (1ull << 63) + 1};
+    for (const std::uint64_t bound : bounds) {
+        Rng a(0xABCDEF), b(0xABCDEF);
+        for (int i = 0; i < 1000; ++i)
+            (void)a.below(bound);
+        b.discardBelow(bound, 1000);
+        EXPECT_EQ(a.draws(), b.draws()) << "bound " << bound;
+        for (int i = 0; i < 8; ++i)
+            EXPECT_EQ(a.next(), b.next())
+                << "bound " << bound << " draw " << i;
+    }
+}
+
+TEST(RngDiscard, ZeroCountIsANoOp)
+{
+    Rng a(7), b(7);
+    b.discardBelow(3, 0);
+    EXPECT_EQ(b.draws(), 0u);
+    EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(CoreReseed, AdvancedMatchesFreshlySeededTickedCore)
+{
+    // Run one machine K cycles from the episode origin, then rebuild
+    // its issue-arbitration stream position on another via
+    // reseedAdvanced: draw counts must agree with a reference stream
+    // that consumed K below(numContexts) calls one by one.
+    constexpr Cycles kTicks = 937;
+    constexpr std::uint64_t kSeed = 51;
+
+    os::Machine a, b;
+    a.reseed(kSeed);
+    a.run(kTicks);
+    b.run(kTicks);  // park b at the same cycle, stream position aside
+    b.core().reseedAdvanced(kSeed * 5 + 2, kTicks);
+
+    Rng ref(kSeed * 5 + 2);
+    for (Cycles c = 0; c < kTicks; ++c)
+        (void)ref.below(a.core().config().numContexts);
+
+    EXPECT_EQ(a.core().rngDraws(), ref.draws());
+    EXPECT_EQ(b.core().rngDraws(), ref.draws());
+}
+
+// --------------------------------------------------------------------
+// Mid-window fork restore.
+// --------------------------------------------------------------------
+
+TEST(BatchReplayFork, ForkedRestoreMatchesRewindAndRerun)
+{
+    // A sibling restored from another seed's mid-window snapshot via
+    // restoreEpisodeForked must be bit-identical to one rewound to
+    // the episode origin that re-ran the prefix itself.
+    os::Machine m;
+    ms::Microscope scope(m);
+    const PfVictim victim = makePfVictim(m.kernel());
+    armEpisode(m, scope, victim);
+
+    const os::Snapshot &snap = scope.episodeSnapshot();
+    const ms::EpisodeState state = scope.episodeState();
+    const Cycles c0 = m.cycle();
+    constexpr Cycles kPrefix = 32;
+    constexpr std::uint64_t kPrefixSeed = 501;
+    constexpr std::uint64_t kSiblingSeed = 502;
+
+    // Reference: the sibling runs its own prefix from the origin.
+    scope.restoreEpisodeFrom(snap, state, kSiblingSeed);
+    const std::uint64_t faults0 = scope.stats().handleFaults;
+    m.run(kPrefix);
+    // The fork contract only covers certified-clean prefixes; if
+    // either assert fires, kPrefix crossed a divergence sentinel and
+    // must shrink.
+    ASSERT_EQ(m.seedSensitiveDraws(), 0u);
+    ASSERT_EQ(scope.stats().handleFaults, faults0);
+    ASSERT_TRUE(m.runUntilHalted(0, kRunBudget));
+    const std::string reference = stateFingerprint(m, scope);
+
+    // Forked: another seed runs the prefix, the sibling adopts its
+    // state at the fork and rebuilds stream positions as of c0.
+    scope.restoreEpisodeFrom(snap, state, kPrefixSeed);
+    m.run(kPrefix);
+    const os::Snapshot forkSnap = m.snapshot();
+    scope.restoreEpisodeForked(forkSnap, state, kSiblingSeed, c0);
+    EXPECT_EQ(m.cycle(), c0 + kPrefix);
+
+    // Stream positions: seed-sensitive streams fresh, the core's
+    // advanced by exactly the prefix's per-tick draws.
+    EXPECT_EQ(m.seedSensitiveDraws(), 0u);
+    Rng ref(kSiblingSeed * 5 + 2);
+    for (Cycles c = 0; c < kPrefix; ++c)
+        (void)ref.below(m.core().config().numContexts);
+    EXPECT_EQ(m.core().rngDraws(), ref.draws());
+
+    ASSERT_TRUE(m.runUntilHalted(0, kRunBudget));
+    EXPECT_EQ(stateFingerprint(m, scope), reference);
+}
+
+// --------------------------------------------------------------------
+// Driver end-to-end: batched == per-sibling loop.
+// --------------------------------------------------------------------
+
+namespace
+{
+
+constexpr std::uint64_t kBatchIterations = 4;
+
+/**
+ * One trial: arm the episode, then run kBatchIterations sibling
+ * windows — through runReplayBatch when @p batched, through the
+ * documented-equivalent per-sibling loop otherwise.  minForkPrefix=1
+ * forces the fork path onto this small window, so the identity check
+ * covers the whole pipeline (journal rewinds, fork snapshot,
+ * reseedForkedAt), not just the rewind fallback.
+ */
+exp::TrialOutput
+batchTrial(const exp::TrialContext &ctx, bool batched)
+{
+    exp::TrialOutput out;
+    os::Machine m(ctx.machine);
+    ms::Microscope scope(m);
+    const PfVictim victim = makePfVictim(m.kernel());
+    armEpisode(m, scope, victim);
+
+    const os::Snapshot &snap = scope.episodeSnapshot();
+    const ms::EpisodeState state = scope.episodeState();
+    std::vector<std::uint64_t> haltCycles;
+
+    if (batched) {
+        ms::ReplayBatchConfig config;
+        config.trialSeed = ctx.seed;
+        config.iterations = kBatchIterations;
+        config.runBudget = kRunBudget;
+        config.haltCtx = 0;
+        config.minForkPrefix = 1;
+        config.onSibling = [&](std::uint64_t) {
+            haltCycles.push_back(m.cycle());
+        };
+        ms::runReplayBatch(scope, snap, state, config);
+    } else {
+        for (std::uint64_t i = 0; i < kBatchIterations; ++i) {
+            scope.restoreEpisodeFrom(
+                snap, state, ms::deriveReplaySeed(ctx.seed, i));
+            if (!m.runUntilHalted(0, kRunBudget))
+                throw std::runtime_error("window never halted");
+            haltCycles.push_back(m.cycle());
+        }
+    }
+
+    out.scope = scope.stats();
+    out.simCycles = m.cycle();
+    exp::json::Value halts = exp::json::Value::array();
+    for (const std::uint64_t cycle : haltCycles) {
+        out.metric.add(static_cast<double>(cycle));
+        halts.push(cycle);
+    }
+    out.payload = exp::json::Value::object()
+                      .set("halts", std::move(halts))
+                      .set("retired", m.core().stats(0).retired);
+
+    obs::MetricRegistry registry;
+    m.exportMetrics(registry);
+    scope.exportMetrics(registry);
+    out.metrics = registry.snapshot();
+    return out;
+}
+
+exp::CampaignResult
+runBatchCampaign(bool batched, bool chaos, bool ff, unsigned workers)
+{
+    exp::CampaignSpec spec;
+    spec.name = "batchreplay_matrix";
+    spec.trials = 3;
+    spec.masterSeed = 11;
+    spec.workers = workers;
+    spec.keepTrialResults = true;
+    spec.machineFactory = [chaos, ff](const exp::TrialContext &) {
+        os::MachineConfig config;
+        config.fault =
+            chaos ? fault::FaultPlan::chaos() : fault::FaultPlan{};
+        config.fastForward = ff;
+        return config;
+    };
+    spec.body = [batched](const exp::TrialContext &ctx) {
+        return batchTrial(ctx, batched);
+    };
+    return exp::runCampaign(std::move(spec));
+}
+
+} // namespace
+
+TEST(BatchReplayDriver, MatchesPerSiblingLoopAcrossMatrix)
+{
+    for (const bool chaos : {false, true}) {
+        const exp::CampaignResult ref =
+            runBatchCampaign(false, chaos, true, 1);
+        ASSERT_EQ(ref.aggregate.ok, ref.trialCount)
+            << "reference campaign must succeed, or the identity "
+               "check is vacuous";
+        const std::string want = exp::deterministicFingerprint(ref);
+
+        struct Cell
+        {
+            bool ff;
+            unsigned workers;
+        };
+        const Cell cells[] = {
+            {true, 1}, {true, 2}, {true, 4}, {false, 1},
+        };
+        for (const Cell &cell : cells) {
+            const exp::CampaignResult got = runBatchCampaign(
+                true, chaos, cell.ff, cell.workers);
+            EXPECT_EQ(exp::deterministicFingerprint(got), want)
+                << "chaos=" << chaos << " ff=" << cell.ff
+                << " workers=" << cell.workers;
+        }
+    }
+}
+
+TEST(BatchReplayDriver, ForkPathEngagesOnCleanPrefix)
+{
+    // With DRAM jitter and probe jitter silenced, nothing draws
+    // before the replay fault delivers, so the certified prefix is
+    // non-empty and the fork path must engage: one full leader
+    // restore, every later sibling a journal rewind.
+    os::MachineConfig config;
+    config.mem.dramJitter = 0;
+    config.costs.probeJitter = 0;
+    os::Machine m(config);
+    ms::Microscope scope(m);
+    const PfVictim victim = makePfVictim(m.kernel());
+    armEpisode(m, scope, victim);
+
+    ms::ReplayBatchConfig batch;
+    batch.trialSeed = 21;
+    batch.iterations = kBatchIterations;
+    batch.runBudget = kRunBudget;
+    batch.minForkPrefix = 1;
+    const ms::ReplayBatchStats stats = ms::runReplayBatch(
+        scope, scope.episodeSnapshot(), scope.episodeState(), batch);
+
+    EXPECT_GT(stats.sharedCycles, 0u);
+    EXPECT_EQ(stats.journaledRestores + stats.fullRestores,
+              kBatchIterations - 1);
+    EXPECT_EQ(stats.fullRestores, 0u)
+        << "every non-leader sibling should rewind the journal";
+}
+
+TEST(BatchReplayDriver, RdrandVictimDisablesPrefixSharing)
+{
+    // RDRAND in the victim draws per execution from the entropy
+    // stream, so no prefix can be certified: the pre-gate must
+    // report sharedCycles == 0 while the batch itself still runs.
+    os::Machine m;
+    ms::Microscope scope(m);
+    auto &kernel = m.kernel();
+
+    PfVictim victim;
+    victim.pid = kernel.createProcess("victim");
+    victim.handle = kernel.allocVirtual(victim.pid, pageSize);
+    victim.transmit = kernel.allocVirtual(victim.pid, pageSize);
+    cpu::ProgramBuilder b;
+    b.movi(1, static_cast<std::int64_t>(victim.handle))
+        .rdrand(5)
+        .ld(3, 1, 0)
+        .halt();
+    victim.program = share(b.build());
+    armEpisode(m, scope, victim);
+
+    ms::ReplayBatchConfig batch;
+    batch.trialSeed = 22;
+    batch.iterations = kBatchIterations;
+    batch.runBudget = kRunBudget;
+    batch.minForkPrefix = 1;
+    const ms::ReplayBatchStats stats = ms::runReplayBatch(
+        scope, scope.episodeSnapshot(), scope.episodeState(), batch);
+
+    EXPECT_EQ(stats.sharedCycles, 0u);
+    EXPECT_EQ(stats.journaledRestores + stats.fullRestores,
+              kBatchIterations - 1);
+}
+
+// --------------------------------------------------------------------
+// Decoded-stream sharing (the one fetch/decode evaluation).
+// --------------------------------------------------------------------
+
+TEST(DecodedStream, MemoizesFlagsAndClampsBeyondEnd)
+{
+    cpu::ProgramBuilder b;
+    b.movi(1, 0x1000)
+        .ld(2, 1, 0)
+        .st(1, 2, 8)
+        .fence()
+        .halt();
+    const auto program = share(b.build());
+    const cpu::DecodedStream &decoded = program->decoded();
+
+    EXPECT_FALSE(decoded.at(0).isMem());
+    EXPECT_TRUE(decoded.at(1).isLoad());
+    EXPECT_TRUE(decoded.at(2).isStore());
+    EXPECT_TRUE(decoded.at(3).isBarrier(false));
+    EXPECT_TRUE(decoded.at(4).isHalt());
+    // Beyond-the-end clamps to a decoded Halt, mirroring Program::at.
+    EXPECT_TRUE(decoded.at(10'000).isHalt());
+    EXPECT_FALSE(decoded.hasRdrand());
+
+    cpu::ProgramBuilder r;
+    r.rdrand(1).halt();
+    EXPECT_TRUE(share(r.build())->decoded().hasRdrand());
+}
+
+TEST(DecodedStream, OneStreamDrivesEveryContext)
+{
+    // Contexts running the same Program read the same decode table —
+    // pointer-identical, not merely equal.
+    os::Machine m;
+    auto &kernel = m.kernel();
+    const PfVictim victim = makePfVictim(kernel);
+    kernel.startOnContext(victim.pid, 0, victim.program);
+    EXPECT_EQ(&m.core().contextProgram(0)->decoded(),
+              &victim.program->decoded());
+}

@@ -24,6 +24,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <set>
@@ -157,12 +158,21 @@ runBody(os::Machine &machine, const Victim &v, std::uint64_t seed)
     machine.runUntilHalted(0, 50'000'000);
 }
 
-/** Every metric the machine exports, plus the clock. */
+/** Every simulated metric the machine exports, plus the clock.
+ *  mem.physmem.* counts host-side COW re-shares — how a state was
+ *  reached, which is exactly what forked-vs-cold arms differ in —
+ *  so it is dropped, as exp::deterministicFingerprint drops it. */
 std::string
 stateFingerprint(const os::Machine &machine)
 {
-    return machine.metricsSnapshot().toJson().dump() + "@" +
-           std::to_string(machine.cycle());
+    obs::MetricSnapshot snap = machine.metricsSnapshot();
+    snap.values.erase(
+        std::remove_if(snap.values.begin(), snap.values.end(),
+                       [](const obs::MetricValue &v) {
+                           return v.name.rfind("mem.physmem.", 0) == 0;
+                       }),
+        snap.values.end());
+    return snap.toJson().dump() + "@" + std::to_string(machine.cycle());
 }
 
 TEST(MachineFork, ForkedTrialIsBitIdenticalToColdTrial)
@@ -268,19 +278,15 @@ TEST(MachineFork, StructuralMismatchIsRejected)
 // Campaign-level: prefixCache x machinePool x workers, under faults.
 // ---------------------------------------------------------------------
 
-/** Same shape as bench/perf_campaign's comparison. */
+/** The bench's comparison: per-trial payloads, metrics, and statuses
+ *  with host-mechanics meta-counters (obs.trace.*, mem.physmem.*,
+ *  os.replay.batch.*) stripped — those record how a state was
+ *  reached (pooled vs cold machines, COW re-shares), which is
+ *  exactly what the arms below vary. */
 std::string
 campaignFingerprint(const exp::CampaignResult &result)
 {
-    std::string fp = result.aggregate.toJson().dump();
-    for (const exp::TrialResult &trial : result.trials) {
-        fp += '\n';
-        fp += trial.output.payload.dump();
-        fp += trial.output.metrics.toJson().dump();
-        fp += exp::json::Value(trial.output.simCycles).dump();
-        fp += exp::trialStatusName(trial.status);
-    }
-    return fp;
+    return exp::deterministicFingerprint(result);
 }
 
 /**
